@@ -1,0 +1,290 @@
+//! Sector layout and adjacency topology.
+//!
+//! Sectors are laid out as blue-noise points (dart throwing with a
+//! per-country exclusion radius) inside country ellipses; adjacency is
+//! built from geometric proximity: every sector connects to its 3 nearest
+//! neighbors (guaranteeing minimum degree), components are bridged by
+//! their shortest crossing pairs, and the remaining budget up to the exact
+//! target edge count is filled with the globally shortest unused pairs —
+//! giving the planar-ish, locally dense topology of real sector graphs.
+
+use crate::countries::Country;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Per-sector layout data.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// Sector positions on the 10×10 map.
+    pub positions: Vec<(f64, f64)>,
+    /// Country index (into [`crate::COUNTRIES`]-like slice) per sector.
+    pub country_of: Vec<u16>,
+}
+
+/// Scatters `count` blue-noise points inside an ellipse.
+fn scatter_country(
+    rng: &mut ChaCha8Rng,
+    country: &Country,
+    count: usize,
+    out: &mut Vec<(f64, f64)>,
+) {
+    // Exclusion radius from the ellipse area and requested density.
+    let area = std::f64::consts::PI * country.radii.0 * country.radii.1;
+    let r_excl = 0.62 * (area / count.max(1) as f64).sqrt();
+    let mut placed: Vec<(f64, f64)> = Vec::with_capacity(count);
+    let mut relax = 1.0;
+    while placed.len() < count {
+        let mut accepted = false;
+        for _ in 0..64 {
+            // Uniform point in the ellipse.
+            let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+            let rad = rng.gen::<f64>().sqrt();
+            let x = country.center.0 + country.radii.0 * rad * angle.cos();
+            let y = country.center.1 + country.radii.1 * rad * angle.sin();
+            let min_d2 = (r_excl * relax).powi(2);
+            if placed
+                .iter()
+                .all(|&(px, py)| (px - x).powi(2) + (py - y).powi(2) >= min_d2)
+            {
+                placed.push((x, y));
+                accepted = true;
+                break;
+            }
+        }
+        if !accepted {
+            relax *= 0.9; // dart throwing saturated: relax the radius
+        }
+    }
+    out.extend(placed);
+}
+
+/// Lays out all sectors for `countries`, deterministic under `seed`.
+pub fn layout(countries: &[Country], seed: u64) -> Layout {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let total: usize = countries.iter().map(|c| c.sectors).sum();
+    let mut positions = Vec::with_capacity(total);
+    let mut country_of = Vec::with_capacity(total);
+    for (ci, c) in countries.iter().enumerate() {
+        scatter_country(&mut rng, c, c.sectors, &mut positions);
+        country_of.extend(std::iter::repeat_n(ci as u16, c.sectors));
+    }
+    Layout {
+        positions,
+        country_of,
+    }
+}
+
+/// Minimal union–find for the connectivity pass.
+struct Dsu(Vec<u32>);
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu((0..n as u32).collect())
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.0[root as usize] != root {
+            root = self.0[root as usize];
+        }
+        let mut cur = x;
+        while self.0[cur as usize] != root {
+            let next = self.0[cur as usize];
+            self.0[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.0[ra as usize] = rb;
+        true
+    }
+}
+
+/// Builds the sector adjacency as an edge list `(u, v, distance)` with
+/// **exactly** `target_edges` edges (if geometrically possible), connected,
+/// minimum degree ≥ min(3, n−1).
+///
+/// # Panics
+///
+/// Panics if `target_edges` is below what connectivity + the 3-NN floor
+/// require, or exceeds the complete graph.
+pub fn proximity_edges(
+    positions: &[(f64, f64)],
+    target_edges: usize,
+) -> Vec<(u32, u32, f64)> {
+    let n = positions.len();
+    assert!(n >= 2, "need at least two sectors");
+    let max_edges = n * (n - 1) / 2;
+    assert!(target_edges <= max_edges, "target exceeds complete graph");
+
+    let d2 = |a: usize, b: usize| -> f64 {
+        let (ax, ay) = positions[a];
+        let (bx, by) = positions[b];
+        (ax - bx).powi(2) + (ay - by).powi(2)
+    };
+
+    // All candidate pairs sorted by distance (n ≈ 762 → 290k pairs: fine).
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(max_edges);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            pairs.push((u as u32, v as u32));
+        }
+    }
+    pairs.sort_by(|&(a1, b1), &(a2, b2)| {
+        d2(a1 as usize, b1 as usize)
+            .partial_cmp(&d2(a2 as usize, b2 as usize))
+            .unwrap()
+    });
+
+    let mut edge_set: std::collections::HashSet<(u32, u32)> = Default::default();
+    let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(target_edges);
+    let mut degree = vec![0usize; n];
+    let add = |u: u32,
+                   v: u32,
+                   edges: &mut Vec<(u32, u32, f64)>,
+                   degree: &mut Vec<usize>,
+                   edge_set: &mut std::collections::HashSet<(u32, u32)>|
+     -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        if edge_set.insert(key) {
+            edges.push((key.0, key.1, d2(key.0 as usize, key.1 as usize).sqrt()));
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+            true
+        } else {
+            false
+        }
+    };
+
+    // 1) 3-nearest-neighbor floor.
+    let k_floor = 3.min(n - 1);
+    for u in 0..n as u32 {
+        let mut nbrs: Vec<u32> = (0..n as u32).filter(|&v| v != u).collect();
+        nbrs.sort_by(|&a, &b| {
+            d2(u as usize, a as usize)
+                .partial_cmp(&d2(u as usize, b as usize))
+                .unwrap()
+        });
+        for &v in nbrs.iter().take(k_floor) {
+            add(u, v, &mut edges, &mut degree, &mut edge_set);
+        }
+    }
+
+    // 2) Bridge components with shortest crossing pairs.
+    let mut dsu = Dsu::new(n);
+    for &(u, v, _) in &edges {
+        dsu.union(u, v);
+    }
+    for &(u, v) in &pairs {
+        if edges.len() >= max_edges {
+            break;
+        }
+        if dsu.find(u) != dsu.find(v) {
+            dsu.union(u, v);
+            add(u, v, &mut edges, &mut degree, &mut edge_set);
+        }
+    }
+
+    assert!(
+        edges.len() <= target_edges,
+        "connectivity floor ({}) exceeds the edge target ({target_edges})",
+        edges.len()
+    );
+
+    // 3) Fill with globally shortest unused pairs.
+    for &(u, v) in &pairs {
+        if edges.len() >= target_edges {
+            break;
+        }
+        add(u, v, &mut edges, &mut degree, &mut edge_set);
+    }
+    assert_eq!(edges.len(), target_edges, "fill must reach the target");
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::countries::COUNTRIES;
+
+    #[test]
+    fn layout_counts_and_bounds() {
+        let l = layout(COUNTRIES, 7);
+        assert_eq!(l.positions.len(), 762);
+        assert_eq!(l.country_of.len(), 762);
+        for &(x, y) in &l.positions {
+            assert!((-1.0..=11.0).contains(&x) && (-1.0..=11.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn layout_deterministic() {
+        let a = layout(COUNTRIES, 3);
+        let b = layout(COUNTRIES, 3);
+        assert_eq!(a.positions, b.positions);
+        let c = layout(COUNTRIES, 4);
+        assert_ne!(a.positions, c.positions);
+    }
+
+    #[test]
+    fn points_respect_country_assignment() {
+        let l = layout(COUNTRIES, 1);
+        // Vertices of each country must be reasonably near its center.
+        for (i, &(x, y)) in l.positions.iter().enumerate() {
+            let c = &COUNTRIES[l.country_of[i] as usize];
+            let dx = (x - c.center.0) / c.radii.0;
+            let dy = (y - c.center.1) / c.radii.1;
+            assert!(
+                dx * dx + dy * dy <= 1.0 + 1e-9,
+                "sector {i} outside {}",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn proximity_hits_exact_edge_count() {
+        let l = layout(COUNTRIES, 2);
+        let edges = proximity_edges(&l.positions, 3165);
+        assert_eq!(edges.len(), 3165);
+    }
+
+    #[test]
+    fn proximity_graph_connected_min_degree() {
+        let l = layout(COUNTRIES, 5);
+        let edges = proximity_edges(&l.positions, 3165);
+        let n = l.positions.len();
+        let mut deg = vec![0usize; n];
+        let mut dsu = Dsu::new(n);
+        for &(u, v, _) in &edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+            dsu.union(u, v);
+        }
+        assert!(deg.iter().all(|&d| d >= 3), "min degree ≥ 3");
+        let root = dsu.find(0);
+        assert!(
+            (1..n as u32).all(|v| dsu.find(v) == root),
+            "graph must be connected"
+        );
+    }
+
+    #[test]
+    fn small_instances_work() {
+        let positions: Vec<(f64, f64)> =
+            (0..10).map(|i| (i as f64, (i * 7 % 10) as f64)).collect();
+        let edges = proximity_edges(&positions, 20);
+        assert_eq!(edges.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the edge target")]
+    fn too_small_target_panics() {
+        let positions: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 0.0)).collect();
+        proximity_edges(&positions, 5);
+    }
+}

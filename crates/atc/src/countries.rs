@@ -1,0 +1,146 @@
+//! The eleven "country core area" countries (§6, citing Bichot & Alliot's
+//! technical report) with a coarse Europe-like layout.
+//!
+//! Coordinates live on an abstract 10×10 map (x grows east, y grows
+//! north); ellipse radii approximate relative airspace extents. Sector
+//! counts are a fixed allocation summing to exactly 762, roughly
+//! proportional to each country's controlled-traffic volume.
+
+/// One country of the core area.
+#[derive(Clone, Copy, Debug)]
+pub struct Country {
+    /// Display name.
+    pub name: &'static str,
+    /// Ellipse center on the 10×10 map.
+    pub center: (f64, f64),
+    /// Ellipse radii (east–west, north–south).
+    pub radii: (f64, f64),
+    /// Number of air-traffic sectors allocated.
+    pub sectors: usize,
+    /// Major hubs: `(x, y, strength)` — strength scales routed traffic.
+    pub hubs: &'static [(f64, f64, f64)],
+}
+
+/// The core-area countries. Sector counts sum to exactly 762.
+pub const COUNTRIES: &[Country] = &[
+    Country {
+        name: "Germany",
+        center: (5.6, 6.6),
+        radii: (1.25, 1.45),
+        sectors: 150,
+        hubs: &[(5.2, 6.3, 9.0), (6.0, 5.8, 6.0)], // Frankfurt, Munich
+    },
+    Country {
+        name: "France",
+        center: (3.4, 4.6),
+        radii: (1.45, 1.35),
+        sectors: 145,
+        hubs: &[(3.6, 5.5, 9.5), (4.0, 3.6, 3.0)], // Paris, Lyon/Marseille
+    },
+    Country {
+        name: "United Kingdom",
+        center: (2.1, 7.6),
+        radii: (1.05, 1.35),
+        sectors: 120,
+        hubs: &[(2.4, 7.0, 10.0), (1.9, 8.3, 3.5)], // London, Manchester
+    },
+    Country {
+        name: "Italy",
+        center: (5.9, 2.6),
+        radii: (1.05, 1.45),
+        sectors: 95,
+        hubs: &[(5.5, 3.6, 5.0), (5.9, 2.2, 5.5)], // Milan, Rome
+    },
+    Country {
+        name: "Spain",
+        center: (1.9, 2.1),
+        radii: (1.45, 1.15),
+        sectors: 90,
+        hubs: &[(1.8, 2.0, 6.0), (2.9, 2.6, 5.0)], // Madrid, Barcelona
+    },
+    Country {
+        name: "Switzerland",
+        center: (4.75, 4.35),
+        radii: (0.55, 0.42),
+        sectors: 35,
+        hubs: &[(4.8, 4.5, 5.0)], // Zurich
+    },
+    Country {
+        name: "Austria",
+        center: (6.5, 4.9),
+        radii: (0.75, 0.45),
+        sectors: 32,
+        hubs: &[(7.0, 5.0, 4.0)], // Vienna
+    },
+    Country {
+        name: "Netherlands",
+        center: (4.45, 7.35),
+        radii: (0.5, 0.55),
+        sectors: 30,
+        hubs: &[(4.4, 7.3, 8.0)], // Amsterdam
+    },
+    Country {
+        name: "Belgium",
+        center: (4.05, 6.6),
+        radii: (0.5, 0.42),
+        sectors: 28,
+        hubs: &[(4.1, 6.6, 4.5)], // Brussels
+    },
+    Country {
+        name: "Denmark",
+        center: (5.45, 8.6),
+        radii: (0.55, 0.5),
+        sectors: 25,
+        hubs: &[(5.7, 8.5, 3.5)], // Copenhagen
+    },
+    Country {
+        name: "Luxembourg",
+        center: (4.4, 5.95),
+        radii: (0.28, 0.24),
+        sectors: 12,
+        hubs: &[(4.4, 5.95, 1.5)],
+    },
+];
+
+/// All hubs across countries, flattened to `(x, y, strength)`.
+pub fn all_hubs() -> Vec<(f64, f64, f64)> {
+    COUNTRIES
+        .iter()
+        .flat_map(|c| c.hubs.iter().copied())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAPER_SECTORS;
+
+    #[test]
+    fn sector_counts_sum_to_paper() {
+        let total: usize = COUNTRIES.iter().map(|c| c.sectors).sum();
+        assert_eq!(total, PAPER_SECTORS);
+    }
+
+    #[test]
+    fn eleven_countries() {
+        assert_eq!(COUNTRIES.len(), 11);
+    }
+
+    #[test]
+    fn geometry_sane() {
+        for c in COUNTRIES {
+            assert!(c.radii.0 > 0.0 && c.radii.1 > 0.0, "{}", c.name);
+            assert!((0.0..=10.0).contains(&c.center.0), "{}", c.name);
+            assert!((0.0..=10.0).contains(&c.center.1), "{}", c.name);
+            assert!(!c.hubs.is_empty(), "{} needs a hub", c.name);
+            assert!(c.sectors >= 10, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn hubs_flatten() {
+        let hubs = all_hubs();
+        assert!(hubs.len() >= 14);
+        assert!(hubs.iter().all(|&(_, _, s)| s > 0.0));
+    }
+}

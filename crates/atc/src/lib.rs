@@ -1,0 +1,41 @@
+//! # ff-atc — synthetic FABOP air-traffic workload
+//!
+//! §5–6 of the paper evaluate on the European "country core area": the
+//! 762 air-traffic sectors of Germany, France, the United Kingdom,
+//! Switzerland, Belgium, the Netherlands, Austria, Spain, Denmark,
+//! Luxembourg and Italy, with 3,165 sector-pair aircraft flows. That flow
+//! dataset is proprietary (EUROCONTROL radar tracks), so this crate builds
+//! the closest *synthetic* equivalent — same vertex/edge counts, same
+//! structural character — from public, qualitative facts:
+//!
+//! * sectors are contiguous airspace volumes → vertices are blue-noise
+//!   points inside country-shaped regions on a Europe-like map, and
+//!   adjacency is geometric proximity (nearest-neighbor + shortest-pair
+//!   fill to **exactly** the paper's edge count),
+//! * traffic concentrates on hub-to-hub trunk routes → flows combine a
+//!   local gravity model with explicit flight routing between major
+//!   European hubs over the sector graph,
+//! * country borders are *not* flow minima in general (the paper's whole
+//!   point: blocks should follow flows, not borders) — trunk routes cross
+//!   borders freely.
+//!
+//! The substitution preserves what the partitioning algorithms actually
+//! see: a sparse, planar-ish, heavy-tailed weighted graph with community
+//! structure at several scales. See `DESIGN.md` §2 for the full argument.
+
+pub mod airspace;
+pub mod countries;
+pub mod fabop;
+pub mod flows;
+pub mod render;
+
+pub use countries::{Country, COUNTRIES};
+pub use fabop::{FabopConfig, FabopInstance};
+pub use render::{render_svg, RenderOptions};
+
+/// Vertex/edge counts of the paper's instance.
+pub const PAPER_SECTORS: usize = 762;
+/// Number of sector-pair flows in the paper's instance.
+pub const PAPER_FLOWS: usize = 3_165;
+/// Number of functional airspace blocks the paper partitions into.
+pub const PAPER_K: usize = 32;

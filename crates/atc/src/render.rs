@@ -1,0 +1,199 @@
+//! SVG rendering of airspace instances and their partitions.
+//!
+//! Hand-rolled SVG (no dependencies): sectors are dots colored by block,
+//! flows are line segments with width scaling logarithmically in the
+//! aircraft count. Useful for eyeballing whether blocks follow flow
+//! structure rather than borders — the FABOP premise.
+
+use crate::fabop::FabopInstance;
+use std::fmt::Write as _;
+
+/// Options for [`render_svg`].
+#[derive(Clone, Copy, Debug)]
+pub struct RenderOptions {
+    /// Canvas width in pixels (height scales with the map aspect).
+    pub width: f64,
+    /// Draw flow edges (heavier flows drawn wider).
+    pub draw_edges: bool,
+    /// Sector dot radius in pixels.
+    pub dot_radius: f64,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width: 900.0,
+            draw_edges: true,
+            dot_radius: 3.5,
+        }
+    }
+}
+
+/// Distinct part color: evenly spaced hues, alternating lightness so
+/// neighboring ids stay distinguishable beyond ~20 parts.
+fn part_color(part: u32, num_parts: usize) -> String {
+    let k = num_parts.max(1) as f64;
+    let hue = (part as f64 * 360.0 / k) % 360.0;
+    let light = if part.is_multiple_of(2) { 42 } else { 62 };
+    format!("hsl({hue:.0},75%,{light}%)")
+}
+
+/// Renders the instance as an SVG document. `partition` (one part id per
+/// sector) controls dot colors; pass `None` to color by country instead.
+///
+/// # Panics
+///
+/// Panics if `partition` is present with the wrong length.
+pub fn render_svg(
+    inst: &FabopInstance,
+    partition: Option<&[u32]>,
+    opts: &RenderOptions,
+) -> String {
+    let n = inst.positions.len();
+    if let Some(p) = partition {
+        assert_eq!(p.len(), n, "partition length must match sector count");
+    }
+
+    // Map bounds with a margin.
+    let (mut x0, mut y0, mut x1, mut y1) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+    for &(x, y) in &inst.positions {
+        x0 = x0.min(x);
+        y0 = y0.min(y);
+        x1 = x1.max(x);
+        y1 = y1.max(y);
+    }
+    if n == 0 {
+        x0 = 0.0;
+        y0 = 0.0;
+        x1 = 1.0;
+        y1 = 1.0;
+    }
+    let margin = 0.05 * (x1 - x0).max(y1 - y0).max(1e-9);
+    x0 -= margin;
+    y0 -= margin;
+    x1 += margin;
+    y1 += margin;
+    let scale = opts.width / (x1 - x0);
+    let height = (y1 - y0) * scale;
+    // SVG y grows downward; the map's north is up.
+    let px = |x: f64| (x - x0) * scale;
+    let py = |y: f64| height - (y - y0) * scale;
+
+    let mut svg = String::new();
+    writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+        opts.width, height, opts.width, height
+    )
+    .unwrap();
+    writeln!(svg, r##"<rect width="100%" height="100%" fill="#10141a"/>"##).unwrap();
+
+    if opts.draw_edges {
+        let max_w = inst
+            .graph
+            .edges()
+            .map(|(_, _, w)| w)
+            .fold(1.0f64, f64::max);
+        writeln!(svg, r##"<g stroke="#5a718a" stroke-opacity="0.45">"##).unwrap();
+        for (u, v, w) in inst.graph.edges() {
+            let (ux, uy) = inst.positions[u as usize];
+            let (vx, vy) = inst.positions[v as usize];
+            let width = 0.4 + 2.2 * (w.ln_1p() / max_w.ln_1p());
+            writeln!(
+                svg,
+                r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke-width="{width:.2}"/>"#,
+                px(ux),
+                py(uy),
+                px(vx),
+                py(vy)
+            )
+            .unwrap();
+        }
+        writeln!(svg, "</g>").unwrap();
+    }
+
+    let num_groups = match partition {
+        Some(p) => p.iter().copied().max().map_or(1, |m| m as usize + 1),
+        None => crate::countries::COUNTRIES.len(),
+    };
+    writeln!(svg, r##"<g stroke="#0c0f14" stroke-width="0.6">"##).unwrap();
+    for i in 0..n {
+        let group = match partition {
+            Some(p) => p[i],
+            None => inst.country_of[i] as u32,
+        };
+        let (x, y) = inst.positions[i];
+        writeln!(
+            svg,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="{}"/>"#,
+            px(x),
+            py(y),
+            opts.dot_radius,
+            part_color(group, num_groups)
+        )
+        .unwrap();
+    }
+    writeln!(svg, "</g>").unwrap();
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabop::FabopConfig;
+
+    fn small() -> FabopInstance {
+        FabopInstance::scaled(60, &FabopConfig::default())
+    }
+
+    #[test]
+    fn renders_all_sectors_and_edges() {
+        let inst = small();
+        let svg = render_svg(&inst, None, &RenderOptions::default());
+        assert_eq!(svg.matches("<circle").count(), 60);
+        assert_eq!(
+            svg.matches("<line").count(),
+            inst.graph.num_edges(),
+            "one line per flow"
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn partition_colors_used() {
+        let inst = small();
+        let p: Vec<u32> = (0..60).map(|i| (i % 4) as u32).collect();
+        let svg = render_svg(&inst, Some(&p), &RenderOptions::default());
+        // 4 parts → 4 distinct hsl fills
+        let mut fills: Vec<&str> = svg
+            .match_indices("fill=\"hsl")
+            .map(|(i, _)| &svg[i..i + 24])
+            .collect();
+        fills.sort_unstable();
+        fills.dedup();
+        assert!(fills.len() >= 4);
+    }
+
+    #[test]
+    fn edges_can_be_disabled() {
+        let inst = small();
+        let svg = render_svg(
+            &inst,
+            None,
+            &RenderOptions {
+                draw_edges: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(svg.matches("<line").count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn wrong_partition_length_panics() {
+        let inst = small();
+        render_svg(&inst, Some(&[0, 1]), &RenderOptions::default());
+    }
+}

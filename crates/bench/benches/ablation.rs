@@ -1,0 +1,56 @@
+//! Criterion ablation benches: throughput cost of fusion–fission's design
+//! choices (quality ablation lives in the `ablation` binary; this measures
+//! the *time* side — e.g. percolation splits cost more per step than
+//! random halves, law learning is nearly free).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ff_atc::{FabopConfig, FabopInstance};
+use ff_core::{FissionSplitter, FusionFission, FusionFissionConfig};
+use ff_metaheur::StopCondition;
+use ff_partition::Objective;
+use std::hint::black_box;
+
+fn bench_ff_variants(c: &mut Criterion) {
+    let inst = FabopInstance::scaled(200, &FabopConfig::default());
+    let g = &inst.graph;
+    let base = FusionFissionConfig {
+        objective: Objective::MCut,
+        stop: StopCondition::steps(800),
+        ..FusionFissionConfig::standard(8)
+    };
+
+    let mut group = c.benchmark_group("ff_800_steps_200v");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("paper_config", base),
+        (
+            "no_energy_scaling",
+            FusionFissionConfig {
+                use_energy_scaling: false,
+                ..base
+            },
+        ),
+        (
+            "no_law_learning",
+            FusionFissionConfig {
+                learn_laws: false,
+                ..base
+            },
+        ),
+        (
+            "random_half_fission",
+            FusionFissionConfig {
+                splitter: FissionSplitter::RandomHalf,
+                ..base
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(FusionFission::new(g, cfg, 1).run().best_value))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ff_variants);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks for the substrate kernels every partitioner
+//! is built on: spmv, Lanczos Fiedler solves, matching + coarsening, FM
+//! passes, percolation, and incremental move bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ff_atc::{FabopConfig, FabopInstance};
+use ff_graph::{coarsen, heavy_edge_matching};
+use ff_linalg::{smallest_eigenpairs, LanczosOptions, LinearOperator};
+use ff_metaheur::{percolation_partition, PercolationConfig};
+use ff_partition::refine::fm::FmOptions;
+use ff_partition::{fm_refine_bisection, CutState, Objective, Partition};
+use ff_spectral::laplacian;
+use std::hint::black_box;
+
+fn instance() -> FabopInstance {
+    FabopInstance::paper_scale(&FabopConfig::default())
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let inst = instance();
+    let l = laplacian(&inst.graph);
+    let x = vec![1.0; l.n()];
+    let mut y = vec![0.0; l.n()];
+    c.bench_function("spmv_laplacian_762", |b| {
+        b.iter(|| {
+            l.apply(black_box(&x), &mut y);
+            black_box(&y);
+        })
+    });
+}
+
+fn bench_fiedler(c: &mut Criterion) {
+    let inst = instance();
+    let l = laplacian(&inst.graph);
+    let n = l.n();
+    let deflate = vec![vec![1.0 / (n as f64).sqrt(); n]];
+    c.bench_function("lanczos_fiedler_762", |b| {
+        b.iter(|| {
+            let opts = LanczosOptions {
+                max_iter: 300,
+                tol: 1e-6,
+                seed: 1,
+                deflate: deflate.clone(),
+            };
+            black_box(smallest_eigenpairs(&l, 1, &opts))
+        })
+    });
+}
+
+fn bench_matching_coarsen(c: &mut Criterion) {
+    let inst = instance();
+    c.bench_function("heavy_edge_matching_762", |b| {
+        b.iter(|| black_box(heavy_edge_matching(&inst.graph, 1)))
+    });
+    let m = heavy_edge_matching(&inst.graph, 1);
+    c.bench_function("coarsen_762", |b| {
+        b.iter(|| black_box(coarsen(&inst.graph, &m)))
+    });
+}
+
+fn bench_fm_pass(c: &mut Criterion) {
+    let inst = instance();
+    let g = &inst.graph;
+    c.bench_function("fm_refine_bisection_762", |b| {
+        b.iter_batched(
+            || CutState::new(g, Partition::random(g, 2, 7)),
+            |mut st| {
+                fm_refine_bisection(&mut st, 0, 1, &FmOptions::default());
+                black_box(st.cut())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mincut(c: &mut Criterion) {
+    // Stoer–Wagner is O(n³); bench at reduced scale.
+    let inst = ff_atc::FabopInstance::scaled(150, &FabopConfig::default());
+    c.bench_function("stoer_wagner_150", |b| {
+        b.iter(|| black_box(ff_graph::stoer_wagner(&inst.graph)))
+    });
+}
+
+fn bench_percolation(c: &mut Criterion) {
+    let inst = instance();
+    c.bench_function("percolation_k32_762", |b| {
+        b.iter(|| {
+            black_box(percolation_partition(
+                &inst.graph,
+                32,
+                &PercolationConfig::default(),
+            ))
+        })
+    });
+}
+
+fn bench_move_bookkeeping(c: &mut Criterion) {
+    let inst = instance();
+    let g = &inst.graph;
+    c.bench_function("cutstate_move_delta_mcut", |b| {
+        let st = CutState::new(g, Partition::random(g, 32, 3));
+        let n = g.num_vertices() as u32;
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 97) % n;
+            black_box(st.move_delta(Objective::MCut, v, v % 32))
+        })
+    });
+    c.bench_function("cutstate_apply_move", |b| {
+        b.iter_batched(
+            || CutState::new(g, Partition::random(g, 32, 3)),
+            |mut st| {
+                for v in (0..500u32).map(|i| (i * 131) % g.num_vertices() as u32) {
+                    st.move_vertex(v, v % 32);
+                }
+                black_box(st.cut())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_fiedler,
+    bench_matching_coarsen,
+    bench_fm_pass,
+    bench_mincut,
+    bench_percolation,
+    bench_move_bookkeeping
+);
+criterion_main!(benches);

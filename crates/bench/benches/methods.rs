@@ -1,0 +1,53 @@
+//! End-to-end method benchmarks on a half-scale FABOP instance: how long
+//! each Table-1 family takes to produce its partition (the wall-clock
+//! dimension of Figure 1, in bench form).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ff_atc::{FabopConfig, FabopInstance};
+use ff_bench::{run_method, MethodBudget, MethodId};
+use ff_partition::Objective;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_methods(c: &mut Criterion) {
+    let inst = FabopInstance::scaled(381, &FabopConfig::default());
+    let g = &inst.graph;
+    let k = 16;
+    // Fixed small step budget so metaheuristic timing is comparable.
+    let budget = MethodBudget {
+        time: Duration::from_secs(30),
+        steps: 3_000,
+    };
+
+    let mut group = c.benchmark_group("methods_381");
+    group.sample_size(10);
+    for method in [
+        MethodId::LinearBiKl,
+        MethodId::SpectralLancBi,
+        MethodId::SpectralRqiBiKl,
+        MethodId::SpectralLancOctKl,
+        MethodId::MultilevelBi,
+        MethodId::MultilevelOct,
+        MethodId::Percolation,
+        MethodId::SimulatedAnnealing,
+        MethodId::AntColony,
+        MethodId::FusionFission,
+    ] {
+        group.bench_function(method.label(), |b| {
+            b.iter(|| {
+                black_box(run_method(
+                    method,
+                    g,
+                    k,
+                    Objective::MCut,
+                    budget,
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

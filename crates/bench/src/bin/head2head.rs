@@ -1,0 +1,159 @@
+//! Multi-seed head-to-head of the three metaheuristics — the statistically
+//! honest version of Table 1's bottom three rows (single runs can flip on
+//! seed luck when two methods are within a percent).
+//!
+//! ```text
+//! cargo run -p ff-bench --release --bin head2head -- [--budget-secs 10] \
+//!     [--seeds 5] [--sectors 762] [--k 32]
+//! ```
+
+use ff_atc::{FabopConfig, FabopInstance, PAPER_K};
+use ff_bench::{write_csv, Cell, Table};
+use ff_core::{FusionFission, FusionFissionConfig};
+use ff_metaheur::{
+    AntColony, AntColonyConfig, SimulatedAnnealing, SimulatedAnnealingConfig, StopCondition,
+};
+use ff_partition::Objective;
+use std::time::Duration;
+
+struct Args {
+    budget_secs: f64,
+    k: usize,
+    sectors: usize,
+    seeds: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        budget_secs: 10.0,
+        k: PAPER_K,
+        sectors: ff_atc::PAPER_SECTORS,
+        seeds: 5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().expect("flag needs a value");
+        match flag.as_str() {
+            "--budget-secs" => args.budget_secs = val().parse().expect("bad budget"),
+            "--k" => args.k = val().parse().expect("bad k"),
+            "--sectors" => args.sectors = val().parse().expect("bad sectors"),
+            "--seeds" => args.seeds = val().parse().expect("bad seeds"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn stats(values: &[f64]) -> (f64, f64, f64) {
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let best = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let var = values
+        .iter()
+        .map(|v| (v - mean).powi(2))
+        .sum::<f64>()
+        / values.len() as f64;
+    (mean, best, var.sqrt())
+}
+
+fn main() {
+    let args = parse_args();
+    let inst = if args.sectors == ff_atc::PAPER_SECTORS {
+        FabopInstance::paper_scale(&FabopConfig::default())
+    } else {
+        FabopInstance::scaled(args.sectors, &FabopConfig::default())
+    };
+    let g = &inst.graph;
+    let stop = StopCondition::time(Duration::from_secs_f64(args.budget_secs));
+    eprintln!(
+        "{}v/{}e, k = {}, {:.1}s × {} seeds per method\n",
+        g.num_vertices(),
+        g.num_edges(),
+        args.k,
+        args.budget_secs,
+        args.seeds
+    );
+
+    // The three methods are time-budgeted and independent, so each seed's
+    // trio runs on its own thread (one core per method keeps the budgets
+    // honest and cuts wall time to a third).
+    let mut sa_vals = Vec::new();
+    let mut aco_vals = Vec::new();
+    let mut ff_vals = Vec::new();
+    for seed in 1..=args.seeds {
+        let results = parking_lot::Mutex::new((0.0f64, 0.0f64, 0.0f64));
+        crossbeam::scope(|scope| {
+            scope.spawn(|_| {
+                let sa = SimulatedAnnealing::new(
+                    g,
+                    args.k,
+                    SimulatedAnnealingConfig {
+                        objective: Objective::MCut,
+                        stop,
+                        seed,
+                        ..Default::default()
+                    },
+                )
+                .run();
+                results.lock().0 = sa.best_value;
+            });
+            scope.spawn(|_| {
+                let aco = AntColony::new(
+                    g,
+                    args.k,
+                    AntColonyConfig {
+                        objective: Objective::MCut,
+                        stop,
+                        seed,
+                        ..Default::default()
+                    },
+                )
+                .run();
+                results.lock().1 = aco.best_value;
+            });
+            scope.spawn(|_| {
+                let ff = FusionFission::new(
+                    g,
+                    FusionFissionConfig {
+                        objective: Objective::MCut,
+                        stop,
+                        ..FusionFissionConfig::standard(args.k)
+                    },
+                    seed,
+                )
+                .run();
+                results.lock().2 = ff.best_value;
+            });
+        })
+        .expect("worker thread panicked");
+        let (sa, aco, ff) = *results.lock();
+        sa_vals.push(sa);
+        aco_vals.push(aco);
+        ff_vals.push(ff);
+        eprintln!("seed {seed}: SA {sa:.3}  ACO {aco:.3}  FF {ff:.3}");
+    }
+
+    let mut table = Table::new(&["method", "mean Mcut", "best Mcut", "stddev", "wins"]);
+    let wins = |mine: &[f64]| -> usize {
+        (0..mine.len())
+            .filter(|&i| mine[i] <= sa_vals[i] && mine[i] <= aco_vals[i] && mine[i] <= ff_vals[i])
+            .count()
+    };
+    for (name, vals) in [
+        ("Simulated annealing", &sa_vals),
+        ("Ant colony", &aco_vals),
+        ("Fusion Fission", &ff_vals),
+    ] {
+        let (mean, best, sd) = stats(vals);
+        table.push_row(vec![
+            Cell::Text(name.into()),
+            Cell::Num(mean, 3),
+            Cell::Num(best, 3),
+            Cell::Num(sd, 3),
+            Cell::Num(wins(vals) as f64, 0),
+        ]);
+    }
+    println!("\n{}", table.render());
+    if let Ok(path) = write_csv(&table, "head2head.csv") {
+        eprintln!("CSV written to {}", path.display());
+    }
+}

@@ -1,0 +1,323 @@
+//! The 17 Table-1 methods behind one dispatch enum.
+
+use ff_core::FusionFissionConfig;
+use ff_graph::Graph;
+use ff_metaheur::{AntColonyConfig, PercolationConfig, SimulatedAnnealingConfig, StopCondition};
+use ff_multilevel::{multilevel_partition, MultilevelConfig, MultilevelMode};
+use ff_partition::{Objective, Partition};
+use ff_spectral::{
+    linear_partition, spectral_partition, LinearMode, RefineMethod, SectionMode, SpectralConfig,
+    SpectralSolver,
+};
+use std::time::{Duration, Instant};
+
+/// Every method row of Table 1, in the paper's order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MethodId {
+    /// `Linear (Bi)` — index-order recursive bisection, unrefined.
+    LinearBi,
+    /// `Linear (Bi, KL)`.
+    LinearBiKl,
+    /// `Linear (Oct, KL)` — index blocks + pairwise KL.
+    LinearOctKl,
+    /// `Spectral (Lanc, Bi)`.
+    SpectralLancBi,
+    /// `Spectral (Lanc, Bi, KL)`.
+    SpectralLancBiKl,
+    /// `Spectral (Lanc, Oct)`.
+    SpectralLancOct,
+    /// `Spectral (Lanc, Oct, KL)`.
+    SpectralLancOctKl,
+    /// `Spectral (RQI, Bi)`.
+    SpectralRqiBi,
+    /// `Spectral (RQI, Bi, KL)`.
+    SpectralRqiBiKl,
+    /// `Spectral (RQI, Oct)`.
+    SpectralRqiOct,
+    /// `Spectral (RQI, Oct, KL)`.
+    SpectralRqiOctKl,
+    /// `Multilevel (Bi)`.
+    MultilevelBi,
+    /// `Multilevel (Oct)` — direct k-way V-cycle.
+    MultilevelOct,
+    /// `Percolation`.
+    Percolation,
+    /// `Simulated annealing`.
+    SimulatedAnnealing,
+    /// `Ant colony`.
+    AntColony,
+    /// `Fusion Fission`.
+    FusionFission,
+}
+
+impl MethodId {
+    /// The paper's Table-1 ordering.
+    pub fn all() -> [MethodId; 17] {
+        use MethodId::*;
+        [
+            LinearBi,
+            LinearBiKl,
+            LinearOctKl,
+            SpectralLancBi,
+            SpectralLancBiKl,
+            SpectralLancOct,
+            SpectralLancOctKl,
+            SpectralRqiBi,
+            SpectralRqiBiKl,
+            SpectralRqiOct,
+            SpectralRqiOctKl,
+            MultilevelBi,
+            MultilevelOct,
+            Percolation,
+            SimulatedAnnealing,
+            AntColony,
+            FusionFission,
+        ]
+    }
+
+    /// The paper's row label.
+    pub fn label(&self) -> &'static str {
+        use MethodId::*;
+        match self {
+            LinearBi => "Linear (Bi)",
+            LinearBiKl => "Linear (Bi, KL)",
+            LinearOctKl => "Linear (Oct, KL)",
+            SpectralLancBi => "Spectral (Lanc, Bi)",
+            SpectralLancBiKl => "Spectral (Lanc, Bi, KL)",
+            SpectralLancOct => "Spectral (Lanc, Oct)",
+            SpectralLancOctKl => "Spectral (Lanc, Oct, KL)",
+            SpectralRqiBi => "Spectral (RQI, Bi)",
+            SpectralRqiBiKl => "Spectral (RQI, Bi, KL)",
+            SpectralRqiOct => "Spectral (RQI, Oct)",
+            SpectralRqiOctKl => "Spectral (RQI, Oct, KL)",
+            MultilevelBi => "Multilevel (Bi)",
+            MultilevelOct => "Multilevel (Oct)",
+            Percolation => "Percolation",
+            SimulatedAnnealing => "Simulated annealing",
+            AntColony => "Ant colony",
+            FusionFission => "Fusion Fission",
+        }
+    }
+
+    /// Whether this row is one of the three metaheuristics (which consume
+    /// the time budget rather than running to a fixed point).
+    pub fn is_metaheuristic(&self) -> bool {
+        matches!(
+            self,
+            MethodId::SimulatedAnnealing | MethodId::AntColony | MethodId::FusionFission
+        )
+    }
+}
+
+/// Budget for the budget-driven (metaheuristic) methods.
+#[derive(Clone, Copy, Debug)]
+pub struct MethodBudget {
+    /// Wall-clock cap per metaheuristic run.
+    pub time: Duration,
+    /// Step cap per metaheuristic run (safety net for tests).
+    pub steps: u64,
+}
+
+impl MethodBudget {
+    /// A small budget suitable for CI and tests.
+    pub fn quick() -> Self {
+        MethodBudget {
+            time: Duration::from_millis(1500),
+            steps: 60_000,
+        }
+    }
+
+    /// Time-bounded budget.
+    pub fn seconds(s: f64) -> Self {
+        MethodBudget {
+            time: Duration::from_secs_f64(s),
+            steps: u64::MAX,
+        }
+    }
+
+    fn stop(&self) -> StopCondition {
+        StopCondition::new(self.steps, self.time)
+    }
+}
+
+/// What one method run produced.
+#[derive(Clone, Debug)]
+pub struct MethodOutcome {
+    /// The partition (k non-empty parts).
+    pub partition: Partition,
+    /// Wall-clock the run took.
+    pub elapsed: Duration,
+}
+
+fn spectral_cfg(solver: SpectralSolver, mode: SectionMode, refine: RefineMethod, seed: u64) -> SpectralConfig {
+    SpectralConfig {
+        solver,
+        mode,
+        refine,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Runs `method` on `g` targeting `k` parts.
+///
+/// Metaheuristics honor `budget`; constructive methods run to completion
+/// (their wall-clock is reported in `elapsed`, Figure 1's reference
+/// points). The paper tunes its metaheuristics on Mcut (§5); `objective`
+/// parameterizes that.
+pub fn run_method(
+    method: MethodId,
+    g: &Graph,
+    k: usize,
+    objective: Objective,
+    budget: MethodBudget,
+    seed: u64,
+) -> MethodOutcome {
+    use MethodId::*;
+    let start = Instant::now();
+    let partition = match method {
+        LinearBi => linear_partition(g, k, LinearMode::Bisection, RefineMethod::None),
+        LinearBiKl => linear_partition(g, k, LinearMode::Bisection, RefineMethod::Kl),
+        LinearOctKl => linear_partition(g, k, LinearMode::Octasection, RefineMethod::Kl),
+        SpectralLancBi => spectral_partition(
+            g,
+            k,
+            &spectral_cfg(SpectralSolver::Lanczos, SectionMode::Bisection, RefineMethod::None, seed),
+        ),
+        SpectralLancBiKl => spectral_partition(
+            g,
+            k,
+            &spectral_cfg(SpectralSolver::Lanczos, SectionMode::Bisection, RefineMethod::Kl, seed),
+        ),
+        SpectralLancOct => spectral_partition(
+            g,
+            k,
+            &spectral_cfg(SpectralSolver::Lanczos, SectionMode::Octasection, RefineMethod::None, seed),
+        ),
+        SpectralLancOctKl => spectral_partition(
+            g,
+            k,
+            &spectral_cfg(SpectralSolver::Lanczos, SectionMode::Octasection, RefineMethod::Kl, seed),
+        ),
+        SpectralRqiBi => spectral_partition(
+            g,
+            k,
+            &spectral_cfg(SpectralSolver::Rqi, SectionMode::Bisection, RefineMethod::None, seed),
+        ),
+        SpectralRqiBiKl => spectral_partition(
+            g,
+            k,
+            &spectral_cfg(SpectralSolver::Rqi, SectionMode::Bisection, RefineMethod::Kl, seed),
+        ),
+        SpectralRqiOct => spectral_partition(
+            g,
+            k,
+            &spectral_cfg(SpectralSolver::Rqi, SectionMode::Octasection, RefineMethod::None, seed),
+        ),
+        SpectralRqiOctKl => spectral_partition(
+            g,
+            k,
+            &spectral_cfg(SpectralSolver::Rqi, SectionMode::Octasection, RefineMethod::Kl, seed),
+        ),
+        MultilevelBi => multilevel_partition(
+            g,
+            k,
+            &MultilevelConfig {
+                mode: MultilevelMode::RecursiveBisection,
+                seed,
+                ..Default::default()
+            },
+        ),
+        MultilevelOct => multilevel_partition(
+            g,
+            k,
+            &MultilevelConfig {
+                mode: MultilevelMode::KWay,
+                seed,
+                ..Default::default()
+            },
+        ),
+        Percolation => ff_metaheur::percolation_partition(
+            g,
+            k,
+            &PercolationConfig {
+                seed,
+                ..Default::default()
+            },
+        ),
+        SimulatedAnnealing => {
+            let cfg = SimulatedAnnealingConfig {
+                objective,
+                stop: budget.stop(),
+                seed,
+                ..Default::default()
+            };
+            ff_metaheur::SimulatedAnnealing::new(g, k, cfg).run().best
+        }
+        AntColony => {
+            let cfg = AntColonyConfig {
+                objective,
+                stop: budget.stop(),
+                seed,
+                ..Default::default()
+            };
+            ff_metaheur::AntColony::new(g, k, cfg).run().best
+        }
+        FusionFission => {
+            let cfg = FusionFissionConfig {
+                objective,
+                stop: budget.stop(),
+                ..FusionFissionConfig::standard(k)
+            };
+            ff_core::FusionFission::new(g, cfg, seed).run().best
+        }
+    };
+    MethodOutcome {
+        partition,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_atc::{FabopConfig, FabopInstance};
+
+    #[test]
+    fn all_seventeen_methods_produce_k_parts() {
+        // Small instance so the whole matrix stays fast.
+        let inst = FabopInstance::scaled(120, &FabopConfig::default());
+        let k = 8;
+        for method in MethodId::all() {
+            let out = run_method(
+                method,
+                &inst.graph,
+                k,
+                Objective::MCut,
+                MethodBudget::quick(),
+                1,
+            );
+            assert_eq!(
+                out.partition.num_nonempty_parts(),
+                k,
+                "{} returned wrong k",
+                method.label()
+            );
+            assert!(out.partition.validate(&inst.graph));
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = MethodId::all().iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 17);
+    }
+
+    #[test]
+    fn metaheuristic_flag() {
+        assert!(MethodId::FusionFission.is_metaheuristic());
+        assert!(!MethodId::MultilevelBi.is_metaheuristic());
+    }
+}

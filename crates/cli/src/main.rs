@@ -1,0 +1,242 @@
+//! `ffpart` — partition a graph file from the command line.
+//!
+//! ```text
+//! ffpart <graph> -k <parts> [options]
+//!
+//! options:
+//!   -k, --parts N            number of parts (required)
+//!   -m, --method NAME        ff | sa | aco | percolation | multilevel |
+//!                            multilevel-kway | spectral | spectral-rqi |
+//!                            spectral-oct | linear | linear-kl  (default ff)
+//!   -o, --objective NAME     cut | ncut | mcut                 (default mcut)
+//!   -b, --budget-secs S      metaheuristic time budget         (default 10)
+//!   -s, --seed N             RNG seed                          (default 1)
+//!   -f, --format NAME        metis | edgelist                  (default metis)
+//!   -w, --write PATH         write the partition (.part format)
+//!   -r, --repair             repair disconnected parts before reporting
+//!   -q, --quiet              suppress the per-part table
+//!   --mincut                 also report the global minimum cut
+//!                            (Stoer–Wagner) as an instance diagnostic
+//!   -h, --help               this text
+//! ```
+//!
+//! Exit codes: 0 success, 2 usage error, 3 input error.
+
+use ff_bench::{run_method, MethodBudget, MethodId};
+use ff_graph::Graph;
+use ff_partition::{analyze, imbalance, repair_connectivity, write_partition, Objective};
+use std::fs::File;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: ffpart <graph> -k <parts> [-m method] [-o objective] \
+[-b budget-secs] [-s seed] [-f metis|edgelist] [-w out.part] [-r] [-q]\nsee `ffpart --help`";
+
+struct Args {
+    graph_path: String,
+    k: usize,
+    method: MethodId,
+    objective: Objective,
+    budget_secs: f64,
+    seed: u64,
+    format: String,
+    write: Option<String>,
+    repair: bool,
+    quiet: bool,
+    mincut: bool,
+}
+
+fn parse_method(name: &str) -> Option<MethodId> {
+    Some(match name {
+        "ff" | "fusion-fission" => MethodId::FusionFission,
+        "sa" | "annealing" => MethodId::SimulatedAnnealing,
+        "aco" | "ants" => MethodId::AntColony,
+        "percolation" => MethodId::Percolation,
+        "multilevel" => MethodId::MultilevelBi,
+        "multilevel-kway" => MethodId::MultilevelOct,
+        "spectral" => MethodId::SpectralLancBiKl,
+        "spectral-rqi" => MethodId::SpectralRqiBiKl,
+        "spectral-oct" => MethodId::SpectralLancOctKl,
+        "linear" => MethodId::LinearBi,
+        "linear-kl" => MethodId::LinearBiKl,
+        _ => return None,
+    })
+}
+
+fn parse_objective(name: &str) -> Option<Objective> {
+    Some(match name {
+        "cut" => Objective::Cut,
+        "ncut" => Objective::NCut,
+        "mcut" => Objective::MCut,
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut graph_path: Option<String> = None;
+    let mut k: Option<usize> = None;
+    let mut method = MethodId::FusionFission;
+    let mut objective = Objective::MCut;
+    let mut budget_secs = 10.0;
+    let mut seed = 1u64;
+    let mut format = "metis".to_string();
+    let mut write = None;
+    let mut repair = false;
+    let mut quiet = false;
+    let mut mincut = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |flag: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                return Err("help".into());
+            }
+            "-k" | "--parts" => {
+                k = Some(val("-k")?.parse().map_err(|_| "bad -k value".to_string())?)
+            }
+            "-m" | "--method" => {
+                let name = val("-m")?;
+                method =
+                    parse_method(&name).ok_or_else(|| format!("unknown method `{name}`"))?;
+            }
+            "-o" | "--objective" => {
+                let name = val("-o")?;
+                objective =
+                    parse_objective(&name).ok_or_else(|| format!("unknown objective `{name}`"))?;
+            }
+            "-b" | "--budget-secs" => {
+                budget_secs = val("-b")?.parse().map_err(|_| "bad budget".to_string())?
+            }
+            "-s" | "--seed" => seed = val("-s")?.parse().map_err(|_| "bad seed".to_string())?,
+            "-f" | "--format" => format = val("-f")?,
+            "-w" | "--write" => write = Some(val("-w")?),
+            "-r" | "--repair" => repair = true,
+            "-q" | "--quiet" => quiet = true,
+            "--mincut" => mincut = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            other => {
+                if graph_path.is_some() {
+                    return Err("multiple graph paths given".into());
+                }
+                graph_path = Some(other.to_string());
+            }
+        }
+    }
+    Ok(Args {
+        graph_path: graph_path.ok_or("missing graph path")?,
+        k: k.ok_or("missing -k")?,
+        method,
+        objective,
+        budget_secs,
+        seed,
+        format,
+        write,
+        repair,
+        quiet,
+        mincut,
+    })
+}
+
+fn load_graph(path: &str, format: &str) -> Result<Graph, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    match format {
+        "metis" => ff_graph::io::read_metis(file).map_err(|e| format!("{path}: {e}")),
+        "edgelist" => ff_graph::io::read_edge_list(file).map_err(|e| format!("{path}: {e}")),
+        other => Err(format!("unknown format `{other}` (metis|edgelist)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) if e == "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("ffpart: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let g = match load_graph(&args.graph_path, &args.format) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("ffpart: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    if args.k == 0 || args.k > g.num_vertices() {
+        eprintln!(
+            "ffpart: -k must be in 1..={} for this graph",
+            g.num_vertices()
+        );
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "ffpart: {} vertices, {} edges → k = {} via {}",
+        g.num_vertices(),
+        g.num_edges(),
+        args.k,
+        args.method.label()
+    );
+    if args.mincut && g.num_vertices() >= 2 {
+        let cut = ff_graph::stoer_wagner(&g);
+        println!(
+            "global min cut: {:.4} (isolates {} of {} vertices)",
+            cut.weight,
+            cut.side.len().min(g.num_vertices() - cut.side.len()),
+            g.num_vertices()
+        );
+    }
+
+    let budget = MethodBudget::seconds(args.budget_secs);
+    let out = run_method(args.method, &g, args.k, args.objective, budget, args.seed);
+    let mut partition = out.partition;
+    if args.repair {
+        let moved = repair_connectivity(&g, &mut partition, 16);
+        if moved > 0 {
+            eprintln!("ffpart: connectivity repair moved {moved} vertices");
+        }
+    }
+
+    println!(
+        "cut {:.4}  ncut {:.4}  mcut {:.4}  imbalance {:.2}%  time {:.2}s",
+        Objective::Cut.evaluate(&g, &partition),
+        Objective::NCut.evaluate(&g, &partition),
+        Objective::MCut.evaluate(&g, &partition),
+        100.0 * imbalance(&partition),
+        out.elapsed.as_secs_f64()
+    );
+    if !args.quiet {
+        let report = analyze(&g, &partition);
+        println!(
+            "{} parts ({} fragmented)",
+            partition.num_nonempty_parts(),
+            report.fragmented_parts
+        );
+        println!("part  size  weight  internal  external  components");
+        for s in &report.parts {
+            if s.size == 0 {
+                continue;
+            }
+            println!(
+                "{:>4}  {:>4}  {:>6.1}  {:>8.1}  {:>8.1}  {:>10}",
+                s.part, s.size, s.weight, s.internal_weight, s.external_weight, s.components
+            );
+        }
+    }
+    if let Some(path) = args.write {
+        match File::create(&path).map_err(|e| e.to_string()).and_then(|f| {
+            write_partition(&partition, f).map_err(|e| e.to_string())
+        }) {
+            Ok(()) => eprintln!("ffpart: partition written to {path}"),
+            Err(e) => {
+                eprintln!("ffpart: cannot write {path}: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,135 @@
+//! End-to-end tests for the `ffpart` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn ffpart() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ffpart"))
+}
+
+fn write_sample_graph(dir: &std::path::Path) -> std::path::PathBuf {
+    // Two triangles joined by one light edge — obvious 2-partition.
+    let path = dir.join("sample.graph");
+    let mut f = std::fs::File::create(&path).unwrap();
+    // METIS: 6 vertices, 7 edges, edge weights (fmt 001)
+    writeln!(f, "6 7 001").unwrap();
+    writeln!(f, "2 5 3 5").unwrap(); // v1: -2 (5), -3 (5)
+    writeln!(f, "1 5 3 5").unwrap();
+    writeln!(f, "1 5 2 5 4 1").unwrap(); // bridge 3-4 weight 1
+    writeln!(f, "3 1 5 5 6 5").unwrap();
+    writeln!(f, "4 5 6 5").unwrap();
+    writeln!(f, "4 5 5 5").unwrap();
+    path
+}
+
+#[test]
+fn partitions_sample_graph_and_writes_part_file() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+    let part_out = dir.join("out.part");
+
+    let output = ffpart()
+        .args([
+            graph.to_str().unwrap(),
+            "-k",
+            "2",
+            "-m",
+            "multilevel",
+            "-w",
+            part_out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("cut 1.0000"), "stdout: {stdout}");
+
+    let part = std::fs::read_to_string(&part_out).unwrap();
+    let ids: Vec<&str> = part.lines().collect();
+    assert_eq!(ids.len(), 6);
+    // triangle {0,1,2} on one side, {3,4,5} on the other
+    assert_eq!(ids[0], ids[1]);
+    assert_eq!(ids[1], ids[2]);
+    assert_eq!(ids[3], ids[4]);
+    assert_ne!(ids[0], ids[3]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metaheuristic_with_tiny_budget() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-ff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+    let output = ffpart()
+        .args([
+            graph.to_str().unwrap(),
+            "-k",
+            "2",
+            "-m",
+            "ff",
+            "-b",
+            "0.5",
+            "-q",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("mcut"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let output = ffpart().args(["-k", "2"]).output().unwrap(); // no graph
+    assert_eq!(output.status.code(), Some(2));
+    let output = ffpart().args(["nonexistent", "-k"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn missing_file_exits_3() {
+    let output = ffpart()
+        .args(["/nonexistent/graph.metis", "-k", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(3));
+}
+
+#[test]
+fn help_exits_zero() {
+    let output = ffpart().args(["--help"]).output().unwrap();
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("usage"));
+}
+
+#[test]
+fn mincut_diagnostic() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-mc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+    let output = ffpart()
+        .args([
+            graph.to_str().unwrap(),
+            "-k",
+            "2",
+            "-m",
+            "percolation",
+            "--mincut",
+            "-q",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // The sample graph's weakest seam is the weight-1 bridge.
+    assert!(
+        stdout.contains("global min cut: 1.0000"),
+        "stdout: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,511 @@
+//! Algorithm 1 (the fusion–fission loop) and Algorithm 2 (initialization).
+
+use crate::choice::{alpha, choice_with};
+use crate::config::FusionFissionConfig;
+use crate::energy::scaled_energy;
+use crate::laws::{LawTable, Reaction};
+use crate::ops::{
+    fission_split, fuse, nfusion, select_partner, weakest_nucleons,
+};
+use ff_graph::Graph;
+use ff_metaheur::{AnytimeTrace, MetaheuristicResult};
+use ff_partition::{CutState, Partition};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The fusion–fission runner.
+pub struct FusionFission<'g> {
+    g: &'g Graph,
+    cfg: FusionFissionConfig,
+    seed: u64,
+    warm_start: Option<Partition>,
+}
+
+/// Result of a fusion–fission run.
+#[derive(Clone, Debug)]
+pub struct FusionFissionResult {
+    /// Best partition observed with exactly the target k non-empty parts
+    /// (compacted to dense ids).
+    pub best: Partition,
+    /// Objective value of [`FusionFissionResult::best`].
+    pub best_value: f64,
+    /// Lowest scaled energy seen across *all* part counts.
+    pub best_energy: f64,
+    /// Steps executed (initialization included).
+    pub steps: u64,
+    /// Best-at-target-k trace (feeds Figure 1).
+    pub trace: AnytimeTrace,
+    /// Best objective value seen at every visited part count — the data
+    /// behind the paper's "returns good solutions from 27 to 38
+    /// partitions" observation.
+    pub best_value_per_k: BTreeMap<usize, f64>,
+}
+
+impl FusionFissionResult {
+    /// Converts into the common metaheuristic result shape.
+    pub fn into_metaheuristic_result(self) -> MetaheuristicResult {
+        MetaheuristicResult {
+            best: self.best,
+            best_value: self.best_value,
+            steps: self.steps,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Per-run mutable search state shared by both phases.
+struct Search<'g> {
+    st: CutState<'g>,
+    laws: LawTable,
+    rng: ChaCha8Rng,
+    step: u64,
+    started: Instant,
+    trace: AnytimeTrace,
+    best_at_k: Option<(f64, Partition)>,
+    best_energy: f64,
+    best_molecule: Partition,
+    best_value_per_k: BTreeMap<usize, f64>,
+}
+
+impl<'g> FusionFission<'g> {
+    /// Prepares a run on `g` with configuration `cfg` and RNG `seed`.
+    pub fn new(g: &'g Graph, cfg: FusionFissionConfig, seed: u64) -> Self {
+        FusionFission {
+            g,
+            cfg,
+            seed,
+            warm_start: None,
+        }
+    }
+
+    /// Prepares a warm-started run: Algorithm 2's singleton agglomeration
+    /// is skipped and the core loop starts from `initial` (e.g. a
+    /// multilevel partition). This is the hybridization Bichot's follow-up
+    /// work explores; the paper's own protocol is [`FusionFission::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is for a different vertex count.
+    pub fn with_initial(
+        g: &'g Graph,
+        cfg: FusionFissionConfig,
+        seed: u64,
+        initial: Partition,
+    ) -> Self {
+        assert_eq!(
+            initial.num_vertices(),
+            g.num_vertices(),
+            "initial partition size mismatch"
+        );
+        FusionFission {
+            g,
+            cfg,
+            seed,
+            warm_start: Some(initial),
+        }
+    }
+
+    fn energy_of(&self, st: &CutState) -> f64 {
+        scaled_energy(
+            st.objective(self.cfg.objective),
+            self.cfg.objective,
+            st.partition().num_nonempty_parts(),
+            self.cfg.k,
+            self.cfg.use_energy_scaling,
+        )
+    }
+
+    fn live_atoms(st: &CutState) -> Vec<u32> {
+        (0..st.partition().num_parts() as u32)
+            .filter(|&p| st.partition().part_size(p) > 0)
+            .collect()
+    }
+
+    /// Records the current molecule into best-trackers and the trace.
+    fn observe(&self, s: &mut Search) {
+        let live = s.st.partition().num_nonempty_parts();
+        let value = s.st.objective(self.cfg.objective);
+        let entry = s.best_value_per_k.entry(live).or_insert(f64::INFINITY);
+        if value < *entry {
+            *entry = value;
+        }
+        let energy = scaled_energy(
+            value,
+            self.cfg.objective,
+            live,
+            self.cfg.k,
+            self.cfg.use_energy_scaling,
+        );
+        if energy < s.best_energy {
+            s.best_energy = energy;
+            s.best_molecule = s.st.partition().clone();
+        }
+        if live == self.cfg.k
+            && s.best_at_k.as_ref().is_none_or(|(bv, _)| value < *bv)
+        {
+            s.best_at_k = Some((value, s.st.partition().clone()));
+            s.trace.record(s.started.elapsed(), value, s.step);
+        }
+    }
+
+    /// One fusion of `atom`, with law-driven nucleon ejection.
+    /// Returns `(law_size, chosen_ejection)` when a fusion happened.
+    fn do_fusion(&self, s: &mut Search, atom: u32, t_norm: f64) -> Option<(usize, usize)> {
+        let partner = select_partner(&s.st, atom, t_norm, self.cfg.size_bias, &mut s.rng)?;
+        let merged = fuse(&mut s.st, atom, partner);
+        let size = s.st.partition().part_size(merged);
+        let law = s.laws.law(Reaction::Fusion, size);
+        let eject = law.sample(&mut s.rng, size.saturating_sub(1));
+        for v in weakest_nucleons(&s.st, merged, eject) {
+            nfusion(&mut s.st, v);
+        }
+        Some((size, eject))
+    }
+
+    /// One fission of `atom` (§4.2), optionally with secondary fissions at
+    /// high temperature. Returns `(law_size, chosen_ejection)`.
+    fn do_fission(
+        &self,
+        s: &mut Search,
+        atom: u32,
+        t_norm: f64,
+        allow_secondary: bool,
+    ) -> Option<(usize, usize)> {
+        let size_before = s.st.partition().part_size(atom);
+        let new_half = fission_split(&mut s.st, atom, self.cfg.splitter, &mut s.rng)?;
+        let law = s.laws.law(Reaction::Fission, size_before);
+        // Ejection from the larger half, which has the loosest nucleons.
+        let bigger = if s.st.partition().part_size(atom) >= s.st.partition().part_size(new_half)
+        {
+            atom
+        } else {
+            new_half
+        };
+        let avail = s.st.partition().part_size(bigger).saturating_sub(1);
+        let eject = law.sample(&mut s.rng, avail);
+        for v in weakest_nucleons(&s.st, bigger, eject) {
+            let high_energy =
+                allow_secondary && s.rng.gen::<f64>() < self.cfg.secondary_fission * t_norm;
+            if high_energy {
+                // §4.2: the hot nucleon triggers a simple fission (no
+                // ejection) of an atom connected to it, then settles.
+                let conn = s.st.connection_weights(v);
+                let mut targets: Vec<(u32, f64)> = conn.into_iter().collect();
+                targets.sort_unstable_by_key(|&(p, _)| p);
+                if let Some(&(target, _)) = targets
+                    .iter()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                {
+                    let _ = fission_split(&mut s.st, target, self.cfg.splitter, &mut s.rng);
+                }
+            }
+            nfusion(&mut s.st, v);
+        }
+        Some((size_before, eject))
+    }
+
+    /// Compacts away accumulated empty part slots when they dominate.
+    fn maybe_compact(&self, s: &mut Search<'g>) {
+        let total = s.st.partition().num_parts();
+        let live = s.st.partition().num_nonempty_parts();
+        if total > 2 * live + 64 {
+            let g = self.g;
+            let old = std::mem::replace(&mut s.st, CutState::new(g, Partition::singletons(g)));
+            let mut p = old.into_partition();
+            p.compact();
+            s.st = CutState::new(g, p);
+        }
+    }
+
+    /// Runs initialization (Algorithm 2) followed by the core loop
+    /// (Algorithm 1).
+    pub fn run(&self) -> FusionFissionResult {
+        let cfg = &self.cfg;
+        cfg.validate();
+        let g = self.g;
+        let n = g.num_vertices();
+        assert!(n >= 1, "graph must have vertices");
+        assert!(cfg.k <= n, "more parts than vertices");
+        let ideal = n as f64 / cfg.k as f64;
+
+        let init_part = match &self.warm_start {
+            Some(p) => p.clone(),
+            None => Partition::singletons(g),
+        };
+        let skip_agglomeration = self.warm_start.is_some();
+        let mut s = Search {
+            st: CutState::new(g, init_part.clone()),
+            laws: LawTable::new(n),
+            rng: ChaCha8Rng::seed_from_u64(self.seed),
+            step: 0,
+            started: Instant::now(),
+            trace: AnytimeTrace::new(),
+            best_at_k: None,
+            best_energy: f64::INFINITY,
+            best_molecule: init_part,
+            best_value_per_k: BTreeMap::new(),
+        };
+        self.observe(&mut s);
+
+        // --- Phase 1: initialization (Algorithm 2) -----------------------
+        // No temperature, no secondary fissions, fusion-dominated choice:
+        // the sharpest α makes every undersized atom fuse. Skipped entirely
+        // for warm-started runs.
+        let sharp = alpha(cfg.t_min, cfg.t_max, cfg.t_min, cfg.choice_k, cfg.choice_r, ideal);
+        while !skip_agglomeration
+            && s.st.partition().num_nonempty_parts() > cfg.k
+            && !cfg.stop.should_stop(s.step, s.started)
+        {
+            s.step += 1;
+            let atoms = Self::live_atoms(&s.st);
+            let atom = atoms[s.rng.gen_range(0..atoms.len())];
+            let x = s.st.partition().part_size(atom) as f64;
+            let e_before = self.energy_of(&s.st);
+            let outcome = if s.rng.gen::<f64>() < choice_with(cfg.choice_fn, x, ideal, sharp) {
+                self.do_fission(&mut s, atom, 0.0, false)
+                    .map(|o| (Reaction::Fission, o))
+            } else {
+                self.do_fusion(&mut s, atom, 0.25)
+                    .map(|o| (Reaction::Fusion, o))
+            };
+            if let Some((reaction, (law_size, eject))) = outcome {
+                let improved = self.energy_of(&s.st) < e_before;
+                if cfg.learn_laws {
+                    s.laws
+                        .law_mut(reaction, law_size)
+                        .update(eject, improved, cfg.law_rate);
+                }
+            }
+            self.observe(&mut s);
+            self.maybe_compact(&mut s);
+        }
+
+        // --- Phase 2: the core loop (Algorithm 1) ------------------------
+        let mut t = cfg.t_max;
+        let dt = (cfg.t_max - cfg.t_min) / cfg.nbt as f64;
+        while !cfg.stop.should_stop(s.step, s.started) {
+            s.step += 1;
+            let t_norm = (t - cfg.t_min) / (cfg.t_max - cfg.t_min);
+            let atoms = Self::live_atoms(&s.st);
+            let atom = atoms[s.rng.gen_range(0..atoms.len())];
+            let x = s.st.partition().part_size(atom) as f64;
+            let a = alpha(t, cfg.t_max, cfg.t_min, cfg.choice_k, cfg.choice_r, ideal);
+            let e_before = self.energy_of(&s.st);
+
+            let wants_fission = s.rng.gen::<f64>() < choice_with(cfg.choice_fn, x, ideal, a);
+            let outcome = if wants_fission {
+                self.do_fission(&mut s, atom, t_norm, true)
+                    .map(|o| (Reaction::Fission, o))
+                    // Unsplittable singleton: fuse it away instead.
+                    .or_else(|| {
+                        self.do_fusion(&mut s, atom, t_norm)
+                            .map(|o| (Reaction::Fusion, o))
+                    })
+            } else {
+                self.do_fusion(&mut s, atom, t_norm)
+                    .map(|o| (Reaction::Fusion, o))
+                    .or_else(|| {
+                        self.do_fission(&mut s, atom, t_norm, true)
+                            .map(|o| (Reaction::Fission, o))
+                    })
+            };
+            if let Some((reaction, (law_size, eject))) = outcome {
+                let improved = self.energy_of(&s.st) < e_before;
+                if cfg.learn_laws {
+                    s.laws
+                        .law_mut(reaction, law_size)
+                        .update(eject, improved, cfg.law_rate);
+                }
+            }
+            self.observe(&mut s);
+            self.maybe_compact(&mut s);
+
+            // Cool; reheat-restart from the best molecule when frozen.
+            t -= dt;
+            if t <= cfg.t_min {
+                t = cfg.t_max;
+                s.st = CutState::new(g, s.best_molecule.clone());
+            }
+        }
+
+        // --- Harvest ------------------------------------------------------
+        let (best_value, mut best) = match s.best_at_k {
+            Some((v, p)) => (v, p),
+            None => {
+                // Target k never visited (tiny budgets): fall back to the
+                // best molecule regardless of its part count.
+                let v = self.cfg.objective.evaluate(g, &s.best_molecule);
+                (v, s.best_molecule.clone())
+            }
+        };
+        best.compact();
+        FusionFissionResult {
+            best,
+            best_value,
+            best_energy: s.best_energy,
+            steps: s.step,
+            trace: s.trace,
+            best_value_per_k: s.best_value_per_k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FissionSplitter;
+    use ff_graph::generators::{planted_partition, random_geometric, two_cliques_bridge};
+    use ff_metaheur::StopCondition;
+    use ff_partition::Objective;
+
+    #[test]
+    fn finds_two_clique_bisection() {
+        let g = two_cliques_bridge(8, 2.0, 0.1);
+        let res = FusionFission::new(&g, FusionFissionConfig::fast(2), 42).run();
+        assert_eq!(res.best.num_nonempty_parts(), 2);
+        // Optimal bisection cuts only the bridge: each K8 side has
+        // W(A) = 2 × 28 edges × 2.0 = 112, so Mcut = 2 × 0.1/112.
+        assert!(
+            (res.best_value - 2.0 * (0.1 / 112.0)).abs() < 1e-9,
+            "Mcut = {}",
+            res.best_value
+        );
+    }
+
+    #[test]
+    fn partition_stays_valid() {
+        let g = random_geometric(60, 0.25, 3);
+        let res = FusionFission::new(&g, FusionFissionConfig::fast(4), 7).run();
+        assert!(res.best.validate(&g));
+        assert_eq!(res.best.num_nonempty_parts(), 4);
+    }
+
+    #[test]
+    fn recovers_planted_communities_under_cut() {
+        let g = planted_partition(4, 10, 0.85, 0.03, 5);
+        let cfg = FusionFissionConfig {
+            objective: Objective::Cut,
+            stop: StopCondition::steps(3_000),
+            ..FusionFissionConfig::fast(4)
+        };
+        let res = FusionFission::new(&g, cfg, 11).run();
+        assert!(
+            res.best_value < 0.15 * g.total_edge_weight(),
+            "cut {} too large",
+            res.best_value
+        );
+    }
+
+    #[test]
+    fn roams_neighboring_part_counts() {
+        let g = random_geometric(80, 0.22, 9);
+        let res = FusionFission::new(&g, FusionFissionConfig::fast(6), 3).run();
+        // The search must have visited the target and at least one
+        // neighboring k (that is its defining feature).
+        assert!(res.best_value_per_k.contains_key(&6));
+        assert!(
+            res.best_value_per_k.len() >= 3,
+            "visited only {:?}",
+            res.best_value_per_k.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn trace_monotone() {
+        let g = random_geometric(50, 0.3, 2);
+        let res = FusionFission::new(&g, FusionFissionConfig::fast(3), 8).run();
+        let pts = res.trace.points();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[1].value <= w[0].value + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = random_geometric(40, 0.3, 6);
+        let run = |seed| {
+            FusionFission::new(&g, FusionFissionConfig::fast(3), seed)
+                .run()
+                .best_value
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn ablation_variants_run() {
+        let g = random_geometric(40, 0.3, 12);
+        for (scaling, learn, splitter) in [
+            (false, true, FissionSplitter::Percolation),
+            (true, false, FissionSplitter::Percolation),
+            (true, true, FissionSplitter::RandomHalf),
+        ] {
+            let cfg = FusionFissionConfig {
+                use_energy_scaling: scaling,
+                learn_laws: learn,
+                splitter,
+                ..FusionFissionConfig::fast(3)
+            };
+            let res = FusionFission::new(&g, cfg, 4).run();
+            assert!(res.best.validate(&g));
+            assert!(res.best_value.is_finite());
+        }
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let g = random_geometric(20, 0.4, 1);
+        let res = FusionFission::new(&g, FusionFissionConfig::fast(1), 2).run();
+        assert_eq!(res.best.num_nonempty_parts(), 1);
+        assert_eq!(res.best_value, 0.0);
+    }
+
+    #[test]
+    fn respects_step_budget() {
+        let g = random_geometric(30, 0.35, 4);
+        let cfg = FusionFissionConfig {
+            stop: StopCondition::steps(100),
+            ..FusionFissionConfig::fast(3)
+        };
+        let res = FusionFission::new(&g, cfg, 3).run();
+        assert!(res.steps <= 100);
+    }
+
+    #[test]
+    fn warm_start_skips_agglomeration_and_improves() {
+        let g = random_geometric(60, 0.25, 15);
+        let init = Partition::random(&g, 4, 9);
+        let init_val = Objective::MCut.evaluate(&g, &init);
+        let res = FusionFission::with_initial(
+            &g,
+            FusionFissionConfig::fast(4),
+            7,
+            init.clone(),
+        )
+        .run();
+        assert!(res.best.validate(&g));
+        assert_eq!(res.best.num_nonempty_parts(), 4);
+        assert!(
+            res.best_value <= init_val + 1e-9,
+            "warm start worsened: {init_val} → {}",
+            res.best_value
+        );
+        // A warm-started run must not visit the singleton-count regime.
+        assert!(
+            res.best_value_per_k.keys().all(|&k| k <= 4 + 10),
+            "visited {:?}",
+            res.best_value_per_k.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn warm_start_wrong_size_panics() {
+        let g = random_geometric(20, 0.4, 1);
+        let h = random_geometric(10, 0.4, 1);
+        let p = Partition::random(&h, 2, 1);
+        FusionFission::with_initial(&g, FusionFissionConfig::fast(2), 1, p);
+    }
+}

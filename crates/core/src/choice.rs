@@ -1,0 +1,198 @@
+//! The fusion/fission choice function (§4.3).
+//!
+//! With `n = |V|/k` the ideal atom size and `x` the chosen atom's size, the
+//! paper defines
+//!
+//! ```text
+//! α(t) = k·(t_max − t)/(t_max − t_min) + r
+//!
+//! choice(x) = 1                  if x > n + 1/(2α(t))
+//!             0                  if x < n − 1/(2α(t))
+//!             α(t)·(x − n) + ½   otherwise
+//! ```
+//!
+//! `choice` is the probability the atom undergoes **fission**: oversized
+//! atoms always split, undersized ones always fuse, and in between the
+//! decision is a coin whose bias sharpens as the system cools (α grows as
+//! `t` falls, narrowing the linear band `n ± 1/(2α)`).
+//!
+//! One unit nuance: the paper's `k`, `r` are dimensionless user constants,
+//! but `α·(x − n)` must be dimensionless while `x − n` is measured in
+//! nucleons — so α here is expressed per ideal-atom-size, i.e. the
+//! user constants are divided by `n`. This keeps one set of `choice_k`,
+//! `choice_r` defaults meaningful across graph sizes.
+
+/// The functional form of the fusion/fission decision.
+///
+/// The paper's conclusion: "This algorithm can be customized, especially
+/// through \[the\] choice function. Other choice functions not presented
+/// here give better results, but are much more complicated." This enum is
+/// that customization point; the ablation harness compares the variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ChoiceFunction {
+    /// The paper's §4.3 piecewise-linear ramp (default).
+    #[default]
+    Linear,
+    /// Smooth logistic ramp with the same center and central slope —
+    /// keeps a small escape probability outside the linear band even when
+    /// cold, trading decisiveness for tail exploration.
+    Sigmoid,
+    /// Hard threshold at the ideal size (α → ∞): always split oversized
+    /// atoms, always fuse undersized ones. The degenerate baseline.
+    Hard,
+}
+
+/// The slope α(t), normalized per ideal atom size `n_ideal`.
+///
+/// # Panics
+///
+/// Panics if `t_max ≤ t_min` or `n_ideal ≤ 0`.
+pub fn alpha(t: f64, t_max: f64, t_min: f64, choice_k: f64, choice_r: f64, n_ideal: f64) -> f64 {
+    assert!(t_max > t_min, "t_max must exceed t_min");
+    assert!(n_ideal > 0.0, "ideal atom size must be positive");
+    let progress = ((t_max - t) / (t_max - t_min)).clamp(0.0, 1.0);
+    (choice_k * progress + choice_r).max(1e-9) / n_ideal
+}
+
+/// Probability that an atom of size `x` undergoes fission (vs fusion),
+/// using the paper's piecewise-linear form.
+pub fn choice(x: f64, n_ideal: f64, alpha_t: f64) -> f64 {
+    choice_with(ChoiceFunction::Linear, x, n_ideal, alpha_t)
+}
+
+/// [`choice`] generalized over [`ChoiceFunction`].
+pub fn choice_with(f: ChoiceFunction, x: f64, n_ideal: f64, alpha_t: f64) -> f64 {
+    match f {
+        ChoiceFunction::Linear => {
+            let half_band = 1.0 / (2.0 * alpha_t);
+            if x > n_ideal + half_band {
+                1.0
+            } else if x < n_ideal - half_band {
+                0.0
+            } else {
+                alpha_t * (x - n_ideal) + 0.5
+            }
+        }
+        ChoiceFunction::Sigmoid => {
+            // Central slope matches Linear's α: d/dx σ(4α·(x−n)) |_{ x=n } = α.
+            let z = 4.0 * alpha_t * (x - n_ideal);
+            1.0 / (1.0 + (-z).exp())
+        }
+        ChoiceFunction::Hard => {
+            if x >= n_ideal {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversized_always_fissions() {
+        let a = alpha(0.0, 1.0, 0.0, 8.0, 0.25, 10.0);
+        assert_eq!(choice(100.0, 10.0, a), 1.0);
+    }
+
+    #[test]
+    fn undersized_always_fuses() {
+        let a = alpha(0.0, 1.0, 0.0, 8.0, 0.25, 10.0);
+        assert_eq!(choice(1.0, 10.0, a), 0.0);
+    }
+
+    #[test]
+    fn ideal_size_is_coin_flip() {
+        let a = alpha(0.5, 1.0, 0.0, 8.0, 0.25, 10.0);
+        assert!((choice(10.0, 10.0, a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_bounds_and_monotonicity() {
+        let a = alpha(0.3, 1.0, 0.0, 8.0, 0.25, 24.0);
+        let mut prev = -1.0;
+        for x in 0..100 {
+            let p = choice(x as f64, 24.0, a);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn cooling_sharpens_threshold() {
+        // Hot: wide band (choices random); cold: narrow band (deterministic).
+        let hot = alpha(1.0, 1.0, 0.0, 8.0, 0.25, 10.0);
+        let cold = alpha(0.0, 1.0, 0.0, 8.0, 0.25, 10.0);
+        assert!(cold > hot);
+        let x = 12.0; // slightly oversized
+        let p_hot = choice(x, 10.0, hot);
+        let p_cold = choice(x, 10.0, cold);
+        assert!(
+            p_cold >= p_hot,
+            "cold system must be more decisive about splitting oversized atoms"
+        );
+        assert!(p_hot < 1.0, "hot system must keep some randomness");
+    }
+
+    #[test]
+    #[should_panic(expected = "t_max must exceed")]
+    fn bad_temperature_panics() {
+        alpha(0.5, 0.0, 1.0, 8.0, 0.25, 10.0);
+    }
+
+    #[test]
+    fn sigmoid_matches_linear_at_center_and_slope() {
+        let a = alpha(0.5, 1.0, 0.0, 8.0, 0.25, 12.0);
+        let lin = |x: f64| choice_with(ChoiceFunction::Linear, x, 12.0, a);
+        let sig = |x: f64| choice_with(ChoiceFunction::Sigmoid, x, 12.0, a);
+        assert!((sig(12.0) - 0.5).abs() < 1e-12);
+        // Central slopes agree (finite difference).
+        let h = 1e-4;
+        let slope_lin = (lin(12.0 + h) - lin(12.0 - h)) / (2.0 * h);
+        let slope_sig = (sig(12.0 + h) - sig(12.0 - h)) / (2.0 * h);
+        assert!(
+            (slope_lin - slope_sig).abs() < 1e-6,
+            "slopes: linear {slope_lin}, sigmoid {slope_sig}"
+        );
+    }
+
+    #[test]
+    fn sigmoid_keeps_tail_probability() {
+        let a = alpha(0.0, 1.0, 0.0, 8.0, 0.25, 10.0); // cold: sharp
+        // Far below ideal size: Linear says never split; Sigmoid keeps a
+        // tiny but positive probability.
+        let x = 2.0;
+        assert_eq!(choice_with(ChoiceFunction::Linear, x, 10.0, a), 0.0);
+        let p = choice_with(ChoiceFunction::Sigmoid, x, 10.0, a);
+        assert!(p > 0.0 && p < 0.05);
+    }
+
+    #[test]
+    fn hard_threshold() {
+        let a = alpha(0.5, 1.0, 0.0, 8.0, 0.25, 10.0);
+        assert_eq!(choice_with(ChoiceFunction::Hard, 9.99, 10.0, a), 0.0);
+        assert_eq!(choice_with(ChoiceFunction::Hard, 10.0, 10.0, a), 1.0);
+    }
+
+    #[test]
+    fn all_variants_monotone_in_x() {
+        let a = alpha(0.3, 1.0, 0.0, 8.0, 0.25, 20.0);
+        for f in [
+            ChoiceFunction::Linear,
+            ChoiceFunction::Sigmoid,
+            ChoiceFunction::Hard,
+        ] {
+            let mut prev = -1.0;
+            for x in 0..60 {
+                let p = choice_with(f, x as f64, 20.0, a);
+                assert!((0.0..=1.0).contains(&p), "{f:?} out of range");
+                assert!(p >= prev, "{f:?} not monotone");
+                prev = p;
+            }
+        }
+    }
+}

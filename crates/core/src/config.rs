@@ -1,0 +1,133 @@
+//! Fusion–fission configuration.
+//!
+//! The paper (§6) counts five tunables: `t_max`, `t_min`, `nbt` for the
+//! temperature, and `k`, `r` in the choice function α(t). This config
+//! exposes exactly those (as `t_max`/`t_min`/`nbt`/`choice_k`/`choice_r`)
+//! plus the mechanical knobs the paper fixes implicitly (law learning
+//! rate, ejection cap), ablation switches, and the stop condition.
+
+use crate::choice::ChoiceFunction;
+use ff_metaheur::StopCondition;
+use ff_partition::Objective;
+
+/// How fission splits an atom in two (ablation switch; the paper uses
+/// percolation, §4.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FissionSplitter {
+    /// The §4.4 percolation flood from two spread seeds.
+    Percolation,
+    /// Random half/half split (ablation baseline).
+    RandomHalf,
+}
+
+/// Configuration for [`crate::FusionFission`].
+#[derive(Clone, Copy, Debug)]
+pub struct FusionFissionConfig {
+    /// Target number of parts k (the result is reported at this k; the
+    /// search itself roams k−…k+).
+    pub k: usize,
+    /// Objective to minimize (the paper's ATC study uses Mcut).
+    pub objective: Objective,
+    /// Maximal temperature (annealing restarts reheat to this).
+    pub t_max: f64,
+    /// Minimal temperature (the freeze point triggering a restart).
+    pub t_min: f64,
+    /// Temperature steps per annealing cycle: the paper's
+    /// `decrease(t) = t − (t_max − t_min)/nbt`.
+    pub nbt: u32,
+    /// `k` in the paper's `α(t) = k·(t_max − t)/(t_max − t_min) + r`
+    /// (slope of the fusion/fission threshold when frozen).
+    pub choice_k: f64,
+    /// `r` in α(t) (residual slope when hot).
+    pub choice_r: f64,
+    /// Shape of the fusion/fission decision (the paper's announced
+    /// customization point; `Linear` is the published form).
+    pub choice_fn: ChoiceFunction,
+    /// Law reinforcement step (§4.1's "input value").
+    pub law_rate: f64,
+    /// Exponent biasing fusion-partner selection toward small atoms.
+    pub size_bias: f64,
+    /// Scale of the probability that an ejected nucleon triggers a
+    /// secondary fission at high temperature.
+    pub secondary_fission: f64,
+    /// Stop condition for the whole run (initialization included).
+    pub stop: StopCondition,
+    /// Ablation: apply the binding-energy scaling (true = paper's method).
+    pub use_energy_scaling: bool,
+    /// Ablation: update laws from outcomes (true = paper's method).
+    pub learn_laws: bool,
+    /// Ablation: fission splitting mechanism.
+    pub splitter: FissionSplitter,
+}
+
+impl FusionFissionConfig {
+    /// The paper-faithful default for target `k`.
+    pub fn standard(k: usize) -> Self {
+        FusionFissionConfig {
+            k,
+            objective: Objective::MCut,
+            // Defaults from the tuning sweep in `results/tune.csv`
+            // (`cargo run -p ff-bench --release --bin tune`): long
+            // annealing cycles and a strong small-partner bias dominate.
+            t_max: 1.0,
+            t_min: 0.0,
+            nbt: 1600,
+            choice_k: 8.0,
+            choice_r: 0.25,
+            choice_fn: ChoiceFunction::Linear,
+            law_rate: 0.08,
+            size_bias: 1.0,
+            secondary_fission: 0.5,
+            stop: StopCondition::steps(20_000),
+            use_energy_scaling: true,
+            learn_laws: true,
+            splitter: FissionSplitter::Percolation,
+        }
+    }
+
+    /// A small-budget preset for tests, examples and doctests.
+    pub fn fast(k: usize) -> Self {
+        FusionFissionConfig {
+            nbt: 80,
+            stop: StopCondition::steps(1_500),
+            ..Self::standard(k)
+        }
+    }
+
+    /// Validates invariants; called by the runner.
+    pub fn validate(&self) {
+        assert!(self.k >= 1, "k must be positive");
+        assert!(self.t_max > self.t_min, "t_max must exceed t_min");
+        assert!(self.nbt >= 1, "nbt must be positive");
+        assert!(self.choice_k >= 0.0 && self.choice_r >= 0.0);
+        assert!((0.0..1.0).contains(&self.law_rate), "law_rate in [0,1)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        FusionFissionConfig::standard(32).validate();
+        FusionFissionConfig::fast(2).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "t_max must exceed")]
+    fn bad_temperatures_panic() {
+        let cfg = FusionFissionConfig {
+            t_max: 0.0,
+            t_min: 0.5,
+            ..FusionFissionConfig::standard(4)
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        FusionFissionConfig::standard(0).validate();
+    }
+}

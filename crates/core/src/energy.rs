@@ -1,0 +1,138 @@
+//! Binding-energy scaling (§4.1).
+//!
+//! Fusion–fission compares molecules with *different* numbers of atoms, but
+//! every §1 objective grows with the part count (a 1-partition scores 0).
+//! The paper's remedy: pass the objective through a scaling function shaped
+//! like the nuclear **binding-energy curve** — binding per nucleon rises
+//! fast for light elements, plateaus around the most stable size, then
+//! decays slowly for heavy ones — so that "energies are the same for the
+//! same quality of partitioning" across part counts.
+//!
+//! The paper gives the curve only qualitatively; this implementation makes
+//! it concrete in two steps, both covered by the ablation bench:
+//!
+//! 1. **per-part normalization** — Ncut and Mcut are sums of k per-part
+//!    ratios, so dividing by the live part count k′ measures average
+//!    per-part quality; Cut grows like √k′ on mesh-like graphs (perimeter
+//!    scaling), so it divides by √k′;
+//! 2. **stability weighting** — divide by [`binding_factor`], a
+//!    gamma-shaped curve `(s·e^{1−s})^q` of the mean atom size ratio
+//!    `s = k_target/k_live` that equals 1 at the target size, falls off
+//!    steeply for undersized atoms (s → 0, i.e. too many parts) and gently
+//!    for oversized ones — precisely the asymmetry of the physical curve.
+
+use ff_partition::Objective;
+
+/// The binding-energy stability curve: `(s·e^{1−s})^q ∈ (0, 1]`, maximal
+/// (= 1) at `s = 1`. `s` is the mean atom size relative to the target
+/// (`k_target / k_live`); `q` controls sharpness (0.5 here — the gentle
+/// plateau the paper describes).
+///
+/// # Panics
+///
+/// Panics when `s` is not positive.
+pub fn binding_factor(s: f64) -> f64 {
+    assert!(s > 0.0, "size ratio must be positive");
+    let q = 0.5;
+    (s * (1.0 - s).exp()).powf(q)
+}
+
+/// Scaled energy of a partition with objective value `value`, `k_live`
+/// non-empty parts, and target `k_target`. With `use_scaling = false` the
+/// raw objective value is returned (the ablation baseline; it makes the
+/// search collapse toward few-part molecules).
+pub fn scaled_energy(
+    value: f64,
+    objective: Objective,
+    k_live: usize,
+    k_target: usize,
+    use_scaling: bool,
+) -> f64 {
+    if !use_scaling {
+        return value;
+    }
+    let k_live = k_live.max(1) as f64;
+    let normalized = match objective {
+        Objective::Cut => value / k_live.sqrt(),
+        Objective::NCut | Objective::MCut => value / k_live,
+    };
+    let s = k_target as f64 / k_live;
+    normalized / binding_factor(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_peak_at_target() {
+        assert!((binding_factor(1.0) - 1.0).abs() < 1e-12);
+        assert!(binding_factor(0.5) < 1.0);
+        assert!(binding_factor(2.0) < 1.0);
+    }
+
+    #[test]
+    fn binding_asymmetric_like_nuclear_curve() {
+        // Oversized atoms (s > 1, too few parts) are penalized *less*
+        // than undersized ones (s < 1, too many parts) at equal distance.
+        let over = binding_factor(1.5);
+        let under = binding_factor(0.5);
+        assert!(
+            over > under,
+            "decay must be slow for heavy atoms: b(1.5)={over} vs b(0.5)={under}"
+        );
+    }
+
+    #[test]
+    fn binding_monotone_on_each_side() {
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let b = binding_factor(i as f64 / 10.0);
+            assert!(b > prev);
+            prev = b;
+        }
+        let mut prev = 1.0 + 1e-12;
+        for i in 1..=10 {
+            let b = binding_factor(1.0 + i as f64 / 2.0);
+            assert!(b < prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn equal_quality_equal_energy_for_mcut() {
+        // Two molecules of "equal quality": Mcut sums k′ per-part ratios of
+        // the same average, so values are 16·ρ and 32·ρ. At k_target = 32,
+        // scaled energies should rank the 32-part molecule no worse.
+        let rho = 2.0;
+        let e16 = scaled_energy(16.0 * rho, Objective::MCut, 16, 32, true);
+        let e32 = scaled_energy(32.0 * rho, Objective::MCut, 32, 32, true);
+        assert!(
+            e32 < e16,
+            "at-target molecule must win: e32={e32} vs e16={e16}"
+        );
+        // And the per-part normalization alone equalizes the quality part:
+        let n16 = 16.0 * rho / 16.0;
+        let n32 = 32.0 * rho / 32.0;
+        assert!((n16 - n32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_off_returns_raw() {
+        assert_eq!(
+            scaled_energy(7.5, Objective::Cut, 5, 32, false),
+            7.5
+        );
+    }
+
+    #[test]
+    fn infinite_objective_stays_infinite() {
+        assert!(scaled_energy(f64::INFINITY, Objective::MCut, 4, 4, true).is_infinite());
+    }
+
+    #[test]
+    fn cut_normalization_sqrt() {
+        let e = scaled_energy(10.0, Objective::Cut, 4, 4, true);
+        assert!((e - 5.0).abs() < 1e-12); // 10/√4 / b(1) = 5
+    }
+}

@@ -1,0 +1,228 @@
+//! Learned fusion/fission laws (§4.1).
+//!
+//! "In nature, fusion and fission obey to laws. Some fissions … leave
+//! nucleons alone … fusion of two atoms can make a new atom and eject one
+//! or more nucleons. The algorithm includes these laws, but with a memory
+//! which updates laws."
+//!
+//! For every atom size there are **two laws** (one for fusion, one for
+//! fission) — "the number of laws is twice the number of vertices". Each
+//! law is a probability simplex over ejecting 0, 1, 2 or 3 nucleons
+//! ("less if the sum of nucleons is lower"). After an operation, the law
+//! entry that was used is reinforced when the move lowered the energy
+//! (`+δ` to the chosen probability, `−δ/3` to the three others) and
+//! weakened symmetrically when it raised it, with every probability kept
+//! strictly inside (0, 1).
+
+use rand::Rng;
+
+/// Maximum nucleons a single reaction may eject.
+pub const MAX_EJECT: usize = 3;
+
+/// Which operator a law belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reaction {
+    /// Merging two atoms.
+    Fusion,
+    /// Splitting one atom.
+    Fission,
+}
+
+/// One law: a probability simplex over ejection counts `0..=MAX_EJECT`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Law {
+    p: [f64; MAX_EJECT + 1],
+}
+
+impl Default for Law {
+    fn default() -> Self {
+        // Mildly biased toward ejecting nothing, as young laws should be.
+        Law {
+            p: [0.55, 0.25, 0.12, 0.08],
+        }
+    }
+}
+
+impl Law {
+    /// Probabilities (always a simplex).
+    pub fn probabilities(&self) -> &[f64; MAX_EJECT + 1] {
+        &self.p
+    }
+
+    /// Samples an ejection count, capped at `available` nucleons.
+    pub fn sample<R: Rng>(&self, rng: &mut R, available: usize) -> usize {
+        let cap = available.min(MAX_EJECT);
+        if cap == 0 {
+            return 0;
+        }
+        let total: f64 = self.p[..=cap].iter().sum();
+        let mut roll = rng.gen::<f64>() * total;
+        for (e, &pe) in self.p[..=cap].iter().enumerate() {
+            roll -= pe;
+            if roll <= 0.0 {
+                return e;
+            }
+        }
+        cap
+    }
+
+    /// Reinforces (`improved = true`) or weakens the `chosen` entry by
+    /// `rate`, redistributing `rate/3` across the other entries, clamping
+    /// everything strictly inside (0, 1), then renormalizing.
+    pub fn update(&mut self, chosen: usize, improved: bool, rate: f64) {
+        assert!(chosen <= MAX_EJECT, "ejection count out of range");
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0,1)");
+        let delta = if improved { rate } else { -rate };
+        let spread = delta / MAX_EJECT as f64;
+        for (e, pe) in self.p.iter_mut().enumerate() {
+            if e == chosen {
+                *pe += delta;
+            } else {
+                *pe -= spread;
+            }
+            *pe = pe.clamp(1e-3, 1.0 - 1e-3);
+        }
+        let total: f64 = self.p.iter().sum();
+        for pe in &mut self.p {
+            *pe /= total;
+        }
+    }
+
+    /// Simplex sanity: entries in (0, 1), summing to 1.
+    pub fn is_valid(&self) -> bool {
+        let total: f64 = self.p.iter().sum();
+        (total - 1.0).abs() < 1e-9 && self.p.iter().all(|&pe| pe > 0.0 && pe < 1.0)
+    }
+}
+
+/// The full table: a fusion law and a fission law per atom size `1..=n`.
+#[derive(Clone, Debug)]
+pub struct LawTable {
+    fusion: Vec<Law>,
+    fission: Vec<Law>,
+}
+
+impl LawTable {
+    /// Laws for atoms of size up to `n` (sizes clamp into range).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        LawTable {
+            fusion: vec![Law::default(); n],
+            fission: vec![Law::default(); n],
+        }
+    }
+
+    fn index(&self, size: usize) -> usize {
+        size.clamp(1, self.fusion.len()) - 1
+    }
+
+    /// The law for a `reaction` on an atom of `size` nucleons.
+    pub fn law(&self, reaction: Reaction, size: usize) -> &Law {
+        let i = self.index(size);
+        match reaction {
+            Reaction::Fusion => &self.fusion[i],
+            Reaction::Fission => &self.fission[i],
+        }
+    }
+
+    /// Mutable access for updates.
+    pub fn law_mut(&mut self, reaction: Reaction, size: usize) -> &mut Law {
+        let i = self.index(size);
+        match reaction {
+            Reaction::Fusion => &mut self.fusion[i],
+            Reaction::Fission => &mut self.fission[i],
+        }
+    }
+
+    /// Number of laws in the table (2 × sizes).
+    pub fn len(&self) -> usize {
+        self.fusion.len() + self.fission.len()
+    }
+
+    /// Always false — tables are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn default_law_is_simplex() {
+        assert!(Law::default().is_valid());
+    }
+
+    #[test]
+    fn update_preserves_simplex() {
+        let mut law = Law::default();
+        for i in 0..200 {
+            law.update(i % 4, i % 3 == 0, 0.05);
+            assert!(law.is_valid(), "broken after update {i}: {law:?}");
+        }
+    }
+
+    #[test]
+    fn reinforcement_raises_choice() {
+        let mut law = Law::default();
+        let before = law.probabilities()[2];
+        law.update(2, true, 0.05);
+        assert!(law.probabilities()[2] > before);
+    }
+
+    #[test]
+    fn weakening_lowers_choice() {
+        let mut law = Law::default();
+        let before = law.probabilities()[0];
+        law.update(0, false, 0.05);
+        assert!(law.probabilities()[0] < before);
+    }
+
+    #[test]
+    fn sample_respects_cap() {
+        let law = Law::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(law.sample(&mut rng, 0), 0);
+            assert!(law.sample(&mut rng, 1) <= 1);
+            assert!(law.sample(&mut rng, 2) <= 2);
+            assert!(law.sample(&mut rng, 100) <= MAX_EJECT);
+        }
+    }
+
+    #[test]
+    fn sample_distribution_tracks_probabilities() {
+        let mut law = Law::default();
+        // Push hard toward "eject 3".
+        for _ in 0..100 {
+            law.update(3, true, 0.05);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let hits = (0..1000)
+            .filter(|_| law.sample(&mut rng, 10) == 3)
+            .count();
+        assert!(hits > 700, "expected mostly 3s, got {hits}/1000");
+    }
+
+    #[test]
+    fn table_indexing_clamps() {
+        let mut t = LawTable::new(10);
+        assert_eq!(t.len(), 20);
+        // Out-of-range sizes clamp instead of panicking.
+        t.law_mut(Reaction::Fusion, 0).update(1, true, 0.02);
+        t.law_mut(Reaction::Fission, 999).update(2, false, 0.02);
+        assert!(t.law(Reaction::Fusion, 0).is_valid());
+        assert!(t.law(Reaction::Fission, 999).is_valid());
+    }
+
+    #[test]
+    fn fusion_and_fission_laws_independent() {
+        let mut t = LawTable::new(5);
+        let before = t.law(Reaction::Fission, 3).clone();
+        t.law_mut(Reaction::Fusion, 3).update(1, true, 0.05);
+        assert_eq!(*t.law(Reaction::Fission, 3), before);
+    }
+}

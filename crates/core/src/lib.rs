@@ -1,0 +1,47 @@
+//! # ff-core — the fusion–fission metaheuristic
+//!
+//! The paper's contribution (§4): a partitioning metaheuristic built on a
+//! nuclear-physics analogy. A **nucleon** is a vertex, an **atom** is a
+//! part, and the whole partition is a molecule. The search repeatedly:
+//!
+//! 1. picks an atom and decides — via the temperature-dependent
+//!    [`choice`](mod@choice) function — whether it should **fuse** with a neighbor
+//!    atom or undergo **fission** (split in two by percolation),
+//! 2. applies the operator; learned **laws** ([`laws`]) decide how many
+//!    loose nucleons the reaction ejects, and ejected nucleons are either
+//!    absorbed by neighboring atoms or (at high temperature) trigger
+//!    secondary fissions,
+//! 3. scores the new molecule with a **binding-energy scaled** objective
+//!    ([`energy`]) that makes partitions with different part counts
+//!    comparable — the number of atoms is *not* fixed; it drifts around
+//!    the target k,
+//! 4. reinforces or weakens the law it used, cools the temperature, and
+//!    restarts from the best molecule when frozen.
+//!
+//! Initialization (§4.2, Algorithm 2) is a simplified loop run from the
+//! all-singletons molecule with a fusion-dominated choice heuristic.
+//!
+//! ```
+//! use ff_core::{FusionFission, FusionFissionConfig};
+//! use ff_graph::generators::two_cliques_bridge;
+//! use ff_partition::Objective;
+//!
+//! let g = two_cliques_bridge(8, 2.0, 0.1);
+//! let result = FusionFission::new(&g, FusionFissionConfig::fast(2), 42).run();
+//! assert_eq!(result.best.num_nonempty_parts(), 2);
+//! let mcut = Objective::MCut.evaluate(&g, &result.best);
+//! assert!(mcut < 0.1, "only the bridge should be cut, got Mcut = {mcut}");
+//! ```
+
+pub mod algorithm;
+pub mod choice;
+pub mod config;
+pub mod energy;
+pub mod laws;
+pub mod ops;
+
+pub use algorithm::{FusionFission, FusionFissionResult};
+pub use choice::{alpha, choice, choice_with, ChoiceFunction};
+pub use config::{FissionSplitter, FusionFissionConfig};
+pub use energy::{binding_factor, scaled_energy};
+pub use laws::LawTable;

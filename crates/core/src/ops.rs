@@ -1,0 +1,300 @@
+//! The fusion and fission operators (§4.2).
+
+use crate::config::FissionSplitter;
+use ff_graph::{induced_subgraph, VertexId};
+use ff_metaheur::percolation::{percolation_with_seeds, spread_seeds, PercolationConfig};
+use ff_partition::CutState;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Total connection weight from part `a` to every other part.
+/// O(|a| · deg).
+pub fn part_connections(st: &CutState, a: u32) -> HashMap<u32, f64> {
+    let mut conn: HashMap<u32, f64> = HashMap::new();
+    for &v in st.partition().part_members_unordered(a) {
+        for (u, w) in st.graph().edges_of(v) {
+            let pu = st.partition().part_of(u);
+            if pu != a {
+                *conn.entry(pu).or_insert(0.0) += w;
+            }
+        }
+    }
+    conn
+}
+
+/// Selects a fusion partner for atom `a`.
+///
+/// §4.2: "A second partition is selected according to its size, its
+/// distance to the first one, and temperature." Distance is the inverse
+/// connection weight, so the roulette weight is
+/// `conn(a, b) / size(b)^size_bias`, sharpened as the system cools
+/// (`weight^(1/τ)` with τ the normalized temperature): hot systems pick
+/// almost uniformly among neighbors, cold ones almost always take the
+/// closest small atom. Returns `None` when `a` has no neighboring atom.
+pub fn select_partner(
+    st: &CutState,
+    a: u32,
+    t_norm: f64,
+    size_bias: f64,
+    rng: &mut ChaCha8Rng,
+) -> Option<u32> {
+    let conn = part_connections(st, a);
+    if conn.is_empty() {
+        return None;
+    }
+    let mut cands: Vec<(u32, f64)> = conn.into_iter().collect();
+    cands.sort_unstable_by_key(|&(b, _)| b); // deterministic order
+    let tau = t_norm.clamp(0.05, 1.0);
+    let scores: Vec<f64> = cands
+        .iter()
+        .map(|&(b, w)| {
+            let size = st.partition().part_size(b).max(1) as f64;
+            (w / size.powf(size_bias)).powf(1.0 / tau)
+        })
+        .collect();
+    let total: f64 = scores.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        // Degenerate scores (all zero or overflow): uniform choice.
+        return Some(cands[rng.gen_range(0..cands.len())].0);
+    }
+    let mut roll = rng.gen::<f64>() * total;
+    for (i, &s) in scores.iter().enumerate() {
+        roll -= s;
+        if roll <= 0.0 {
+            return Some(cands[i].0);
+        }
+    }
+    Some(cands.last().unwrap().0)
+}
+
+/// Fuses atoms `a` and `b`: all nucleons of the smaller move into the
+/// larger. Returns the surviving part id.
+pub fn fuse(st: &mut CutState, a: u32, b: u32) -> u32 {
+    assert_ne!(a, b, "cannot fuse an atom with itself");
+    let (survivor, absorbed) = if st.partition().part_size(a) >= st.partition().part_size(b) {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    // Unordered member order is fine: the merged state is order-independent.
+    for v in st.partition().part_members_unordered(absorbed).to_vec() {
+        st.move_vertex(v, survivor);
+    }
+    survivor
+}
+
+/// The `count` least-bound nucleons of `part`: those with the smallest
+/// internal-connection fraction of their weighted degree. Never selects
+/// so many that the part would empty.
+pub fn weakest_nucleons(st: &CutState, part: u32, count: usize) -> Vec<VertexId> {
+    // Unordered is safe: the (binding, id) sort below fixes a total order.
+    let members = st.partition().part_members_unordered(part).to_vec();
+    if members.len() <= 1 || count == 0 {
+        return Vec::new();
+    }
+    let take = count.min(members.len() - 1);
+    let mut scored: Vec<(f64, VertexId)> = members
+        .into_iter()
+        .map(|v| {
+            let degw = st.graph().degree_weight(v);
+            let own: f64 = st
+                .graph()
+                .edges_of(v)
+                .filter(|&(u, _)| st.partition().part_of(u) == part)
+                .map(|(_, w)| w)
+                .sum();
+            let binding = if degw > 0.0 { own / degw } else { 0.0 };
+            (binding, v)
+        })
+        .collect();
+    scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
+    scored.into_iter().take(take).map(|(_, v)| v).collect()
+}
+
+/// Absorbs nucleon `v` into its best-connected *other* atom ("nfusion").
+/// No-op for a nucleon with no external connections.
+pub fn nfusion(st: &mut CutState, v: VertexId) {
+    let own = st.partition().part_of(v);
+    let conn = st.connection_weights(v);
+    let mut best: Option<(u32, f64)> = None;
+    let mut targets: Vec<(u32, f64)> = conn.into_iter().filter(|&(p, _)| p != own).collect();
+    targets.sort_unstable_by_key(|&(p, _)| p);
+    for (p, w) in targets {
+        if best.is_none_or(|(_, bw)| w > bw) {
+            best = Some((p, w));
+        }
+    }
+    if let Some((p, _)) = best {
+        // Don't empty the source atom: a one-nucleon atom stays put (it
+        // will be fused away by the main loop's choice function instead).
+        if st.partition().part_size(own) > 1 {
+            st.move_vertex(v, p);
+        }
+    }
+}
+
+/// Splits `part` in two. The new half gets a fresh part id, which is
+/// returned; `None` when the atom has fewer than 2 nucleons.
+pub fn fission_split(
+    st: &mut CutState,
+    part: u32,
+    splitter: FissionSplitter,
+    rng: &mut ChaCha8Rng,
+) -> Option<u32> {
+    let members = st.partition().part_members(part);
+    if members.len() < 2 {
+        return None;
+    }
+    let half: Vec<VertexId> = match splitter {
+        FissionSplitter::Percolation => {
+            let sub = induced_subgraph(st.graph(), &members);
+            let seeds = spread_seeds(&sub.graph, 2, rng.gen());
+            let p = percolation_with_seeds(
+                &sub.graph,
+                &seeds,
+                &PercolationConfig {
+                    max_rounds: 6,
+                    seed: rng.gen(),
+                },
+            );
+            (0..members.len())
+                .filter(|&i| p.part_of(i as VertexId) == 1)
+                .map(|i| members[i])
+                .collect()
+        }
+        FissionSplitter::RandomHalf => {
+            let mut shuffled = members.clone();
+            shuffled.shuffle(rng);
+            shuffled.truncate(members.len() / 2);
+            shuffled
+        }
+    };
+    if half.is_empty() || half.len() == members.len() {
+        return None; // degenerate split
+    }
+    let new_part = st.add_part();
+    for v in half {
+        st.move_vertex(v, new_part);
+    }
+    Some(new_part)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_graph::generators::{grid2d, two_cliques_bridge};
+    use ff_graph::Graph;
+    use ff_partition::Partition;
+
+    fn state(g: &Graph, asg: Vec<u32>, k: usize) -> CutState<'_> {
+        CutState::new(g, Partition::from_assignment(g, asg, k))
+    }
+
+    #[test]
+    fn part_connections_counts_boundary() {
+        let g = ff_graph::generators::path(4); // 0-1-2-3
+        let st = state(&g, vec![0, 0, 1, 2], 3);
+        let conn = part_connections(&st, 0);
+        assert_eq!(conn.get(&1), Some(&1.0));
+        assert_eq!(conn.get(&2), None);
+    }
+
+    #[test]
+    fn fuse_merges_into_larger() {
+        let g = grid2d(2, 3);
+        let mut st = state(&g, vec![0, 0, 0, 1, 1, 2], 3);
+        let survivor = fuse(&mut st, 0, 1);
+        assert_eq!(survivor, 0);
+        assert_eq!(st.partition().part_size(0), 5);
+        assert_eq!(st.partition().part_size(1), 0);
+        assert!(st.drift() < 1e-9);
+    }
+
+    #[test]
+    fn weakest_nucleons_are_boundary_ones() {
+        let g = two_cliques_bridge(5, 2.0, 0.5);
+        // Part 0 = clique A plus one vertex of clique B (vertex 5).
+        let mut asg = vec![0u32; 10];
+        for item in asg.iter_mut().skip(6) {
+            *item = 1;
+        }
+        let st = state(&g, asg, 2);
+        let weak = weakest_nucleons(&st, 0, 1);
+        assert_eq!(weak, vec![5], "the stray clique-B vertex is least bound");
+    }
+
+    #[test]
+    fn weakest_never_empties_part() {
+        let g = grid2d(2, 2);
+        let st = state(&g, vec![0, 0, 1, 1], 2);
+        assert_eq!(weakest_nucleons(&st, 0, 10).len(), 1);
+    }
+
+    #[test]
+    fn nfusion_moves_to_best_connected() {
+        let g = two_cliques_bridge(5, 2.0, 0.5);
+        let mut asg = vec![0u32; 10];
+        for item in asg.iter_mut().skip(6) {
+            *item = 1;
+        }
+        let mut st = state(&g, asg, 2);
+        nfusion(&mut st, 5); // stray vertex rejoins clique B
+        assert_eq!(st.partition().part_of(5), 1);
+        assert!(st.drift() < 1e-9);
+    }
+
+    #[test]
+    fn fission_splits_along_bridge() {
+        let g = two_cliques_bridge(6, 2.0, 0.1);
+        let mut st = state(&g, vec![0u32; 12], 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let new = fission_split(&mut st, 0, FissionSplitter::Percolation, &mut rng)
+            .expect("split must succeed");
+        // The percolation split should cut only the bridge.
+        assert!((st.cut() - 0.1).abs() < 1e-9, "cut = {}", st.cut());
+        assert_eq!(
+            st.partition().part_size(0) + st.partition().part_size(new),
+            12
+        );
+    }
+
+    #[test]
+    fn fission_of_singleton_fails() {
+        let g = grid2d(2, 2);
+        let mut st = state(&g, vec![0, 1, 1, 1], 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(fission_split(&mut st, 0, FissionSplitter::Percolation, &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_half_splitter_works() {
+        let g = grid2d(4, 4);
+        let mut st = state(&g, vec![0u32; 16], 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let new = fission_split(&mut st, 0, FissionSplitter::RandomHalf, &mut rng).unwrap();
+        assert_eq!(st.partition().part_size(new), 8);
+        assert!(st.drift() < 1e-9);
+    }
+
+    #[test]
+    fn partner_selection_prefers_connected() {
+        let g = ff_graph::generators::path(6); // 0-1-2-3-4-5
+        let st = state(&g, vec![0, 0, 1, 1, 2, 2], 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        // Cold system: part 0 must pick part 1 (its only neighbor).
+        for _ in 0..20 {
+            assert_eq!(select_partner(&st, 0, 0.05, 0.5, &mut rng), Some(1));
+        }
+    }
+
+    #[test]
+    fn partner_none_for_isolated_atom() {
+        let mut b = ff_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let st = state(&g, vec![0, 0, 1], 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(select_partner(&st, 1, 0.5, 0.5, &mut rng), None);
+    }
+}

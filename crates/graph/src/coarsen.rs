@@ -1,0 +1,157 @@
+//! Graph contraction along a matching (the multilevel "coarsen" step).
+//!
+//! Matched pairs `{a, b}` become one coarse vertex whose weight is
+//! `vwgt(a) + vwgt(b)`; unmatched vertices map through unchanged. Edges
+//! between coarse vertices merge by summing weights; the edge *inside* a
+//! contracted pair disappears (it becomes coarse-vertex-internal weight).
+//!
+//! Total vertex weight is preserved exactly. Total edge weight decreases by
+//! exactly the weight of the matched edges — the quantity heavy-edge
+//! matching maximizes.
+
+use crate::{Graph, GraphBuilder, Matching, VertexId};
+
+/// Result of one coarsening step: the coarse graph plus the fine→coarse
+/// projection map.
+#[derive(Clone, Debug)]
+pub struct CoarseGraph {
+    /// The contracted graph.
+    pub graph: Graph,
+    /// `fine_to_coarse[v]` is the coarse vertex containing fine vertex `v`.
+    pub fine_to_coarse: Vec<VertexId>,
+}
+
+impl CoarseGraph {
+    /// Projects a coarse-level partition assignment back to the fine level.
+    pub fn project(&self, coarse_assignment: &[u32]) -> Vec<u32> {
+        self.fine_to_coarse
+            .iter()
+            .map(|&c| coarse_assignment[c as usize])
+            .collect()
+    }
+}
+
+/// Contracts `g` along `matching`.
+///
+/// # Panics
+///
+/// Panics if `matching` is for a different vertex count or is not a valid
+/// involution.
+pub fn coarsen(g: &Graph, matching: &Matching) -> CoarseGraph {
+    let n = g.num_vertices();
+    assert_eq!(matching.num_vertices(), n, "matching/graph size mismatch");
+    assert!(matching.is_valid(), "matching must be an involution");
+
+    // Assign coarse ids: representative of a pair is the smaller endpoint.
+    let mut fine_to_coarse = vec![VertexId::MAX; n];
+    let mut next = 0 as VertexId;
+    for v in 0..n as VertexId {
+        let m = matching.mate(v);
+        if m < v {
+            continue; // mate already claimed an id for the pair
+        }
+        fine_to_coarse[v as usize] = next;
+        if m != v {
+            fine_to_coarse[m as usize] = next;
+        }
+        next += 1;
+    }
+    let nc = next as usize;
+
+    let mut b = GraphBuilder::with_capacity(nc, g.num_edges());
+    // Coarse vertex weights.
+    let mut cw = vec![0.0; nc];
+    for v in 0..n as VertexId {
+        cw[fine_to_coarse[v as usize] as usize] += g.vertex_weight(v);
+    }
+    for (c, &w) in cw.iter().enumerate() {
+        b.set_vertex_weight(c as VertexId, w);
+    }
+    // Coarse edges (builder merges parallels by summing; intra-pair edges
+    // become self-loops and are dropped).
+    for (u, v, w) in g.edges() {
+        let cu = fine_to_coarse[u as usize];
+        let cv = fine_to_coarse[v as usize];
+        b.add_edge(cu, cv, w);
+    }
+
+    CoarseGraph {
+        graph: b.build(),
+        fine_to_coarse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid2d, random_geometric};
+    use crate::matching::heavy_edge_matching;
+
+    #[test]
+    fn coarse_count_matches_pairs() {
+        let g = grid2d(4, 4);
+        let m = heavy_edge_matching(&g, 1);
+        let c = coarsen(&g, &m);
+        assert_eq!(c.graph.num_vertices(), g.num_vertices() - m.num_pairs());
+    }
+
+    #[test]
+    fn vertex_weight_preserved() {
+        let g = random_geometric(80, 0.25, 11);
+        let m = heavy_edge_matching(&g, 2);
+        let c = coarsen(&g, &m);
+        assert!(
+            (c.graph.total_vertex_weight() - g.total_vertex_weight()).abs() < 1e-9,
+            "total vertex weight must be invariant under contraction"
+        );
+    }
+
+    #[test]
+    fn edge_weight_decreases_by_matched_weight() {
+        let g = random_geometric(60, 0.3, 3);
+        let m = heavy_edge_matching(&g, 4);
+        let matched_weight: f64 = g
+            .edges()
+            .filter(|&(u, v, _)| m.mate(u) == v)
+            .map(|(_, _, w)| w)
+            .sum();
+        let c = coarsen(&g, &m);
+        assert!(
+            (g.total_edge_weight() - c.graph.total_edge_weight() - matched_weight).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let g = grid2d(5, 5);
+        let m = heavy_edge_matching(&g, 7);
+        let c = coarsen(&g, &m);
+        // assign coarse vertices alternately, project, check consistency
+        let ca: Vec<u32> = (0..c.graph.num_vertices() as u32).map(|i| i % 3).collect();
+        let fa = c.project(&ca);
+        for v in g.vertices() {
+            assert_eq!(fa[v as usize], ca[c.fine_to_coarse[v as usize] as usize]);
+        }
+        // mates land in the same part
+        for v in g.vertices() {
+            let mate = m.mate(v);
+            assert_eq!(fa[v as usize], fa[mate as usize]);
+        }
+    }
+
+    #[test]
+    fn repeated_coarsening_shrinks() {
+        let mut g = grid2d(10, 10);
+        for level in 0..4 {
+            let before = g.num_vertices();
+            let m = heavy_edge_matching(&g, level);
+            if m.num_pairs() == 0 {
+                break;
+            }
+            let c = coarsen(&g, &m);
+            assert!(c.graph.num_vertices() < before);
+            g = c.graph;
+        }
+        assert!(g.num_vertices() <= 13, "4 rounds should reach ≲ n/8");
+    }
+}

@@ -1,0 +1,364 @@
+//! Deterministic seeded graph generators.
+//!
+//! Every generator takes an explicit `seed` (where randomness is involved)
+//! and uses ChaCha8 so the same seed yields the same graph on every
+//! platform. These families cover the topologies the partitioning
+//! literature benchmarks on: meshes (grids), geometric graphs (the shape of
+//! airspace sector graphs), G(n,p), and planted community structure.
+
+use crate::{Graph, GraphBuilder, VertexId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// `rows × cols` 4-neighbor grid mesh with unit edge weights.
+pub fn grid2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), 1.0);
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` grid with wrap-around (torus) connectivity.
+pub fn torus2d(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs at least 3×3");
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols), 1.0);
+            b.add_edge(id(r, c), id((r + 1) % rows, c), 1.0);
+        }
+    }
+    b.build()
+}
+
+/// Path graph `0 — 1 — … — n-1` with unit weights.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId, 1.0);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n ≥ 3` vertices with unit weights.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 0..n {
+        b.add_edge(v as VertexId, ((v + 1) % n) as VertexId, 1.0);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n` with unit weights.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VertexId, v as VertexId, 1.0);
+        }
+    }
+    b.build()
+}
+
+/// Star graph: vertex 0 connected to `1..n`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..n {
+        b.add_edge(0, v as VertexId, 1.0);
+    }
+    b.build()
+}
+
+/// Erdős–Rényi G(n, p) with unit edge weights.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u as VertexId, v as VertexId, 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random geometric graph: `n` uniform points in the unit square, edge
+/// between points closer than `radius`, weight `1/(dist + 0.01)` so nearby
+/// pairs couple strongly (mimicking flow density between close sectors).
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let mut b = GraphBuilder::new(n);
+    let r2 = radius * radius;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            let d2 = dx * dx + dy * dy;
+            if d2 < r2 {
+                b.add_edge(u as VertexId, v as VertexId, 1.0 / (d2.sqrt() + 0.01));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Planted-partition graph: `k` groups of `group_size` vertices; each
+/// intra-group pair is an edge with probability `p_in` and weight
+/// `w_in`, each inter-group pair with probability `p_out` and weight 1.0.
+///
+/// The planted optimum (each group a part) is known by construction, which
+/// makes this family the workhorse of quality assertions in tests.
+pub fn planted_partition(
+    k: usize,
+    group_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Graph {
+    assert!(k >= 1 && group_size >= 1);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n = k * group_size;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let group = |v: usize| v / group_size;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let (p, w) = if group(u) == group(v) {
+                (p_in, 4.0)
+            } else {
+                (p_out, 1.0)
+            };
+            if rng.gen::<f64>() < p {
+                b.add_edge(u as VertexId, v as VertexId, w);
+            }
+        }
+    }
+    // Guarantee connectivity of the planted structure: chain the groups and
+    // ring each group, so degenerate RNG draws can't disconnect the graph.
+    let mut b2 = b;
+    for g in 0..k {
+        let base = g * group_size;
+        for i in 0..group_size.saturating_sub(1) {
+            b2.add_edge((base + i) as VertexId, (base + i + 1) as VertexId, 4.0);
+        }
+        if g + 1 < k {
+            b2.add_edge(
+                (base + group_size - 1) as VertexId,
+                (base + group_size) as VertexId,
+                0.5,
+            );
+        }
+    }
+    b2.build()
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_attach` existing vertices with probability proportional to degree.
+/// Produces the hub-dominated topology air-route networks resemble —
+/// the stress case for balance-seeking partitioners.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
+    assert!(m_attach >= 1, "need at least one attachment per vertex");
+    assert!(n > m_attach, "need n > m_attach");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m_attach);
+    // Repeated-endpoint pool: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut pool: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+    // Seed clique of m_attach + 1 vertices.
+    for u in 0..=m_attach {
+        for v in (u + 1)..=m_attach {
+            b.add_edge(u as VertexId, v as VertexId, 1.0);
+            pool.push(u as VertexId);
+            pool.push(v as VertexId);
+        }
+    }
+    for v in (m_attach + 1)..n {
+        let mut targets = std::collections::BTreeSet::new();
+        while targets.len() < m_attach {
+            let t = pool[rng.gen_range(0..pool.len())];
+            targets.insert(t);
+        }
+        for &t in &targets {
+            b.add_edge(v as VertexId, t, 1.0);
+            pool.push(v as VertexId);
+            pool.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Random `d`-regular-ish graph via repeated perfect matchings of vertex
+/// permutations (`d` rounds; collisions/self-loops dropped, so degrees are
+/// ≤ `d` but concentrate there). `n·d` must be even-ish for exact
+/// regularity; this generator favors simplicity over exactness.
+pub fn random_regular_ish(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n >= 2 && d >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..d {
+        let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+        perm.shuffle(&mut rng);
+        for pair in perm.chunks_exact(2) {
+            b.add_edge(pair[0], pair[1], 1.0);
+        }
+    }
+    b.build()
+}
+
+/// A weighted "two communities + bridge" graph of 2·`half` vertices —
+/// the smallest instance with an unambiguous best bisection, used in unit
+/// tests across the suite.
+pub fn two_cliques_bridge(half: usize, w_in: f64, w_bridge: f64) -> Graph {
+    assert!(half >= 2);
+    let n = 2 * half;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..half {
+        for v in (u + 1)..half {
+            b.add_edge(u as VertexId, v as VertexId, w_in);
+            b.add_edge((half + u) as VertexId, (half + v) as VertexId, w_in);
+        }
+    }
+    b.add_edge((half - 1) as VertexId, half as VertexId, w_bridge);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // horizontal: 3 rows × 3 = 9, vertical: 2 × 4 = 8
+        assert_eq!(g.num_edges(), 17);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = torus2d(4, 5);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 40);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn gnp_deterministic_under_seed() {
+        let a = gnp(40, 0.2, 7);
+        let b = gnp(40, 0.2, 7);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn gnp_seed_changes_graph() {
+        let a = gnp(40, 0.2, 7);
+        let b = gnp(40, 0.2, 8);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn geometric_connected_at_reasonable_radius() {
+        let g = random_geometric(200, 0.18, 42);
+        assert!(is_connected(&g), "r=0.18 should connect 200 points");
+        // weights decrease with distance
+        for (_, _, w) in g.edges() {
+            assert!(w > 1.0 / 0.2);
+        }
+    }
+
+    #[test]
+    fn planted_partition_structure() {
+        let g = planted_partition(4, 10, 0.8, 0.05, 3);
+        assert_eq!(g.num_vertices(), 40);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_cliques_bridge_shape() {
+        let g = two_cliques_bridge(4, 2.0, 0.5);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 2 * 6 + 1);
+        assert_eq!(g.edge_weight(3, 4), Some(0.5));
+    }
+
+    #[test]
+    fn barabasi_albert_hub_structure() {
+        let g = barabasi_albert(200, 3, 5);
+        assert_eq!(g.num_vertices(), 200);
+        assert!(is_connected(&g));
+        // heavy-tailed degrees: max degree far above the mean
+        assert!(
+            g.max_degree() as f64 > 3.0 * g.mean_degree(),
+            "max {} vs mean {}",
+            g.max_degree(),
+            g.mean_degree()
+        );
+    }
+
+    #[test]
+    fn barabasi_albert_deterministic() {
+        let a = barabasi_albert(80, 2, 9);
+        let b = barabasi_albert(80, 2, 9);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_regular_ish_degrees_bounded() {
+        let g = random_regular_ish(100, 4, 3);
+        assert!(g.max_degree() <= 4);
+        assert!(g.mean_degree() > 3.0, "mean {}", g.mean_degree());
+    }
+}

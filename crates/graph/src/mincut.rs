@@ -1,0 +1,227 @@
+//! Global minimum cut (Stoer–Wagner).
+//!
+//! §1 of the paper grounds recursive-bisection partitioning in the
+//! minimum-cut literature, citing Stoer & Wagner's "A simple min-cut
+//! algorithm" (J. ACM 44(4), 1997) among others. This is that algorithm:
+//! `n − 1` *minimum-cut phases*, each a maximum-adjacency ordering whose
+//! last vertex defines a cut-of-the-phase, followed by merging the last
+//! two vertices. The lightest cut-of-the-phase is a global minimum cut.
+//!
+//! Unlike the partitioners in this suite, the global min cut has no balance
+//! notion — it usually isolates a weakly connected corner — which is
+//! exactly why the paper's Table 1 uses *balanced* methods instead. It is
+//! provided as the substrate baseline and as a diagnostics tool (e.g. "how
+//! much flow separates this instance at its weakest seam?").
+
+use crate::{Graph, VertexId};
+
+/// A global minimum cut: total crossing weight and one side's vertices.
+#[derive(Clone, Debug)]
+pub struct MinCut {
+    /// Sum of edge weights crossing the cut.
+    pub weight: f64,
+    /// Vertices on the smaller-certificate side (the merged super-vertex
+    /// that realized the best phase cut).
+    pub side: Vec<VertexId>,
+}
+
+/// Computes a global minimum cut of `g` with Stoer–Wagner. O(n³) dense
+/// implementation — intended for the suite's laptop-scale graphs.
+///
+/// # Panics
+///
+/// Panics if `g` has fewer than 2 vertices. For disconnected graphs the
+/// result has weight 0 with one component as the side.
+pub fn stoer_wagner(g: &Graph) -> MinCut {
+    let n = g.num_vertices();
+    assert!(n >= 2, "min cut needs at least two vertices");
+
+    // Dense working copy of the weight matrix; merged[v] lists original
+    // vertices inside super-vertex v.
+    let mut w = vec![vec![0.0f64; n]; n];
+    for (u, v, wt) in g.edges() {
+        w[u as usize][v as usize] += wt;
+        w[v as usize][u as usize] += wt;
+    }
+    let mut merged: Vec<Vec<VertexId>> = (0..n).map(|v| vec![v as VertexId]).collect();
+    let mut alive: Vec<usize> = (0..n).collect();
+
+    let mut best = MinCut {
+        weight: f64::INFINITY,
+        side: Vec::new(),
+    };
+
+    while alive.len() > 1 {
+        // --- One minimum-cut phase: maximum adjacency ordering ----------
+        let mut in_a = vec![false; n];
+        let mut conn = vec![0.0f64; n]; // connection weight into A
+        let start = alive[0];
+        in_a[start] = true;
+        for &v in &alive {
+            if v != start {
+                conn[v] = w[start][v];
+            }
+        }
+        let mut order = vec![start];
+        while order.len() < alive.len() {
+            // most tightly connected unadded vertex
+            let next = alive
+                .iter()
+                .copied()
+                .filter(|&v| !in_a[v])
+                .max_by(|&a, &b| conn[a].partial_cmp(&conn[b]).unwrap().then(b.cmp(&a)))
+                .expect("unadded vertex exists");
+            in_a[next] = true;
+            order.push(next);
+            for &v in &alive {
+                if !in_a[v] {
+                    conn[v] += w[next][v];
+                }
+            }
+        }
+        let t = *order.last().unwrap();
+        let s = order[order.len() - 2];
+
+        // Cut-of-the-phase: t's super-vertex vs everything else.
+        let phase_weight = conn[t];
+        if phase_weight < best.weight {
+            best.weight = phase_weight;
+            best.side = merged[t].clone();
+        }
+
+        // --- Merge t into s ----------------------------------------------
+        for &v in &alive {
+            if v != s && v != t {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        let mut t_members = std::mem::take(&mut merged[t]);
+        merged[s].append(&mut t_members);
+        alive.retain(|&v| v != t);
+    }
+
+    best.side.sort_unstable();
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, path, two_cliques_bridge};
+    use crate::GraphBuilder;
+
+    /// Verifies the reported side actually realizes the reported weight.
+    fn check_certificate(g: &Graph, cut: &MinCut) {
+        let n = g.num_vertices();
+        let mut in_side = vec![false; n];
+        for &v in &cut.side {
+            in_side[v as usize] = true;
+        }
+        assert!(!cut.side.is_empty() && cut.side.len() < n, "proper cut");
+        let crossing: f64 = g
+            .edges()
+            .filter(|&(u, v, _)| in_side[u as usize] != in_side[v as usize])
+            .map(|(_, _, w)| w)
+            .sum();
+        assert!(
+            (crossing - cut.weight).abs() < 1e-9,
+            "certificate weight {crossing} ≠ reported {}",
+            cut.weight
+        );
+    }
+
+    #[test]
+    fn bridge_is_the_min_cut() {
+        let g = two_cliques_bridge(5, 2.0, 0.3);
+        let cut = stoer_wagner(&g);
+        assert!((cut.weight - 0.3).abs() < 1e-12);
+        assert_eq!(cut.side.len(), 5, "one clique on each side");
+        check_certificate(&g, &cut);
+    }
+
+    #[test]
+    fn path_min_cut_is_one_edge() {
+        let g = path(7);
+        let cut = stoer_wagner(&g);
+        assert!((cut.weight - 1.0).abs() < 1e-12);
+        check_certificate(&g, &cut);
+    }
+
+    #[test]
+    fn cycle_min_cut_is_two() {
+        let g = cycle(9);
+        let cut = stoer_wagner(&g);
+        assert!((cut.weight - 2.0).abs() < 1e-12);
+        check_certificate(&g, &cut);
+    }
+
+    #[test]
+    fn stoer_wagner_paper_example() {
+        // The 8-vertex example from the 1997 paper; min cut weight 4,
+        // realized by {3, 4, 7, 8} (1-indexed) = {2, 3, 6, 7} (0-indexed).
+        let mut b = GraphBuilder::new(8);
+        for (u, v, w) in [
+            (0, 1, 2.0),
+            (0, 4, 3.0),
+            (1, 2, 3.0),
+            (1, 4, 2.0),
+            (1, 5, 2.0),
+            (2, 3, 4.0),
+            (2, 6, 2.0),
+            (3, 6, 2.0),
+            (3, 7, 2.0),
+            (4, 5, 3.0),
+            (5, 6, 1.0),
+            (6, 7, 3.0),
+        ] {
+            b.add_edge(u, v, w);
+        }
+        let g = b.build();
+        let cut = stoer_wagner(&g);
+        assert!((cut.weight - 4.0).abs() < 1e-12, "weight {}", cut.weight);
+        check_certificate(&g, &cut);
+    }
+
+    #[test]
+    fn disconnected_graph_zero_cut() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 5.0);
+        b.add_edge(2, 3, 5.0);
+        let g = b.build();
+        let cut = stoer_wagner(&g);
+        assert_eq!(cut.weight, 0.0);
+        check_certificate(&g, &cut);
+    }
+
+    #[test]
+    fn weighted_star_cuts_lightest_leaf() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 5.0);
+        b.add_edge(0, 2, 1.5);
+        b.add_edge(0, 3, 7.0);
+        let g = b.build();
+        let cut = stoer_wagner(&g);
+        assert!((cut.weight - 1.5).abs() < 1e-12);
+        assert_eq!(cut.side, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn singleton_panics() {
+        let g = GraphBuilder::new(1).build();
+        stoer_wagner(&g);
+    }
+
+    #[test]
+    fn random_graphs_certificates_hold() {
+        for seed in 0..4 {
+            let g = crate::generators::random_geometric(40, 0.3, seed);
+            if g.num_vertices() < 2 {
+                continue;
+            }
+            let cut = stoer_wagner(&g);
+            check_certificate(&g, &cut);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Induced subgraph extraction with back-mapping.
+//!
+//! Used by recursive bisection (partition one side further) and by the
+//! fusion–fission fission operator (split one atom with percolation run on
+//! that atom's induced subgraph).
+
+use crate::{Graph, GraphBuilder, VertexId};
+
+/// An induced subgraph together with the mapping back to the parent graph.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The induced graph: vertex `i` corresponds to `to_parent[i]`.
+    pub graph: Graph,
+    /// Subgraph vertex → parent vertex.
+    pub to_parent: Vec<VertexId>,
+}
+
+impl Subgraph {
+    /// Translates a subgraph vertex id to the parent graph's id.
+    #[inline]
+    pub fn parent_of(&self, sub_v: VertexId) -> VertexId {
+        self.to_parent[sub_v as usize]
+    }
+}
+
+/// Extracts the subgraph induced by `members` (parent vertex ids, any order,
+/// duplicates rejected). Vertex weights carry over; only edges with both
+/// endpoints in `members` survive.
+///
+/// # Panics
+///
+/// Panics on out-of-range or duplicate member ids.
+pub fn induced_subgraph(g: &Graph, members: &[VertexId]) -> Subgraph {
+    let n = g.num_vertices();
+    let mut to_sub = vec![VertexId::MAX; n];
+    for (i, &v) in members.iter().enumerate() {
+        assert!((v as usize) < n, "member {v} out of range");
+        assert!(
+            to_sub[v as usize] == VertexId::MAX,
+            "duplicate member {v}"
+        );
+        to_sub[v as usize] = i as VertexId;
+    }
+    let mut b = GraphBuilder::new(members.len());
+    for (i, &v) in members.iter().enumerate() {
+        b.set_vertex_weight(i as VertexId, g.vertex_weight(v));
+        for (u, w) in g.edges_of(v) {
+            let su = to_sub[u as usize];
+            if su != VertexId::MAX && u > v {
+                b.add_edge(i as VertexId, su, w);
+            }
+        }
+    }
+    Subgraph {
+        graph: b.build(),
+        to_parent: members.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid2d, two_cliques_bridge};
+
+    #[test]
+    fn extracts_clique_side() {
+        let g = two_cliques_bridge(4, 2.0, 0.5); // vertices 0..4 and 4..8
+        let s = induced_subgraph(&g, &[0, 1, 2, 3]);
+        assert_eq!(s.graph.num_vertices(), 4);
+        assert_eq!(s.graph.num_edges(), 6); // K4
+        for (_, _, w) in s.graph.edges() {
+            assert_eq!(w, 2.0); // bridge (weight 0.5) must be absent
+        }
+    }
+
+    #[test]
+    fn back_mapping() {
+        let g = grid2d(3, 3);
+        let members = vec![4, 1, 7]; // arbitrary order
+        let s = induced_subgraph(&g, &members);
+        assert_eq!(s.parent_of(0), 4);
+        assert_eq!(s.parent_of(1), 1);
+        assert_eq!(s.parent_of(2), 7);
+        // edges 1-4 and 4-7 exist in the grid; 1-7 does not
+        assert!(s.graph.has_edge(0, 1));
+        assert!(s.graph.has_edge(0, 2));
+        assert!(!s.graph.has_edge(1, 2));
+    }
+
+    #[test]
+    fn vertex_weights_carry_over() {
+        let mut b = crate::GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.set_vertex_weight(1, 6.0);
+        let g = b.build();
+        let s = induced_subgraph(&g, &[1, 2]);
+        assert_eq!(s.graph.vertex_weight(0), 6.0);
+        assert_eq!(s.graph.vertex_weight(1), 1.0);
+        assert_eq!(s.graph.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate member")]
+    fn rejects_duplicates() {
+        let g = grid2d(2, 2);
+        induced_subgraph(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = grid2d(2, 2);
+        let s = induced_subgraph(&g, &[]);
+        assert_eq!(s.graph.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # ff-linalg — sparse symmetric eigensolver substrate
+//!
+//! The spectral partitioning path of the suite (Chaco-style) needs the
+//! second-smallest eigenpair (the *Fiedler pair*) of graph Laplacians. This
+//! crate implements that machinery from scratch:
+//!
+//! * [`sparse::CsrMatrix`] — symmetric sparse matrix with `spmv`,
+//! * [`vecops`] — the dense vector kernels everything is built from,
+//! * [`tridiag`] — implicit-shift QL eigensolver for symmetric tridiagonal
+//!   matrices (the projected problem inside Lanczos),
+//! * [`lanczos`] — Lanczos with full reorthogonalization and deflation,
+//!   returning the smallest Ritz pairs,
+//! * [`symmlq`](mod@symmlq) — Paige–Saunders SYMMLQ for symmetric (possibly indefinite)
+//!   systems, plus MINRES as a cross-check solver,
+//! * [`rqi`] — Rayleigh quotient iteration with SYMMLQ inner solves, the
+//!   Chaco "RQI/Symmlq" Fiedler path.
+//!
+//! The crate is deliberately dependency-free (no BLAS): problem sizes in
+//! the paper are n ≈ 10³; clarity and determinism beat peak FLOPs.
+
+pub mod lanczos;
+pub mod operator;
+pub mod rqi;
+pub mod sparse;
+pub mod symmlq;
+pub mod tridiag;
+pub mod vecops;
+
+pub use lanczos::{smallest_eigenpairs, EigenPairs, LanczosOptions};
+pub use operator::{LinearOperator, ShiftedOperator};
+pub use rqi::{rayleigh_quotient_iteration, RqiOptions, RqiResult};
+pub use sparse::CsrMatrix;
+pub use symmlq::{minres, symmlq, IterativeSolveOptions, SolveOutcome};

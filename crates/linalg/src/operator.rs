@@ -1,0 +1,60 @@
+//! Abstract linear operators.
+//!
+//! Lanczos, SYMMLQ/MINRES and RQI only need `y ← Ax`; abstracting it lets
+//! them run on a bare [`crate::CsrMatrix`], a shifted matrix `A − σI`
+//! (without materializing it), or any caller-supplied operator.
+
+/// A symmetric linear operator on ℝⁿ.
+pub trait LinearOperator {
+    /// Dimension `n`.
+    fn dim(&self) -> usize;
+
+    /// `y ← A x`. Implementations may assume `x.len() == y.len() == dim()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+/// `A − σI` applied on the fly — the operator RQI feeds to SYMMLQ.
+pub struct ShiftedOperator<'a, A: LinearOperator> {
+    /// The base operator.
+    pub base: &'a A,
+    /// The shift σ.
+    pub shift: f64,
+}
+
+impl<'a, A: LinearOperator> ShiftedOperator<'a, A> {
+    /// Wraps `base` as `base − shift·I`.
+    pub fn new(base: &'a A, shift: f64) -> Self {
+        ShiftedOperator { base, shift }
+    }
+}
+
+impl<A: LinearOperator> LinearOperator for ShiftedOperator<'_, A> {
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.base.apply(x, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi -= self.shift * xi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+
+    #[test]
+    fn shifted_operator_subtracts() {
+        let a = CsrMatrix::identity(3);
+        let sh = ShiftedOperator::new(&a, 0.25);
+        let x = vec![2.0, 4.0, -1.0];
+        let mut y = vec![0.0; 3];
+        sh.apply(&x, &mut y);
+        // (I - 0.25 I) x = 0.75 x
+        assert_eq!(y, vec![1.5, 3.0, -0.75]);
+        assert_eq!(sh.dim(), 3);
+    }
+}

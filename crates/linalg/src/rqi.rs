@@ -1,0 +1,257 @@
+//! Rayleigh quotient iteration with SYMMLQ inner solves.
+//!
+//! This is the Chaco "RQI/Symmlq" Fiedler path: start from an approximate
+//! eigenvector (e.g. from a short Lanczos run or a coarse-level projection),
+//! then iterate
+//!
+//! ```text
+//! ρ = xᵀAx,   solve (A − ρI) y = x  (SYMMLQ),   x ← y / ‖y‖
+//! ```
+//!
+//! which converges cubically to the eigenpair nearest the initial Rayleigh
+//! quotient. Deflation vectors keep the iterate out of the Laplacian kernel.
+
+use crate::operator::{LinearOperator, ShiftedOperator};
+use crate::symmlq::{symmlq, IterativeSolveOptions};
+use crate::vecops::{axpy, dot, norm, normalize, orthogonalize_against};
+
+/// Options for [`rayleigh_quotient_iteration`].
+#[derive(Clone, Debug)]
+pub struct RqiOptions {
+    /// Outer iteration cap (default 30; RQI usually needs < 10).
+    pub max_outer: usize,
+    /// Eigen-residual tolerance ‖Ax − ρx‖ ≤ tol·max(1, |ρ|) (default 1e-8).
+    pub tol: f64,
+    /// Inner-solver settings. The inner solve does not need to be accurate
+    /// far from convergence; 1e-6 relative is plenty.
+    pub inner: IterativeSolveOptions,
+    /// Unit-norm directions to deflate (e.g. the constant vector for a
+    /// connected graph's Laplacian).
+    pub deflate: Vec<Vec<f64>>,
+}
+
+impl Default for RqiOptions {
+    fn default() -> Self {
+        RqiOptions {
+            max_outer: 30,
+            tol: 1e-8,
+            inner: IterativeSolveOptions {
+                max_iter: 400,
+                rtol: 1e-6,
+            },
+            deflate: Vec::new(),
+        }
+    }
+}
+
+/// Result of [`rayleigh_quotient_iteration`].
+#[derive(Clone, Debug)]
+pub struct RqiResult {
+    /// Converged Rayleigh quotient (eigenvalue estimate).
+    pub value: f64,
+    /// Unit eigenvector estimate.
+    pub vector: Vec<f64>,
+    /// Outer iterations used.
+    pub iterations: usize,
+    /// Final eigen-residual ‖Ax − ρx‖.
+    pub residual: f64,
+    /// Whether `tol` was met.
+    pub converged: bool,
+}
+
+/// Refines `x0` toward the eigenpair of `a` nearest its Rayleigh quotient.
+///
+/// # Panics
+///
+/// Panics if `x0` has the wrong length or is (numerically) inside the
+/// deflation space.
+pub fn rayleigh_quotient_iteration<A: LinearOperator>(
+    a: &A,
+    x0: &[f64],
+    opts: &RqiOptions,
+) -> RqiResult {
+    let n = a.dim();
+    assert_eq!(x0.len(), n, "start vector length mismatch");
+
+    let mut x = x0.to_vec();
+    for q in &opts.deflate {
+        orthogonalize_against(&mut x, q);
+    }
+    assert!(
+        normalize(&mut x) > 1e-12,
+        "start vector lies in the deflation space"
+    );
+
+    let mut ax = vec![0.0; n];
+    let mut best_res = f64::INFINITY;
+    let mut best_val = 0.0;
+    let mut best_vec = x.clone();
+    let mut iterations = 0;
+
+    for outer in 0..opts.max_outer {
+        iterations = outer + 1;
+        a.apply(&x, &mut ax);
+        let rho = dot(&x, &ax);
+        // residual r = Ax − ρx
+        let mut r = ax.clone();
+        axpy(-rho, &x, &mut r);
+        let res = norm(&r);
+        if res < best_res {
+            best_res = res;
+            best_val = rho;
+            best_vec = x.clone();
+        }
+        if res <= opts.tol * rho.abs().max(1.0) {
+            return RqiResult {
+                value: rho,
+                vector: x,
+                iterations,
+                residual: res,
+                converged: true,
+            };
+        }
+
+        // Inner solve (A − ρI) y = x. Near convergence the system is nearly
+        // singular — SYMMLQ then returns a vector dominated by the desired
+        // eigendirection, which is exactly what we want.
+        let shifted = ShiftedOperator::new(a, rho);
+        let sol = symmlq(&shifted, &x, &opts.inner);
+        let mut y = sol.x;
+        for q in &opts.deflate {
+            orthogonalize_against(&mut y, q);
+        }
+        if normalize(&mut y) <= 1e-14 {
+            break; // solver returned ~zero; keep best seen
+        }
+        x = y;
+    }
+
+    RqiResult {
+        value: best_val,
+        vector: best_vec,
+        iterations,
+        residual: best_res,
+        converged: best_res <= opts.tol * best_val.abs().max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanczos::{smallest_eigenpairs, LanczosOptions};
+    use crate::sparse::CsrMatrix;
+    use std::f64::consts::PI;
+
+    fn path_laplacian(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            let mut d = 0.0;
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+                d += 1.0;
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                d += 1.0;
+            }
+            t.push((i, i, d));
+        }
+        CsrMatrix::from_triplets(n, &t)
+    }
+
+    fn ones_unit(n: usize) -> Vec<f64> {
+        vec![1.0 / (n as f64).sqrt(); n]
+    }
+
+    #[test]
+    fn converges_to_fiedler_from_good_start() {
+        let n = 30;
+        let l = path_laplacian(n);
+        // Analytic Fiedler vector of a path: cos(π(i+0.5)/n).
+        let x0: Vec<f64> = (0..n)
+            .map(|i| (PI * (i as f64 + 0.5) / n as f64).cos())
+            .collect();
+        let opts = RqiOptions {
+            deflate: vec![ones_unit(n)],
+            ..Default::default()
+        };
+        let r = rayleigh_quotient_iteration(&l, &x0, &opts);
+        let expect = 4.0 * (PI / (2.0 * n as f64)).sin().powi(2);
+        assert!(r.converged, "residual {}", r.residual);
+        assert!(
+            (r.value - expect).abs() < 1e-8,
+            "λ₂={}, expected {expect}",
+            r.value
+        );
+        assert!(r.iterations <= 6, "cubic convergence expected, used {}", r.iterations);
+    }
+
+    #[test]
+    fn matches_lanczos_answer() {
+        let n = 24;
+        let l = path_laplacian(n);
+        // Moderately converged start (1e-4): close enough that RQI's basin
+        // is λ₂ — the same contract ff-spectral's RQI path relies on.
+        let lopts = LanczosOptions {
+            deflate: vec![ones_unit(n)],
+            max_iter: 40,
+            tol: 1e-4,
+            ..Default::default()
+        };
+        let rough = smallest_eigenpairs(&l, 1, &lopts);
+        let opts = RqiOptions {
+            deflate: vec![ones_unit(n)],
+            ..Default::default()
+        };
+        let refined = rayleigh_quotient_iteration(&l, &rough.vectors[0], &opts);
+        let expect = 4.0 * (PI / (2.0 * n as f64)).sin().powi(2);
+        assert!(refined.converged);
+        assert!((refined.value - expect).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigen_residual_is_small() {
+        let n = 20;
+        let l = path_laplacian(n);
+        let x0: Vec<f64> = (0..n)
+            .map(|i| (PI * (i as f64 + 0.5) / n as f64).cos())
+            .collect();
+        let opts = RqiOptions {
+            deflate: vec![ones_unit(n)],
+            ..Default::default()
+        };
+        let r = rayleigh_quotient_iteration(&l, &x0, &opts);
+        let mut ax = vec![0.0; n];
+        l.apply(&r.vector, &mut ax);
+        for (axi, xi) in ax.iter().zip(&r.vector) {
+            assert!((axi - r.value * xi).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stays_out_of_kernel() {
+        let n = 16;
+        let l = path_laplacian(n);
+        let x0: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let opts = RqiOptions {
+            deflate: vec![ones_unit(n)],
+            ..Default::default()
+        };
+        let r = rayleigh_quotient_iteration(&l, &x0, &opts);
+        assert!(dot(&r.vector, &ones_unit(n)).abs() < 1e-8);
+        assert!(r.value > 1e-6, "must not converge to the kernel eigenvalue");
+    }
+
+    #[test]
+    #[should_panic(expected = "deflation space")]
+    fn rejects_start_in_deflation_space() {
+        let n = 8;
+        let l = path_laplacian(n);
+        let opts = RqiOptions {
+            deflate: vec![ones_unit(n)],
+            ..Default::default()
+        };
+        let ones = vec![1.0; n];
+        rayleigh_quotient_iteration(&l, &ones, &opts);
+    }
+}

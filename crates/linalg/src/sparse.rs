@@ -1,0 +1,274 @@
+//! Symmetric sparse matrices in CSR form.
+
+use crate::operator::LinearOperator;
+
+/// A square sparse matrix in compressed-sparse-row form.
+///
+/// The eigensolvers in this crate assume symmetry; [`CsrMatrix::is_symmetric`]
+/// verifies it and constructors used by the suite (Laplacian assembly in
+/// `ff-spectral`) produce symmetric matrices by construction.
+#[derive(Clone, Debug)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds from triplets `(row, col, value)`; duplicate positions sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or non-finite values.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut sorted: Vec<(usize, usize, f64)> = triplets
+            .iter()
+            .inspect(|&&(r, c, v)| {
+                assert!(r < n && c < n, "triplet index out of range");
+                assert!(v.is_finite(), "matrix entries must be finite");
+            })
+            .copied()
+            .collect();
+        sorted.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c as u32).collect();
+        let vals = merged.iter().map(|&(_, _, v)| v).collect();
+        CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let triplets: Vec<_> = (0..n).map(|i| (i, i, 1.0)).collect();
+        Self::from_triplets(n, &triplets)
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Sparse matrix–vector product `y ← Ax`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x`/`y` lengths differ from `n`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "spmv: x length");
+        assert_eq!(y.len(), self.n, "spmv: y length");
+        #[allow(clippy::needless_range_loop)] // row-indexed is the CSR idiom
+        for r in 0..self.n {
+            let mut acc = 0.0;
+            for idx in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.vals[idx] * x[self.col_idx[idx] as usize];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Entry `(r, c)` (0.0 when absent). O(log nnz(row)).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.n && c < self.n);
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        match self.col_idx[lo..hi].binary_search(&(c as u32)) {
+            Ok(pos) => self.vals[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The main diagonal as a dense vector.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Exact symmetry check: `A[r][c] == A[c][r]` for all stored entries.
+    pub fn is_symmetric(&self) -> bool {
+        for r in 0..self.n {
+            for idx in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[idx] as usize;
+                if (self.get(c, r) - self.vals[idx]).abs() > 1e-12 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Dense `n × n` copy (tests / tiny problems only).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.n]; self.n];
+        #[allow(clippy::needless_range_loop)] // row-indexed is the CSR idiom
+        for r in 0..self.n {
+            for idx in self.row_ptr[r]..self.row_ptr[r + 1] {
+                d[r][self.col_idx[idx] as usize] = self.vals[idx];
+            }
+        }
+        d
+    }
+
+    /// Gershgorin interval `[lo, hi]` containing every eigenvalue of a
+    /// symmetric matrix: each disc is `a_ii ± Σ_{j≠i} |a_ij|`. Cheap
+    /// validation for eigensolver output (all Ritz values must land
+    /// inside) and a safe bracket for spectral shifts.
+    pub fn gershgorin_bounds(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        if self.n == 0 {
+            return (0.0, 0.0);
+        }
+        for r in 0..self.n {
+            let mut diag = 0.0;
+            let mut radius = 0.0;
+            for idx in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[idx] as usize;
+                if c == r {
+                    diag = self.vals[idx];
+                } else {
+                    radius += self.vals[idx].abs();
+                }
+            }
+            lo = lo.min(diag - radius);
+            hi = hi.max(diag + radius);
+        }
+        (lo, hi)
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_path3() -> CsrMatrix {
+        // Path 0-1-2 Laplacian
+        CsrMatrix::from_triplets(
+            3,
+            &[
+                (0, 0, 1.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = laplacian_path3();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn duplicates_sum() {
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (0, 0, 2.0)]);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.nnz(), 1);
+    }
+
+    #[test]
+    fn get_absent_is_zero() {
+        let a = laplacian_path3();
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = laplacian_path3();
+        assert_eq!(a.diagonal(), vec![1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        assert!(laplacian_path3().is_symmetric());
+        let asym = CsrMatrix::from_triplets(2, &[(0, 1, 1.0)]);
+        assert!(!asym.is_symmetric());
+    }
+
+    #[test]
+    fn identity_spmv() {
+        let i = CsrMatrix::identity(4);
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        let mut y = vec![0.0; 4];
+        i.spmv(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn laplacian_annihilates_ones() {
+        // Rows of a Laplacian sum to zero ⇒ L·1 = 0.
+        let a = laplacian_path3();
+        let mut y = vec![9.0; 3];
+        a.spmv(&[1.0, 1.0, 1.0], &mut y);
+        assert!(y.iter().all(|&v| v.abs() < 1e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_index() {
+        CsrMatrix::from_triplets(2, &[(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn gershgorin_contains_spectrum() {
+        // Path Laplacian: eigenvalues in [0, 4]; Gershgorin gives [0, 4]
+        // exactly for interior rows (2 ± 2).
+        let a = laplacian_path3();
+        let (lo, hi) = a.gershgorin_bounds();
+        assert!(lo <= 0.0 && hi >= 3.0, "bounds [{lo}, {hi}]");
+        assert!(hi <= 4.0 + 1e-12);
+    }
+
+    #[test]
+    fn gershgorin_diagonal_matrix_tight() {
+        let a = CsrMatrix::from_triplets(3, &[(0, 0, -2.0), (1, 1, 5.0), (2, 2, 1.0)]);
+        let (lo, hi) = a.gershgorin_bounds();
+        assert_eq!((lo, hi), (-2.0, 5.0));
+    }
+
+    #[test]
+    fn gershgorin_empty() {
+        let a = CsrMatrix::from_triplets(0, &[]);
+        assert_eq!(a.gershgorin_bounds(), (0.0, 0.0));
+    }
+}

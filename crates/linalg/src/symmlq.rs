@@ -1,0 +1,526 @@
+//! Krylov solvers for symmetric (possibly indefinite) systems.
+//!
+//! * [`symmlq`] — Paige & Saunders' SYMMLQ (SIAM J. Numer. Anal. 12, 1975),
+//!   the solver Chaco pairs with RQI for Fiedler-vector refinement and the
+//!   one the paper's "Spectral (RQI)" rows refer to.
+//! * [`minres`] — MINRES from the same paper; kept as an independent
+//!   implementation used to cross-validate SYMMLQ in tests and as an
+//!   alternative inner solver for RQI.
+//!
+//! Both operate on a [`LinearOperator`] so RQI can solve shifted systems
+//! `(A − σI)y = x` without materializing the shift.
+
+use crate::operator::LinearOperator;
+use crate::vecops::{axpy, dot, norm, scale};
+
+/// Options shared by the iterative solvers.
+#[derive(Clone, Debug)]
+pub struct IterativeSolveOptions {
+    /// Iteration cap (default 500).
+    pub max_iter: usize,
+    /// Relative residual tolerance ‖b − Ax‖ ≤ rtol·‖b‖ (default 1e-10).
+    pub rtol: f64,
+}
+
+impl Default for IterativeSolveOptions {
+    fn default() -> Self {
+        IterativeSolveOptions {
+            max_iter: 500,
+            rtol: 1e-10,
+        }
+    }
+}
+
+/// Result of an iterative solve.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// The (approximate) solution.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// True residual norm ‖b − Ax‖ at exit (recomputed, not estimated).
+    pub residual_norm: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+fn true_residual<A: LinearOperator>(a: &A, b: &[f64], x: &[f64]) -> f64 {
+    let mut r = vec![0.0; b.len()];
+    a.apply(x, &mut r);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    norm(&r)
+}
+
+/// Solves `A x = b` for symmetric `A` with SYMMLQ.
+///
+/// Follows the classic Paige–Saunders organization (Lanczos recurrence +
+/// LQ factorization of the tridiagonal, solution tracked at the LQ point
+/// with the component along `b` accumulated separately and added at exit,
+/// followed by the transfer to the CG point).
+pub fn symmlq<A: LinearOperator>(
+    a: &A,
+    b: &[f64],
+    opts: &IterativeSolveOptions,
+) -> SolveOutcome {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let beta1 = norm(b);
+    if beta1 == 0.0 {
+        return SolveOutcome {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual_norm: 0.0,
+            converged: true,
+        };
+    }
+
+    // --- First Lanczos step ---------------------------------------------
+    let mut r1 = b.to_vec();
+    let mut v = b.to_vec();
+    scale(1.0 / beta1, &mut v);
+    let mut y = vec![0.0; n];
+    a.apply(&v, &mut y);
+    let alfa = dot(&v, &y);
+    axpy(-alfa / beta1, &r1, &mut y);
+    // Local reorthogonalization of r2 against v1.
+    let t = dot(&v, &y);
+    axpy(-t, &v, &mut y);
+    let mut r2 = y.clone();
+    let mut oldb = beta1;
+    let mut beta = norm(&r2);
+
+    if beta < f64::EPSILON * beta1 {
+        // b is an eigenvector: x = b/alfa solves exactly.
+        let mut x = b.to_vec();
+        scale(1.0 / alfa, &mut x);
+        let res = true_residual(a, b, &x);
+        return SolveOutcome {
+            x,
+            iterations: 1,
+            residual_norm: res,
+            converged: res <= opts.rtol * beta1,
+        };
+    }
+
+    let mut gbar = alfa;
+    let mut dbar = beta;
+    let mut rhs1 = beta1;
+    let mut rhs2 = 0.0;
+    let mut bstep = 0.0;
+    let mut snprod = 1.0;
+    let mut x = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    let mut itn = 0usize;
+
+    while itn < opts.max_iter {
+        itn += 1;
+        // --- Next Lanczos vector ----------------------------------------
+        let s = 1.0 / beta;
+        for (vi, yi) in v.iter_mut().zip(&r2) {
+            *vi = s * yi;
+        }
+        a.apply(&v, &mut y);
+        axpy(-beta / oldb, &r1, &mut y);
+        let alfa = dot(&v, &y);
+        axpy(-alfa / beta, &r2, &mut y);
+        std::mem::swap(&mut r1, &mut r2);
+        std::mem::swap(&mut r2, &mut y);
+        oldb = beta;
+        beta = norm(&r2);
+
+        // --- Plane rotation (LQ factorization of T) ---------------------
+        let gamma = (gbar * gbar + oldb * oldb).sqrt();
+        let cs = gbar / gamma;
+        let sn = oldb / gamma;
+        let delta = cs * dbar + sn * alfa;
+        gbar = sn * dbar - cs * alfa;
+        let epsln = sn * beta;
+        dbar = -cs * beta;
+
+        // --- Update the LQ point ----------------------------------------
+        let z = rhs1 / gamma;
+        let zc = z * cs;
+        let zs = z * sn;
+        for i in 0..n {
+            x[i] += zc * w[i] + zs * v[i];
+            w[i] = sn * w[i] - cs * v[i];
+        }
+        bstep += snprod * cs * z;
+        snprod *= sn;
+        rhs1 = rhs2 - delta * z;
+        rhs2 = -epsln * z;
+
+        // --- Convergence check (true residual at the CG point) ----------
+        // SYMMLQ's cheap estimates need care near breakdown; at this
+        // suite's problem sizes an explicit residual every iteration is an
+        // acceptable extra matvec and is unconditionally trustworthy.
+        let xc = cg_point(&x, &w, b, beta1, bstep, rhs1, gbar, snprod);
+        let res = true_residual(a, b, &xc);
+        if res <= opts.rtol * beta1 {
+            let residual_norm = res;
+            return SolveOutcome {
+                x: xc,
+                iterations: itn,
+                residual_norm,
+                converged: true,
+            };
+        }
+        if beta < f64::EPSILON * beta1 {
+            return SolveOutcome {
+                converged: res <= opts.rtol * beta1,
+                x: xc,
+                iterations: itn,
+                residual_norm: res,
+            };
+        }
+    }
+
+    let xc = cg_point(&x, &w, b, beta1, bstep, rhs1, gbar, snprod);
+    let residual_norm = true_residual(a, b, &xc);
+    SolveOutcome {
+        converged: residual_norm <= opts.rtol * beta1,
+        x: xc,
+        iterations: itn,
+        residual_norm,
+    }
+}
+
+/// Transfers the SYMMLQ LQ point to the CG point and restores the
+/// separately-tracked component along `b`.
+#[allow(clippy::too_many_arguments)]
+fn cg_point(
+    x_lq: &[f64],
+    w: &[f64],
+    b: &[f64],
+    beta1: f64,
+    bstep: f64,
+    rhs1: f64,
+    gbar: f64,
+    snprod: f64,
+) -> Vec<f64> {
+    let mut xc = x_lq.to_vec();
+    if gbar.abs() > f64::EPSILON {
+        let zbar = rhs1 / gbar;
+        axpy(zbar, w, &mut xc);
+        let step = (bstep + snprod * zbar) / beta1;
+        axpy(step, b, &mut xc);
+    } else {
+        axpy(bstep / beta1, b, &mut xc);
+    }
+    xc
+}
+
+/// Solves `A x = b` for symmetric (possibly indefinite) `A` with MINRES.
+pub fn minres<A: LinearOperator>(
+    a: &A,
+    b: &[f64],
+    opts: &IterativeSolveOptions,
+) -> SolveOutcome {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let beta1 = norm(b);
+    if beta1 == 0.0 {
+        return SolveOutcome {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual_norm: 0.0,
+            converged: true,
+        };
+    }
+
+    let mut r1 = b.to_vec();
+    let mut r2 = b.to_vec();
+    let mut y = b.to_vec();
+    let mut oldb = 0.0f64;
+    let mut beta = beta1;
+    let mut dbar = 0.0f64;
+    let mut epsln = 0.0f64;
+    let mut phibar = beta1;
+    let mut cs = -1.0f64;
+    let mut sn = 0.0f64;
+    let mut w = vec![0.0; n];
+    let mut w2 = vec![0.0; n];
+    let mut x = vec![0.0; n];
+    let mut v = vec![0.0; n];
+    let mut ay = vec![0.0; n];
+
+    let mut itn = 0usize;
+    while itn < opts.max_iter {
+        itn += 1;
+        let s = 1.0 / beta;
+        for (vi, yi) in v.iter_mut().zip(&y) {
+            *vi = s * yi;
+        }
+        a.apply(&v, &mut ay);
+        if itn >= 2 {
+            axpy(-beta / oldb, &r1, &mut ay);
+        }
+        let alfa = dot(&v, &ay);
+        axpy(-alfa / beta, &r2, &mut ay);
+        std::mem::swap(&mut r1, &mut r2);
+        r2.copy_from_slice(&ay);
+        oldb = beta;
+        beta = norm(&r2);
+
+        // Apply previous rotation.
+        let oldeps = epsln;
+        let delta = cs * dbar + sn * alfa;
+        let gbar = sn * dbar - cs * alfa;
+        epsln = sn * beta;
+        dbar = -cs * beta;
+
+        // Current rotation.
+        let gamma = (gbar * gbar + beta * beta).sqrt().max(f64::EPSILON);
+        cs = gbar / gamma;
+        sn = beta / gamma;
+        let phi = cs * phibar;
+        phibar *= sn;
+
+        // Update solution.
+        let denom = 1.0 / gamma;
+        let w1 = w2.clone();
+        w2.copy_from_slice(&w);
+        for i in 0..n {
+            w[i] = (v[i] - oldeps * w1[i] - delta * w2[i]) * denom;
+            x[i] += phi * w[i];
+        }
+
+        y.copy_from_slice(&r2);
+
+        if phibar <= opts.rtol * beta1 {
+            break;
+        }
+        if beta < f64::EPSILON * beta1 {
+            break;
+        }
+    }
+
+    let residual_norm = true_residual(a, b, &x);
+    SolveOutcome {
+        converged: residual_norm <= opts.rtol * beta1 * 10.0,
+        x,
+        iterations: itn,
+        residual_norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::ShiftedOperator;
+    use crate::sparse::CsrMatrix;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Dense Gaussian elimination with partial pivoting (test oracle).
+    fn dense_solve(a: &CsrMatrix, b: &[f64]) -> Vec<f64> {
+        let n = a.n();
+        let mut m = a.to_dense();
+        let mut rhs = b.to_vec();
+        for col in 0..n {
+            let piv = (col..n)
+                .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())
+                .unwrap();
+            m.swap(col, piv);
+            rhs.swap(col, piv);
+            let d = m[col][col];
+            assert!(d.abs() > 1e-12, "singular test matrix");
+            for row in (col + 1)..n {
+                let f = m[row][col] / d;
+                #[allow(clippy::needless_range_loop)] // pivot-row elimination
+                for k in col..n {
+                    m[row][k] -= f * m[col][k];
+                }
+                rhs[row] -= f * rhs[col];
+            }
+        }
+        let mut x = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut acc = rhs[row];
+            for k in (row + 1)..n {
+                acc -= m[row][k] * x[k];
+            }
+            x[row] = acc / m[row][row];
+        }
+        x
+    }
+
+    fn random_spd(n: usize, seed: u64) -> CsrMatrix {
+        // Diagonally dominant symmetric → SPD.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut t = Vec::new();
+        let mut diag = vec![1.0; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen::<f64>() < 0.3 {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    t.push((i, j, v));
+                    t.push((j, i, v));
+                    diag[i] += v.abs();
+                    diag[j] += v.abs();
+                }
+            }
+        }
+        for (i, d) in diag.iter().enumerate() {
+            t.push((i, i, *d));
+        }
+        CsrMatrix::from_triplets(n, &t)
+    }
+
+    fn check_solver(
+        solver: fn(&CsrMatrix, &[f64], &IterativeSolveOptions) -> SolveOutcome,
+        a: &CsrMatrix,
+        b: &[f64],
+        tol: f64,
+    ) {
+        let opts = IterativeSolveOptions {
+            max_iter: 4 * a.n(),
+            rtol: 1e-12,
+        };
+        let out = solver(a, b, &opts);
+        assert!(out.converged, "solver did not converge: res={}", out.residual_norm);
+        let exact = dense_solve(a, b);
+        let err: f64 = out
+            .x
+            .iter()
+            .zip(&exact)
+            .map(|(xi, ei)| (xi - ei).abs())
+            .fold(0.0, f64::max);
+        assert!(err < tol, "solution error {err} exceeds {tol}");
+    }
+
+    #[test]
+    fn symmlq_spd_systems() {
+        for seed in 0..4 {
+            let n = 30;
+            let a = random_spd(n, seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 100);
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            check_solver(symmlq::<CsrMatrix>, &a, &b, 1e-7);
+        }
+    }
+
+    #[test]
+    fn minres_spd_systems() {
+        for seed in 0..4 {
+            let n = 30;
+            let a = random_spd(n, seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 200);
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            check_solver(minres::<CsrMatrix>, &a, &b, 1e-7);
+        }
+    }
+
+    #[test]
+    fn symmlq_indefinite_system() {
+        // SPD matrix shifted to indefiniteness — exactly RQI's use case.
+        let n = 25;
+        let a = random_spd(n, 7);
+        let shifted = ShiftedOperator::new(&a, 3.0);
+        // Build explicit shifted matrix for the oracle.
+        let mut t = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let v = a.get(i, j) - if i == j { 3.0 } else { 0.0 };
+                if v != 0.0 {
+                    t.push((i, j, v));
+                }
+            }
+        }
+        let a_shift = CsrMatrix::from_triplets(n, &t);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let opts = IterativeSolveOptions {
+            max_iter: 6 * n,
+            rtol: 1e-11,
+        };
+        let out = symmlq(&shifted, &b, &opts);
+        assert!(out.converged, "res = {}", out.residual_norm);
+        let exact = dense_solve(&a_shift, &b);
+        let err: f64 = out
+            .x
+            .iter()
+            .zip(&exact)
+            .map(|(x, e)| (x - e).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-6, "indefinite solve error {err}");
+    }
+
+    #[test]
+    fn minres_indefinite_system() {
+        let n = 25;
+        let a = random_spd(n, 11);
+        let shifted = ShiftedOperator::new(&a, 2.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let opts = IterativeSolveOptions {
+            max_iter: 6 * n,
+            rtol: 1e-11,
+        };
+        let out = minres(&shifted, &b, &opts);
+        assert!(
+            out.residual_norm < 1e-7 * norm(&b),
+            "res = {}",
+            out.residual_norm
+        );
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let a = random_spd(10, 1);
+        let b = vec![0.0; 10];
+        let out = symmlq(&a, &b, &IterativeSolveOptions::default());
+        assert!(out.converged);
+        assert!(out.x.iter().all(|&v| v == 0.0));
+        let out = minres(&a, &b, &IterativeSolveOptions::default());
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn rhs_is_eigenvector() {
+        // A = diag(2, 5), b = e1 → x = b/2.
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, 2.0), (1, 1, 5.0)]);
+        let b = vec![1.0, 0.0];
+        let out = symmlq(&a, &b, &IterativeSolveOptions::default());
+        assert!(out.converged);
+        assert!((out.x[0] - 0.5).abs() < 1e-10);
+        assert!(out.x[1].abs() < 1e-10);
+    }
+
+    #[test]
+    fn solvers_agree() {
+        let n = 40;
+        let a = random_spd(n, 21);
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let opts = IterativeSolveOptions {
+            max_iter: 4 * n,
+            rtol: 1e-12,
+        };
+        let xs = symmlq(&a, &b, &opts);
+        let xm = minres(&a, &b, &opts);
+        let diff: f64 = xs
+            .x
+            .iter()
+            .zip(&xm.x)
+            .map(|(s, m)| (s - m).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-6, "SYMMLQ and MINRES disagree by {diff}");
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let a = random_spd(60, 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let b: Vec<f64> = (0..60).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let opts = IterativeSolveOptions {
+            max_iter: 3,
+            rtol: 1e-16,
+        };
+        let out = symmlq(&a, &b, &opts);
+        assert_eq!(out.iterations, 3);
+        assert!(!out.converged);
+    }
+}

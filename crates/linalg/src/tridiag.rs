@@ -1,0 +1,252 @@
+//! Eigendecomposition of symmetric tridiagonal matrices.
+//!
+//! This is the projected problem Lanczos produces; we solve it with the
+//! classic implicit-shift QL algorithm (EISPACK `tql2` lineage). O(n²) per
+//! eigenvalue with eigenvectors, entirely adequate for Krylov dimensions of
+//! a few hundred.
+
+/// Eigenvalues (ascending) and matching eigenvectors of a symmetric
+/// tridiagonal matrix. `vectors[j]` is the unit eigenvector for
+/// `values[j]`.
+#[derive(Clone, Debug)]
+pub struct TridiagEigen {
+    /// Eigenvalues, sorted ascending.
+    pub values: Vec<f64>,
+    /// `vectors[j][i]` = component `i` of eigenvector `j`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Computes all eigenpairs of the symmetric tridiagonal matrix with main
+/// diagonal `diag` (length n) and off-diagonal `offdiag` (length n−1;
+/// `offdiag[i]` couples rows `i` and `i+1`).
+///
+/// # Panics
+///
+/// Panics if `offdiag.len() + 1 != diag.len()` (unless both are empty) or
+/// if the QL sweep fails to converge in 50 iterations per eigenvalue
+/// (which for symmetric tridiagonals indicates NaN input).
+pub fn eigh_tridiagonal(diag: &[f64], offdiag: &[f64]) -> TridiagEigen {
+    let n = diag.len();
+    if n == 0 {
+        return TridiagEigen {
+            values: vec![],
+            vectors: vec![],
+        };
+    }
+    assert_eq!(
+        offdiag.len(),
+        n - 1,
+        "offdiag must have exactly n-1 entries"
+    );
+    assert!(
+        diag.iter().chain(offdiag).all(|v| v.is_finite()),
+        "tridiagonal entries must be finite"
+    );
+
+    let mut d = diag.to_vec();
+    // e[i] couples d[i] and d[i+1]; e[n-1] is scratch.
+    let mut e = {
+        let mut e = offdiag.to_vec();
+        e.push(0.0);
+        e
+    };
+    // z[r][c]: rotations accumulate so columns become eigenvectors.
+    let mut z = vec![vec![0.0; n]; n];
+    for (i, row) in z.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find the first small off-diagonal element at or after l.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tql2 failed to converge (NaN input?)");
+
+            // Form implicit shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(if g >= 0.0 { 1.0 } else { -1.0 }));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Deflation by rotation underflow.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                for zk in z.iter_mut() {
+                    f = zk[i + 1];
+                    zk[i + 1] = s * zk[i] + c * f;
+                    zk[i] = c * zk[i] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort ascending, carrying eigenvectors along.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&j| d[j]).collect();
+    let vectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&j| (0..n).map(|i| z[i][j]).collect())
+        .collect();
+    TridiagEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops::{dot, norm};
+
+    fn check_eigenpairs(diag: &[f64], offdiag: &[f64], eig: &TridiagEigen, tol: f64) {
+        let n = diag.len();
+        // multiply tridiagonal by vector
+        let mul = |x: &[f64]| -> Vec<f64> {
+            (0..n)
+                .map(|i| {
+                    let mut acc = diag[i] * x[i];
+                    if i > 0 {
+                        acc += offdiag[i - 1] * x[i - 1];
+                    }
+                    if i + 1 < n {
+                        acc += offdiag[i] * x[i + 1];
+                    }
+                    acc
+                })
+                .collect()
+        };
+        for (lam, v) in eig.values.iter().zip(&eig.vectors) {
+            let av = mul(v);
+            let mut res = 0.0f64;
+            for i in 0..n {
+                res = res.max((av[i] - lam * v[i]).abs());
+            }
+            assert!(res < tol, "residual {res} too large for λ={lam}");
+            assert!((norm(v) - 1.0).abs() < 1e-9, "eigenvector not unit norm");
+        }
+        // ascending
+        for w in eig.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let eig = eigh_tridiagonal(&[3.0, 1.0, 2.0], &[0.0, 0.0]);
+        assert!((eig.values[0] - 1.0).abs() < 1e-14);
+        assert!((eig.values[1] - 2.0).abs() < 1e-14);
+        assert!((eig.values[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn two_by_two_analytic() {
+        // [[2, 1], [1, 2]] → eigenvalues 1 and 3
+        let eig = eigh_tridiagonal(&[2.0, 2.0], &[1.0]);
+        assert!((eig.values[0] - 1.0).abs() < 1e-12);
+        assert!((eig.values[1] - 3.0).abs() < 1e-12);
+        check_eigenpairs(&[2.0, 2.0], &[1.0], &eig, 1e-12);
+    }
+
+    #[test]
+    fn path_laplacian_analytic() {
+        // Laplacian of path P_n is tridiagonal; eigenvalues 4 sin²(kπ/2n).
+        let n = 12;
+        let mut diag = vec![2.0; n];
+        diag[0] = 1.0;
+        diag[n - 1] = 1.0;
+        let offdiag = vec![-1.0; n - 1];
+        let eig = eigh_tridiagonal(&diag, &offdiag);
+        for (k, lam) in eig.values.iter().enumerate() {
+            let expect = 4.0 * (std::f64::consts::PI * k as f64 / (2.0 * n as f64)).sin().powi(2);
+            assert!(
+                (lam - expect).abs() < 1e-10,
+                "λ_{k} = {lam}, expected {expect}"
+            );
+        }
+        check_eigenpairs(&diag, &offdiag, &eig, 1e-9);
+    }
+
+    #[test]
+    fn random_tridiagonal_residuals() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for n in [1usize, 2, 3, 7, 25, 60] {
+            let diag: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let off: Vec<f64> = (0..n.saturating_sub(1))
+                .map(|_| rng.gen_range(-3.0..3.0))
+                .collect();
+            let eig = eigh_tridiagonal(&diag, &off);
+            check_eigenpairs(&diag, &off, &eig, 1e-8);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthogonal() {
+        let n = 20;
+        let diag: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        let off = vec![1.0; n - 1];
+        let eig = eigh_tridiagonal(&diag, &off);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert!(
+                    dot(&eig.vectors[i], &eig.vectors[j]).abs() < 1e-8,
+                    "vectors {i},{j} not orthogonal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = eigh_tridiagonal(&[], &[]);
+        assert!(e.values.is_empty());
+        let e = eigh_tridiagonal(&[7.5], &[]);
+        assert_eq!(e.values, vec![7.5]);
+        assert_eq!(e.vectors, vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let diag = vec![1.0, -2.0, 0.5, 3.0];
+        let off = vec![0.7, -1.1, 2.0];
+        let eig = eigh_tridiagonal(&diag, &off);
+        let trace: f64 = diag.iter().sum();
+        let sum: f64 = eig.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+}

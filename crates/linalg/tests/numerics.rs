@@ -1,0 +1,108 @@
+//! Property-based validation of the eigensolver stack: for random
+//! symmetric matrices, every solver must agree with first-principles
+//! checks (residuals, Gershgorin bounds, dense elimination).
+
+use ff_linalg::{
+    minres, smallest_eigenpairs, symmlq, CsrMatrix, IterativeSolveOptions, LanczosOptions,
+    LinearOperator,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric diagonally-dominant matrix (SPD) of
+/// dimension 3..24 plus a random rhs.
+fn arb_spd() -> impl Strategy<Value = (CsrMatrix, Vec<f64>)> {
+    (3usize..24, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut t = Vec::new();
+        let mut diag = vec![0.5f64; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen::<f64>() < 0.4 {
+                    let v: f64 = rng.gen_range(-2.0..2.0);
+                    t.push((i, j, v));
+                    t.push((j, i, v));
+                    diag[i] += v.abs();
+                    diag[j] += v.abs();
+                }
+            }
+        }
+        for (i, d) in diag.iter().enumerate() {
+            t.push((i, i, *d));
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (CsrMatrix::from_triplets(n, &t), b)
+    })
+}
+
+fn residual(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
+    let mut ax = vec![0.0; b.len()];
+    a.apply(x, &mut ax);
+    ax.iter()
+        .zip(b)
+        .map(|(axi, bi)| (axi - bi).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn symmlq_solves_spd((a, b) in arb_spd()) {
+        let opts = IterativeSolveOptions { max_iter: 8 * a.n(), rtol: 1e-10 };
+        let out = symmlq(&a, &b, &opts);
+        let bnorm = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!(out.converged, "residual {}", out.residual_norm);
+        prop_assert!(residual(&a, &b, &out.x) <= 1e-6 * bnorm.max(1.0));
+    }
+
+    #[test]
+    fn minres_and_symmlq_agree((a, b) in arb_spd()) {
+        let opts = IterativeSolveOptions { max_iter: 8 * a.n(), rtol: 1e-11 };
+        let xs = symmlq(&a, &b, &opts);
+        let xm = minres(&a, &b, &opts);
+        let diff = xs
+            .x
+            .iter()
+            .zip(&xm.x)
+            .map(|(s, m)| (s - m).abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(diff < 1e-5, "solvers disagree by {diff}");
+    }
+
+    #[test]
+    fn lanczos_eigenvalues_inside_gershgorin((a, _b) in arb_spd()) {
+        let (lo, hi) = a.gershgorin_bounds();
+        let k = 2.min(a.n());
+        let eig = smallest_eigenpairs(&a, k, &LanczosOptions::default());
+        for lam in &eig.values {
+            prop_assert!(
+                (lo - 1e-8..=hi + 1e-8).contains(lam),
+                "λ = {lam} outside Gershgorin [{lo}, {hi}]"
+            );
+        }
+        // Ritz pairs satisfy their own equation.
+        let mut ax = vec![0.0; a.n()];
+        for (lam, v) in eig.values.iter().zip(&eig.vectors) {
+            a.apply(v, &mut ax);
+            let res = ax
+                .iter()
+                .zip(v)
+                .map(|(axi, vi)| (axi - lam * vi).abs())
+                .fold(0.0f64, f64::max);
+            prop_assert!(res < 1e-5, "eigen-residual {res}");
+        }
+    }
+
+    #[test]
+    fn spd_smallest_eigenvalue_positive((a, _b) in arb_spd()) {
+        let eig = smallest_eigenpairs(&a, 1, &LanczosOptions::default());
+        prop_assert!(
+            eig.values[0] > -1e-9,
+            "SPD matrix produced λ_min = {}",
+            eig.values[0]
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Anytime behaviour: best-so-far traces, stop conditions, result types.
+//!
+//! Figure 1 of the paper plots the best Mcut each metaheuristic holds as a
+//! function of wall-clock time (log scale, 1 s → 60 m). Every metaheuristic
+//! in this suite therefore records a [`TracePoint`] whenever its best
+//! solution improves; the figure harness samples these traces at the
+//! paper's checkpoints.
+
+use ff_partition::Partition;
+use std::time::{Duration, Instant};
+
+/// One improvement event: after `elapsed`, the best objective was `value`.
+#[derive(Clone, Copy, Debug)]
+pub struct TracePoint {
+    /// Wall-clock time since the run started.
+    pub elapsed: Duration,
+    /// Best objective value held at that moment.
+    pub value: f64,
+    /// Steps executed so far.
+    pub step: u64,
+}
+
+/// A best-so-far trace.
+#[derive(Clone, Debug, Default)]
+pub struct AnytimeTrace {
+    points: Vec<TracePoint>,
+}
+
+impl AnytimeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an improvement event.
+    pub fn record(&mut self, elapsed: Duration, value: f64, step: u64) {
+        debug_assert!(
+            self.points.last().is_none_or(|p| value <= p.value),
+            "trace must be non-increasing"
+        );
+        self.points.push(TracePoint {
+            elapsed,
+            value,
+            step,
+        });
+    }
+
+    /// All improvement events, chronological.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Best value held at time `t` (the last improvement at or before `t`),
+    /// or `None` if nothing was recorded by then.
+    pub fn value_at(&self, t: Duration) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|p| p.elapsed <= t)
+            .last()
+            .map(|p| p.value)
+    }
+
+    /// Final best value, or `None` for an empty trace.
+    pub fn final_value(&self) -> Option<f64> {
+        self.points.last().map(|p| p.value)
+    }
+}
+
+/// When a metaheuristic run must stop (whichever limit hits first).
+#[derive(Clone, Copy, Debug)]
+pub struct StopCondition {
+    /// Maximum number of steps (perturbations / iterations).
+    pub max_steps: u64,
+    /// Wall-clock budget.
+    pub max_time: Duration,
+}
+
+impl StopCondition {
+    /// Step-bounded only.
+    pub fn steps(max_steps: u64) -> Self {
+        StopCondition {
+            max_steps,
+            max_time: Duration::MAX,
+        }
+    }
+
+    /// Time-bounded only.
+    pub fn time(max_time: Duration) -> Self {
+        StopCondition {
+            max_steps: u64::MAX,
+            max_time,
+        }
+    }
+
+    /// Both limits.
+    pub fn new(max_steps: u64, max_time: Duration) -> Self {
+        StopCondition {
+            max_steps,
+            max_time,
+        }
+    }
+
+    /// Whether the run should stop.
+    #[inline]
+    pub fn should_stop(&self, step: u64, started: Instant) -> bool {
+        step >= self.max_steps
+            || (self.max_time != Duration::MAX && started.elapsed() >= self.max_time)
+    }
+}
+
+/// What every metaheuristic run returns.
+#[derive(Clone, Debug)]
+pub struct MetaheuristicResult {
+    /// Best partition found.
+    pub best: Partition,
+    /// Its objective value (under the run's configured objective).
+    pub best_value: f64,
+    /// Steps executed.
+    pub steps: u64,
+    /// Best-so-far trace for anytime plots.
+    pub trace: AnytimeTrace,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_and_queries() {
+        let mut t = AnytimeTrace::new();
+        t.record(Duration::from_millis(10), 5.0, 1);
+        t.record(Duration::from_millis(30), 3.0, 8);
+        t.record(Duration::from_millis(90), 2.5, 20);
+        assert_eq!(t.points().len(), 3);
+        assert_eq!(t.value_at(Duration::from_millis(5)), None);
+        assert_eq!(t.value_at(Duration::from_millis(10)), Some(5.0));
+        assert_eq!(t.value_at(Duration::from_millis(50)), Some(3.0));
+        assert_eq!(t.value_at(Duration::from_secs(10)), Some(2.5));
+        assert_eq!(t.final_value(), Some(2.5));
+    }
+
+    #[test]
+    fn stop_condition_steps() {
+        let s = StopCondition::steps(100);
+        let now = Instant::now();
+        assert!(!s.should_stop(99, now));
+        assert!(s.should_stop(100, now));
+    }
+
+    #[test]
+    fn stop_condition_time() {
+        let s = StopCondition::time(Duration::from_millis(0));
+        assert!(s.should_stop(0, Instant::now()));
+        let s2 = StopCondition::time(Duration::from_secs(3600));
+        assert!(!s2.should_stop(0, Instant::now()));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = AnytimeTrace::new();
+        assert!(t.final_value().is_none());
+        assert!(t.value_at(Duration::from_secs(1)).is_none());
+    }
+}

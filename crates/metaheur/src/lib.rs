@@ -1,0 +1,27 @@
+//! # ff-metaheur — classical metaheuristics for graph partitioning
+//!
+//! The paper's §3 comparators plus the percolation heuristic of §4.4:
+//!
+//! * [`percolation`] — the seeded "colored liquid" flood partitioner. It is
+//!   Table 1's `Percolation` row, the initializer the paper gives simulated
+//!   annealing and ant colony, and the splitter fusion–fission's fission
+//!   operator uses,
+//! * [`sa`] — simulated annealing with the paper's perturbation (random
+//!   vertex; at high temperature it migrates to the part with the lowest
+//!   internal weight, at low temperature to a random *connected* part),
+//! * [`ant`] — the k-competing-colonies ant algorithm (per-colony edge
+//!   pheromone; a vertex belongs to the colony with the largest adjacent
+//!   pheromone mass),
+//! * [`anytime`] — best-so-far traces with wall-clock stamps, the data
+//!   behind Figure 1, and the shared [`StopCondition`]/
+//!   [`MetaheuristicResult`] types.
+
+pub mod ant;
+pub mod anytime;
+pub mod percolation;
+pub mod sa;
+
+pub use ant::{AntColony, AntColonyConfig};
+pub use anytime::{AnytimeTrace, MetaheuristicResult, StopCondition, TracePoint};
+pub use percolation::{percolation_partition, percolation_with_seeds, PercolationConfig};
+pub use sa::{Cooling, SimulatedAnnealing, SimulatedAnnealingConfig};

@@ -1,0 +1,260 @@
+//! Coarsest-graph initial partitioners.
+//!
+//! By the time coarsening stops, the graph has a few dozen vertices, so
+//! the initial partition can afford to be careful. Two options, as in
+//! Chaco: a spectral partition of the coarse graph (Hendrickson–Leland's
+//! choice) and greedy graph growing (METIS's cheap alternative, useful in
+//! ablations).
+
+use ff_graph::{Graph, VertexId};
+use ff_partition::Partition;
+use ff_spectral::{spectral_partition, SpectralConfig, SpectralSolver};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Coarsest-graph partitioner choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InitialMethod {
+    /// Spectral recursive bisection of the coarse graph.
+    Spectral,
+    /// Greedy BFS-based graph growing.
+    GreedyGrowing,
+}
+
+/// Greedy graph growing bisection: BFS-grow a region from a seed vertex,
+/// preferring the frontier vertex with the strongest connection into the
+/// region, until half the vertex weight is absorbed.
+pub fn greedy_graph_growing(g: &Graph, seed: u64) -> Partition {
+    let n = g.num_vertices();
+    assert!(n >= 2, "bisection needs at least 2 vertices");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let start = rng.gen_range(0..n) as VertexId;
+    let half = g.total_vertex_weight() / 2.0;
+
+    let mut in_region = vec![false; n];
+    let mut gain = vec![0.0f64; n]; // connection weight into region
+    let mut frontier: Vec<VertexId> = Vec::new();
+    let mut grown = 0.0;
+    let grow = |v: VertexId,
+                    in_region: &mut Vec<bool>,
+                    gain: &mut Vec<f64>,
+                    frontier: &mut Vec<VertexId>| {
+        in_region[v as usize] = true;
+        for (u, w) in g.edges_of(v) {
+            if !in_region[u as usize] {
+                if gain[u as usize] == 0.0 {
+                    frontier.push(u);
+                }
+                gain[u as usize] += w;
+            }
+        }
+    };
+    grow(start, &mut in_region, &mut gain, &mut frontier);
+    grown += g.vertex_weight(start);
+
+    while grown < half {
+        // strongest-connected frontier vertex
+        frontier.retain(|&v| !in_region[v as usize]);
+        let Some(&best) = frontier.iter().max_by(|&&a, &&b| {
+            gain[a as usize]
+                .partial_cmp(&gain[b as usize])
+                .unwrap()
+                .then(b.cmp(&a))
+        }) else {
+            // Disconnected: jump to any unabsorbed vertex.
+            match (0..n as VertexId).find(|&v| !in_region[v as usize]) {
+                Some(v) => {
+                    grow(v, &mut in_region, &mut gain, &mut frontier);
+                    grown += g.vertex_weight(v);
+                    continue;
+                }
+                None => break,
+            }
+        };
+        grow(best, &mut in_region, &mut gain, &mut frontier);
+        grown += g.vertex_weight(best);
+    }
+
+    let assignment: Vec<u32> = in_region.iter().map(|&r| u32::from(!r)).collect();
+    let p = Partition::from_assignment(g, assignment, 2);
+    debug_assert!(p.part_size(0) > 0 && p.part_size(1) > 0);
+    p
+}
+
+/// k-way region growing: pick k spread-out seeds (iterated farthest-point
+/// BFS), then grow all regions simultaneously, always absorbing the
+/// frontier vertex most strongly connected to its region.
+pub fn region_growing_kway(g: &Graph, k: usize, seed: u64) -> Partition {
+    let n = g.num_vertices();
+    assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Farthest-point seed spreading.
+    let mut seeds: Vec<VertexId> = vec![rng.gen_range(0..n) as VertexId];
+    while seeds.len() < k {
+        let mut dist = vec![usize::MAX; n];
+        let mut q = VecDeque::new();
+        for &s in &seeds {
+            dist[s as usize] = 0;
+            q.push_back(s);
+        }
+        while let Some(v) = q.pop_front() {
+            for &u in g.neighbors(v) {
+                if dist[u as usize] == usize::MAX {
+                    dist[u as usize] = dist[v as usize] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        let far = (0..n as VertexId)
+            .filter(|&v| !seeds.contains(&v))
+            .max_by_key(|&v| if dist[v as usize] == usize::MAX { n + 1 } else { dist[v as usize] })
+            .expect("k ≤ n guarantees an unseeded vertex");
+        seeds.push(far);
+    }
+
+    let mut assignment = vec![u32::MAX; n];
+    // One max-heap of frontier candidates per region; regions take turns
+    // absorbing their best candidate, which keeps sizes within ±1 on
+    // connected graphs. Gains are non-negative finite f64, so IEEE bit
+    // patterns order correctly as u64.
+    fn enc(x: f64) -> u64 {
+        x.max(0.0).to_bits()
+    }
+    let mut heaps: Vec<std::collections::BinaryHeap<(u64, VertexId)>> =
+        (0..k).map(|_| Default::default()).collect();
+
+    for (r, &s) in seeds.iter().enumerate() {
+        assignment[s as usize] = r as u32;
+    }
+    for (r, &s) in seeds.iter().enumerate() {
+        for (u, w) in g.edges_of(s) {
+            if assignment[u as usize] == u32::MAX {
+                heaps[r].push((enc(w), u));
+            }
+        }
+    }
+    let mut remaining = n - k;
+    while remaining > 0 {
+        let mut grew_any = false;
+        for (r, heap) in heaps.iter_mut().enumerate() {
+            // Pop until a still-unassigned candidate appears.
+            let grabbed = loop {
+                match heap.pop() {
+                    Some((_, v)) if assignment[v as usize] == u32::MAX => break Some(v),
+                    Some(_) => continue,
+                    None => break None,
+                }
+            };
+            if let Some(v) = grabbed {
+                assignment[v as usize] = r as u32;
+                remaining -= 1;
+                grew_any = true;
+                for (u, w) in g.edges_of(v) {
+                    if assignment[u as usize] == u32::MAX {
+                        heap.push((enc(w), u));
+                    }
+                }
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+        if !grew_any {
+            // Disconnected leftovers: round-robin.
+            let mut r = 0u32;
+            for a in assignment.iter_mut() {
+                if *a == u32::MAX {
+                    *a = r % k as u32;
+                    r += 1;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    Partition::from_assignment(g, assignment, k)
+}
+
+/// Partitions the coarsest graph into `k` parts with the chosen method.
+pub fn initial_partition(g: &Graph, k: usize, method: InitialMethod, seed: u64) -> Partition {
+    match method {
+        InitialMethod::Spectral => {
+            let cfg = SpectralConfig {
+                solver: SpectralSolver::Lanczos,
+                refine: ff_spectral::RefineMethod::Kl,
+                seed,
+                ..Default::default()
+            };
+            spectral_partition(g, k, &cfg)
+        }
+        InitialMethod::GreedyGrowing => {
+            if k == 2 {
+                greedy_graph_growing(g, seed)
+            } else {
+                region_growing_kway(g, k, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_graph::generators::{grid2d, two_cliques_bridge};
+    use ff_partition::{imbalance, Objective};
+
+    #[test]
+    fn greedy_growing_balanced_halves() {
+        let g = grid2d(8, 8);
+        let p = greedy_graph_growing(&g, 3);
+        assert_eq!(p.num_nonempty_parts(), 2);
+        assert!(imbalance(&p) < 0.15, "imbalance {}", imbalance(&p));
+    }
+
+    #[test]
+    fn greedy_growing_respects_structure() {
+        let g = two_cliques_bridge(10, 3.0, 0.2);
+        let p = greedy_graph_growing(&g, 1);
+        let cut = Objective::Cut.evaluate(&g, &p);
+        // Growing from any seed should stop at the bridge.
+        assert!(cut <= 3.0 * 2.0, "cut = {cut}");
+    }
+
+    #[test]
+    fn region_growing_covers_all() {
+        let g = grid2d(9, 9);
+        let p = region_growing_kway(&g, 5, 7);
+        assert_eq!(p.num_nonempty_parts(), 5);
+        assert_eq!(
+            (0..5u32).map(|i| p.part_size(i)).sum::<usize>(),
+            81
+        );
+    }
+
+    #[test]
+    fn region_growing_seeds_spread() {
+        let g = grid2d(10, 10);
+        let p = region_growing_kway(&g, 4, 2);
+        // All four parts should be non-trivial.
+        for part in 0..4u32 {
+            assert!(p.part_size(part) >= 10, "part {part} too small");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_region_growing() {
+        let g = grid2d(3, 3);
+        let p = region_growing_kway(&g, 9, 1);
+        assert_eq!(p.num_nonempty_parts(), 9);
+    }
+
+    #[test]
+    fn initial_dispatch_both_methods() {
+        let g = grid2d(7, 7);
+        for m in [InitialMethod::Spectral, InitialMethod::GreedyGrowing] {
+            let p = initial_partition(&g, 4, m, 5);
+            assert_eq!(p.num_nonempty_parts(), 4, "{m:?}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! # ff-multilevel — multilevel graph partitioning
+//!
+//! Implements §2.2 of the paper (the Hendrickson–Leland / Karypis–Kumar
+//! scheme behind Chaco and METIS):
+//!
+//! 1. **Coarsen** — contract randomized heavy-edge matchings until the
+//!    graph is small ([`ff_graph::matching`], [`ff_graph::coarsen`](fn@ff_graph::coarsen)),
+//! 2. **Partition** the coarsest graph — spectral or greedy graph growing
+//!    ([`initial`]),
+//! 3. **Uncoarsen** — project the partition level by level, locally
+//!    refining at each level ([`vcycle`]): FM for bisections, greedy
+//!    k-way + pairwise FM for direct k-way.
+//!
+//! Two drivers mirror the paper's Table 1 rows:
+//! * `Multilevel (Bi)` — [`multilevel_partition`] with
+//!   [`MultilevelMode::RecursiveBisection`],
+//! * `Multilevel (Oct)` — [`MultilevelMode::KWay`] (direct k-way V-cycle
+//!   seeded by spectral octasection on the coarsest graph).
+
+pub mod initial;
+pub mod vcycle;
+
+use ff_graph::Graph;
+use ff_partition::Partition;
+
+pub use initial::{greedy_graph_growing, region_growing_kway, InitialMethod};
+pub use vcycle::{multilevel_bisection, multilevel_kway};
+
+/// How the k-way partition is assembled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MultilevelMode {
+    /// Recursive multilevel bisection (Table 1 `Multilevel (Bi)`).
+    RecursiveBisection,
+    /// One direct k-way V-cycle (Table 1 `Multilevel (Oct)`).
+    KWay,
+}
+
+/// Configuration for the multilevel drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct MultilevelConfig {
+    /// Stop coarsening when the graph has at most this many vertices
+    /// (also stops when a level shrinks < 10 %). Default: 48.
+    pub coarsen_until: usize,
+    /// Coarsest-graph partitioner.
+    pub initial: InitialMethod,
+    /// Assembly mode.
+    pub mode: MultilevelMode,
+    /// Balance tolerance for refinement (relative). Default 0.05.
+    pub balance_eps: f64,
+    /// Seed driving matching order, initial partition, refinement sweeps.
+    pub seed: u64,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            coarsen_until: 48,
+            initial: InitialMethod::Spectral,
+            mode: MultilevelMode::RecursiveBisection,
+            balance_eps: 0.05,
+            seed: 1,
+        }
+    }
+}
+
+/// Multilevel k-way partitioning.
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or exceeds the vertex count.
+pub fn multilevel_partition(g: &Graph, k: usize, cfg: &MultilevelConfig) -> Partition {
+    assert!(k >= 1, "k must be positive");
+    assert!(k <= g.num_vertices().max(1), "more parts than vertices");
+    match cfg.mode {
+        MultilevelMode::RecursiveBisection => vcycle::multilevel_recursive_bisection(g, k, cfg),
+        MultilevelMode::KWay => vcycle::multilevel_kway(g, k, cfg),
+    }
+}

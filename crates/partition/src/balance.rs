@@ -1,0 +1,116 @@
+//! Part-weight balance metrics and constraints.
+//!
+//! The partitioning problem asks for parts of "roughly equal size". This
+//! module quantifies *roughly*: [`imbalance`] is the standard
+//! `max_p weight(p) / (total/k) − 1` metric, and [`BalanceConstraint`]
+//! encodes the band refiners must stay inside.
+
+use crate::partition::Partition;
+
+/// Relative imbalance of a partition over its **non-empty** parts, against
+/// the ideal `total_weight / num_parts` (counting all parts):
+/// `0.0` = perfectly balanced, `0.05` = heaviest part 5 % over ideal.
+pub fn imbalance(p: &Partition) -> f64 {
+    let k = p.num_parts();
+    if k == 0 || p.num_vertices() == 0 {
+        return 0.0;
+    }
+    let total: f64 = (0..k as u32).map(|i| p.part_weight(i)).sum();
+    let ideal = total / k as f64;
+    if ideal <= 0.0 {
+        return 0.0;
+    }
+    let max = (0..k as u32)
+        .map(|i| p.part_weight(i))
+        .fold(0.0f64, f64::max);
+    max / ideal - 1.0
+}
+
+/// A per-part weight band `[lo, hi]` refiners must respect.
+#[derive(Clone, Copy, Debug)]
+pub struct BalanceConstraint {
+    /// Minimum allowed part weight.
+    pub lo: f64,
+    /// Maximum allowed part weight.
+    pub hi: f64,
+}
+
+impl BalanceConstraint {
+    /// Band of ±`eps` (relative) around the ideal `total/k`.
+    pub fn with_tolerance(total_weight: f64, k: usize, eps: f64) -> Self {
+        assert!(k >= 1);
+        assert!(eps >= 0.0);
+        let ideal = total_weight / k as f64;
+        BalanceConstraint {
+            lo: ideal * (1.0 - eps),
+            hi: ideal * (1.0 + eps),
+        }
+    }
+
+    /// Unconstrained (any weight allowed) — what the paper's metaheuristics
+    /// use: balance emerges from the objective, it is not enforced.
+    pub fn unconstrained() -> Self {
+        BalanceConstraint {
+            lo: 0.0,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// Whether a move of `w` from a part at `from_weight` to one at
+    /// `to_weight` keeps both inside the band.
+    #[inline]
+    pub fn allows_move(&self, from_weight: f64, to_weight: f64, w: f64) -> bool {
+        from_weight - w >= self.lo && to_weight + w <= self.hi
+    }
+
+    /// Whether part weight `w` is inside the band.
+    #[inline]
+    pub fn contains(&self, w: f64) -> bool {
+        (self.lo..=self.hi).contains(&w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_graph::generators::path;
+
+    #[test]
+    fn perfect_balance() {
+        let g = path(8);
+        let p = Partition::block(&g, 4);
+        assert!(imbalance(&p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_balance() {
+        let g = path(4);
+        let p = Partition::from_assignment(&g, vec![0, 0, 0, 1], 2);
+        // ideal = 2, max = 3 → imbalance 0.5
+        assert!((imbalance(&p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constraint_band() {
+        let c = BalanceConstraint::with_tolerance(100.0, 4, 0.1);
+        assert!(c.contains(25.0));
+        assert!(c.contains(27.5));
+        assert!(!c.contains(28.0));
+        assert!(c.allows_move(26.0, 24.0, 1.0));
+        assert!(!c.allows_move(23.0, 24.0, 1.0)); // from side would hit 22 < 22.5
+    }
+
+    #[test]
+    fn unconstrained_allows_anything() {
+        let c = BalanceConstraint::unconstrained();
+        assert!(c.allows_move(1.0, 1e9, 1.0));
+        assert!(c.contains(0.0));
+    }
+
+    #[test]
+    fn empty_partition_imbalance() {
+        let g = ff_graph::GraphBuilder::new(0).build();
+        let p = Partition::from_assignment(&g, vec![], 1);
+        assert_eq!(imbalance(&p), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ff-partition — partition state, objectives, refinement
+//!
+//! The vocabulary shared by every partitioner in the suite:
+//!
+//! * [`Partition`] — a k-way assignment of vertices to parts with O(1)
+//!   move bookkeeping (parts may be empty; fusion–fission grows and
+//!   shrinks the part count at runtime),
+//! * [`Objective`] — the paper's three criteria (§1): **Cut**, **Ncut**
+//!   (Shi–Malik normalized cut) and **Mcut** (Ding et al. min-max cut),
+//! * [`CutState`] — incremental per-part internal/external weight tracking
+//!   so a vertex move and its objective delta cost O(deg v),
+//! * [`refine`] — local refinement: Kernighan–Lin pairwise swaps,
+//!   Fiduccia–Mattheyses single-move passes with rollback, and greedy
+//!   k-way boundary refinement,
+//! * [`balance`] — part-weight balance metrics and constraints.
+
+pub mod analysis;
+pub mod balance;
+pub mod io;
+pub mod objective;
+pub mod partition;
+pub mod refine;
+
+pub use analysis::{analyze, repair_connectivity, PartitionReport, PartStats};
+pub use balance::{imbalance, BalanceConstraint};
+pub use io::{read_partition, write_partition};
+pub use objective::{CutState, Objective, PartConnectivity};
+pub use partition::Partition;
+pub use refine::{
+    fm::fm_refine_bisection,
+    greedy::greedy_refine_kway,
+    kl::kl_refine_bisection,
+    pairwise::{pairwise_refine_kway, PairwiseMethod, PairwiseOptions},
+};

@@ -1,0 +1,18 @@
+//! Local refinement algorithms.
+//!
+//! §2.3 of the paper: spectral and multilevel partitions are not locally
+//! optimal; Kernighan–Lin-family refinement typically improves them
+//! 10–30 %. This module provides:
+//!
+//! * [`kl`] — Kernighan–Lin pairwise-swap refinement of a bisection
+//!   (the `KL` suffix of Table 1's method names),
+//! * [`fm`] — Fiduccia–Mattheyses single-move passes with best-prefix
+//!   rollback (the linear-time formulation; used inside the multilevel
+//!   V-cycle),
+//! * [`greedy`] — greedy k-way boundary refinement for arbitrary
+//!   objectives (Cut/Ncut/Mcut).
+
+pub mod fm;
+pub mod greedy;
+pub mod kl;
+pub mod pairwise;

@@ -1,0 +1,180 @@
+//! Fiedler vectors: the eigen-engine behind spectral partitioning.
+
+use crate::laplacian::laplacian;
+use ff_graph::Graph;
+use ff_linalg::{
+    rayleigh_quotient_iteration, smallest_eigenpairs, IterativeSolveOptions, LanczosOptions,
+    RqiOptions,
+};
+
+/// Which eigensolver computes the Fiedler vector — the paper's `Lanc` and
+/// `RQI` method families (§2.1: "The Lanczos method is probably the most
+/// known… But there exist also the RQI/Symmlq method").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpectralSolver {
+    /// Lanczos with full reorthogonalization, run to convergence.
+    Lanczos,
+    /// Short Lanczos warm start, then Rayleigh quotient iteration with
+    /// SYMMLQ inner solves (Chaco's RQI/Symmlq path).
+    Rqi,
+}
+
+impl std::fmt::Display for SpectralSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpectralSolver::Lanczos => write!(f, "Lanc"),
+            SpectralSolver::Rqi => write!(f, "RQI"),
+        }
+    }
+}
+
+fn kernel_vector(n: usize) -> Vec<f64> {
+    vec![1.0 / (n as f64).sqrt(); n]
+}
+
+/// The Fiedler vector (second-smallest Laplacian eigenvector) of `g`.
+///
+/// # Panics
+///
+/// Panics if `g` has fewer than 2 vertices.
+pub fn fiedler_vector(g: &Graph, solver: SpectralSolver, seed: u64) -> Vec<f64> {
+    smallest_nontrivial_eigenvectors(g, 1, solver, seed)
+        .into_iter()
+        .next()
+        .expect("requested one eigenvector")
+}
+
+/// The `k` smallest non-trivial Laplacian eigenvectors of `g` in the
+/// Fiedler order (λ₂ ≤ λ₃ ≤ …) — octasection needs three.
+///
+/// # Panics
+///
+/// Panics if `g` has fewer than `k + 1` vertices.
+pub fn smallest_nontrivial_eigenvectors(
+    g: &Graph,
+    k: usize,
+    solver: SpectralSolver,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    let n = g.num_vertices();
+    assert!(n > k, "need at least {} vertices for {k} eigenvectors", k + 1);
+    let l = laplacian(g);
+    let deflate = vec![kernel_vector(n)];
+
+    match solver {
+        SpectralSolver::Lanczos => {
+            let opts = LanczosOptions {
+                max_iter: 400.min(n),
+                tol: 1e-7,
+                seed,
+                deflate,
+            };
+            smallest_eigenpairs(&l, k, &opts).vectors
+        }
+        SpectralSolver::Rqi => {
+            // Rough Lanczos pass to land each eigenvector in its RQI basin,
+            // then cubic-converging RQI polish with SYMMLQ inner solves.
+            let rough_opts = LanczosOptions {
+                max_iter: (6 * k + 40).min(n),
+                tol: 1e-4,
+                seed,
+                deflate: deflate.clone(),
+            };
+            let rough = smallest_eigenpairs(&l, k, &rough_opts);
+            let mut result = Vec::with_capacity(k);
+            let mut deflate_acc = deflate;
+            for x0 in rough.vectors.into_iter() {
+                let opts = RqiOptions {
+                    max_outer: 25,
+                    tol: 1e-9,
+                    inner: IterativeSolveOptions {
+                        max_iter: (3 * n).min(1200),
+                        rtol: 1e-8,
+                    },
+                    // Deflating previously found eigenvectors keeps RQI off
+                    // already-claimed eigenpairs.
+                    deflate: deflate_acc.clone(),
+                };
+                let refined = rayleigh_quotient_iteration(&l, &x0, &opts);
+                deflate_acc.push(refined.vector.clone());
+                result.push(refined.vector);
+            }
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_graph::generators::{grid2d, path, two_cliques_bridge};
+    use ff_linalg::vecops::dot;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn path_fiedler_matches_analytic() {
+        let n = 20;
+        let g = path(n);
+        for solver in [SpectralSolver::Lanczos, SpectralSolver::Rqi] {
+            let f = fiedler_vector(&g, solver, 3);
+            // Analytic: cos(πk(i+1/2)/n) up to sign/scale; check monotone.
+            let expect: Vec<f64> = (0..n)
+                .map(|i| (PI * (i as f64 + 0.5) / n as f64).cos())
+                .collect();
+            let c = dot(&f, &expect).abs() / (dot(&f, &f).sqrt() * dot(&expect, &expect).sqrt());
+            assert!(c > 0.999, "{solver}: cosine similarity {c}");
+        }
+    }
+
+    #[test]
+    fn fiedler_separates_two_cliques() {
+        let g = two_cliques_bridge(6, 2.0, 0.1);
+        for solver in [SpectralSolver::Lanczos, SpectralSolver::Rqi] {
+            let f = fiedler_vector(&g, solver, 5);
+            // All of clique 1 on one side of zero, clique 2 on the other.
+            let side0: Vec<bool> = (0..6).map(|v| f[v] > 0.0).collect();
+            let side1: Vec<bool> = (6..12).map(|v| f[v] > 0.0).collect();
+            assert!(
+                side0.iter().all(|&s| s == side0[0]),
+                "{solver}: clique 1 split by Fiedler sign"
+            );
+            assert!(side1.iter().all(|&s| s == side1[0]));
+            assert_ne!(side0[0], side1[0]);
+        }
+    }
+
+    #[test]
+    fn multiple_eigenvectors_orthogonal() {
+        let g = grid2d(6, 6);
+        let vs = smallest_nontrivial_eigenvectors(&g, 3, SpectralSolver::Lanczos, 1);
+        assert_eq!(vs.len(), 3);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(dot(&vs[i], &vs[j]).abs() < 1e-5, "({i},{j}) not orthogonal");
+            }
+            // orthogonal to constants
+            let s: f64 = vs[i].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rqi_and_lanczos_agree_on_fiedler_value() {
+        let g = grid2d(5, 7);
+        let l = laplacian(&g);
+        let rayleigh = |x: &[f64]| {
+            use ff_linalg::LinearOperator;
+            let mut y = vec![0.0; x.len()];
+            l.apply(x, &mut y);
+            dot(x, &y) / dot(x, x)
+        };
+        let fl = fiedler_vector(&g, SpectralSolver::Lanczos, 2);
+        let fr = fiedler_vector(&g, SpectralSolver::Rqi, 2);
+        assert!(
+            (rayleigh(&fl) - rayleigh(&fr)).abs() < 1e-6,
+            "λ₂ mismatch: {} vs {}",
+            rayleigh(&fl),
+            rayleigh(&fr)
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Laplacian matrix assembly.
+
+use ff_graph::Graph;
+use ff_linalg::CsrMatrix;
+
+/// The combinatorial Laplacian `L = D − W` of `g`, where `D` is the
+/// diagonal of weighted degrees and `W` the weighted adjacency matrix.
+/// For a connected graph, `L` is PSD with a one-dimensional kernel spanned
+/// by the constant vector; its second eigenpair is the Fiedler pair the
+/// Cut-criterion spectral method uses.
+pub fn laplacian(g: &Graph) -> CsrMatrix {
+    let n = g.num_vertices();
+    let mut triplets = Vec::with_capacity(2 * g.num_edges() + n);
+    for v in g.vertices() {
+        triplets.push((v as usize, v as usize, g.degree_weight(v)));
+        for (u, w) in g.edges_of(v) {
+            triplets.push((v as usize, u as usize, -w));
+        }
+    }
+    CsrMatrix::from_triplets(n, &triplets)
+}
+
+/// The symmetric normalized Laplacian `L_sym = D^{-1/2} (D − W) D^{-1/2}`.
+///
+/// Solving `L_sym y = λ y` and substituting `x = D^{-1/2} y` solves the
+/// Shi–Malik generalized system `(D − W) x = λ D x` (the Ncut relaxation).
+/// The Mcut relaxation `(D − W) x = μ W x` has the *same eigenvectors*:
+/// with `W = D − L`, it rewrites to `(D − W) x = (μ/(1+μ)) D x`, a monotone
+/// reparameterization — so one solver serves both criteria.
+///
+/// Returns `(L_sym, d_inv_sqrt)`; isolated vertices (zero degree) get
+/// `d_inv_sqrt = 0` and a unit diagonal entry, keeping the matrix PSD.
+pub fn normalized_laplacian(g: &Graph) -> (CsrMatrix, Vec<f64>) {
+    let n = g.num_vertices();
+    let d_inv_sqrt: Vec<f64> = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree_weight(v);
+            if d > 0.0 {
+                1.0 / d.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut triplets = Vec::with_capacity(2 * g.num_edges() + n);
+    for v in g.vertices() {
+        let vi = v as usize;
+        triplets.push((vi, vi, 1.0));
+        for (u, w) in g.edges_of(v) {
+            let ui = u as usize;
+            triplets.push((vi, ui, -w * d_inv_sqrt[vi] * d_inv_sqrt[ui]));
+        }
+    }
+    (CsrMatrix::from_triplets(n, &triplets), d_inv_sqrt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_graph::generators::{cycle, path, random_geometric};
+    use ff_linalg::LinearOperator;
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let g = random_geometric(40, 0.3, 3);
+        let l = laplacian(&g);
+        let ones = vec![1.0; 40];
+        let mut y = vec![0.0; 40];
+        l.apply(&ones, &mut y);
+        assert!(y.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn laplacian_is_symmetric() {
+        let g = random_geometric(30, 0.35, 5);
+        assert!(laplacian(&g).is_symmetric());
+        assert!(normalized_laplacian(&g).0.is_symmetric());
+    }
+
+    #[test]
+    fn laplacian_entries_of_path() {
+        let g = path(3);
+        let l = laplacian(&g);
+        assert_eq!(l.get(0, 0), 1.0);
+        assert_eq!(l.get(1, 1), 2.0);
+        assert_eq!(l.get(0, 1), -1.0);
+        assert_eq!(l.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn normalized_laplacian_kernel_is_sqrt_degree() {
+        // L_sym (D^{1/2} 1) = 0 for connected graphs.
+        let g = cycle(12);
+        let (lsym, _) = normalized_laplacian(&g);
+        let d_sqrt: Vec<f64> = g.vertices().map(|v| g.degree_weight(v).sqrt()).collect();
+        let mut y = vec![0.0; 12];
+        lsym.apply(&d_sqrt, &mut y);
+        assert!(y.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn normalized_diagonal_is_one() {
+        let g = random_geometric(20, 0.4, 7);
+        let (lsym, dinv) = normalized_laplacian(&g);
+        for (v, dv) in dinv.iter().enumerate() {
+            assert!((lsym.get(v, v) - 1.0).abs() < 1e-12);
+            assert!(*dv > 0.0);
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_handled() {
+        let mut b = ff_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1, 2.0);
+        let g = b.build();
+        let (lsym, dinv) = normalized_laplacian(&g);
+        assert_eq!(dinv[2], 0.0);
+        assert_eq!(lsym.get(2, 2), 1.0);
+    }
+}

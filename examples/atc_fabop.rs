@@ -1,0 +1,81 @@
+//! The paper's motivating application (§5): cut the European "country core
+//! area" airspace into k = 32 functional airspace blocks, maximizing
+//! aircraft flows *inside* blocks and minimizing flows *between* them
+//! (the Mcut objective), ignoring country borders.
+//!
+//! ```text
+//! cargo run --release --example atc_fabop
+//! ```
+
+use fusionfission::atc::{FabopConfig, FabopInstance, COUNTRIES, PAPER_K};
+use fusionfission::metaheur::StopCondition;
+use fusionfission::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let inst = FabopInstance::paper_scale(&FabopConfig::default());
+    let g = &inst.graph;
+    println!(
+        "European core area (synthetic): {} sectors, {} flows",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // Partition into 32 blocks with fusion–fission (5 s budget).
+    let cfg = FusionFissionConfig {
+        stop: StopCondition::time(Duration::from_secs(5)),
+        ..FusionFissionConfig::standard(PAPER_K)
+    };
+    let result = FusionFission::new(g, cfg, 2006).run();
+    let blocks = &result.best;
+    println!(
+        "\nfusion–fission produced {} blocks (Mcut {:.3}, Cut {:.0}, Ncut {:.3})",
+        blocks.num_nonempty_parts(),
+        Objective::MCut.evaluate(g, blocks),
+        Objective::Cut.evaluate(g, blocks),
+        Objective::NCut.evaluate(g, blocks),
+    );
+
+    // How often do blocks cross country borders? (The FABOP premise is
+    // that flow-optimal blocks ignore borders.)
+    let mut crossing = 0usize;
+    for block in 0..blocks.num_parts() as u32 {
+        let members = blocks.part_members(block);
+        if members.is_empty() {
+            continue;
+        }
+        let first_country = inst.country_of[members[0] as usize];
+        if members
+            .iter()
+            .any(|&v| inst.country_of[v as usize] != first_country)
+        {
+            crossing += 1;
+        }
+    }
+    println!(
+        "{crossing} of {} blocks span more than one country",
+        blocks.num_nonempty_parts()
+    );
+
+    // Internal vs external flow per block, the controllers' view.
+    let st = fusionfission::partition::CutState::new(g, blocks.clone());
+    let mut internal_total = 0.0;
+    let mut external_total = 0.0;
+    for block in 0..blocks.num_parts() as u32 {
+        internal_total += st.internal2(block) / 2.0;
+        external_total += st.external(block);
+    }
+    external_total /= 2.0; // each cut flow counted from both sides
+    println!(
+        "flows inside blocks: {:.0} ({:.1}%), between blocks: {:.0}",
+        internal_total,
+        100.0 * internal_total / (internal_total + external_total),
+        external_total
+    );
+
+    // Country roster for context.
+    println!("\ncore-area countries:");
+    for c in COUNTRIES {
+        println!("  {:<15} {:>4} sectors", c.name, c.sectors);
+    }
+}

@@ -1,0 +1,48 @@
+//! Runs every Table-1 method on a half-scale synthetic airspace instance
+//! and prints the three objective columns — a miniature of the paper's
+//! headline experiment (the full-scale version is
+//! `cargo run -p ff-bench --release --bin table1`).
+//!
+//! ```text
+//! cargo run --release --example compare_methods
+//! ```
+
+use fusionfission::atc::{FabopConfig, FabopInstance};
+use fusionfission::prelude::*;
+use std::time::{Duration, Instant};
+
+use ff_bench::{run_method, MethodBudget, MethodId};
+
+fn main() {
+    let inst = FabopInstance::scaled(381, &FabopConfig::default());
+    let g = &inst.graph;
+    let k = 16;
+    println!(
+        "instance: {} sectors, {} flows, k = {}\n",
+        g.num_vertices(),
+        g.num_edges(),
+        k
+    );
+    println!(
+        "{:<26} {:>10} {:>8} {:>9} {:>8}",
+        "method", "Cut", "Ncut", "Mcut", "time(s)"
+    );
+
+    let budget = MethodBudget {
+        time: Duration::from_secs(2),
+        steps: u64::MAX,
+    };
+    for method in MethodId::all() {
+        let t0 = Instant::now();
+        let out = run_method(method, g, k, Objective::MCut, budget, 1);
+        let p = &out.partition;
+        println!(
+            "{:<26} {:>10.0} {:>8.3} {:>9.3} {:>8.2}",
+            method.label(),
+            Objective::Cut.evaluate(g, p),
+            Objective::NCut.evaluate(g, p),
+            Objective::MCut.evaluate(g, p),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

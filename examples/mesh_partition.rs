@@ -1,0 +1,96 @@
+//! The classic parallel-computing use case from the paper's introduction:
+//! distribute a mesh across processors so per-processor load is balanced
+//! and inter-processor communication (edge cut) is small.
+//!
+//! Compares the multilevel method (the right tool for meshes) with
+//! fusion–fission on a 48×48 grid split across 8 processors.
+//!
+//! ```text
+//! cargo run --release --example mesh_partition
+//! ```
+
+use fusionfission::graph::generators::grid2d;
+use fusionfission::metaheur::StopCondition;
+use fusionfission::multilevel::MultilevelMode;
+use fusionfission::partition::imbalance;
+use fusionfission::prelude::*;
+use std::time::Duration;
+
+fn report(name: &str, g: &fusionfission::graph::Graph, p: &Partition, secs: f64) {
+    println!(
+        "{name:<22} cut {:>6.0}  imbalance {:>5.1}%  parts {:>2}  ({secs:.2}s)",
+        Objective::Cut.evaluate(g, p),
+        100.0 * imbalance(p),
+        p.num_nonempty_parts(),
+    );
+}
+
+fn main() {
+    let g = grid2d(48, 48);
+    let k = 8;
+    println!(
+        "mesh: {}×{} grid = {} cells, {} links; {} processors\n",
+        48,
+        48,
+        g.num_vertices(),
+        g.num_edges(),
+        k
+    );
+
+    // Multilevel recursive bisection (Chaco/METIS style).
+    let t0 = std::time::Instant::now();
+    let ml = multilevel_partition(
+        &g,
+        k,
+        &MultilevelConfig {
+            mode: MultilevelMode::RecursiveBisection,
+            ..Default::default()
+        },
+    );
+    report("multilevel (Bi)", &g, &ml, t0.elapsed().as_secs_f64());
+
+    // Direct k-way multilevel.
+    let t0 = std::time::Instant::now();
+    let mlk = multilevel_partition(
+        &g,
+        k,
+        &MultilevelConfig {
+            mode: MultilevelMode::KWay,
+            ..Default::default()
+        },
+    );
+    report("multilevel (k-way)", &g, &mlk, t0.elapsed().as_secs_f64());
+
+    // Spectral with KL refinement.
+    let t0 = std::time::Instant::now();
+    let sp = spectral_partition(
+        &g,
+        k,
+        &SpectralConfig {
+            refine: fusionfission::spectral::RefineMethod::Kl,
+            ..Default::default()
+        },
+    );
+    report("spectral (Lanc, KL)", &g, &sp, t0.elapsed().as_secs_f64());
+
+    // Fusion–fission tuned to Cut (communication volume) instead of Mcut.
+    let t0 = std::time::Instant::now();
+    let ff_cfg = FusionFissionConfig {
+        objective: Objective::Cut,
+        stop: StopCondition::time(Duration::from_secs(5)),
+        ..FusionFissionConfig::standard(k)
+    };
+    let ff = FusionFission::new(&g, ff_cfg, 9).run();
+    report("fusion–fission", &g, &ff.best, t0.elapsed().as_secs_f64());
+
+    println!(
+        "\n(A balanced 8-way split of a 48×48 grid has a perimeter-bound \
+         optimum around {} cut links. The specialized mesh tools respect \
+         balance by construction; fusion–fission minimizes raw cut and will \
+         happily trade balance for it — mesh distribution needs the \
+         balance-constrained methods, which is exactly why the paper pairs \
+         metaheuristics with objectives like Mcut that penalize hollow \
+         parts instead of relying on explicit balance.)",
+        48 * 3
+    );
+}

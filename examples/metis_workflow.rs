@@ -1,0 +1,64 @@
+//! Library-level METIS workflow: write an instance to a `.graph` file,
+//! read it back, partition with the multilevel→fusion–fission hybrid
+//! (warm-started FF, the follow-up direction of the fusion–fission line of
+//! work), and save a `.part` file — the round trip a mesh-partitioning
+//! user performs.
+//!
+//! ```text
+//! cargo run --release --example metis_workflow
+//! ```
+
+use fusionfission::atc::{FabopConfig, FabopInstance};
+use fusionfission::core::FusionFission;
+use fusionfission::metaheur::StopCondition;
+use fusionfission::partition::analyze;
+use fusionfission::prelude::*;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all("results")?;
+
+    // 1. Export an instance as a METIS .graph file.
+    let inst = FabopInstance::scaled(381, &FabopConfig::default());
+    let graph_path = "results/core_area_381.graph";
+    fusionfission::graph::io::write_metis(&inst.graph, std::fs::File::create(graph_path)?)?;
+    println!("wrote {graph_path}");
+
+    // 2. Read it back (any METIS-format graph works here).
+    let g = fusionfission::graph::io::read_metis(std::fs::File::open(graph_path)?)?;
+    println!("read {} vertices / {} edges", g.num_vertices(), g.num_edges());
+
+    // 3. Hybrid partition: multilevel for a fast strong start, then
+    //    fusion–fission polishing under Mcut.
+    let k = 16;
+    let ml = multilevel_partition(&g, k, &MultilevelConfig::default());
+    println!(
+        "multilevel start:  Mcut {:.3}",
+        Objective::MCut.evaluate(&g, &ml)
+    );
+    let cfg = FusionFissionConfig {
+        stop: StopCondition::time(Duration::from_secs(3)),
+        ..FusionFissionConfig::standard(k)
+    };
+    let refined = FusionFission::with_initial(&g, cfg, 1, ml).run();
+    println!(
+        "after FF polish:   Mcut {:.3} ({} steps)",
+        refined.best_value, refined.steps
+    );
+
+    // 4. Report and export the partition.
+    let report = analyze(&g, &refined.best);
+    println!(
+        "{} parts, {} fragmented, cut weight {:.0}",
+        refined.best.num_nonempty_parts(),
+        report.fragmented_parts,
+        report.cut
+    );
+    let part_path = "results/core_area_381.part";
+    fusionfission::partition::write_partition(
+        &refined.best,
+        std::fs::File::create(part_path)?,
+    )?;
+    println!("wrote {part_path}");
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Renders the synthetic European core area twice — colored by country,
+//! and colored by the 32 fusion–fission blocks — into `results/*.svg`.
+//! Open both side by side to see the FABOP premise: flow-optimal blocks
+//! ignore country borders.
+//!
+//! ```text
+//! cargo run --release --example render_airspace
+//! ```
+
+use fusionfission::atc::{render_svg, FabopConfig, FabopInstance, RenderOptions, PAPER_K};
+use fusionfission::metaheur::StopCondition;
+use fusionfission::prelude::*;
+use std::time::Duration;
+
+fn main() -> std::io::Result<()> {
+    let inst = FabopInstance::paper_scale(&FabopConfig::default());
+    std::fs::create_dir_all("results")?;
+
+    let by_country = render_svg(&inst, None, &RenderOptions::default());
+    std::fs::write("results/airspace_countries.svg", &by_country)?;
+    println!("wrote results/airspace_countries.svg (colored by country)");
+
+    let cfg = FusionFissionConfig {
+        stop: StopCondition::time(Duration::from_secs(5)),
+        ..FusionFissionConfig::standard(PAPER_K)
+    };
+    let result = FusionFission::new(&inst.graph, cfg, 2006).run();
+    let by_block = render_svg(
+        &inst,
+        Some(result.best.assignment()),
+        &RenderOptions::default(),
+    );
+    std::fs::write("results/airspace_blocks.svg", &by_block)?;
+    println!(
+        "wrote results/airspace_blocks.svg ({} blocks, Mcut {:.3})",
+        result.best.num_nonempty_parts(),
+        result.best_value
+    );
+    Ok(())
+}

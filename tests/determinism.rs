@@ -1,0 +1,96 @@
+//! Determinism contract: every algorithm in the suite is a pure function
+//! of (graph, config, seed). Reproducibility is what makes the paper's
+//! tables regenerable.
+
+use fusionfission::atc::{FabopConfig, FabopInstance};
+use fusionfission::metaheur::StopCondition;
+use fusionfission::prelude::*;
+
+#[test]
+fn fabop_instance_is_stable() {
+    let a = FabopInstance::scaled(120, &FabopConfig::default());
+    let b = FabopInstance::scaled(120, &FabopConfig::default());
+    assert_eq!(
+        a.graph.edges().collect::<Vec<_>>(),
+        b.graph.edges().collect::<Vec<_>>()
+    );
+    assert_eq!(a.positions, b.positions);
+}
+
+#[test]
+fn spectral_is_deterministic() {
+    let inst = FabopInstance::scaled(120, &FabopConfig::default());
+    let cfg = SpectralConfig {
+        seed: 5,
+        ..Default::default()
+    };
+    let p1 = spectral_partition(&inst.graph, 6, &cfg);
+    let p2 = spectral_partition(&inst.graph, 6, &cfg);
+    assert_eq!(p1.assignment(), p2.assignment());
+}
+
+#[test]
+fn multilevel_is_deterministic() {
+    let inst = FabopInstance::scaled(120, &FabopConfig::default());
+    let cfg = MultilevelConfig {
+        seed: 9,
+        ..Default::default()
+    };
+    let p1 = multilevel_partition(&inst.graph, 6, &cfg);
+    let p2 = multilevel_partition(&inst.graph, 6, &cfg);
+    assert_eq!(p1.assignment(), p2.assignment());
+}
+
+#[test]
+fn metaheuristics_are_deterministic_under_step_budgets() {
+    let inst = FabopInstance::scaled(100, &FabopConfig::default());
+    let g = &inst.graph;
+
+    let sa = |seed| {
+        SimulatedAnnealing::new(
+            g,
+            5,
+            SimulatedAnnealingConfig {
+                seed,
+                stop: StopCondition::steps(10_000),
+                ..Default::default()
+            },
+        )
+        .run()
+    };
+    assert_eq!(sa(4).best.assignment(), sa(4).best.assignment());
+    // different seeds explore differently
+    assert_ne!(sa(4).best_value, sa(5).best_value);
+
+    let ff = |seed| {
+        FusionFission::new(g, FusionFissionConfig::fast(5), seed)
+            .run()
+    };
+    assert_eq!(ff(7).best.assignment(), ff(7).best.assignment());
+
+    let aco = |seed| {
+        AntColony::new(
+            g,
+            5,
+            AntColonyConfig {
+                seed,
+                stop: StopCondition::steps(300),
+                ..Default::default()
+            },
+        )
+        .run()
+    };
+    assert_eq!(aco(2).best.assignment(), aco(2).best.assignment());
+}
+
+#[test]
+fn percolation_is_deterministic() {
+    let inst = FabopInstance::scaled(100, &FabopConfig::default());
+    let cfg = PercolationConfig {
+        seed: 12,
+        ..Default::default()
+    };
+    let p1 = percolation_partition(&inst.graph, 7, &cfg);
+    let p2 = percolation_partition(&inst.graph, 7, &cfg);
+    assert_eq!(p1.assignment(), p2.assignment());
+}

@@ -1,0 +1,150 @@
+//! Cross-crate property-based tests: the invariants the whole suite rests
+//! on, exercised with randomly generated graphs and operation sequences.
+
+use ff_graph::{coarsen, heavy_edge_matching, GraphBuilder};
+use fusionfission::graph::Graph;
+use fusionfission::metaheur::StopCondition;
+use fusionfission::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a connected-ish random weighted graph with 4–40 vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        // random spanning tree for connectivity
+        for v in 1..n {
+            let u = rng.gen_range(0..v);
+            b.add_edge(u as u32, v as u32, rng.gen_range(0.5..4.0));
+        }
+        // extra random edges
+        let extra = rng.gen_range(0..(2 * n));
+        for _ in 0..extra {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u != v {
+                b.add_edge(u, v, rng.gen_range(0.1..5.0));
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_objectives_match_fresh_evaluation(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let k = rng.gen_range(2..5usize);
+        let p = Partition::random(&g, k, seed);
+        let mut st = fusionfission::partition::CutState::new(&g, p);
+        for _ in 0..60 {
+            let v = rng.gen_range(0..g.num_vertices()) as u32;
+            let to = rng.gen_range(0..k) as u32;
+            st.move_vertex(v, to);
+        }
+        prop_assert!(st.drift() < 1e-7, "drift = {}", st.drift());
+        for obj in Objective::all() {
+            let incremental = st.objective(obj);
+            let fresh = obj.evaluate(&g, st.partition());
+            prop_assert!(
+                (incremental - fresh).abs() < 1e-7
+                    || (incremental.is_infinite() && fresh.is_infinite()),
+                "{obj}: {incremental} vs {fresh}"
+            );
+        }
+    }
+
+    #[test]
+    fn coarsening_preserves_weight_invariants(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        let m = heavy_edge_matching(&g, seed);
+        let c = coarsen(&g, &m);
+        prop_assert!(
+            (c.graph.total_vertex_weight() - g.total_vertex_weight()).abs() < 1e-9
+        );
+        prop_assert!(c.graph.total_edge_weight() <= g.total_edge_weight() + 1e-9);
+        // projection is a total surjective map
+        let nc = c.graph.num_vertices();
+        let mut seen = vec![false; nc];
+        for &cv in &c.fine_to_coarse {
+            prop_assert!((cv as usize) < nc);
+            seen[cv as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fusion_fission_preserves_vertex_universe(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        let k = 2 + (seed % 3) as usize;
+        if k > g.num_vertices() {
+            return Ok(());
+        }
+        let cfg = FusionFissionConfig {
+            stop: StopCondition::steps(300),
+            ..FusionFissionConfig::fast(k)
+        };
+        let res = FusionFission::new(&g, cfg, seed).run();
+        prop_assert!(res.best.validate(&g));
+        let total: usize = (0..res.best.num_parts() as u32)
+            .map(|p| res.best.part_size(p))
+            .sum();
+        prop_assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn percolation_total_and_deterministic(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        let k = 1 + (seed % 4) as usize;
+        if k > g.num_vertices() {
+            return Ok(());
+        }
+        let cfg = PercolationConfig { seed, ..Default::default() };
+        let p = percolation_partition(&g, k, &cfg);
+        prop_assert!(p.validate(&g));
+        prop_assert_eq!(p.num_nonempty_parts(), k);
+        let q = percolation_partition(&g, k, &cfg);
+        prop_assert_eq!(p.assignment(), q.assignment());
+    }
+
+    #[test]
+    fn spectral_bisection_never_empty_side(g in arb_graph()) {
+        let p = spectral_partition(&g, 2, &SpectralConfig::default());
+        prop_assert_eq!(p.num_nonempty_parts(), 2);
+        prop_assert!(p.part_size(0) > 0 && p.part_size(1) > 0);
+    }
+
+    #[test]
+    fn kl_and_fm_never_worsen(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        use fusionfission::partition::CutState;
+        use ff_partition::refine::{fm::FmOptions, kl::KlOptions};
+        let p = Partition::random(&g, 2, seed);
+        let before = Objective::Cut.evaluate(&g, &p);
+
+        let mut st = CutState::new(&g, p.clone());
+        ff_partition::kl_refine_bisection(&mut st, 0, 1, &KlOptions::default());
+        prop_assert!(st.cut() <= before + 1e-9);
+
+        let mut st = CutState::new(&g, p);
+        ff_partition::fm_refine_bisection(&mut st, 0, 1, &FmOptions::default());
+        prop_assert!(st.cut() <= before + 1e-9);
+    }
+}

