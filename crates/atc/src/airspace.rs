@@ -112,10 +112,7 @@ impl Dsu {
 ///
 /// Panics if `target_edges` is below what connectivity + the 3-NN floor
 /// require, or exceeds the complete graph.
-pub fn proximity_edges(
-    positions: &[(f64, f64)],
-    target_edges: usize,
-) -> Vec<(u32, u32, f64)> {
+pub fn proximity_edges(positions: &[(f64, f64)], target_edges: usize) -> Vec<(u32, u32, f64)> {
     let n = positions.len();
     assert!(n >= 2, "need at least two sectors");
     let max_edges = n * (n - 1) / 2;
@@ -144,10 +141,10 @@ pub fn proximity_edges(
     let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(target_edges);
     let mut degree = vec![0usize; n];
     let add = |u: u32,
-                   v: u32,
-                   edges: &mut Vec<(u32, u32, f64)>,
-                   degree: &mut Vec<usize>,
-                   edge_set: &mut std::collections::HashSet<(u32, u32)>|
+               v: u32,
+               edges: &mut Vec<(u32, u32, f64)>,
+               degree: &mut Vec<usize>,
+               edge_set: &mut std::collections::HashSet<(u32, u32)>|
      -> bool {
         let key = if u < v { (u, v) } else { (v, u) };
         if edge_set.insert(key) {
@@ -275,8 +272,7 @@ mod tests {
 
     #[test]
     fn small_instances_work() {
-        let positions: Vec<(f64, f64)> =
-            (0..10).map(|i| (i as f64, (i * 7 % 10) as f64)).collect();
+        let positions: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (i * 7 % 10) as f64)).collect();
         let edges = proximity_edges(&positions, 20);
         assert_eq!(edges.len(), 20);
     }

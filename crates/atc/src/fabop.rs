@@ -24,7 +24,11 @@ impl Default for FabopConfig {
     fn default() -> Self {
         FabopConfig {
             seed: 2006,
-            trunk_scale: 0.6,
+            // 0.7 keeps the default instance's flow tail trunk-dominated
+            // (p99 ≳ 8× median, the crate's documented structural target)
+            // under the vendored ChaCha stream; re-check that margin if
+            // the RNG backend or default seed ever changes.
+            trunk_scale: 0.7,
             workload_weights: false,
         }
     }
@@ -54,8 +58,8 @@ impl FabopInstance {
     /// proportionally (largest-remainder rounding).
     pub fn scaled(sectors: usize, cfg: &FabopConfig) -> Self {
         assert!(sectors >= 22, "need ≥ 2 sectors per country");
-        let edges = ((sectors as f64) * (PAPER_FLOWS as f64) / (PAPER_SECTORS as f64)).round()
-            as usize;
+        let edges =
+            ((sectors as f64) * (PAPER_FLOWS as f64) / (PAPER_SECTORS as f64)).round() as usize;
         Self::build(sectors, edges, cfg)
     }
 
@@ -208,6 +212,9 @@ mod tests {
         }
         // Unweighted variant stays unit-weight.
         let plain = FabopInstance::scaled(120, &FabopConfig::default());
-        assert!(plain.graph.vertices().all(|v| plain.graph.vertex_weight(v) == 1.0));
+        assert!(plain
+            .graph
+            .vertices()
+            .all(|v| plain.graph.vertex_weight(v) == 1.0));
     }
 }

@@ -35,11 +35,7 @@ pub fn capacities(positions: &[(f64, f64)], hubs: &[(f64, f64, f64)], sigma: f64
 
 /// Dijkstra over the weighted adjacency (weights = Euclidean length);
 /// returns the predecessor array from `source`.
-fn shortest_paths(
-    n: usize,
-    adj: &[Vec<(u32, f64)>],
-    source: u32,
-) -> Vec<Option<u32>> {
+fn shortest_paths(n: usize, adj: &[Vec<(u32, f64)>], source: u32) -> Vec<Option<u32>> {
     let mut dist = vec![f64::INFINITY; n];
     let mut pred: Vec<Option<u32>> = vec![None; n];
     let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, u32)> = BinaryHeap::new();

@@ -44,11 +44,7 @@ fn part_color(part: u32, num_parts: usize) -> String {
 /// # Panics
 ///
 /// Panics if `partition` is present with the wrong length.
-pub fn render_svg(
-    inst: &FabopInstance,
-    partition: Option<&[u32]>,
-    opts: &RenderOptions,
-) -> String {
+pub fn render_svg(inst: &FabopInstance, partition: Option<&[u32]>, opts: &RenderOptions) -> String {
     let n = inst.positions.len();
     if let Some(p) = partition {
         assert_eq!(p.len(), n, "partition length must match sector count");
@@ -86,14 +82,14 @@ pub fn render_svg(
         opts.width, height, opts.width, height
     )
     .unwrap();
-    writeln!(svg, r##"<rect width="100%" height="100%" fill="#10141a"/>"##).unwrap();
+    writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#10141a"/>"##
+    )
+    .unwrap();
 
     if opts.draw_edges {
-        let max_w = inst
-            .graph
-            .edges()
-            .map(|(_, _, w)| w)
-            .fold(1.0f64, f64::max);
+        let max_w = inst.graph.edges().map(|(_, _, w)| w).fold(1.0f64, f64::max);
         writeln!(svg, r##"<g stroke="#5a718a" stroke-opacity="0.45">"##).unwrap();
         for (u, v, w) in inst.graph.edges() {
             let (ux, uy) = inst.positions[u as usize];

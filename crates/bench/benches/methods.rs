@@ -34,16 +34,7 @@ fn bench_methods(c: &mut Criterion) {
         MethodId::FusionFission,
     ] {
         group.bench_function(method.label(), |b| {
-            b.iter(|| {
-                black_box(run_method(
-                    method,
-                    g,
-                    k,
-                    Objective::MCut,
-                    budget,
-                    1,
-                ))
-            })
+            b.iter(|| black_box(run_method(method, g, k, Objective::MCut, budget, 1)))
         });
     }
     group.finish();

@@ -127,8 +127,14 @@ fn main() {
     // SA cooling-schedule ablation (the printed formula is degenerate for
     // t_min = 0; compare the two standard readings).
     for (label, cooling) in [
-        ("SA geometric cooling (alpha 0.97)", Cooling::Geometric(0.97)),
-        ("SA linear cooling (400 steps)", Cooling::Linear { steps: 400 }),
+        (
+            "SA geometric cooling (alpha 0.97)",
+            Cooling::Geometric(0.97),
+        ),
+        (
+            "SA linear cooling (400 steps)",
+            Cooling::Linear { steps: 400 },
+        ),
     ] {
         let mut values = Vec::new();
         for trial in 0..args.trials {

@@ -107,9 +107,12 @@ fn main() {
         MethodId::SpectralRqiBiKl,
         MethodId::SpectralRqiOctKl,
     ]);
-    let (multilevel_best, multilevel_secs) = best_of(&[MethodId::MultilevelBi, MethodId::MultilevelOct]);
+    let (multilevel_best, multilevel_secs) =
+        best_of(&[MethodId::MultilevelBi, MethodId::MultilevelOct]);
     eprintln!("reference: best spectral Mcut {spectral_best:.3} ({spectral_secs:.2}s total)");
-    eprintln!("reference: best multilevel Mcut {multilevel_best:.3} ({multilevel_secs:.2}s total)\n");
+    eprintln!(
+        "reference: best multilevel Mcut {multilevel_best:.3} ({multilevel_secs:.2}s total)\n"
+    );
 
     // --- Metaheuristic traces --------------------------------------------
     let sa_trace: AnytimeTrace = {

@@ -47,11 +47,7 @@ fn parse_args() -> Args {
 fn stats(values: &[f64]) -> (f64, f64, f64) {
     let mean = values.iter().sum::<f64>() / values.len() as f64;
     let best = values.iter().cloned().fold(f64::INFINITY, f64::min);
-    let var = values
-        .iter()
-        .map(|v| (v - mean).powi(2))
-        .sum::<f64>()
-        / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
     (mean, best, var.sqrt())
 }
 
@@ -80,10 +76,9 @@ fn main() {
     let mut aco_vals = Vec::new();
     let mut ff_vals = Vec::new();
     for seed in 1..=args.seeds {
-        let results = parking_lot::Mutex::new((0.0f64, 0.0f64, 0.0f64));
-        crossbeam::scope(|scope| {
-            scope.spawn(|_| {
-                let sa = SimulatedAnnealing::new(
+        let (sa, aco, ff) = std::thread::scope(|scope| {
+            let sa = scope.spawn(|| {
+                SimulatedAnnealing::new(
                     g,
                     args.k,
                     SimulatedAnnealingConfig {
@@ -93,11 +88,11 @@ fn main() {
                         ..Default::default()
                     },
                 )
-                .run();
-                results.lock().0 = sa.best_value;
+                .run()
+                .best_value
             });
-            scope.spawn(|_| {
-                let aco = AntColony::new(
+            let aco = scope.spawn(|| {
+                AntColony::new(
                     g,
                     args.k,
                     AntColonyConfig {
@@ -107,11 +102,11 @@ fn main() {
                         ..Default::default()
                     },
                 )
-                .run();
-                results.lock().1 = aco.best_value;
+                .run()
+                .best_value
             });
-            scope.spawn(|_| {
-                let ff = FusionFission::new(
+            let ff = scope.spawn(|| {
+                FusionFission::new(
                     g,
                     FusionFissionConfig {
                         objective: Objective::MCut,
@@ -120,12 +115,15 @@ fn main() {
                     },
                     seed,
                 )
-                .run();
-                results.lock().2 = ff.best_value;
+                .run()
+                .best_value
             });
-        })
-        .expect("worker thread panicked");
-        let (sa, aco, ff) = *results.lock();
+            (
+                sa.join().expect("SA thread"),
+                aco.join().expect("ACO thread"),
+                ff.join().expect("FF thread"),
+            )
+        });
         sa_vals.push(sa);
         aco_vals.push(aco);
         ff_vals.push(ff);

@@ -79,12 +79,7 @@ fn main() {
 
     let lo = args.k.saturating_sub(5).max(2);
     let hi = args.k + 6;
-    let mut table = Table::new(&[
-        "k",
-        "FF best Mcut",
-        "percolation Mcut",
-        "FF / percolation",
-    ]);
+    let mut table = Table::new(&["k", "FF best Mcut", "percolation Mcut", "FF / percolation"]);
     for k in lo..=hi {
         let Some(&ff_val) = result.best_value_per_k.get(&k) else {
             continue;
@@ -106,7 +101,10 @@ fn main() {
         ]);
     }
 
-    println!("\nFusion–fission solution quality across realized part counts (target k = {})\n", args.k);
+    println!(
+        "\nFusion–fission solution quality across realized part counts (target k = {})\n",
+        args.k
+    );
     println!("{}", table.render());
     let visited = result.best_value_per_k.len();
     let near: Vec<usize> = result

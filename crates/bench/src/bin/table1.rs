@@ -94,7 +94,9 @@ fn main() {
         );
     }
 
-    println!("\nTable 1 — comparisons between algorithms (32-partition of the synthetic core area)\n");
+    println!(
+        "\nTable 1 — comparisons between algorithms (32-partition of the synthetic core area)\n"
+    );
     println!("{}", table.render());
     match write_csv(&table, "table1.csv") {
         Ok(path) => eprintln!("CSV written to {}", path.display()),

@@ -101,14 +101,20 @@ fn main() {
     for dp in [0.1f64, 0.6, 1.5] {
         variants.push((
             format!("deposit={dp}"),
-            AntColonyConfig { deposit: dp, ..base },
+            AntColonyConfig {
+                deposit: dp,
+                ..base
+            },
         ));
     }
 
     let mut table = Table::new(&["setting", "Mcut", "steps"]);
     for (name, cfg) in &variants {
         let res = AntColony::new(g, args.k, *cfg).run();
-        println!("{name:<16} Mcut {:8.3}  steps {}", res.best_value, res.steps);
+        println!(
+            "{name:<16} Mcut {:8.3}  steps {}",
+            res.best_value, res.steps
+        );
         table.push_row(vec![
             Cell::Text(name.clone()),
             Cell::Num(res.best_value, 3),

@@ -149,7 +149,12 @@ pub struct MethodOutcome {
     pub elapsed: Duration,
 }
 
-fn spectral_cfg(solver: SpectralSolver, mode: SectionMode, refine: RefineMethod, seed: u64) -> SpectralConfig {
+fn spectral_cfg(
+    solver: SpectralSolver,
+    mode: SectionMode,
+    refine: RefineMethod,
+    seed: u64,
+) -> SpectralConfig {
     SpectralConfig {
         solver,
         mode,
@@ -182,42 +187,82 @@ pub fn run_method(
         SpectralLancBi => spectral_partition(
             g,
             k,
-            &spectral_cfg(SpectralSolver::Lanczos, SectionMode::Bisection, RefineMethod::None, seed),
+            &spectral_cfg(
+                SpectralSolver::Lanczos,
+                SectionMode::Bisection,
+                RefineMethod::None,
+                seed,
+            ),
         ),
         SpectralLancBiKl => spectral_partition(
             g,
             k,
-            &spectral_cfg(SpectralSolver::Lanczos, SectionMode::Bisection, RefineMethod::Kl, seed),
+            &spectral_cfg(
+                SpectralSolver::Lanczos,
+                SectionMode::Bisection,
+                RefineMethod::Kl,
+                seed,
+            ),
         ),
         SpectralLancOct => spectral_partition(
             g,
             k,
-            &spectral_cfg(SpectralSolver::Lanczos, SectionMode::Octasection, RefineMethod::None, seed),
+            &spectral_cfg(
+                SpectralSolver::Lanczos,
+                SectionMode::Octasection,
+                RefineMethod::None,
+                seed,
+            ),
         ),
         SpectralLancOctKl => spectral_partition(
             g,
             k,
-            &spectral_cfg(SpectralSolver::Lanczos, SectionMode::Octasection, RefineMethod::Kl, seed),
+            &spectral_cfg(
+                SpectralSolver::Lanczos,
+                SectionMode::Octasection,
+                RefineMethod::Kl,
+                seed,
+            ),
         ),
         SpectralRqiBi => spectral_partition(
             g,
             k,
-            &spectral_cfg(SpectralSolver::Rqi, SectionMode::Bisection, RefineMethod::None, seed),
+            &spectral_cfg(
+                SpectralSolver::Rqi,
+                SectionMode::Bisection,
+                RefineMethod::None,
+                seed,
+            ),
         ),
         SpectralRqiBiKl => spectral_partition(
             g,
             k,
-            &spectral_cfg(SpectralSolver::Rqi, SectionMode::Bisection, RefineMethod::Kl, seed),
+            &spectral_cfg(
+                SpectralSolver::Rqi,
+                SectionMode::Bisection,
+                RefineMethod::Kl,
+                seed,
+            ),
         ),
         SpectralRqiOct => spectral_partition(
             g,
             k,
-            &spectral_cfg(SpectralSolver::Rqi, SectionMode::Octasection, RefineMethod::None, seed),
+            &spectral_cfg(
+                SpectralSolver::Rqi,
+                SectionMode::Octasection,
+                RefineMethod::None,
+                seed,
+            ),
         ),
         SpectralRqiOctKl => spectral_partition(
             g,
             k,
-            &spectral_cfg(SpectralSolver::Rqi, SectionMode::Octasection, RefineMethod::Kl, seed),
+            &spectral_cfg(
+                SpectralSolver::Rqi,
+                SectionMode::Octasection,
+                RefineMethod::Kl,
+                seed,
+            ),
         ),
         MultilevelBi => multilevel_partition(
             g,

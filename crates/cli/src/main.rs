@@ -98,8 +98,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "-m" | "--method" => {
                 let name = val("-m")?;
-                method =
-                    parse_method(&name).ok_or_else(|| format!("unknown method `{name}`"))?;
+                method = parse_method(&name).ok_or_else(|| format!("unknown method `{name}`"))?;
             }
             "-o" | "--objective" => {
                 let name = val("-o")?;
@@ -228,9 +227,10 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = args.write {
-        match File::create(&path).map_err(|e| e.to_string()).and_then(|f| {
-            write_partition(&partition, f).map_err(|e| e.to_string())
-        }) {
+        match File::create(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|f| write_partition(&partition, f).map_err(|e| e.to_string()))
+        {
             Ok(()) => eprintln!("ffpart: partition written to {path}"),
             Err(e) => {
                 eprintln!("ffpart: cannot write {path}: {e}");

@@ -163,8 +163,8 @@ mod tests {
     #[test]
     fn sigmoid_keeps_tail_probability() {
         let a = alpha(0.0, 1.0, 0.0, 8.0, 0.25, 10.0); // cold: sharp
-        // Far below ideal size: Linear says never split; Sigmoid keeps a
-        // tiny but positive probability.
+                                                       // Far below ideal size: Linear says never split; Sigmoid keeps a
+                                                       // tiny but positive probability.
         let x = 2.0;
         assert_eq!(choice_with(ChoiceFunction::Linear, x, 10.0, a), 0.0);
         let p = choice_with(ChoiceFunction::Sigmoid, x, 10.0, a);

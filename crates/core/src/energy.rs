@@ -119,10 +119,7 @@ mod tests {
 
     #[test]
     fn scaling_off_returns_raw() {
-        assert_eq!(
-            scaled_energy(7.5, Objective::Cut, 5, 32, false),
-            7.5
-        );
+        assert_eq!(scaled_energy(7.5, Objective::Cut, 5, 32, false), 7.5);
     }
 
     #[test]

@@ -201,9 +201,7 @@ mod tests {
             law.update(3, true, 0.05);
         }
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let hits = (0..1000)
-            .filter(|_| law.sample(&mut rng, 10) == 3)
-            .count();
+        let hits = (0..1000).filter(|_| law.sample(&mut rng, 10) == 3).count();
         assert!(hits > 700, "expected mostly 3s, got {hits}/1000");
     }
 

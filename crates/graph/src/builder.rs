@@ -64,15 +64,17 @@ impl GraphBuilder {
     /// Panics if `v` is out of range or `w` is negative/non-finite.
     pub fn set_vertex_weight(&mut self, v: VertexId, w: f64) {
         assert!((v as usize) < self.n, "vertex {v} out of range");
-        assert!(w.is_finite() && w >= 0.0, "vertex weight must be finite ≥ 0");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "vertex weight must be finite ≥ 0"
+        );
         self.vwgt[v as usize] = w;
     }
 
     /// Assembles the CSR graph. O(m log m) for the edge sort.
     pub fn build(mut self) -> Graph {
         // Sort canonical edges, then merge duplicates by summing weights.
-        self.edges
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.edges.sort_unstable_by_key(|a| (a.0, a.1));
         let mut merged: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(self.edges.len());
         for (u, v, w) in self.edges {
             match merged.last_mut() {

@@ -354,10 +354,7 @@ mod tests {
     fn edges_iterates_each_once() {
         let g = triangle();
         let edges: Vec<_> = g.edges().collect();
-        assert_eq!(
-            edges,
-            vec![(0, 1, 1.0), (0, 2, 3.0), (1, 2, 2.0)]
-        );
+        assert_eq!(edges, vec![(0, 1, 1.0), (0, 2, 3.0), (1, 2, 2.0)]);
     }
 
     #[test]

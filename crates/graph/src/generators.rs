@@ -125,13 +125,7 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
 ///
 /// The planted optimum (each group a part) is known by construction, which
 /// makes this family the workhorse of quality assertions in tests.
-pub fn planted_partition(
-    k: usize,
-    group_size: usize,
-    p_in: f64,
-    p_out: f64,
-    seed: u64,
-) -> Graph {
+pub fn planted_partition(k: usize, group_size: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
     assert!(k >= 1 && group_size >= 1);
     assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
     let n = k * group_size;

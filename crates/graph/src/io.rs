@@ -248,7 +248,8 @@ mod tests {
     fn graphs_equal(a: &Graph, b: &Graph) -> bool {
         a.num_vertices() == b.num_vertices()
             && a.edges().collect::<Vec<_>>() == b.edges().collect::<Vec<_>>()
-            && a.vertices().all(|v| a.vertex_weight(v) == b.vertex_weight(v))
+            && a.vertices()
+                .all(|v| a.vertex_weight(v) == b.vertex_weight(v))
     }
 
     #[test]

@@ -88,10 +88,9 @@ fn matching_impl(g: &Graph, seed: u64, heavy: bool) -> Matching {
             match best {
                 None => best = Some((u, w)),
                 Some((bu, bw)) => {
-                    if heavy
-                        && (w > bw || (w == bw && u < bu)) {
-                            best = Some((u, w));
-                        }
+                    if heavy && (w > bw || (w == bw && u < bu)) {
+                        best = Some((u, w));
+                    }
                     // non-heavy: keep first unmatched neighbor encountered
                 }
             }

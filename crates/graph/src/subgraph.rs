@@ -35,10 +35,7 @@ pub fn induced_subgraph(g: &Graph, members: &[VertexId]) -> Subgraph {
     let mut to_sub = vec![VertexId::MAX; n];
     for (i, &v) in members.iter().enumerate() {
         assert!((v as usize) < n, "member {v} out of range");
-        assert!(
-            to_sub[v as usize] == VertexId::MAX,
-            "duplicate member {v}"
-        );
+        assert!(to_sub[v as usize] == VertexId::MAX, "duplicate member {v}");
         to_sub[v as usize] = i as VertexId;
     }
     let mut b = GraphBuilder::new(members.len());

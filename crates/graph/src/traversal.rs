@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn subset_components_splits() {
         let g = path(5); // 0-1-2-3-4
-        // members {0,1,3,4}: removing 2 splits into two components
+                         // members {0,1,3,4}: removing 2 splits into two components
         let members = vec![true, true, false, true, true];
         assert_eq!(subset_components(&g, &members), 2);
         let all = vec![true; 5];

@@ -14,7 +14,7 @@
 
 use crate::operator::LinearOperator;
 use crate::tridiag::eigh_tridiagonal;
-use crate::vecops::{axpy, dot, normalize, norm};
+use crate::vecops::{axpy, dot, norm, normalize};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
@@ -147,7 +147,16 @@ pub fn smallest_eigenpairs<A: LinearOperator>(
                 if beta < 1e-12 {
                     invariant = true;
                 }
-                return finalize(a, &basis, &alphas, &betas, k, dim, all_ok || invariant, opts);
+                return finalize(
+                    a,
+                    &basis,
+                    &alphas,
+                    &betas,
+                    k,
+                    dim,
+                    all_ok || invariant,
+                    opts,
+                );
             }
         }
 
@@ -174,7 +183,16 @@ pub fn smallest_eigenpairs<A: LinearOperator>(
 
         if basis.len() > max_dim {
             let dim = alphas.len();
-            return finalize(a, &basis[..dim], &alphas, &betas[..dim - 1], k, dim, false, opts);
+            return finalize(
+                a,
+                &basis[..dim],
+                &alphas,
+                &betas[..dim - 1],
+                k,
+                dim,
+                false,
+                opts,
+            );
         }
     }
 }
@@ -339,25 +357,14 @@ mod tests {
         let a = CsrMatrix::from_triplets(n, &t);
         let eig = smallest_eigenpairs(&a, 4, &LanczosOptions::default());
         for (i, lam) in eig.values.iter().enumerate() {
-            assert!(
-                (lam - (i + 1) as f64).abs() < 1e-6,
-                "eigenvalue {i}: {lam}"
-            );
+            assert!((lam - (i + 1) as f64).abs() < 1e-6, "eigenvalue {i}: {lam}");
         }
     }
 
     #[test]
     fn small_dense_space_exact() {
         // n = 4, request all deflated dims: runs to full dimension.
-        let a = CsrMatrix::from_triplets(
-            4,
-            &[
-                (0, 0, 2.0),
-                (1, 1, 5.0),
-                (2, 2, -1.0),
-                (3, 3, 0.5),
-            ],
-        );
+        let a = CsrMatrix::from_triplets(4, &[(0, 0, 2.0), (1, 1, 5.0), (2, 2, -1.0), (3, 3, 0.5)]);
         let eig = smallest_eigenpairs(&a, 4, &LanczosOptions::default());
         let mut expect = vec![-1.0, 0.5, 2.0, 5.0];
         expect.sort_by(|a, b| a.partial_cmp(b).unwrap());

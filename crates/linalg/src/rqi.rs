@@ -183,7 +183,11 @@ mod tests {
             "λ₂={}, expected {expect}",
             r.value
         );
-        assert!(r.iterations <= 6, "cubic convergence expected, used {}", r.iterations);
+        assert!(
+            r.iterations <= 6,
+            "cubic convergence expected, used {}",
+            r.iterations
+        );
     }
 
     #[test]

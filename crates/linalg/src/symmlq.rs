@@ -59,11 +59,7 @@ fn true_residual<A: LinearOperator>(a: &A, b: &[f64], x: &[f64]) -> f64 {
 /// LQ factorization of the tridiagonal, solution tracked at the LQ point
 /// with the component along `b` accumulated separately and added at exit,
 /// followed by the transfer to the CG point).
-pub fn symmlq<A: LinearOperator>(
-    a: &A,
-    b: &[f64],
-    opts: &IterativeSolveOptions,
-) -> SolveOutcome {
+pub fn symmlq<A: LinearOperator>(a: &A, b: &[f64], opts: &IterativeSolveOptions) -> SolveOutcome {
     let n = a.dim();
     assert_eq!(b.len(), n, "rhs length mismatch");
     let beta1 = norm(b);
@@ -213,11 +209,7 @@ fn cg_point(
 }
 
 /// Solves `A x = b` for symmetric (possibly indefinite) `A` with MINRES.
-pub fn minres<A: LinearOperator>(
-    a: &A,
-    b: &[f64],
-    opts: &IterativeSolveOptions,
-) -> SolveOutcome {
+pub fn minres<A: LinearOperator>(a: &A, b: &[f64], opts: &IterativeSolveOptions) -> SolveOutcome {
     let n = a.dim();
     assert_eq!(b.len(), n, "rhs length mismatch");
     let beta1 = norm(b);
@@ -380,7 +372,11 @@ mod tests {
             rtol: 1e-12,
         };
         let out = solver(a, b, &opts);
-        assert!(out.converged, "solver did not converge: res={}", out.residual_norm);
+        assert!(
+            out.converged,
+            "solver did not converge: res={}",
+            out.residual_norm
+        );
         let exact = dense_solve(a, b);
         let err: f64 = out
             .x
@@ -501,12 +497,11 @@ mod tests {
         };
         let xs = symmlq(&a, &b, &opts);
         let xm = minres(&a, &b, &opts);
-        let diff: f64 = xs
-            .x
-            .iter()
-            .zip(&xm.x)
-            .map(|(s, m)| (s - m).abs())
-            .fold(0.0, f64::max);
+        let diff: f64 =
+            xs.x.iter()
+                .zip(&xm.x)
+                .map(|(s, m)| (s - m).abs())
+                .fold(0.0, f64::max);
         assert!(diff < 1e-6, "SYMMLQ and MINRES disagree by {diff}");
     }
 

@@ -191,7 +191,10 @@ mod tests {
         let offdiag = vec![-1.0; n - 1];
         let eig = eigh_tridiagonal(&diag, &offdiag);
         for (k, lam) in eig.values.iter().enumerate() {
-            let expect = 4.0 * (std::f64::consts::PI * k as f64 / (2.0 * n as f64)).sin().powi(2);
+            let expect = 4.0
+                * (std::f64::consts::PI * k as f64 / (2.0 * n as f64))
+                    .sin()
+                    .powi(2);
             assert!(
                 (lam - expect).abs() < 1e-10,
                 "λ_{k} = {lam}, expected {expect}"

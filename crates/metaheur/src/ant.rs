@@ -166,9 +166,7 @@ impl<'g> AntColony<'g> {
                 } else {
                     // Roulette ∝ pheromone × edge weight.
                     let weights = g.neighbor_weights(v);
-                    let total: f64 = (0..deg)
-                        .map(|p| colony[ids[p] as usize] * weights[p])
-                        .sum();
+                    let total: f64 = (0..deg).map(|p| colony[ids[p] as usize] * weights[p]).sum();
                     if total <= 0.0 {
                         rng.gen_range(0..deg)
                     } else {
@@ -340,7 +338,11 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let g = random_geometric(40, 0.3, 8);
-        let run = |seed| AntColony::new(&g, 3, quick_cfg(Objective::Cut, seed)).run().best_value;
+        let run = |seed| {
+            AntColony::new(&g, 3, quick_cfg(Objective::Cut, seed))
+                .run()
+                .best_value
+        };
         assert_eq!(run(5), run(5));
     }
 }

@@ -150,11 +150,7 @@ pub fn percolation_partition(g: &Graph, k: usize, cfg: &PercolationConfig) -> Pa
 ///
 /// Panics if `seeds` is empty, contains duplicates, or exceeds the vertex
 /// count.
-pub fn percolation_with_seeds(
-    g: &Graph,
-    seeds: &[VertexId],
-    cfg: &PercolationConfig,
-) -> Partition {
+pub fn percolation_with_seeds(g: &Graph, seeds: &[VertexId], cfg: &PercolationConfig) -> Partition {
     let n = g.num_vertices();
     let k = seeds.len();
     assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n seeds");

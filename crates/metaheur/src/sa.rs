@@ -164,8 +164,7 @@ impl<'g> SimulatedAnnealing<'g> {
             } else {
                 // Random part among those connected to v.
                 let conn = st.connection_weights(v);
-                let mut cands: Vec<u32> =
-                    conn.keys().copied().filter(|&p| p != from).collect();
+                let mut cands: Vec<u32> = conn.keys().copied().filter(|&p| p != from).collect();
                 cands.sort_unstable();
                 match cands.len() {
                     0 => continue,
@@ -199,9 +198,7 @@ impl<'g> SimulatedAnnealing<'g> {
                     refusals = 0;
                     t = match cfg.cooling {
                         Cooling::Geometric(alpha) => t * alpha,
-                        Cooling::Linear { steps } => {
-                            t - (cfg.t_max - cfg.t_min) / steps as f64
-                        }
+                        Cooling::Linear { steps } => t - (cfg.t_max - cfg.t_min) / steps as f64,
                     };
                 }
             }

@@ -37,9 +37,9 @@ pub fn greedy_graph_growing(g: &Graph, seed: u64) -> Partition {
     let mut frontier: Vec<VertexId> = Vec::new();
     let mut grown = 0.0;
     let grow = |v: VertexId,
-                    in_region: &mut Vec<bool>,
-                    gain: &mut Vec<f64>,
-                    frontier: &mut Vec<VertexId>| {
+                in_region: &mut Vec<bool>,
+                gain: &mut Vec<f64>,
+                frontier: &mut Vec<VertexId>| {
         in_region[v as usize] = true;
         for (u, w) in g.edges_of(v) {
             if !in_region[u as usize] {
@@ -109,7 +109,13 @@ pub fn region_growing_kway(g: &Graph, k: usize, seed: u64) -> Partition {
         }
         let far = (0..n as VertexId)
             .filter(|&v| !seeds.contains(&v))
-            .max_by_key(|&v| if dist[v as usize] == usize::MAX { n + 1 } else { dist[v as usize] })
+            .max_by_key(|&v| {
+                if dist[v as usize] == usize::MAX {
+                    n + 1
+                } else {
+                    dist[v as usize]
+                }
+            })
             .expect("k ≤ n guarantees an unseeded vertex");
         seeds.push(far);
     }
@@ -226,10 +232,7 @@ mod tests {
         let g = grid2d(9, 9);
         let p = region_growing_kway(&g, 5, 7);
         assert_eq!(p.num_nonempty_parts(), 5);
-        assert_eq!(
-            (0..5u32).map(|i| p.part_size(i)).sum::<usize>(),
-            81
-        );
+        assert_eq!((0..5u32).map(|i| p.part_size(i)).sum::<usize>(), 81);
     }
 
     #[test]

@@ -55,10 +55,7 @@ pub fn multilevel_bisection(g: &Graph, cfg: &MultilevelConfig) -> Partition {
     // Uncoarsen with per-level FM refinement.
     for lvl in (0..h.maps.len()).rev() {
         let fine = &h.graphs[lvl];
-        let fine_assignment: Vec<u32> = h.maps[lvl]
-            .iter()
-            .map(|&c| part.part_of(c))
-            .collect();
+        let fine_assignment: Vec<u32> = h.maps[lvl].iter().map(|&c| part.part_of(c)).collect();
         part = Partition::from_assignment(fine, fine_assignment, 2);
         let ideal = fine.total_vertex_weight() / 2.0;
         let mut st = CutState::new(fine, part);
@@ -166,8 +163,7 @@ pub fn multilevel_kway(g: &Graph, k: usize, cfg: &MultilevelConfig) -> Partition
 
     for lvl in (0..h.maps.len()).rev() {
         let fine = &h.graphs[lvl];
-        let fine_assignment: Vec<u32> =
-            h.maps[lvl].iter().map(|&c| part.part_of(c)).collect();
+        let fine_assignment: Vec<u32> = h.maps[lvl].iter().map(|&c| part.part_of(c)).collect();
         part = Partition::from_assignment(fine, fine_assignment, k_eff);
         let ideal = fine.total_vertex_weight() / k_eff as f64;
         let balance = BalanceConstraint {
@@ -233,11 +229,7 @@ mod tests {
     fn recursive_bisection_k_parts() {
         let g = random_geometric(200, 0.14, 4);
         for k in [2usize, 4, 7] {
-            let p = multilevel_partition(
-                &g,
-                k,
-                &MultilevelConfig::default(),
-            );
+            let p = multilevel_partition(&g, k, &MultilevelConfig::default());
             assert_eq!(p.num_nonempty_parts(), k, "k = {k}");
         }
     }

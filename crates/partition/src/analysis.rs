@@ -146,11 +146,8 @@ pub fn repair_connectivity(g: &Graph, p: &mut Partition, max_passes: usize) -> u
 /// Component label per member of `part` (0-based, discovery order).
 fn label_components(g: &Graph, members: &[VertexId], p: &Partition, part: u32) -> Vec<u32> {
     use std::collections::VecDeque;
-    let index: std::collections::HashMap<VertexId, usize> = members
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let index: std::collections::HashMap<VertexId, usize> =
+        members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut label = vec![u32::MAX; members.len()];
     let mut next = 0u32;
     for start in 0..members.len() {
@@ -197,7 +194,7 @@ mod tests {
     #[test]
     fn detects_fragmentation() {
         let g = path(5); // 0-1-2-3-4
-        // part 0 = {0, 4}: two fragments around part 1 = {1,2,3}
+                         // part 0 = {0, 4}: two fragments around part 1 = {1,2,3}
         let p = Partition::from_assignment(&g, vec![0, 1, 1, 1, 0], 2);
         let r = analyze(&g, &p);
         assert_eq!(r.fragmented_parts, 1);

@@ -43,7 +43,11 @@ pub fn read_partition<R: Read>(g: &Graph, input: R) -> Result<Partition, PartPar
             g.num_vertices()
         )));
     }
-    let k = assignment.iter().copied().max().map_or(1, |m| m as usize + 1);
+    let k = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(1, |m| m as usize + 1);
     Ok(Partition::from_assignment(g, assignment, k))
 }
 

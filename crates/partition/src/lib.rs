@@ -21,7 +21,7 @@ pub mod objective;
 pub mod partition;
 pub mod refine;
 
-pub use analysis::{analyze, repair_connectivity, PartitionReport, PartStats};
+pub use analysis::{analyze, repair_connectivity, PartStats, PartitionReport};
 pub use balance::{imbalance, BalanceConstraint};
 pub use io::{read_partition, write_partition};
 pub use objective::{CutState, Objective, PartConnectivity};

@@ -388,7 +388,11 @@ mod tests {
             let to = rng.gen_range(0..4) as u32;
             st.move_vertex(v, to);
         }
-        assert!(st.drift() < 1e-8, "incremental sums drifted: {}", st.drift());
+        assert!(
+            st.drift() < 1e-8,
+            "incremental sums drifted: {}",
+            st.drift()
+        );
     }
 
     #[test]

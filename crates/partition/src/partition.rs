@@ -241,9 +241,7 @@ impl Partition {
                 return false;
             }
             for (i, &v) in m.iter().enumerate() {
-                if self.assignment[v as usize] != p as u32
-                    || self.pos[v as usize] != i as u32
-                {
+                if self.assignment[v as usize] != p as u32 || self.pos[v as usize] != i as u32 {
                     return false;
                 }
             }

@@ -246,7 +246,15 @@ mod tests {
     fn leaves_third_parts_alone() {
         let g = grid2d(4, 4);
         let asg: Vec<u32> = (0..16)
-            .map(|v| if v < 5 { 0 } else if v < 10 { 1 } else { 2 })
+            .map(|v| {
+                if v < 5 {
+                    0
+                } else if v < 10 {
+                    1
+                } else {
+                    2
+                }
+            })
             .collect();
         let p = Partition::from_assignment(&g, asg, 3);
         let mut st = CutState::new(&g, p);

@@ -135,9 +135,9 @@ mod tests {
         assert!(moves >= 3, "should fix the three misplaced vertices");
         // After refinement every group should be pure.
         for group in 0..3u32 {
-            let members = st.partition().part_members(
-                st.partition().part_of((group * 12) as VertexId),
-            );
+            let members = st
+                .partition()
+                .part_members(st.partition().part_of((group * 12) as VertexId));
             assert_eq!(members.len(), 12);
         }
     }

@@ -225,6 +225,9 @@ mod tests {
         let g = grid2d(3, 3);
         let p = Partition::from_assignment(&g, vec![0; 9], 2);
         let mut st = CutState::new(&g, p);
-        assert_eq!(kl_refine_bisection(&mut st, 0, 1, &KlOptions::default()), 0.0);
+        assert_eq!(
+            kl_refine_bisection(&mut st, 0, 1, &KlOptions::default()),
+            0.0
+        );
     }
 }

@@ -12,10 +12,10 @@ use crate::fiedler::{fiedler_vector, SpectralSolver};
 use crate::octa::spectral_section;
 use crate::SectionMode;
 use ff_graph::{induced_subgraph, Graph, VertexId};
+use ff_partition::refine::{fm::FmOptions, kl::KlOptions};
 use ff_partition::{
     fm_refine_bisection, kl_refine_bisection, BalanceConstraint, CutState, Partition,
 };
-use ff_partition::refine::{fm::FmOptions, kl::KlOptions};
 
 /// Optional local refinement applied after each division step — the
 /// presence/absence of `KL` in Table 1's method names.
@@ -77,9 +77,7 @@ pub fn spectral_partition(g: &Graph, k: usize, cfg: &SpectralConfig) -> Partitio
                 k,
                 cfg.refine,
                 cfg.balance_eps,
-                &mut move |sub: &Graph, _to_parent: &[VertexId]| {
-                    fiedler_vector(sub, solver, seed)
-                },
+                &mut move |sub: &Graph, _to_parent: &[VertexId]| fiedler_vector(sub, solver, seed),
             )
         }
         SectionMode::Octasection => spectral_section(g, k, cfg),
@@ -190,10 +188,7 @@ fn split_recursive<F>(
                 kl_refine_bisection(&mut st, 0, 1, &KlOptions::default());
             }
             RefineMethod::Fm => {
-                let (wa, wb) = (
-                    st.partition().part_weight(0),
-                    st.partition().part_weight(1),
-                );
+                let (wa, wb) = (st.partition().part_weight(0), st.partition().part_weight(1));
                 let balance = BalanceConstraint {
                     lo: wa.min(wb) * (1.0 - balance_eps),
                     hi: wa.max(wb) * (1.0 + balance_eps),
@@ -232,7 +227,16 @@ fn split_recursive<F>(
         .map(|(_, &v)| v)
         .collect();
 
-    split_recursive(g, &left, k_left, base, refine, balance_eps, value_fn, assignment);
+    split_recursive(
+        g,
+        &left,
+        k_left,
+        base,
+        refine,
+        balance_eps,
+        value_fn,
+        assignment,
+    );
     split_recursive(
         g,
         &right,

@@ -57,7 +57,11 @@ pub fn smallest_nontrivial_eigenvectors(
     seed: u64,
 ) -> Vec<Vec<f64>> {
     let n = g.num_vertices();
-    assert!(n > k, "need at least {} vertices for {k} eigenvectors", k + 1);
+    assert!(
+        n > k,
+        "need at least {} vertices for {k} eigenvectors",
+        k + 1
+    );
     let l = laplacian(g);
     let deflate = vec![kernel_vector(n)];
 

@@ -87,7 +87,10 @@ mod tests {
         let kl = linear_partition(&g, 4, LinearMode::Bisection, RefineMethod::Kl);
         let c0 = Objective::Cut.evaluate(&g, &plain);
         let c1 = Objective::Cut.evaluate(&g, &kl);
-        assert!(c1 < c0, "KL should improve random-order linear: {c0} → {c1}");
+        assert!(
+            c1 < c0,
+            "KL should improve random-order linear: {c0} → {c1}"
+        );
     }
 
     #[test]

@@ -203,9 +203,9 @@ fn branch_k(child_k: &[usize], prefix: u32, bit: usize, depth: usize) -> (usize,
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SectionMode;
     use ff_graph::generators::{grid2d, planted_partition};
     use ff_partition::{imbalance, Objective};
-    use crate::SectionMode;
 
     fn octa_cfg() -> SpectralConfig {
         SpectralConfig {

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Read it back (any METIS-format graph works here).
     let g = fusionfission::graph::io::read_metis(std::fs::File::open(graph_path)?)?;
-    println!("read {} vertices / {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "read {} vertices / {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // 3. Hybrid partition: multilevel for a fast strong start, then
     //    fusion–fission polishing under Mcut.
@@ -55,10 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.cut
     );
     let part_path = "results/core_area_381.part";
-    fusionfission::partition::write_partition(
-        &refined.best,
-        std::fs::File::create(part_path)?,
-    )?;
+    fusionfission::partition::write_partition(&refined.best, std::fs::File::create(part_path)?)?;
     println!("wrote {part_path}");
     Ok(())
 }

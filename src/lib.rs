@@ -49,7 +49,5 @@ pub mod prelude {
     };
     pub use ff_multilevel::{multilevel_partition, MultilevelConfig};
     pub use ff_partition::{Objective, Partition};
-    pub use ff_spectral::{
-        linear_partition, spectral_partition, SpectralConfig, SpectralSolver,
-    };
+    pub use ff_spectral::{linear_partition, spectral_partition, SpectralConfig, SpectralSolver};
 }

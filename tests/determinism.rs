@@ -62,10 +62,7 @@ fn metaheuristics_are_deterministic_under_step_budgets() {
     // different seeds explore differently
     assert_ne!(sa(4).best_value, sa(5).best_value);
 
-    let ff = |seed| {
-        FusionFission::new(g, FusionFissionConfig::fast(5), seed)
-            .run()
-    };
+    let ff = |seed| FusionFission::new(g, FusionFissionConfig::fast(5), seed).run();
     assert_eq!(ff(7).best.assignment(), ff(7).best.assignment());
 
     let aco = |seed| {

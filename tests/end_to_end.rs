@@ -142,7 +142,14 @@ fn metaheuristics_beat_their_percolation_start_on_mcut() {
     let inst = small_fabop();
     let g = &inst.graph;
     let k = 8;
-    let perc = percolation_partition(g, k, &PercolationConfig { seed: 3, ..Default::default() });
+    let perc = percolation_partition(
+        g,
+        k,
+        &PercolationConfig {
+            seed: 3,
+            ..Default::default()
+        },
+    );
     let perc_mcut = Objective::MCut.evaluate(g, &perc);
 
     let sa = SimulatedAnnealing::new(
@@ -223,7 +230,10 @@ fn mesh_bisection_quality() {
         ),
     ] {
         let cut = Objective::Cut.evaluate(&g, &p);
-        assert!(cut <= 2.0 * optimal, "{name}: cut {cut} vs optimal {optimal}");
+        assert!(
+            cut <= 2.0 * optimal,
+            "{name}: cut {cut} vs optimal {optimal}"
+        );
     }
 }
 

@@ -1,0 +1,289 @@
+//! Offline vendored shim of the `proptest` subset this workspace uses:
+//! the [`proptest!`] macro over `pat in strategy` arguments, range and
+//! [`any`] strategies, [`Strategy::prop_map`], tuple strategies, and the
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! The build container cannot reach crates.io. Unlike real proptest this
+//! shim does **no shrinking** and no failure persistence — it runs each
+//! property for `ProptestConfig::cases` deterministically seeded random
+//! cases (seeded from the test name, so every run and every machine sees
+//! the same inputs) and panics with the case number on the first failure.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! // (inside a crate you would also add `#[test]` above the fn)
+//! addition_commutes();
+//! ```
+
+use rand::Rng;
+pub use rand_chacha::ChaCha8Rng;
+
+/// How a property run is configured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is exercised with.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Maps generated values through `f` (the workhorse combinator for
+    /// building structured inputs like random graphs).
+    fn prop_map<U, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        MapStrategy { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for MapStrategy<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+
+/// Types with a whole-domain uniform strategy (the [`any`] function).
+pub trait ArbitraryValue: Sized {
+    /// Draws one uniform value.
+    fn arbitrary(rng: &mut ChaCha8Rng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut ChaCha8Rng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform strategy over the whole domain of `T` (e.g. `any::<u64>()`).
+pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+/// Stable FNV-1a hash of the test name: the per-test base seed, so runs
+/// are reproducible without any persistence file.
+pub fn seed_for(test_name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) {...} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands one `fn` at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases as u64 {
+                let mut __proptest_rng =
+                    <$crate::ChaCha8Rng as $crate::__rt::SeedableRng>::seed_from_u64(
+                        $crate::seed_for(stringify!($name), case),
+                    );
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                let outcome: ::core::result::Result<(), ::std::string::String> =
+                    (|| { $body Ok(()) })();
+                if let ::core::result::Result::Err(msg) = outcome {
+                    panic!("property `{}` failed at case {}: {}", stringify!($name), case, msg);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+}
+
+/// Property-scope assertion: fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Property-scope equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l != *r {
+            return ::core::result::Result::Err(format!(
+                "{:?} != {:?} ({})",
+                l,
+                r,
+                stringify!($left == $right)
+            ));
+        }
+    }};
+}
+
+/// Internal runtime re-exports for macro expansions, so consuming crates
+/// need no direct `rand` dependency.
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::SeedableRng;
+}
+
+/// The usual glob import: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(n in 5usize..10, x in any::<u64>()) {
+            prop_assert!((5..10).contains(&n), "n = {n}");
+            let _ = x;
+        }
+
+        #[test]
+        fn prop_map_applies(v in (1u32..4).prop_map(|x| x * 10)) {
+            prop_assert!(v == 10 || v == 20 || v == 30);
+            prop_assert_eq!(v % 10, 0);
+        }
+
+        #[test]
+        fn early_return_ok_works(flag in any::<bool>()) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(!flag);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        assert_eq!(crate::seed_for("t", 3), crate::seed_for("t", 3));
+        assert_ne!(crate::seed_for("t", 3), crate::seed_for("t", 4));
+        assert_ne!(crate::seed_for("a", 0), crate::seed_for("b", 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x = {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline vendored shim of the subset of the `rand` 0.8 API used by this
+//! workspace: [`RngCore`], [`SeedableRng`] (with the SplitMix64-based
+//! `seed_from_u64`), [`Rng::gen`] / [`Rng::gen_range`] over integer and
+//! float half-open ranges, and [`SliceRandom::shuffle`].
+//!
+//! The build container has no network access to crates.io, so the real
+//! crate cannot be fetched; this shim keeps the workspace self-contained.
+//! Streams are deterministic per seed but are **not** bit-compatible with
+//! upstream `rand` — all tests in this repository assert structural
+//! properties or self-consistency, never upstream-exact streams.
+//!
+//! ```
+//! use rand::prelude::*;
+//!
+//! struct Lcg(u64);
+//! impl rand::RngCore for Lcg {
+//!     fn next_u64(&mut self) -> u64 {
+//!         self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+//!         self.0
+//!     }
+//! }
+//! let mut rng = Lcg(1);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! assert!((10..20).contains(&rng.gen_range(10..20)));
+//! ```
+
+/// Core source of randomness: everything else is derived from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`next_u64`](RngCore::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64, then constructs
+    /// the generator. Deterministic: equal inputs give equal streams.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64(state);
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: the standard seed-expansion generator.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that [`Rng::gen`] can produce uniformly.
+pub trait StandardSample: Sized {
+    /// Draws one uniform value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type drawn from the range.
+    type Output;
+    /// Draws one uniform value; panics on an empty range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Widening multiply: maps 64 random bits onto [0, span).
+                let offset = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(offset as $t)
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                let offset = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = f64::sample_standard(rng);
+        let v = self.start + (self.end - self.start) * unit;
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for core::ops::Range<f32> {
+    type Output = f32;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = f32::sample_standard(rng);
+        let v = self.start + (self.end - self.start) * unit;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one uniform value of type `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws one uniform value from `range`; panics if the range is empty.
+    fn gen_range<Sr: SampleRange>(&mut self, range: Sr) -> Sr::Output {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Slice helpers driven by an [`Rng`].
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Fisher–Yates shuffle, deterministic given the generator state.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+/// The usual glob-import surface: `use rand::prelude::*`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng, SliceRandom};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            // Weyl sequence: full-period, equidistributed enough for
+            // range-bound checks.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct S([u8; 16]);
+        impl SeedableRng for S {
+            type Seed = [u8; 16];
+            fn from_seed(seed: [u8; 16]) -> Self {
+                S(seed)
+            }
+        }
+        assert_eq!(S::seed_from_u64(42).0, S::seed_from_u64(42).0);
+        assert_ne!(S::seed_from_u64(42).0, S::seed_from_u64(43).0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Offline vendored shim of the `serde_json` *Value* subset this workspace
+//! uses: building [`Value`] trees by hand ([`Map`], [`Number::from_f64`]),
+//! inspecting them (`as_array`, `as_f64`, `is_string`, indexing), and
+//! serializing with [`to_writer_pretty`] / [`to_string`]. There is no
+//! parser and no serde integration — the build container cannot reach
+//! crates.io, and the experiment harness only ever *writes* JSON.
+//!
+//! ```
+//! let mut obj = serde_json::Map::new();
+//! obj.insert("method".into(), serde_json::Value::String("ff".into()));
+//! obj.insert(
+//!     "mcut".into(),
+//!     serde_json::Number::from_f64(69.03).map(serde_json::Value::Number).unwrap(),
+//! );
+//! let v = serde_json::Value::Object(obj);
+//! assert_eq!(v["method"], "ff");
+//! assert_eq!(v["mcut"].as_f64(), Some(69.03));
+//! assert_eq!(serde_json::to_string(&v).unwrap(),
+//!            r#"{"method":"ff","mcut":69.03}"#);
+//! ```
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// A finite JSON number (f64-backed; JSON has no NaN/inf).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Number(f64);
+
+impl Number {
+    /// Wraps a finite float; returns `None` for NaN or ±inf, which JSON
+    /// cannot represent.
+    pub fn from_f64(v: f64) -> Option<Number> {
+        if v.is_finite() {
+            Some(Number(v))
+        } else {
+            None
+        }
+    }
+
+    /// The numeric value.
+    pub fn as_f64(&self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == self.0.trunc() {
+            // Upstream serde_json renders integer-valued f64 as `198.0`,
+            // keeping the emitted JSON type stable across magnitudes.
+            write!(f, "{:.1}", self.0)
+        } else {
+            // f64 Display never produces exponent notation, so this is
+            // always a valid JSON number literal.
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// An insertion-ordered string→value map (upstream's `preserve_order`
+/// behavior, which keeps table columns in header order).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Inserts a key/value pair, replacing (in place) any existing entry
+    /// with the same key. Returns the previous value if any.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The float if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn render(&self, out: &mut String, pretty: bool, depth: usize) {
+        let pad = |out: &mut String, depth: usize| {
+            if pretty {
+                out.push('\n');
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+            }
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => Self::write_escaped(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    item.render(out, pretty, depth + 1);
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    Self::write_escaped(k, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.render(out, pretty, depth + 1);
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object member access; yields `Null` for missing keys or non-objects
+    /// (upstream behavior).
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(&mut s, false, 0);
+        f.write_str(&s)
+    }
+}
+
+/// Serializes compactly to a string. Infallible for [`Value`] trees; the
+/// `Result` mirrors the upstream signature.
+pub fn to_string(value: &Value) -> io::Result<String> {
+    Ok(value.to_string())
+}
+
+/// Serializes with two-space indentation to a string.
+pub fn to_string_pretty(value: &Value) -> io::Result<String> {
+    let mut s = String::new();
+    value.render(&mut s, true, 0);
+    Ok(s)
+}
+
+/// Serializes compactly into a writer.
+pub fn to_writer<W: Write>(mut writer: W, value: &Value) -> io::Result<()> {
+    writer.write_all(value.to_string().as_bytes())
+}
+
+/// Serializes with two-space indentation into a writer.
+pub fn to_writer_pretty<W: Write>(mut writer: W, value: &Value) -> io::Result<()> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        let mut obj = Map::new();
+        obj.insert("name".into(), Value::String("a \"b\"\n".into()));
+        obj.insert(
+            "x".into(),
+            Value::Number(Number::from_f64(1.5).expect("finite")),
+        );
+        obj.insert("flag".into(), Value::Bool(true));
+        Value::Array(vec![Value::Object(obj), Value::Null])
+    }
+
+    #[test]
+    fn compact_rendering_escapes() {
+        let s = sample().to_string();
+        assert_eq!(
+            s,
+            "[{\"name\":\"a \\\"b\\\"\\n\",\"x\":1.5,\"flag\":true},null]"
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let s = to_string_pretty(&sample()).unwrap();
+        assert!(s.starts_with("[\n  {\n    \"name\""));
+        assert!(s.ends_with("\n  },\n  null\n]"));
+    }
+
+    #[test]
+    fn nonfinite_numbers_are_rejected() {
+        assert!(Number::from_f64(f64::INFINITY).is_none());
+        assert!(Number::from_f64(f64::NAN).is_none());
+        assert_eq!(Number::from_f64(2.0).map(|n| n.as_f64()), Some(2.0));
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal() {
+        let n = Number::from_f64(198.0).expect("finite");
+        assert_eq!(n.to_string(), "198.0");
+        // Type stays float-shaped at every magnitude — no exponent, no
+        // bare-integer flip past 2^53.
+        let big = Number::from_f64(1e15).expect("finite");
+        assert_eq!(big.to_string(), "1000000000000000.0");
+    }
+
+    #[test]
+    fn indexing_misses_yield_null() {
+        let v = sample();
+        assert_eq!(v[0]["nope"], Value::Null);
+        assert_eq!(v[9], Value::Null);
+        assert!(v[0]["name"].is_string());
+    }
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::Bool(false));
+        m.insert("b".into(), Value::Null);
+        let old = m.insert("a".into(), Value::Bool(true));
+        assert_eq!(old, Some(Value::Bool(false)));
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b"]);
+    }
+}
