@@ -2,25 +2,27 @@
 //! honest version of Table 1's bottom three rows (single runs can flip on
 //! seed luck when two methods are within a percent).
 //!
+//! With `--islands N > 1`, every method gets the parallel ensemble
+//! treatment (`ff-engine`): fusion–fission runs N islands with
+//! best-molecule migration, the baselines run N independent seeds and keep
+//! their best — so nobody wins just by being handed more parallelism.
+//!
 //! ```text
 //! cargo run -p ff-bench --release --bin head2head -- [--budget-secs 10] \
-//!     [--seeds 5] [--sectors 762] [--k 32]
+//!     [--seeds 5] [--sectors 762] [--k 32] [--islands 1] [--threads 0]
 //! ```
 
 use ff_atc::{FabopConfig, FabopInstance, PAPER_K};
-use ff_bench::{write_csv, Cell, Table};
-use ff_core::{FusionFission, FusionFissionConfig};
-use ff_metaheur::{
-    AntColony, AntColonyConfig, SimulatedAnnealing, SimulatedAnnealingConfig, StopCondition,
-};
+use ff_bench::{run_method_ensemble, write_csv, Cell, MethodBudget, MethodId, Table};
 use ff_partition::Objective;
-use std::time::Duration;
 
 struct Args {
     budget_secs: f64,
     k: usize,
     sectors: usize,
     seeds: u64,
+    islands: usize,
+    threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -29,6 +31,8 @@ fn parse_args() -> Args {
         k: PAPER_K,
         sectors: ff_atc::PAPER_SECTORS,
         seeds: 5,
+        islands: 1,
+        threads: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -38,6 +42,8 @@ fn parse_args() -> Args {
             "--k" => args.k = val().parse().expect("bad k"),
             "--sectors" => args.sectors = val().parse().expect("bad sectors"),
             "--seeds" => args.seeds = val().parse().expect("bad seeds"),
+            "--islands" => args.islands = val().parse().expect("bad islands"),
+            "--threads" => args.threads = val().parse().expect("bad threads"),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -59,71 +65,58 @@ fn main() {
         FabopInstance::scaled(args.sectors, &FabopConfig::default())
     };
     let g = &inst.graph;
-    let stop = StopCondition::time(Duration::from_secs_f64(args.budget_secs));
+    let budget = MethodBudget::seconds(args.budget_secs);
     eprintln!(
-        "{}v/{}e, k = {}, {:.1}s × {} seeds per method\n",
+        "{}v/{}e, k = {}, {:.1}s × {} seeds per method, {} island(s)\n",
         g.num_vertices(),
         g.num_edges(),
         args.k,
         args.budget_secs,
-        args.seeds
+        args.seeds,
+        args.islands
     );
 
-    // The three methods are time-budgeted and independent, so each seed's
-    // trio runs on its own thread (one core per method keeps the budgets
-    // honest and cuts wall time to a third).
+    let run_one = |method: MethodId, seed: u64| -> f64 {
+        let out = run_method_ensemble(
+            method,
+            g,
+            args.k,
+            Objective::MCut,
+            budget,
+            seed,
+            args.islands,
+            args.threads,
+        );
+        Objective::MCut.evaluate(g, &out.partition)
+    };
+
     let mut sa_vals = Vec::new();
     let mut aco_vals = Vec::new();
     let mut ff_vals = Vec::new();
     for seed in 1..=args.seeds {
-        let (sa, aco, ff) = std::thread::scope(|scope| {
-            let sa = scope.spawn(|| {
-                SimulatedAnnealing::new(
-                    g,
-                    args.k,
-                    SimulatedAnnealingConfig {
-                        objective: Objective::MCut,
-                        stop,
-                        seed,
-                        ..Default::default()
-                    },
+        let (sa, aco, ff) = if args.islands == 1 {
+            // The three methods are time-budgeted and independent, so each
+            // seed's trio runs on its own thread (one core per method keeps
+            // the budgets honest and cuts wall time to a third).
+            std::thread::scope(|scope| {
+                let sa = scope.spawn(|| run_one(MethodId::SimulatedAnnealing, seed));
+                let aco = scope.spawn(|| run_one(MethodId::AntColony, seed));
+                let ff = scope.spawn(|| run_one(MethodId::FusionFission, seed));
+                (
+                    sa.join().expect("SA thread"),
+                    aco.join().expect("ACO thread"),
+                    ff.join().expect("FF thread"),
                 )
-                .run()
-                .best_value
-            });
-            let aco = scope.spawn(|| {
-                AntColony::new(
-                    g,
-                    args.k,
-                    AntColonyConfig {
-                        objective: Objective::MCut,
-                        stop,
-                        seed,
-                        ..Default::default()
-                    },
-                )
-                .run()
-                .best_value
-            });
-            let ff = scope.spawn(|| {
-                FusionFission::new(
-                    g,
-                    FusionFissionConfig {
-                        objective: Objective::MCut,
-                        stop,
-                        ..FusionFissionConfig::standard(args.k)
-                    },
-                    seed,
-                )
-                .run()
-                .best_value
-            });
+            })
+        } else {
+            // Each ensemble is internally parallel; running the methods
+            // sequentially avoids oversubscribing the machine.
             (
-                sa.join().expect("SA thread"),
-                aco.join().expect("ACO thread"),
-                ff.join().expect("FF thread"),
+                run_one(MethodId::SimulatedAnnealing, seed),
+                run_one(MethodId::AntColony, seed),
+                run_one(MethodId::FusionFission, seed),
             )
-        });
+        };
         sa_vals.push(sa);
         aco_vals.push(aco);
         ff_vals.push(ff);

@@ -15,5 +15,5 @@
 pub mod methods;
 pub mod report;
 
-pub use methods::{run_method, MethodBudget, MethodId, MethodOutcome};
+pub use methods::{run_method, run_method_ensemble, MethodBudget, MethodId, MethodOutcome};
 pub use report::{to_json, write_csv, write_json, Cell, Table};

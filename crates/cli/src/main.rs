@@ -10,7 +10,16 @@
 //!                            spectral-oct | linear | linear-kl  (default ff)
 //!   -o, --objective NAME     cut | ncut | mcut                 (default mcut)
 //!   -b, --budget-secs S      metaheuristic time budget         (default 10)
-//!   -s, --seed N             RNG seed                          (default 1)
+//!   --steps N                metaheuristic step budget per island; when
+//!                            given without -b, the run is purely
+//!                            step-bounded (deterministic output)
+//!   -s, --seed N             root RNG seed                     (default 1)
+//!   -j, --islands N          parallel ensemble width: N independently
+//!                            seeded searches with periodic best-molecule
+//!                            exchange (ff) or best-of-N (other methods)
+//!                            (default 1)
+//!   --threads N              concurrent OS threads for the ensemble
+//!                            (default: one per island)
 //!   -f, --format NAME        metis | edgelist                  (default metis)
 //!   -w, --write PATH         write the partition (.part format)
 //!   -r, --repair             repair disconnected parts before reporting
@@ -22,22 +31,27 @@
 //!
 //! Exit codes: 0 success, 2 usage error, 3 input error.
 
-use ff_bench::{run_method, MethodBudget, MethodId};
+use ff_bench::{run_method_ensemble, MethodBudget, MethodId};
 use ff_graph::Graph;
 use ff_partition::{analyze, imbalance, repair_connectivity, write_partition, Objective};
 use std::fs::File;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage: ffpart <graph> -k <parts> [-m method] [-o objective] \
-[-b budget-secs] [-s seed] [-f metis|edgelist] [-w out.part] [-r] [-q]\nsee `ffpart --help`";
+[-b budget-secs] [--steps n] [-s seed] [-j islands] [--threads n] [-f metis|edgelist] \
+[-w out.part] [-r] [-q]\nsee `ffpart --help`";
 
 struct Args {
     graph_path: String,
     k: usize,
     method: MethodId,
     objective: Objective,
-    budget_secs: f64,
+    budget_secs: Option<f64>,
+    steps: Option<u64>,
     seed: u64,
+    islands: usize,
+    threads: usize,
     format: String,
     write: Option<String>,
     repair: bool,
@@ -76,8 +90,11 @@ fn parse_args() -> Result<Args, String> {
     let mut k: Option<usize> = None;
     let mut method = MethodId::FusionFission;
     let mut objective = Objective::MCut;
-    let mut budget_secs = 10.0;
+    let mut budget_secs = None;
+    let mut steps = None;
     let mut seed = 1u64;
+    let mut islands = 1usize;
+    let mut threads = 0usize;
     let mut format = "metis".to_string();
     let mut write = None;
     let mut repair = false;
@@ -106,9 +123,24 @@ fn parse_args() -> Result<Args, String> {
                     parse_objective(&name).ok_or_else(|| format!("unknown objective `{name}`"))?;
             }
             "-b" | "--budget-secs" => {
-                budget_secs = val("-b")?.parse().map_err(|_| "bad budget".to_string())?
+                budget_secs = Some(val("-b")?.parse().map_err(|_| "bad budget".to_string())?)
+            }
+            "--steps" => {
+                steps = Some(
+                    val("--steps")?
+                        .parse()
+                        .map_err(|_| "bad steps".to_string())?,
+                )
             }
             "-s" | "--seed" => seed = val("-s")?.parse().map_err(|_| "bad seed".to_string())?,
+            "-j" | "--islands" => {
+                islands = val("-j")?.parse().map_err(|_| "bad islands".to_string())?
+            }
+            "--threads" => {
+                threads = val("--threads")?
+                    .parse()
+                    .map_err(|_| "bad threads".to_string())?
+            }
             "-f" | "--format" => format = val("-f")?,
             "-w" | "--write" => write = Some(val("-w")?),
             "-r" | "--repair" => repair = true,
@@ -129,7 +161,10 @@ fn parse_args() -> Result<Args, String> {
         method,
         objective,
         budget_secs,
+        steps,
         seed,
+        islands,
+        threads,
         format,
         write,
         repair,
@@ -173,12 +208,21 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    if args.islands == 0 {
+        eprintln!("ffpart: --islands must be at least 1");
+        return ExitCode::from(2);
+    }
     eprintln!(
-        "ffpart: {} vertices, {} edges → k = {} via {}",
+        "ffpart: {} vertices, {} edges → k = {} via {}{}",
         g.num_vertices(),
         g.num_edges(),
         args.k,
-        args.method.label()
+        args.method.label(),
+        if args.islands > 1 {
+            format!(" × {} islands", args.islands)
+        } else {
+            String::new()
+        }
     );
     if args.mincut && g.num_vertices() >= 2 {
         let cut = ff_graph::stoer_wagner(&g);
@@ -190,8 +234,31 @@ fn main() -> ExitCode {
         );
     }
 
-    let budget = MethodBudget::seconds(args.budget_secs);
-    let out = run_method(args.method, &g, args.k, args.objective, budget, args.seed);
+    // `--steps` without `-b` means purely step-bounded: the run's output
+    // is then a pure function of (graph, config, seed) — byte-identical
+    // across repeated invocations and island/thread counts.
+    let budget = match (args.budget_secs, args.steps) {
+        (Some(secs), Some(steps)) => MethodBudget {
+            time: Duration::from_secs_f64(secs),
+            steps,
+        },
+        (Some(secs), None) => MethodBudget::seconds(secs),
+        (None, Some(steps)) => MethodBudget {
+            time: Duration::MAX,
+            steps,
+        },
+        (None, None) => MethodBudget::seconds(10.0),
+    };
+    let out = run_method_ensemble(
+        args.method,
+        &g,
+        args.k,
+        args.objective,
+        budget,
+        args.seed,
+        args.islands,
+        args.threads,
+    );
     let mut partition = out.partition;
     if args.repair {
         let moved = repair_connectivity(&g, &mut partition, 16);

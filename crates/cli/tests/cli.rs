@@ -84,6 +84,74 @@ fn metaheuristic_with_tiny_budget() {
 }
 
 #[test]
+fn island_ensemble_is_byte_identical_across_invocations() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-islands-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+    let run = |out: &std::path::Path| {
+        let output = ffpart()
+            .args([
+                graph.to_str().unwrap(),
+                "-k",
+                "2",
+                "-m",
+                "ff",
+                "--steps",
+                "4000",
+                "-s",
+                "5",
+                "--islands",
+                "3",
+                "--threads",
+                "2",
+                "-q",
+                "-w",
+                out.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("3 islands"),
+            "banner should mention the ensemble"
+        );
+    };
+    let (a, b) = (dir.join("a.part"), dir.join("b.part"));
+    run(&a);
+    run(&b);
+    let pa = std::fs::read(&a).unwrap();
+    assert_eq!(
+        pa,
+        std::fs::read(&b).unwrap(),
+        "output must be reproducible"
+    );
+    // The sample graph's optimal bisection is triangle vs triangle.
+    let part = String::from_utf8(pa).unwrap();
+    let ids: Vec<&str> = part.lines().collect();
+    assert_eq!(ids.len(), 6);
+    assert!(ids[0] == ids[1] && ids[1] == ids[2] && ids[3] == ids[4] && ids[4] == ids[5]);
+    assert_ne!(ids[0], ids[3]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zero_islands_is_a_usage_error() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-islands0-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+    let output = ffpart()
+        .args([graph.to_str().unwrap(), "-k", "2", "--islands", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn usage_errors_exit_2() {
     let output = ffpart().args(["-k", "2"]).output().unwrap(); // no graph
     assert_eq!(output.status.code(), Some(2));

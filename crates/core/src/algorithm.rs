@@ -1,4 +1,15 @@
 //! Algorithm 1 (the fusion–fission loop) and Algorithm 2 (initialization).
+//!
+//! Two ways to drive the search:
+//!
+//! * [`FusionFission::run`] — one-shot: runs to the stop condition and
+//!   harvests, exactly the paper's protocol;
+//! * [`FusionFission::start`] → [`FusionFissionRun`] — a resumable handle
+//!   that advances in bounded step chunks ([`FusionFissionRun::advance`])
+//!   and accepts foreign best molecules between chunks
+//!   ([`FusionFissionRun::inject`]). This is the seam the `ff-engine`
+//!   island ensemble drives: both paths consume the RNG stream
+//!   identically, so a chunked run is bit-equal to a one-shot run.
 
 use crate::choice::{alpha, choice_with};
 use crate::config::FusionFissionConfig;
@@ -105,24 +116,107 @@ impl<'g> FusionFission<'g> {
         }
     }
 
-    fn energy_of(&self, st: &CutState) -> f64 {
+    /// Runs initialization (Algorithm 2) followed by the core loop
+    /// (Algorithm 1) to the stop condition, then harvests.
+    pub fn run(&self) -> FusionFissionResult {
+        self.start().run_to_completion()
+    }
+
+    /// Builds the live, resumable search state. Drive it with
+    /// [`FusionFissionRun::advance`] (or [`FusionFissionRun::run_to_completion`]);
+    /// a chunked drive consumes the RNG stream exactly like [`FusionFission::run`].
+    pub fn start(&self) -> FusionFissionRun<'g> {
+        let cfg = self.cfg;
+        cfg.validate();
+        let g = self.g;
+        let n = g.num_vertices();
+        assert!(n >= 1, "graph must have vertices");
+        assert!(cfg.k <= n, "more parts than vertices");
+        let ideal = n as f64 / cfg.k as f64;
+
+        let init_part = match &self.warm_start {
+            Some(p) => p.clone(),
+            None => Partition::singletons(g),
+        };
+        let skip_agglomeration = self.warm_start.is_some();
+        let s = Search {
+            st: CutState::new(g, init_part.clone()),
+            laws: LawTable::new(n),
+            rng: ChaCha8Rng::seed_from_u64(self.seed),
+            step: 0,
+            started: Instant::now(),
+            trace: AnytimeTrace::new(),
+            best_at_k: None,
+            best_energy: f64::INFINITY,
+            best_molecule: init_part,
+            best_value_per_k: BTreeMap::new(),
+        };
+        // Phase 1 uses no temperature, no secondary fissions, and the
+        // sharpest (frozen) α, so every undersized atom fuses.
+        let sharp = alpha(
+            cfg.t_min,
+            cfg.t_max,
+            cfg.t_min,
+            cfg.choice_k,
+            cfg.choice_r,
+            ideal,
+        );
+        let dt = (cfg.t_max - cfg.t_min) / cfg.nbt as f64;
+        let mut run = FusionFissionRun {
+            g,
+            cfg,
+            s,
+            ideal,
+            sharp,
+            dt,
+            t: cfg.t_max,
+            agglomerating: !skip_agglomeration,
+        };
+        run.observe();
+        run
+    }
+}
+
+/// A live fusion–fission search that can be advanced in bounded chunks.
+///
+/// Produced by [`FusionFission::start`]. Between chunks the owner may
+/// [`inject`](FusionFissionRun::inject) a foreign molecule — the hook the
+/// `ff-engine` island ensemble uses for KaFFPaE-style best-molecule
+/// migration — and finally [`harvest`](FusionFissionRun::harvest) the
+/// result. The search is a pure function of (graph, config, seed, injected
+/// molecules): wall-clock only enters through time-based stop conditions.
+pub struct FusionFissionRun<'g> {
+    g: &'g Graph,
+    cfg: FusionFissionConfig,
+    s: Search<'g>,
+    ideal: f64,
+    sharp: f64,
+    dt: f64,
+    t: f64,
+    agglomerating: bool,
+}
+
+impl<'g> FusionFissionRun<'g> {
+    fn energy_of_current(&self) -> f64 {
         scaled_energy(
-            st.objective(self.cfg.objective),
+            self.s.st.objective(self.cfg.objective),
             self.cfg.objective,
-            st.partition().num_nonempty_parts(),
+            self.s.st.partition().num_nonempty_parts(),
             self.cfg.k,
             self.cfg.use_energy_scaling,
         )
     }
 
-    fn live_atoms(st: &CutState) -> Vec<u32> {
+    fn live_atoms(&self) -> Vec<u32> {
+        let st = &self.s.st;
         (0..st.partition().num_parts() as u32)
             .filter(|&p| st.partition().part_size(p) > 0)
             .collect()
     }
 
     /// Records the current molecule into best-trackers and the trace.
-    fn observe(&self, s: &mut Search) {
+    fn observe(&mut self) {
+        let s = &mut self.s;
         let live = s.st.partition().num_nonempty_parts();
         let value = s.st.objective(self.cfg.objective);
         let entry = s.best_value_per_k.entry(live).or_insert(f64::INFINITY);
@@ -148,7 +242,8 @@ impl<'g> FusionFission<'g> {
 
     /// One fusion of `atom`, with law-driven nucleon ejection.
     /// Returns `(law_size, chosen_ejection)` when a fusion happened.
-    fn do_fusion(&self, s: &mut Search, atom: u32, t_norm: f64) -> Option<(usize, usize)> {
+    fn do_fusion(&mut self, atom: u32, t_norm: f64) -> Option<(usize, usize)> {
+        let s = &mut self.s;
         let partner = select_partner(&s.st, atom, t_norm, self.cfg.size_bias, &mut s.rng)?;
         let merged = fuse(&mut s.st, atom, partner);
         let size = s.st.partition().part_size(merged);
@@ -163,12 +258,12 @@ impl<'g> FusionFission<'g> {
     /// One fission of `atom` (§4.2), optionally with secondary fissions at
     /// high temperature. Returns `(law_size, chosen_ejection)`.
     fn do_fission(
-        &self,
-        s: &mut Search,
+        &mut self,
         atom: u32,
         t_norm: f64,
         allow_secondary: bool,
     ) -> Option<(usize, usize)> {
+        let s = &mut self.s;
         let size_before = s.st.partition().part_size(atom);
         let new_half = fission_split(&mut s.st, atom, self.cfg.splitter, &mut s.rng)?;
         let law = s.laws.law(Reaction::Fission, size_before);
@@ -201,7 +296,8 @@ impl<'g> FusionFission<'g> {
     }
 
     /// Compacts away accumulated empty part slots when they dominate.
-    fn maybe_compact(&self, s: &mut Search<'g>) {
+    fn maybe_compact(&mut self) {
+        let s = &mut self.s;
         let total = s.st.partition().num_parts();
         let live = s.st.partition().num_nonempty_parts();
         if total > 2 * live + 64 {
@@ -213,131 +309,192 @@ impl<'g> FusionFission<'g> {
         }
     }
 
-    /// Runs initialization (Algorithm 2) followed by the core loop
-    /// (Algorithm 1).
-    pub fn run(&self) -> FusionFissionResult {
-        let cfg = &self.cfg;
-        cfg.validate();
-        let g = self.g;
-        let n = g.num_vertices();
-        assert!(n >= 1, "graph must have vertices");
-        assert!(cfg.k <= n, "more parts than vertices");
-        let ideal = n as f64 / cfg.k as f64;
+    /// Reinforces or weakens the law a reaction used, based on whether the
+    /// molecule's scaled energy improved.
+    fn learn(&mut self, outcome: Option<(Reaction, (usize, usize))>, e_before: f64) {
+        if let Some((reaction, (law_size, eject))) = outcome {
+            let improved = self.energy_of_current() < e_before;
+            if self.cfg.learn_laws {
+                self.s
+                    .laws
+                    .law_mut(reaction, law_size)
+                    .update(eject, improved, self.cfg.law_rate);
+            }
+        }
+    }
 
-        let init_part = match &self.warm_start {
-            Some(p) => p.clone(),
-            None => Partition::singletons(g),
+    /// One step of Algorithm 2 (fusion-dominated agglomeration).
+    fn init_step(&mut self) {
+        let cfg = self.cfg;
+        self.s.step += 1;
+        let atoms = self.live_atoms();
+        let atom = atoms[self.s.rng.gen_range(0..atoms.len())];
+        let x = self.s.st.partition().part_size(atom) as f64;
+        let e_before = self.energy_of_current();
+        let wants_fission =
+            self.s.rng.gen::<f64>() < choice_with(cfg.choice_fn, x, self.ideal, self.sharp);
+        let outcome = if wants_fission {
+            self.do_fission(atom, 0.0, false)
+                .map(|o| (Reaction::Fission, o))
+        } else {
+            self.do_fusion(atom, 0.25).map(|o| (Reaction::Fusion, o))
         };
-        let skip_agglomeration = self.warm_start.is_some();
-        let mut s = Search {
-            st: CutState::new(g, init_part.clone()),
-            laws: LawTable::new(n),
-            rng: ChaCha8Rng::seed_from_u64(self.seed),
-            step: 0,
-            started: Instant::now(),
-            trace: AnytimeTrace::new(),
-            best_at_k: None,
-            best_energy: f64::INFINITY,
-            best_molecule: init_part,
-            best_value_per_k: BTreeMap::new(),
-        };
-        self.observe(&mut s);
+        self.learn(outcome, e_before);
+        self.observe();
+        self.maybe_compact();
+    }
 
-        // --- Phase 1: initialization (Algorithm 2) -----------------------
-        // No temperature, no secondary fissions, fusion-dominated choice:
-        // the sharpest α makes every undersized atom fuse. Skipped entirely
-        // for warm-started runs.
-        let sharp = alpha(
-            cfg.t_min,
+    /// One step of Algorithm 1 (the temperature-driven core loop),
+    /// including cooling and the freeze-reheat restart.
+    fn core_step(&mut self) {
+        let cfg = self.cfg;
+        self.s.step += 1;
+        let t_norm = (self.t - cfg.t_min) / (cfg.t_max - cfg.t_min);
+        let atoms = self.live_atoms();
+        let atom = atoms[self.s.rng.gen_range(0..atoms.len())];
+        let x = self.s.st.partition().part_size(atom) as f64;
+        let a = alpha(
+            self.t,
             cfg.t_max,
             cfg.t_min,
             cfg.choice_k,
             cfg.choice_r,
-            ideal,
+            self.ideal,
         );
-        while !skip_agglomeration
-            && s.st.partition().num_nonempty_parts() > cfg.k
-            && !cfg.stop.should_stop(s.step, s.started)
-        {
-            s.step += 1;
-            let atoms = Self::live_atoms(&s.st);
-            let atom = atoms[s.rng.gen_range(0..atoms.len())];
-            let x = s.st.partition().part_size(atom) as f64;
-            let e_before = self.energy_of(&s.st);
-            let outcome = if s.rng.gen::<f64>() < choice_with(cfg.choice_fn, x, ideal, sharp) {
-                self.do_fission(&mut s, atom, 0.0, false)
-                    .map(|o| (Reaction::Fission, o))
-            } else {
-                self.do_fusion(&mut s, atom, 0.25)
-                    .map(|o| (Reaction::Fusion, o))
-            };
-            if let Some((reaction, (law_size, eject))) = outcome {
-                let improved = self.energy_of(&s.st) < e_before;
-                if cfg.learn_laws {
-                    s.laws
-                        .law_mut(reaction, law_size)
-                        .update(eject, improved, cfg.law_rate);
-                }
-            }
-            self.observe(&mut s);
-            self.maybe_compact(&mut s);
+        let e_before = self.energy_of_current();
+
+        let wants_fission = self.s.rng.gen::<f64>() < choice_with(cfg.choice_fn, x, self.ideal, a);
+        let outcome = if wants_fission {
+            self.do_fission(atom, t_norm, true)
+                .map(|o| (Reaction::Fission, o))
+                // Unsplittable singleton: fuse it away instead.
+                .or_else(|| self.do_fusion(atom, t_norm).map(|o| (Reaction::Fusion, o)))
+        } else {
+            self.do_fusion(atom, t_norm)
+                .map(|o| (Reaction::Fusion, o))
+                .or_else(|| {
+                    self.do_fission(atom, t_norm, true)
+                        .map(|o| (Reaction::Fission, o))
+                })
+        };
+        self.learn(outcome, e_before);
+        self.observe();
+        self.maybe_compact();
+
+        // Cool; reheat-restart from the best molecule when frozen.
+        self.t -= self.dt;
+        if self.t <= cfg.t_min {
+            self.t = cfg.t_max;
+            self.s.st = CutState::new(self.g, self.s.best_molecule.clone());
         }
+    }
 
-        // --- Phase 2: the core loop (Algorithm 1) ------------------------
-        let mut t = cfg.t_max;
-        let dt = (cfg.t_max - cfg.t_min) / cfg.nbt as f64;
-        while !cfg.stop.should_stop(s.step, s.started) {
-            s.step += 1;
-            let t_norm = (t - cfg.t_min) / (cfg.t_max - cfg.t_min);
-            let atoms = Self::live_atoms(&s.st);
-            let atom = atoms[s.rng.gen_range(0..atoms.len())];
-            let x = s.st.partition().part_size(atom) as f64;
-            let a = alpha(t, cfg.t_max, cfg.t_min, cfg.choice_k, cfg.choice_r, ideal);
-            let e_before = self.energy_of(&s.st);
-
-            let wants_fission = s.rng.gen::<f64>() < choice_with(cfg.choice_fn, x, ideal, a);
-            let outcome = if wants_fission {
-                self.do_fission(&mut s, atom, t_norm, true)
-                    .map(|o| (Reaction::Fission, o))
-                    // Unsplittable singleton: fuse it away instead.
-                    .or_else(|| {
-                        self.do_fusion(&mut s, atom, t_norm)
-                            .map(|o| (Reaction::Fusion, o))
-                    })
-            } else {
-                self.do_fusion(&mut s, atom, t_norm)
-                    .map(|o| (Reaction::Fusion, o))
-                    .or_else(|| {
-                        self.do_fission(&mut s, atom, t_norm, true)
-                            .map(|o| (Reaction::Fission, o))
-                    })
-            };
-            if let Some((reaction, (law_size, eject))) = outcome {
-                let improved = self.energy_of(&s.st) < e_before;
-                if cfg.learn_laws {
-                    s.laws
-                        .law_mut(reaction, law_size)
-                        .update(eject, improved, cfg.law_rate);
-                }
+    /// Executes one search step. Returns `false` (doing nothing) once the
+    /// stop condition is met.
+    pub fn step_once(&mut self) -> bool {
+        if self.cfg.stop.should_stop(self.s.step, self.s.started) {
+            return false;
+        }
+        if self.agglomerating {
+            if self.s.st.partition().num_nonempty_parts() > self.cfg.k {
+                self.init_step();
+                return true;
             }
-            self.observe(&mut s);
-            self.maybe_compact(&mut s);
+            self.agglomerating = false;
+        }
+        self.core_step();
+        true
+    }
 
-            // Cool; reheat-restart from the best molecule when frozen.
-            t -= dt;
-            if t <= cfg.t_min {
-                t = cfg.t_max;
-                s.st = CutState::new(g, s.best_molecule.clone());
+    /// Executes up to `max_steps` steps. Returns `true` while the stop
+    /// condition has not been reached (i.e. there is more work to do).
+    pub fn advance(&mut self, max_steps: u64) -> bool {
+        for _ in 0..max_steps {
+            if !self.step_once() {
+                return false;
             }
         }
+        !self.cfg.stop.should_stop(self.s.step, self.s.started)
+    }
 
-        // --- Harvest ------------------------------------------------------
+    /// Whether the stop condition has been reached.
+    pub fn finished(&self) -> bool {
+        self.cfg.stop.should_stop(self.s.step, self.s.started)
+    }
+
+    /// Steps executed so far (initialization included).
+    pub fn steps(&self) -> u64 {
+        self.s.step
+    }
+
+    /// Lowest scaled energy seen so far, across all part counts.
+    pub fn best_energy(&self) -> f64 {
+        self.s.best_energy
+    }
+
+    /// The molecule holding [`FusionFissionRun::best_energy`] — the
+    /// reheat-restart point.
+    pub fn best_molecule(&self) -> &Partition {
+        &self.s.best_molecule
+    }
+
+    /// Best `(value, partition)` seen with exactly the target k parts.
+    pub fn best_at_target(&self) -> Option<(f64, &Partition)> {
+        self.s.best_at_k.as_ref().map(|(v, p)| (*v, p))
+    }
+
+    /// The configuration this run was started with.
+    pub fn config(&self) -> &FusionFissionConfig {
+        &self.cfg
+    }
+
+    /// Offers a foreign molecule (an island-migration candidate). It is
+    /// adopted as the new best molecule — hence the next freeze-reheat
+    /// restart point — iff its scaled energy strictly beats the current
+    /// best. The in-flight walk is not interrupted, mirroring the paper's
+    /// reheat-from-best rule. Returns whether the molecule was adopted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `molecule` is for a different vertex count.
+    pub fn inject(&mut self, molecule: &Partition) -> bool {
+        assert_eq!(
+            molecule.num_vertices(),
+            self.g.num_vertices(),
+            "molecule size mismatch"
+        );
+        let value = self.cfg.objective.evaluate(self.g, molecule);
+        let energy = scaled_energy(
+            value,
+            self.cfg.objective,
+            molecule.num_nonempty_parts(),
+            self.cfg.k,
+            self.cfg.use_energy_scaling,
+        );
+        if energy < self.s.best_energy {
+            self.s.best_energy = energy;
+            self.s.best_molecule = molecule.clone();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Steps to the stop condition, then harvests.
+    pub fn run_to_completion(mut self) -> FusionFissionResult {
+        while self.step_once() {}
+        self.harvest()
+    }
+
+    /// Consumes the run, producing the final result.
+    pub fn harvest(self) -> FusionFissionResult {
+        let s = self.s;
         let (best_value, mut best) = match s.best_at_k {
             Some((v, p)) => (v, p),
             None => {
                 // Target k never visited (tiny budgets): fall back to the
                 // best molecule regardless of its part count.
-                let v = self.cfg.objective.evaluate(g, &s.best_molecule);
+                let v = self.cfg.objective.evaluate(self.g, &s.best_molecule);
                 (v, s.best_molecule.clone())
             }
         };
@@ -497,6 +654,57 @@ mod tests {
             "visited {:?}",
             res.best_value_per_k.keys().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn chunked_advance_matches_one_shot() {
+        let g = random_geometric(50, 0.25, 3);
+        let cfg = FusionFissionConfig::fast(4);
+        let oneshot = FusionFission::new(&g, cfg, 9).run();
+        let mut run = FusionFission::new(&g, cfg, 9).start();
+        while run.advance(97) {}
+        assert!(run.finished());
+        let chunked = run.harvest();
+        assert_eq!(oneshot.best.assignment(), chunked.best.assignment());
+        assert_eq!(oneshot.best_value, chunked.best_value);
+        assert_eq!(oneshot.best_energy, chunked.best_energy);
+        assert_eq!(oneshot.steps, chunked.steps);
+        assert_eq!(oneshot.best_value_per_k, chunked.best_value_per_k);
+    }
+
+    #[test]
+    fn inject_adopts_only_strictly_better_molecules() {
+        let g = two_cliques_bridge(8, 2.0, 0.1);
+        let mut run = FusionFission::new(&g, FusionFissionConfig::fast(2), 1).start();
+        run.advance(2);
+        // The optimal bisection (cut only the bridge) beats anything a
+        // 2-step-old search holds (still mid-agglomeration, mostly
+        // singleton atoms).
+        let optimal = Partition::from_assignment(
+            &g,
+            (0..16).map(|v| u32::from(v >= 8)).collect::<Vec<_>>(),
+            2,
+        );
+        assert!(run.inject(&optimal), "optimal molecule must be adopted");
+        assert_eq!(run.best_molecule().assignment(), optimal.assignment());
+        let adopted_energy = run.best_energy();
+        // Re-offering the same molecule is not *strictly* better.
+        assert!(!run.inject(&optimal));
+        // A much worse molecule (all singletons) is rejected.
+        assert!(!run.inject(&Partition::singletons(&g)));
+        assert_eq!(run.best_energy(), adopted_energy);
+        // The run keeps working and still harvests the target k.
+        let res = run.run_to_completion();
+        assert_eq!(res.best.num_nonempty_parts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn inject_wrong_size_panics() {
+        let g = random_geometric(20, 0.4, 1);
+        let h = random_geometric(10, 0.4, 1);
+        let mut run = FusionFission::new(&g, FusionFissionConfig::fast(2), 1).start();
+        run.inject(&Partition::random(&h, 2, 1));
     }
 
     #[test]

@@ -21,6 +21,23 @@
 //! Initialization (§4.2, Algorithm 2) is a simplified loop run from the
 //! all-singletons molecule with a fusion-dominated choice heuristic.
 //!
+//! ## The analogy, term by term
+//!
+//! | paper term | code |
+//! |---|---|
+//! | nucleon | a vertex ([`ff_graph::VertexId`]) |
+//! | atom | a part id (`u32`) within a [`ff_partition::Partition`] |
+//! | molecule | the whole [`ff_partition::Partition`] |
+//! | fusion / fission reaction | [`ops::fuse`] / [`ops::fission_split`] |
+//! | ejected nucleons | [`ops::weakest_nucleons`] + [`ops::nfusion`] |
+//! | physical laws | [`LawTable`] (learned ejection-count distributions) |
+//! | binding energy | [`scaled_energy`] (part-count-comparable objective) |
+//! | temperature | `t_max`/`t_min`/`nbt` in [`FusionFissionConfig`] |
+//!
+//! For parallel multi-seed runs of this search with best-molecule
+//! exchange, see the `ff-engine` crate, which drives the resumable
+//! [`FusionFissionRun`] handle.
+//!
 //! ```
 //! use ff_core::{FusionFission, FusionFissionConfig};
 //! use ff_graph::generators::two_cliques_bridge;
@@ -40,7 +57,7 @@ pub mod energy;
 pub mod laws;
 pub mod ops;
 
-pub use algorithm::{FusionFission, FusionFissionResult};
+pub use algorithm::{FusionFission, FusionFissionResult, FusionFissionRun};
 pub use choice::{alpha, choice, choice_with, ChoiceFunction};
 pub use config::{FissionSplitter, FusionFissionConfig};
 pub use energy::{binding_factor, scaled_energy};

@@ -1,0 +1,316 @@
+//! The island ensemble: N fusion–fission searches, lockstep epochs,
+//! best-molecule migration, deterministic reduction.
+
+use crate::seeds::derive_seeds;
+use ff_core::{FusionFission, FusionFissionConfig, FusionFissionResult, FusionFissionRun};
+use ff_graph::Graph;
+use ff_metaheur::{AnytimeTrace, MetaheuristicResult};
+use ff_partition::Partition;
+use std::collections::BTreeMap;
+
+/// Configuration for [`Ensemble`].
+#[derive(Clone, Copy, Debug)]
+pub struct EnsembleConfig {
+    /// Number of independently seeded island searches (≥ 1).
+    pub islands: usize,
+    /// Concurrent OS threads per epoch; `0` means one per island. With
+    /// fewer threads than islands, each epoch runs the islands in waves —
+    /// results are identical for any cap when the stop condition is
+    /// step-based (time-based budgets tick while later waves wait).
+    pub max_threads: usize,
+    /// Steps each island advances between barriers; at each barrier the
+    /// globally best molecule is offered to every island. `0` disables
+    /// migration (pure independent multi-start).
+    pub migration_interval: u64,
+    /// The per-island search configuration, including the per-island stop
+    /// condition (a steps budget is per island, so total work scales with
+    /// `islands`; a wall-clock budget runs the islands concurrently).
+    pub base: FusionFissionConfig,
+}
+
+impl EnsembleConfig {
+    /// Ensemble of `islands` searches over `base`, migrating every 1024
+    /// steps, one thread per island.
+    pub fn new(base: FusionFissionConfig, islands: usize) -> Self {
+        EnsembleConfig {
+            islands,
+            max_threads: 0,
+            migration_interval: 1024,
+            base,
+        }
+    }
+
+    /// Validates invariants; called by [`Ensemble::run`].
+    pub fn validate(&self) {
+        assert!(self.islands >= 1, "need at least one island");
+        self.base.validate();
+    }
+}
+
+/// Result of an ensemble run.
+#[derive(Clone, Debug)]
+pub struct EnsembleResult {
+    /// Best partition across all islands (ties go to the lowest island
+    /// index). It has exactly the target k non-empty parts whenever the
+    /// winning island visited k at all; under a budget too tiny for that,
+    /// it falls back to that island's best molecule at whatever part count
+    /// it holds (same contract as [`FusionFissionResult::best`]).
+    pub best: Partition,
+    /// Objective value of [`EnsembleResult::best`]; always equal to the
+    /// minimum of the islands' `best_value`s.
+    pub best_value: f64,
+    /// Index of the island that holds [`EnsembleResult::best`].
+    pub best_island: usize,
+    /// Every island's own result, in island order.
+    pub islands: Vec<FusionFissionResult>,
+    /// Ensemble-level best-so-far trace
+    /// ([`AnytimeTrace::merged`] over the island traces).
+    pub trace: AnytimeTrace,
+    /// Total steps executed across all islands.
+    pub steps: u64,
+    /// How many migration offers were adopted (a foreign molecule strictly
+    /// beat an island's own best).
+    pub migrations_adopted: u64,
+    /// Best value seen at every visited part count, min-merged across
+    /// islands.
+    pub best_value_per_k: BTreeMap<usize, f64>,
+}
+
+impl EnsembleResult {
+    /// Converts into the common metaheuristic result shape.
+    pub fn into_metaheuristic_result(self) -> MetaheuristicResult {
+        MetaheuristicResult {
+            best: self.best,
+            best_value: self.best_value,
+            steps: self.steps,
+            trace: self.trace,
+        }
+    }
+}
+
+/// The parallel multi-seed ensemble runner. See the crate docs for the
+/// execution model and determinism guarantees.
+pub struct Ensemble<'g> {
+    g: &'g Graph,
+    cfg: EnsembleConfig,
+    root_seed: u64,
+}
+
+/// Index of the minimum of `key(0..n)`, ties to the lowest index (strict
+/// `<` never replaces on equality; NaN never wins).
+fn argmin_by(n: usize, key: impl Fn(usize) -> f64) -> usize {
+    let mut best = 0;
+    for i in 1..n {
+        if key(i) < key(best) {
+            best = i;
+        }
+    }
+    best
+}
+
+impl<'g> Ensemble<'g> {
+    /// Prepares an ensemble on `g`. Island seeds are derived from
+    /// `root_seed` with [`derive_seeds`].
+    pub fn new(g: &'g Graph, cfg: EnsembleConfig, root_seed: u64) -> Self {
+        Ensemble { g, cfg, root_seed }
+    }
+
+    /// Runs all islands to their stop conditions and reduces.
+    pub fn run(&self) -> EnsembleResult {
+        let cfg = &self.cfg;
+        cfg.validate();
+        let n = cfg.islands;
+        let seeds = derive_seeds(self.root_seed, n);
+        let mut runs: Vec<FusionFissionRun<'g>> = seeds
+            .iter()
+            .map(|&seed| FusionFission::new(self.g, cfg.base, seed).start())
+            .collect();
+
+        let chunk = if cfg.migration_interval == 0 {
+            u64::MAX
+        } else {
+            cfg.migration_interval
+        };
+        let cap = if cfg.max_threads == 0 {
+            n
+        } else {
+            cfg.max_threads.max(1)
+        };
+        let mut migrations_adopted = 0u64;
+        loop {
+            // One epoch: every island advances `chunk` steps, in waves of
+            // at most `cap` threads. Each island's state evolution depends
+            // only on its own seed and past injections, so wave layout
+            // cannot change results.
+            let mut more = vec![false; n];
+            for (wave, flags) in runs.chunks_mut(cap).zip(more.chunks_mut(cap)) {
+                std::thread::scope(|scope| {
+                    for (run, flag) in wave.iter_mut().zip(flags.iter_mut()) {
+                        scope.spawn(move || {
+                            *flag = run.advance(chunk);
+                        });
+                    }
+                });
+            }
+            if !more.iter().any(|&b| b) {
+                break;
+            }
+            // Barrier reached: migrate the globally best molecule. Islands
+            // already at or below the donor's energy would reject the
+            // offer, so skip them up front and spare the O(m) re-scoring
+            // `inject` performs for candidates it actually considers.
+            if n > 1 && cfg.migration_interval > 0 {
+                let donor = argmin_by(n, |i| runs[i].best_energy());
+                let donor_energy = runs[donor].best_energy();
+                let molecule = runs[donor].best_molecule().clone();
+                for (i, run) in runs.iter_mut().enumerate() {
+                    if i != donor && run.best_energy() > donor_energy && run.inject(&molecule) {
+                        migrations_adopted += 1;
+                    }
+                }
+            }
+        }
+
+        let islands: Vec<FusionFissionResult> = runs.into_iter().map(|r| r.harvest()).collect();
+        let best_island = argmin_by(n, |i| islands[i].best_value);
+        let trace = AnytimeTrace::merged(islands.iter().map(|r| &r.trace));
+        let mut best_value_per_k = BTreeMap::new();
+        for r in &islands {
+            for (&k, &v) in &r.best_value_per_k {
+                let entry = best_value_per_k.entry(k).or_insert(f64::INFINITY);
+                if v < *entry {
+                    *entry = v;
+                }
+            }
+        }
+        EnsembleResult {
+            best: islands[best_island].best.clone(),
+            best_value: islands[best_island].best_value,
+            best_island,
+            steps: islands.iter().map(|r| r.steps).sum(),
+            migrations_adopted,
+            trace,
+            best_value_per_k,
+            islands,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_graph::generators::{planted_partition, random_geometric, two_cliques_bridge};
+    use ff_metaheur::StopCondition;
+
+    fn fast_cfg(k: usize, islands: usize) -> EnsembleConfig {
+        let mut cfg = EnsembleConfig::new(FusionFissionConfig::fast(k), islands);
+        cfg.migration_interval = 300;
+        cfg
+    }
+
+    #[test]
+    fn single_island_matches_plain_fusion_fission() {
+        let g = random_geometric(50, 0.25, 3);
+        let cfg = fast_cfg(4, 1);
+        let ens = Ensemble::new(&g, cfg, 11).run();
+        let seed = derive_seeds(11, 1)[0];
+        let solo = FusionFission::new(&g, cfg.base, seed).run();
+        assert_eq!(ens.best.assignment(), solo.best.assignment());
+        assert_eq!(ens.best_value, solo.best_value);
+        assert_eq!(ens.steps, solo.steps);
+        assert_eq!(ens.migrations_adopted, 0);
+    }
+
+    #[test]
+    fn byte_identical_across_runs_and_thread_caps() {
+        let g = random_geometric(60, 0.25, 7);
+        for islands in [1usize, 4] {
+            let mut results = Vec::new();
+            for max_threads in [0usize, 1, 2] {
+                let mut cfg = fast_cfg(4, islands);
+                cfg.max_threads = max_threads;
+                results.push(Ensemble::new(&g, cfg, 99).run());
+            }
+            for r in &results[1..] {
+                assert_eq!(r.best.assignment(), results[0].best.assignment());
+                assert_eq!(r.best_value, results[0].best_value);
+                assert_eq!(r.steps, results[0].steps);
+                assert_eq!(r.migrations_adopted, results[0].migrations_adopted);
+                assert_eq!(r.best_value_per_k, results[0].best_value_per_k);
+            }
+        }
+    }
+
+    #[test]
+    fn best_is_min_over_islands() {
+        let g = planted_partition(4, 10, 0.85, 0.03, 5);
+        let res = Ensemble::new(&g, fast_cfg(4, 4), 2).run();
+        assert_eq!(res.islands.len(), 4);
+        let min = res
+            .islands
+            .iter()
+            .map(|r| r.best_value)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(res.best_value, min);
+        assert_eq!(res.best_value, res.islands[res.best_island].best_value);
+        assert!(res.best.validate(&g));
+        assert_eq!(res.best.num_nonempty_parts(), 4);
+        assert_eq!(res.steps, res.islands.iter().map(|r| r.steps).sum::<u64>());
+    }
+
+    #[test]
+    fn ensemble_never_loses_to_its_worst_island() {
+        let g = two_cliques_bridge(8, 2.0, 0.1);
+        let res = Ensemble::new(&g, fast_cfg(2, 3), 5).run();
+        for island in &res.islands {
+            assert!(res.best_value <= island.best_value);
+        }
+        // On this instance every island should find the bridge-only cut.
+        assert!((res.best_value - 2.0 * (0.1 / 112.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migration_disabled_is_pure_multistart() {
+        let g = random_geometric(50, 0.25, 3);
+        let mut cfg = fast_cfg(3, 3);
+        cfg.migration_interval = 0;
+        let ens = Ensemble::new(&g, cfg, 8).run();
+        assert_eq!(ens.migrations_adopted, 0);
+        // Each island must equal its own independent run.
+        for (i, &seed) in derive_seeds(8, 3).iter().enumerate() {
+            let solo = FusionFission::new(&g, cfg.base, seed).run();
+            assert_eq!(ens.islands[i].best.assignment(), solo.best.assignment());
+        }
+    }
+
+    #[test]
+    fn merged_trace_is_monotone_and_reaches_best() {
+        let g = random_geometric(60, 0.25, 4);
+        let res = Ensemble::new(&g, fast_cfg(4, 4), 3).run();
+        let pts = res.trace.points();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[1].value < w[0].value);
+        }
+        assert_eq!(res.trace.final_value(), Some(res.best_value));
+    }
+
+    #[test]
+    fn respects_per_island_step_budget() {
+        let g = random_geometric(40, 0.3, 2);
+        let mut cfg = fast_cfg(3, 3);
+        cfg.base.stop = StopCondition::steps(500);
+        let res = Ensemble::new(&g, cfg, 1).run();
+        for island in &res.islands {
+            assert!(island.steps <= 500);
+        }
+        assert!(res.steps <= 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one island")]
+    fn zero_islands_panics() {
+        let g = random_geometric(10, 0.5, 1);
+        Ensemble::new(&g, fast_cfg(2, 0), 1).run();
+    }
+}

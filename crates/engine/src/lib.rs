@@ -1,0 +1,58 @@
+//! # ff-engine — parallel multi-seed ensemble over fusion–fission
+//!
+//! The paper's search is restart-friendly by construction: it reheats from
+//! the best molecule whenever the temperature freezes, so it loses nothing
+//! by being told, mid-run, about a better molecule someone *else* found.
+//! This crate exploits that with island/ensemble parallelism in the style
+//! of KaFFPaE (Sanders & Schulz, *Distributed Evolutionary Graph
+//! Partitioning*): N independently seeded fusion–fission searches run on
+//! their own OS threads, and every `migration_interval` steps the globally
+//! best molecule (lowest scaled binding energy) is offered to every island
+//! as its new reheat-restart point.
+//!
+//! In the paper's vocabulary, an **island** is a separate beaker running
+//! its own reaction chain; **migration** pours the most stable molecule
+//! found so far into every other beaker.
+//!
+//! ## Determinism
+//!
+//! Results are reproducible regardless of thread scheduling:
+//!
+//! * per-island seeds are derived from one root seed with SplitMix64
+//!   ([`derive_seeds`]), so island i's stream never depends on how many
+//!   threads executed it,
+//! * islands advance in lockstep **epochs** of `migration_interval` steps
+//!   with a barrier between epochs; the exchanged molecule is chosen by a
+//!   deterministic reduction (lowest energy, ties to the lowest island
+//!   index), never by which thread finished first,
+//! * the merged anytime trace uses
+//!   [`ff_metaheur::AnytimeTrace::merged`]'s deterministic reduction.
+//!
+//! With a step-based [`ff_metaheur::StopCondition`] the ensemble's best
+//! partition and objective are therefore byte-identical across repeated
+//! runs and across any `max_threads` setting. Wall-clock stop conditions
+//! keep every *structural* guarantee (same reduction, same invariants) but
+//! naturally cut each island at a machine-dependent step count.
+//!
+//! ```
+//! use ff_engine::{Ensemble, EnsembleConfig};
+//! use ff_core::FusionFissionConfig;
+//! use ff_graph::generators::planted_partition;
+//!
+//! let g = planted_partition(4, 10, 0.85, 0.03, 5);
+//! let cfg = EnsembleConfig::new(FusionFissionConfig::fast(4), 4);
+//! let a = Ensemble::new(&g, cfg, 42).run();
+//! let b = Ensemble::new(&g, cfg, 42).run();
+//! assert_eq!(a.best.assignment(), b.best.assignment());
+//! // The ensemble best is the min over island bests.
+//! let island_min = a.islands.iter().map(|r| r.best_value).fold(f64::INFINITY, f64::min);
+//! assert_eq!(a.best_value, island_min);
+//! ```
+
+pub mod ensemble;
+pub mod pool;
+pub mod seeds;
+
+pub use ensemble::{Ensemble, EnsembleConfig, EnsembleResult};
+pub use pool::parallel_map;
+pub use seeds::derive_seeds;

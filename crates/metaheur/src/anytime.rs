@@ -64,6 +64,41 @@ impl AnytimeTrace {
     pub fn final_value(&self) -> Option<f64> {
         self.points.last().map(|p| p.value)
     }
+
+    /// Merges best-so-far traces from parallel runs (ensemble islands)
+    /// into the ensemble-level best-so-far trace.
+    ///
+    /// The reduction is deterministic for a fixed set of input points,
+    /// independent of argument order and thread scheduling: all points are
+    /// sorted by `(elapsed, step, value)` and only strictly-improving
+    /// values are kept, so the result is non-increasing like any single
+    /// trace. (The timestamps themselves are wall-clock, so two wall-clock
+    /// *runs* still differ in `elapsed`; the value sequence is what the
+    /// reduction pins down.)
+    pub fn merged<'a, I>(traces: I) -> AnytimeTrace
+    where
+        I: IntoIterator<Item = &'a AnytimeTrace>,
+    {
+        let mut pts: Vec<TracePoint> = traces
+            .into_iter()
+            .flat_map(|t| t.points.iter().copied())
+            .collect();
+        pts.sort_by(|a, b| {
+            a.elapsed
+                .cmp(&b.elapsed)
+                .then(a.step.cmp(&b.step))
+                .then(a.value.total_cmp(&b.value))
+        });
+        let mut out = AnytimeTrace::new();
+        let mut best = f64::INFINITY;
+        for p in pts {
+            if p.value < best {
+                best = p.value;
+                out.points.push(p);
+            }
+        }
+        out
+    }
 }
 
 /// When a metaheuristic run must stop (whichever limit hits first).
@@ -153,6 +188,36 @@ mod tests {
         assert!(s.should_stop(0, Instant::now()));
         let s2 = StopCondition::time(Duration::from_secs(3600));
         assert!(!s2.should_stop(0, Instant::now()));
+    }
+
+    #[test]
+    fn merged_is_order_independent_and_monotone() {
+        let mut a = AnytimeTrace::new();
+        a.record(Duration::from_millis(10), 5.0, 1);
+        a.record(Duration::from_millis(40), 2.0, 9);
+        let mut b = AnytimeTrace::new();
+        b.record(Duration::from_millis(20), 4.0, 3);
+        b.record(Duration::from_millis(30), 3.0, 5);
+        b.record(Duration::from_millis(50), 2.5, 12); // worse than a's 2.0 — dropped
+
+        let ab = AnytimeTrace::merged([&a, &b]);
+        let ba = AnytimeTrace::merged([&b, &a]);
+        let vals: Vec<f64> = ab.points().iter().map(|p| p.value).collect();
+        assert_eq!(vals, vec![5.0, 4.0, 3.0, 2.0]);
+        let vals_ba: Vec<f64> = ba.points().iter().map(|p| p.value).collect();
+        assert_eq!(vals, vals_ba);
+        for w in ab.points().windows(2) {
+            assert!(w[1].value < w[0].value);
+            assert!(w[1].elapsed >= w[0].elapsed);
+        }
+        assert_eq!(ab.final_value(), Some(2.0));
+    }
+
+    #[test]
+    fn merged_of_nothing_is_empty() {
+        assert!(AnytimeTrace::merged(std::iter::empty()).points().is_empty());
+        let empty = AnytimeTrace::new();
+        assert!(AnytimeTrace::merged([&empty]).points().is_empty());
     }
 
     #[test]

@@ -14,7 +14,22 @@
 //!   pheromone mass),
 //! * [`anytime`] — best-so-far traces with wall-clock stamps, the data
 //!   behind Figure 1, and the shared [`StopCondition`]/
-//!   [`MetaheuristicResult`] types.
+//!   [`MetaheuristicResult`] types ([`AnytimeTrace::merged`] is the
+//!   deterministic reduction the `ff-engine` island ensemble uses to
+//!   combine per-island traces).
+//!
+//! Every runner here is a pure function of (graph, config, seed):
+//!
+//! ```
+//! use ff_graph::generators::grid2d;
+//! use ff_metaheur::{percolation_partition, PercolationConfig};
+//!
+//! let g = grid2d(4, 4);
+//! let cfg = PercolationConfig::default();
+//! let p = percolation_partition(&g, 2, &cfg);
+//! assert_eq!(p.num_nonempty_parts(), 2);
+//! assert_eq!(p.assignment(), percolation_partition(&g, 2, &cfg).assignment());
+//! ```
 
 pub mod ant;
 pub mod anytime;

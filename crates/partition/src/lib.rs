@@ -13,6 +13,25 @@
 //!   Fiduccia–Mattheyses single-move passes with rollback, and greedy
 //!   k-way boundary refinement,
 //! * [`balance`] — part-weight balance metrics and constraints.
+//!
+//! In the paper's analogy this crate is the *molecule*: a [`Partition`] is
+//! the molecule, each part an atom, each vertex a nucleon; [`CutState`] is
+//! the calorimeter that re-measures a molecule's energy in O(deg v) per
+//! reaction instead of O(m).
+//!
+//! ```
+//! use ff_graph::generators::path;
+//! use ff_partition::{CutState, Objective, Partition};
+//!
+//! let g = path(6); // 0-1-2-3-4-5
+//! let mut st = CutState::new(&g, Partition::block(&g, 2)); // {0,1,2}|{3,4,5}
+//! assert_eq!(st.cut(), 1.0); // only edge 2-3 crosses
+//! // Predict a move without applying it, then apply and confirm:
+//! let delta = st.move_delta(Objective::Cut, 2, 1);
+//! st.move_vertex(2, 1);
+//! assert_eq!(st.cut(), 1.0 + delta);
+//! assert_eq!(st.objective(Objective::Cut), Objective::Cut.evaluate(&g, st.partition()));
+//! ```
 
 pub mod analysis;
 pub mod balance;

@@ -1,0 +1,65 @@
+//! Island-ensemble fusion–fission: N independently seeded searches with
+//! periodic best-molecule exchange (KaFFPaE-style), reduced
+//! deterministically — same root seed, same answer, any thread count.
+//!
+//! ```text
+//! cargo run --release --example ensemble
+//! ```
+
+use fusionfission::graph::generators::planted_partition;
+use fusionfission::metaheur::StopCondition;
+use fusionfission::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // Six planted communities the search has to dig out of the noise.
+    let g = planted_partition(6, 25, 0.30, 0.015, 7);
+    println!(
+        "graph: {} vertices, {} edges, target k = 6\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // A per-island step budget makes every run below a pure function of
+    // the root seed: reproducible regardless of scheduling.
+    let base = FusionFissionConfig {
+        stop: StopCondition::steps(12_000),
+        ..FusionFissionConfig::standard(6)
+    };
+
+    let mut single_best = f64::INFINITY;
+    for islands in [1usize, 4] {
+        let mut cfg = EnsembleConfig::new(base, islands);
+        cfg.migration_interval = 1_000;
+        let started = Instant::now();
+        let res = Ensemble::new(&g, cfg, 42).run();
+        let elapsed = started.elapsed();
+        println!(
+            "{islands} island(s): best Mcut {:.4} in {:.2?} wall \
+             ({} total steps, {} migrations adopted)",
+            res.best_value, elapsed, res.steps, res.migrations_adopted
+        );
+        for (i, island) in res.islands.iter().enumerate() {
+            let marker = if i == res.best_island {
+                "  ← best"
+            } else {
+                ""
+            };
+            println!("    island {i}: Mcut {:.4}{marker}", island.best_value);
+        }
+        // The ensemble best is the min over its islands' bests — a hard
+        // invariant within one run. Against a *separate* 1-island run it
+        // usually wins too (more restarts + migration), but that is a
+        // statistical tendency, not a guarantee: migration perturbs each
+        // island's trajectory away from its solo twin's.
+        if islands == 1 {
+            single_best = res.best_value;
+        } else {
+            println!(
+                "\n4 islands vs 1: Mcut {:.4} → {:.4} \
+                 (islands run concurrently, one thread each)",
+                single_best, res.best_value
+            );
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`multilevel`] (`ff-multilevel`) | heavy-edge multilevel partitioner |
 //! | [`metaheur`] (`ff-metaheur`) | simulated annealing, ant colony, percolation |
 //! | [`core`] (`ff-core`) | the fusion–fission metaheuristic itself |
+//! | [`engine`] (`ff-engine`) | parallel multi-seed island ensemble with best-molecule migration |
 //! | [`atc`] (`ff-atc`) | synthetic European-airspace FABOP workload |
 //!
 //! ## Quickstart
@@ -30,6 +31,7 @@
 
 pub use ff_atc as atc;
 pub use ff_core as core;
+pub use ff_engine as engine;
 pub use ff_graph as graph;
 pub use ff_linalg as linalg;
 pub use ff_metaheur as metaheur;
@@ -41,6 +43,7 @@ pub use ff_spectral as spectral;
 /// partitioner, evaluate objectives.
 pub mod prelude {
     pub use ff_core::{FusionFission, FusionFissionConfig, FusionFissionResult};
+    pub use ff_engine::{Ensemble, EnsembleConfig, EnsembleResult};
     pub use ff_graph::{Graph, GraphBuilder};
     pub use ff_metaheur::{
         ant::{AntColony, AntColonyConfig},

@@ -81,6 +81,41 @@ fn metaheuristics_are_deterministic_under_step_budgets() {
 }
 
 #[test]
+fn ensemble_is_thread_schedule_independent() {
+    let inst = FabopInstance::scaled(100, &FabopConfig::default());
+    let g = &inst.graph;
+    let base = FusionFissionConfig::fast(5);
+    for islands in [1usize, 4] {
+        let run = |max_threads: usize| {
+            let mut cfg = EnsembleConfig::new(base, islands);
+            cfg.migration_interval = 400;
+            cfg.max_threads = max_threads;
+            Ensemble::new(g, cfg, 99).run()
+        };
+        // Two invocations with the same root seed are identical…
+        let a = run(0);
+        let b = run(0);
+        assert_eq!(a.best.assignment(), b.best.assignment());
+        assert_eq!(a.best_value, b.best_value);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.migrations_adopted, b.migrations_adopted);
+        // …and so is a run squeezed through a single thread (scheduling
+        // cannot matter because the reduction is deterministic).
+        let c = run(1);
+        assert_eq!(a.best.assignment(), c.best.assignment());
+        assert_eq!(a.best_value, c.best_value);
+        // Invariant: the ensemble's best is the min over island bests.
+        let min = a
+            .islands
+            .iter()
+            .map(|r| r.best_value)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(a.best_value, min);
+        assert_eq!(a.islands.len(), islands);
+    }
+}
+
+#[test]
 fn percolation_is_deterministic() {
     let inst = FabopInstance::scaled(100, &FabopConfig::default());
     let cfg = PercolationConfig {

@@ -63,6 +63,54 @@ proptest! {
         }
     }
 
+    /// `CutState::move_delta` must agree with a full `Objective::evaluate`
+    /// re-scoring after the move, for all three objectives — the
+    /// incremental hot path every metaheuristic (and the `ff-engine`
+    /// ensemble on top of them) trusts on every step.
+    #[test]
+    fn move_delta_agrees_with_full_rescoring(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let k = rng.gen_range(2..5usize);
+        let mut st = fusionfission::partition::CutState::new(
+            &g,
+            Partition::random(&g, k, seed),
+        );
+        for _ in 0..40 {
+            let v = rng.gen_range(0..g.num_vertices()) as u32;
+            let to = rng.gen_range(0..k) as u32;
+            let before: Vec<f64> = Objective::all()
+                .iter()
+                .map(|obj| obj.evaluate(&g, st.partition()))
+                .collect();
+            let deltas: Vec<f64> = Objective::all()
+                .iter()
+                .map(|obj| st.move_delta(*obj, v, to))
+                .collect();
+            st.move_vertex(v, to);
+            for (obj, (b, d)) in Objective::all()
+                .iter()
+                .zip(before.iter().zip(deltas.iter()))
+            {
+                let after = obj.evaluate(&g, st.partition());
+                // Infinities (hollow parts under Mcut) make the global
+                // difference meaningless (∞−∞); the finite regime is the
+                // hot path the metaheuristics rely on.
+                if b.is_finite() && d.is_finite() && after.is_finite() {
+                    prop_assert!(
+                        ((after - b) - d).abs() < 1e-7,
+                        "{obj}: predicted delta {d}, actual {}",
+                        after - b
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn coarsening_preserves_weight_invariants(
         g in arb_graph(),
