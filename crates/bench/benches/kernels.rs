@@ -120,6 +120,29 @@ fn bench_move_bookkeeping(c: &mut Criterion) {
     });
 }
 
+fn bench_ff_steps(c: &mut Criterion) {
+    use ff_core::{FusionFission, FusionFissionConfig};
+    use ff_metaheur::StopCondition;
+    let inst = instance();
+    let g = &inst.graph;
+    let cfg = FusionFissionConfig {
+        stop: StopCondition::steps(u64::MAX),
+        ..FusionFissionConfig::standard(32)
+    };
+    // One persistent run with an unbounded budget: each iteration advances
+    // the same search by 64 steps, so this measures the steady-state cost
+    // of the step loop (atom pick, reaction, bookkeeping) — the hot path
+    // the ROADMAP's `live_atoms` item targets.
+    let mut run = FusionFission::new(g, cfg, 1).start();
+    run.advance(5_000); // past agglomeration, into the core loop
+    c.bench_function("ff_core_steps_x64_762", |b| {
+        b.iter(|| {
+            run.advance(64);
+            black_box(run.steps())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_spmv,
@@ -128,6 +151,7 @@ criterion_group!(
     bench_fm_pass,
     bench_mincut,
     bench_percolation,
-    bench_move_bookkeeping
+    bench_move_bookkeeping,
+    bench_ff_steps
 );
 criterion_main!(benches);

@@ -1,9 +1,36 @@
-//! `ffpart` — partition a graph file from the command line.
+//! `ffpart` — partition a graph file from the command line, or serve
+//! partition jobs to many clients.
 //!
 //! ```text
-//! ffpart <graph> -k <parts> [options]
+//! ffpart <graph> -k <parts> [options]      one-shot partitioning
+//! ffpart serve [serve-options]             run the NDJSON partition server
+//! ffpart submit [submit-options]           submit a job to a running server
 //!
-//! options:
+//! serve options:
+//!   --listen ADDR            bind address          (default 127.0.0.1:7411;
+//!                            use port 0 for an ephemeral port)
+//!   --workers N              compute slots shared by all in-flight jobs
+//!                            (default: one per core)
+//!   --stdio                  serve one client on stdin/stdout instead of TCP
+//!
+//! submit options:
+//!   --connect ADDR           server address (required)
+//!   <graph> -k N             instance file (server-side path) and part count
+//!   -o, --objective NAME     cut | ncut | mcut                 (default mcut)
+//!   --steps N                step budget per island (deterministic output
+//!                            when used without --deadline-ms)
+//!   --deadline-ms N          wall-clock budget from job start
+//!   -s, --seed N             root RNG seed                     (default 1)
+//!   -j, --islands N          island-ensemble width             (default 1)
+//!   --chunk N                cooperative scheduling quantum    (default 512)
+//!   --instance NAME          cache key                 (default: graph path)
+//!   -f, --format NAME        metis | edgelist                  (default metis)
+//!   -w, --write PATH         write the final partition (.part format)
+//!   --cancel-after-ms N      send a cancel N ms after acceptance (the job
+//!                            then returns its best-so-far partition)
+//!   -q, --quiet              suppress streamed improvement lines
+//!
+//! one-shot options:
 //!   -k, --parts N            number of parts (required)
 //!   -m, --method NAME        ff | sa | aco | percolation | multilevel |
 //!                            multilevel-kway | spectral | spectral-rqi |
@@ -29,7 +56,7 @@
 //!   -h, --help               this text
 //! ```
 //!
-//! Exit codes: 0 success, 2 usage error, 3 input error.
+//! Exit codes: 0 success, 2 usage error, 3 input/connection error.
 
 use ff_bench::{run_method_ensemble, MethodBudget, MethodId};
 use ff_graph::Graph;
@@ -40,7 +67,9 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: ffpart <graph> -k <parts> [-m method] [-o objective] \
 [-b budget-secs] [--steps n] [-s seed] [-j islands] [--threads n] [-f metis|edgelist] \
-[-w out.part] [-r] [-q]\nsee `ffpart --help`";
+[-w out.part] [-r] [-q]\n       ffpart serve [--listen addr] [--workers n] [--stdio]\n       \
+ffpart submit --connect addr <graph> -k <parts> [--steps n] [--deadline-ms n] …\n\
+see `ffpart --help`";
 
 struct Args {
     graph_path: String,
@@ -182,7 +211,284 @@ fn load_graph(path: &str, format: &str) -> Result<Graph, String> {
     }
 }
 
+/// `ffpart serve`: run the ff-service partition server.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut listen = "127.0.0.1:7411".to_string();
+    let mut workers = 0usize;
+    let mut stdio = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--listen" => match it.next() {
+                Some(v) => listen = v.clone(),
+                None => {
+                    eprintln!("ffpart serve: --listen needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => {
+                    eprintln!("ffpart serve: bad --workers value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--stdio" => stdio = true,
+            other => {
+                eprintln!("ffpart serve: unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if stdio {
+        ff_service::serve_stdio(workers);
+        return ExitCode::SUCCESS;
+    }
+    let server = match ff_service::Server::bind(&listen, workers) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ffpart serve: cannot bind {listen}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    match server.local_addr() {
+        // Scripts parse this line to learn the (possibly ephemeral) port.
+        Ok(addr) => println!("ffpart: serving on {addr}"),
+        Err(e) => {
+            eprintln!("ffpart serve: {e}");
+            return ExitCode::from(3);
+        }
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ffpart serve: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+/// `ffpart submit`: run one job against a server, streaming improvements.
+fn submit_main(args: &[String]) -> ExitCode {
+    let mut connect: Option<String> = None;
+    let mut graph_path: Option<String> = None;
+    let mut k: Option<usize> = None;
+    let mut objective = Objective::MCut;
+    let mut steps: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut seed = 1u64;
+    let mut islands = 1usize;
+    let mut chunk = ff_service::DEFAULT_CHUNK;
+    let mut instance: Option<String> = None;
+    let mut format = "metis".to_string();
+    let mut write: Option<String> = None;
+    let mut cancel_after_ms: Option<u64> = None;
+    let mut quiet = false;
+
+    let mut it = args.iter();
+    let usage_err = |msg: &str| {
+        eprintln!("ffpart submit: {msg}\n{USAGE}");
+        ExitCode::from(2)
+    };
+    while let Some(arg) = it.next() {
+        macro_rules! value_of {
+            ($flag:literal) => {
+                match it.next() {
+                    Some(v) => v.clone(),
+                    None => return usage_err(concat!($flag, " needs a value")),
+                }
+            };
+        }
+        macro_rules! parse_of {
+            ($flag:literal) => {
+                match value_of!($flag).parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage_err(concat!("bad ", $flag, " value")),
+                }
+            };
+        }
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--connect" => connect = Some(value_of!("--connect")),
+            "-k" | "--parts" => k = Some(parse_of!("-k")),
+            "-o" | "--objective" => {
+                let name = value_of!("-o");
+                objective = match parse_objective(&name) {
+                    Some(o) => o,
+                    None => return usage_err(&format!("unknown objective `{name}`")),
+                };
+            }
+            "--steps" => steps = Some(parse_of!("--steps")),
+            "--deadline-ms" => deadline_ms = Some(parse_of!("--deadline-ms")),
+            "-s" | "--seed" => seed = parse_of!("-s"),
+            "-j" | "--islands" => islands = parse_of!("-j"),
+            "--chunk" => chunk = parse_of!("--chunk"),
+            "--instance" => instance = Some(value_of!("--instance")),
+            "-f" | "--format" => format = value_of!("-f"),
+            "-w" | "--write" => write = Some(value_of!("-w")),
+            "--cancel-after-ms" => cancel_after_ms = Some(parse_of!("--cancel-after-ms")),
+            "-q" | "--quiet" => quiet = true,
+            other if other.starts_with('-') => {
+                return usage_err(&format!("unknown flag `{other}`"))
+            }
+            other => {
+                if graph_path.is_some() {
+                    return usage_err("multiple graph paths given");
+                }
+                graph_path = Some(other.to_string());
+            }
+        }
+    }
+    let Some(connect) = connect else {
+        return usage_err("missing --connect");
+    };
+    let Some(graph_path) = graph_path else {
+        return usage_err("missing graph path");
+    };
+    let Some(k) = k else {
+        return usage_err("missing -k");
+    };
+    if steps.is_none() && deadline_ms.is_none() {
+        return usage_err("need --steps and/or --deadline-ms");
+    }
+    let Some(format) = ff_service::GraphFormat::parse(&format) else {
+        return usage_err("unknown format (metis|edgelist)");
+    };
+
+    let mut client = match ff_service::Client::connect(&*connect) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ffpart submit: cannot connect to {connect}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let instance = instance.unwrap_or_else(|| graph_path.clone());
+    let loaded = client.load(
+        &instance,
+        ff_service::GraphSource::Path(graph_path.clone()),
+        format,
+    );
+    let (vertices, edges, cached) = match loaded {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("ffpart submit: load failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    eprintln!(
+        "ffpart: instance `{instance}` {vertices} vertices, {edges} edges{}",
+        if cached { " (cached)" } else { "" }
+    );
+    let job = ff_service::JobRequest {
+        instance,
+        k,
+        objective,
+        seed,
+        steps,
+        deadline_ms,
+        islands,
+        chunk,
+        assignment: true,
+    };
+    let id = match client.submit(&job) {
+        Ok(id) => id,
+        // The server rejecting the request (bad k, unknown instance) is a
+        // usage error (2); a dropped/failed connection is exit 3, matching
+        // the documented contract.
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            eprintln!("ffpart submit: rejected: {e}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("ffpart submit: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    eprintln!("ffpart: job {id} accepted");
+    if let Some(ms) = cancel_after_ms {
+        // Cancel over a second connection — the job registry is
+        // server-wide, so any client may cancel by id.
+        let connect = connect.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(ms));
+            if let Ok(mut canceller) = ff_service::Client::connect(&*connect) {
+                let _ = canceller.cancel(id);
+            }
+        });
+    }
+    // Stream events as they arrive — printing an improvement the moment
+    // the server finds it is the point of an anytime server.
+    let done = loop {
+        match client.next_event() {
+            Ok(ff_service::Event::Improvement(imp)) if imp.job == id => {
+                if !quiet {
+                    println!(
+                        "improvement job={} value={:.6} step={} t={}ms island={}",
+                        imp.job, imp.value, imp.step, imp.elapsed_ms, imp.island
+                    );
+                }
+            }
+            Ok(ff_service::Event::Done(d)) if d.job == id => break d,
+            Ok(ff_service::Event::Error { message, job }) if job == Some(id) || job.is_none() => {
+                eprintln!("ffpart submit: job failed: {message}");
+                return ExitCode::from(3);
+            }
+            Ok(_) => {} // another job's event on a shared connection
+            Err(e) => {
+                eprintln!("ffpart submit: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    };
+    println!(
+        "done job={} status={} value={:.6} parts={} steps={} migrations={} time={}ms",
+        done.job,
+        match done.status {
+            ff_service::JobStatus::Completed => "completed",
+            ff_service::JobStatus::Cancelled => "cancelled",
+            ff_service::JobStatus::Deadline => "deadline",
+        },
+        done.value,
+        done.parts,
+        done.steps,
+        done.migrations,
+        done.elapsed_ms
+    );
+    if let Some(path) = write {
+        let Some(assignment) = &done.assignment else {
+            eprintln!("ffpart submit: server sent no assignment to write");
+            return ExitCode::from(3);
+        };
+        let mut text = String::new();
+        for part in assignment {
+            text.push_str(&part.to_string());
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("ffpart submit: cannot write {path}: {e}");
+            return ExitCode::from(3);
+        }
+        eprintln!("ffpart: partition written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return serve_main(&argv[1..]),
+        Some("submit") => return submit_main(&argv[1..]),
+        _ => {}
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) if e == "help" => {

@@ -176,6 +176,205 @@ fn help_exits_zero() {
 }
 
 #[test]
+fn malformed_graph_content_fails_cleanly_not_with_a_panic() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-badgraph-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, content) in [
+        ("junk.graph", "this is not a METIS file\nat all\n"),
+        ("truncated.graph", "6 7 001\n2 5\n"),
+        ("badneighbor.graph", "2 1\n5\n1\n"),
+        ("empty.graph", ""),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        let output = ffpart()
+            .args([path.to_str().unwrap(), "-k", "2"])
+            .output()
+            .unwrap();
+        assert_eq!(output.status.code(), Some(3), "{name} should exit 3");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(stderr.contains("ffpart:"), "{name}: no message: {stderr}");
+        assert!(
+            !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+            "{name} panicked: {stderr}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_k_and_objective_combinations_exit_2() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-badargs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+    let g = graph.to_str().unwrap();
+    // (args, fragment the error message must contain)
+    let cases: &[(&[&str], &str)] = &[
+        (&[g, "-k", "0"], "1..=6"),
+        (&[g, "-k", "7"], "1..=6"),
+        (&[g, "-k", "-3"], "bad -k"),
+        (&[g, "-k", "2", "-o", "mincut"], "unknown objective"),
+        (&[g, "-k", "2", "-m", "warp"], "unknown method"),
+        (&[g, "-k", "2", "--steps", "lots"], "bad steps"),
+        (&[g, "-k", "2", "-f", "dot"], "unknown format"),
+    ];
+    for (args, fragment) in cases {
+        let output = ffpart().args(*args).output().unwrap();
+        let code = output.status.code();
+        assert!(
+            code == Some(2) || code == Some(3),
+            "{args:?}: expected nonzero exit, got {code:?}"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(fragment),
+            "{args:?}: message `{stderr}` lacks `{fragment}`"
+        );
+        assert!(!stderr.contains("panicked"), "{args:?} panicked: {stderr}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Kills the serve process if a test assertion unwinds first.
+struct ServeGuard(std::process::Child);
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_server() -> (ServeGuard, String) {
+    use std::io::BufRead;
+    let mut child = ffpart()
+        .args(["serve", "--listen", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("ffpart: serving on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+        .to_string();
+    (ServeGuard(child), addr)
+}
+
+#[test]
+fn serve_and_submit_roundtrip_deterministically_with_cancel() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+    let (guard, addr) = spawn_server();
+
+    let submit = |extra: &[&str], out: &std::path::Path| {
+        let mut args = vec![
+            "submit",
+            "--connect",
+            &addr,
+            graph.to_str().unwrap(),
+            "-k",
+            "2",
+            "-s",
+            "5",
+            "-w",
+        ];
+        args.push(out.to_str().unwrap());
+        args.extend_from_slice(extra);
+        ffpart().args(&args).output().unwrap()
+    };
+
+    // Two identical step-budgeted jobs against one cached instance:
+    // byte-identical partitions.
+    let (a, b) = (dir.join("a.part"), dir.join("b.part"));
+    let out_a = submit(&["--steps", "4000"], &a);
+    assert!(
+        out_a.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out_a.stderr)
+    );
+    let stdout_a = String::from_utf8_lossy(&out_a.stdout);
+    assert!(
+        stdout_a.contains("improvement job="),
+        "no stream: {stdout_a}"
+    );
+    assert!(stdout_a.contains("status=completed"), "{stdout_a}");
+    let out_b = submit(&["--steps", "4000"], &b);
+    assert!(out_b.status.success());
+    assert!(
+        String::from_utf8_lossy(&out_b.stderr).contains("(cached)"),
+        "second submit must hit the instance cache"
+    );
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "same request + seed must reproduce byte-identically"
+    );
+
+    // A cancelled job still returns (and writes) its best-so-far result.
+    let c = dir.join("c.part");
+    let out_c = submit(
+        &["--steps", "100000000000", "--cancel-after-ms", "300", "-q"],
+        &c,
+    );
+    assert!(
+        out_c.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out_c.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out_c.stdout).contains("status=cancelled"),
+        "stdout: {}",
+        String::from_utf8_lossy(&out_c.stdout)
+    );
+    assert_eq!(std::fs::read_to_string(&c).unwrap().lines().count(), 6);
+
+    // Shut the server down cleanly over the protocol.
+    ff_service::Client::connect(&*addr)
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    drop(guard);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn submit_usage_errors_exit_2() {
+    let output = ffpart().args(["submit", "-k", "2"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(2)); // no --connect
+    let output = ffpart()
+        .args(["submit", "--connect", "127.0.0.1:1", "g", "-k", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2)); // no budget
+    let output = ffpart().args(["serve", "--bogus"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn submit_to_unreachable_server_exits_3() {
+    let output = ffpart()
+        .args([
+            "submit",
+            "--connect",
+            "127.0.0.1:1",
+            "g.graph",
+            "-k",
+            "2",
+            "--steps",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("cannot connect"));
+}
+
+#[test]
 fn mincut_diagnostic() {
     let dir = std::env::temp_dir().join(format!("ffpart-test-mc-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

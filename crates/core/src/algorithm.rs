@@ -17,7 +17,7 @@ use crate::energy::scaled_energy;
 use crate::laws::{LawTable, Reaction};
 use crate::ops::{fission_split, fuse, nfusion, select_partner, weakest_nucleons};
 use ff_graph::Graph;
-use ff_metaheur::{AnytimeTrace, MetaheuristicResult};
+use ff_metaheur::{AnytimeTrace, CancelToken, MetaheuristicResult};
 use ff_partition::{CutState, Partition};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -76,6 +76,9 @@ struct Search<'g> {
     best_energy: f64,
     best_molecule: Partition,
     best_value_per_k: BTreeMap<usize, f64>,
+    /// Scratch buffer for the live-atom scan; reused every step so the
+    /// hot loop performs no per-step allocation.
+    atoms_scratch: Vec<u32>,
 }
 
 impl<'g> FusionFission<'g> {
@@ -150,6 +153,7 @@ impl<'g> FusionFission<'g> {
             best_energy: f64::INFINITY,
             best_molecule: init_part,
             best_value_per_k: BTreeMap::new(),
+            atoms_scratch: Vec::new(),
         };
         // Phase 1 uses no temperature, no secondary fissions, and the
         // sharpest (frozen) α, so every undersized atom fuses.
@@ -171,6 +175,7 @@ impl<'g> FusionFission<'g> {
             dt,
             t: cfg.t_max,
             agglomerating: !skip_agglomeration,
+            cancel: None,
         };
         run.observe();
         run
@@ -194,6 +199,7 @@ pub struct FusionFissionRun<'g> {
     dt: f64,
     t: f64,
     agglomerating: bool,
+    cancel: Option<CancelToken>,
 }
 
 impl<'g> FusionFissionRun<'g> {
@@ -207,11 +213,19 @@ impl<'g> FusionFissionRun<'g> {
         )
     }
 
-    fn live_atoms(&self) -> Vec<u32> {
-        let st = &self.s.st;
-        (0..st.partition().num_parts() as u32)
-            .filter(|&p| st.partition().part_size(p) > 0)
-            .collect()
+    /// Picks a uniformly random live (non-empty) atom, reusing the
+    /// per-run scratch buffer — the step loop's former top allocation.
+    fn pick_live_atom(&mut self) -> u32 {
+        let Search {
+            st,
+            rng,
+            atoms_scratch,
+            ..
+        } = &mut self.s;
+        atoms_scratch.clear();
+        let part = st.partition();
+        atoms_scratch.extend((0..part.num_parts() as u32).filter(|&p| part.part_size(p) > 0));
+        atoms_scratch[rng.gen_range(0..atoms_scratch.len())]
     }
 
     /// Records the current molecule into best-trackers and the trace.
@@ -327,8 +341,7 @@ impl<'g> FusionFissionRun<'g> {
     fn init_step(&mut self) {
         let cfg = self.cfg;
         self.s.step += 1;
-        let atoms = self.live_atoms();
-        let atom = atoms[self.s.rng.gen_range(0..atoms.len())];
+        let atom = self.pick_live_atom();
         let x = self.s.st.partition().part_size(atom) as f64;
         let e_before = self.energy_of_current();
         let wants_fission =
@@ -350,8 +363,7 @@ impl<'g> FusionFissionRun<'g> {
         let cfg = self.cfg;
         self.s.step += 1;
         let t_norm = (self.t - cfg.t_min) / (cfg.t_max - cfg.t_min);
-        let atoms = self.live_atoms();
-        let atom = atoms[self.s.rng.gen_range(0..atoms.len())];
+        let atom = self.pick_live_atom();
         let x = self.s.st.partition().part_size(atom) as f64;
         let a = alpha(
             self.t,
@@ -389,10 +401,30 @@ impl<'g> FusionFissionRun<'g> {
         }
     }
 
+    /// Binds a cooperative cancellation token: once `token.cancel()` is
+    /// called (from any clone, any thread), the next [`step_once`]
+    /// (equivalently the current [`advance`] chunk) stops and the run
+    /// behaves as finished, with every best-so-far accessor and
+    /// [`harvest`] still valid. This is the per-job cancel hook the
+    /// serving layer plumbs through; it composes with — never replaces —
+    /// the configured [`ff_metaheur::StopCondition`].
+    ///
+    /// [`step_once`]: FusionFissionRun::step_once
+    /// [`advance`]: FusionFissionRun::advance
+    /// [`harvest`]: FusionFissionRun::harvest
+    pub fn bind_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether a bound [`CancelToken`] has been triggered.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+    }
+
     /// Executes one search step. Returns `false` (doing nothing) once the
-    /// stop condition is met.
+    /// stop condition is met or a bound [`CancelToken`] fires.
     pub fn step_once(&mut self) -> bool {
-        if self.cfg.stop.should_stop(self.s.step, self.s.started) {
+        if self.cancelled() || self.cfg.stop.should_stop(self.s.step, self.s.started) {
             return false;
         }
         if self.agglomerating {
@@ -414,12 +446,12 @@ impl<'g> FusionFissionRun<'g> {
                 return false;
             }
         }
-        !self.cfg.stop.should_stop(self.s.step, self.s.started)
+        !self.finished()
     }
 
-    /// Whether the stop condition has been reached.
+    /// Whether the stop condition has been reached or the run cancelled.
     pub fn finished(&self) -> bool {
-        self.cfg.stop.should_stop(self.s.step, self.s.started)
+        self.cancelled() || self.cfg.stop.should_stop(self.s.step, self.s.started)
     }
 
     /// Steps executed so far (initialization included).
@@ -441,6 +473,14 @@ impl<'g> FusionFissionRun<'g> {
     /// Best `(value, partition)` seen with exactly the target k parts.
     pub fn best_at_target(&self) -> Option<(f64, &Partition)> {
         self.s.best_at_k.as_ref().map(|(v, p)| (*v, p))
+    }
+
+    /// The live best-at-target-k trace. Combined with
+    /// [`ff_metaheur::AnytimeTrace::points_since`] this is the streaming
+    /// tap: read between [`advance`](FusionFissionRun::advance) chunks to
+    /// observe each improvement exactly once, as it happens.
+    pub fn trace(&self) -> &AnytimeTrace {
+        &self.s.trace
     }
 
     /// The configuration this run was started with.
@@ -696,6 +736,62 @@ mod tests {
         // The run keeps working and still harvests the target k.
         let res = run.run_to_completion();
         assert_eq!(res.best.num_nonempty_parts(), 2);
+    }
+
+    #[test]
+    fn cancel_stops_promptly_and_keeps_best_so_far() {
+        use ff_metaheur::CancelToken;
+        let g = random_geometric(50, 0.25, 3);
+        let cfg = FusionFissionConfig {
+            stop: StopCondition::steps(u64::MAX),
+            ..FusionFissionConfig::fast(4)
+        };
+        let mut run = FusionFission::new(&g, cfg, 9).start();
+        let token = CancelToken::new();
+        run.bind_cancel(token.clone());
+        assert!(run.advance(5_000), "not cancelled yet");
+        let steps_before = run.steps();
+        let energy_before = run.best_energy();
+        token.cancel();
+        assert!(run.cancelled());
+        assert!(run.finished());
+        assert!(!run.step_once(), "cancelled run must not step");
+        assert!(!run.advance(1_000));
+        assert_eq!(run.steps(), steps_before, "no work after cancellation");
+        // Best-so-far state survives and harvests cleanly.
+        assert_eq!(run.best_energy(), energy_before);
+        let res = run.harvest();
+        assert!(res.best.validate(&g));
+        assert!(res.best_value.is_finite());
+        assert_eq!(res.steps, steps_before);
+    }
+
+    #[test]
+    fn trace_tap_sees_every_improvement_exactly_once() {
+        let g = random_geometric(50, 0.3, 2);
+        let cfg = FusionFissionConfig::fast(3);
+        let mut run = FusionFission::new(&g, cfg, 8).start();
+        let mut cursor = 0usize;
+        let mut streamed = Vec::new();
+        loop {
+            let more = run.advance(37);
+            for p in run.trace().points_since(cursor) {
+                streamed.push((p.step, p.value));
+            }
+            cursor = run.trace().len();
+            if !more {
+                break;
+            }
+        }
+        let res = run.harvest();
+        let all: Vec<(u64, f64)> = res
+            .trace
+            .points()
+            .iter()
+            .map(|p| (p.step, p.value))
+            .collect();
+        assert_eq!(streamed, all, "tap must equal the final trace");
+        assert!(!streamed.is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::seeds::derive_seeds;
 use ff_core::{FusionFission, FusionFissionConfig, FusionFissionResult, FusionFissionRun};
 use ff_graph::Graph;
-use ff_metaheur::{AnytimeTrace, MetaheuristicResult};
+use ff_metaheur::{AnytimeTrace, CancelToken, MetaheuristicResult};
 use ff_partition::Partition;
 use std::collections::BTreeMap;
 
@@ -115,17 +115,56 @@ impl<'g> Ensemble<'g> {
         Ensemble { g, cfg, root_seed }
     }
 
-    /// Runs all islands to their stop conditions and reduces.
+    /// Runs all islands to their stop conditions and reduces. Equivalent
+    /// to [`Ensemble::start`] + [`EnsembleRun::advance_epoch`] to
+    /// exhaustion + [`EnsembleRun::harvest`] — bit-equal, because both
+    /// paths drive the same epoch code.
     pub fn run(&self) -> EnsembleResult {
+        let mut run = self.start();
+        while run.advance_epoch() {}
+        run.harvest()
+    }
+
+    /// Builds the live, resumable ensemble. Drive it with
+    /// [`EnsembleRun::advance_epoch`] — the seam that lets a serving
+    /// layer interleave many ensembles cooperatively on a bounded worker
+    /// pool instead of blocking a thread per ensemble until completion.
+    pub fn start(&self) -> EnsembleRun<'g> {
         let cfg = &self.cfg;
         cfg.validate();
         let n = cfg.islands;
         let seeds = derive_seeds(self.root_seed, n);
-        let mut runs: Vec<FusionFissionRun<'g>> = seeds
+        let runs: Vec<FusionFissionRun<'g>> = seeds
             .iter()
             .map(|&seed| FusionFission::new(self.g, cfg.base, seed).start())
             .collect();
+        EnsembleRun {
+            runs,
+            cfg: *cfg,
+            migrations_adopted: 0,
+        }
+    }
+}
 
+/// A live island ensemble that can be advanced one migration epoch at a
+/// time. Produced by [`Ensemble::start`]; the epoch layout, migration
+/// reduction and determinism guarantees are exactly those of
+/// [`Ensemble::run`] (which is implemented on top of this type).
+pub struct EnsembleRun<'g> {
+    runs: Vec<FusionFissionRun<'g>>,
+    cfg: EnsembleConfig,
+    migrations_adopted: u64,
+}
+
+impl<'g> EnsembleRun<'g> {
+    /// One epoch: every island advances `migration_interval` steps (in
+    /// waves of at most `max_threads` scoped threads), then the globally
+    /// best molecule is offered to every island. Returns `true` while at
+    /// least one island has work left (i.e. call again), `false` once all
+    /// islands hit their stop conditions or a bound [`CancelToken`] fired.
+    pub fn advance_epoch(&mut self) -> bool {
+        let cfg = &self.cfg;
+        let n = self.runs.len();
         let chunk = if cfg.migration_interval == 0 {
             u64::MAX
         } else {
@@ -136,42 +175,86 @@ impl<'g> Ensemble<'g> {
         } else {
             cfg.max_threads.max(1)
         };
-        let mut migrations_adopted = 0u64;
-        loop {
-            // One epoch: every island advances `chunk` steps, in waves of
-            // at most `cap` threads. Each island's state evolution depends
-            // only on its own seed and past injections, so wave layout
-            // cannot change results.
-            let mut more = vec![false; n];
-            for (wave, flags) in runs.chunks_mut(cap).zip(more.chunks_mut(cap)) {
-                std::thread::scope(|scope| {
-                    for (run, flag) in wave.iter_mut().zip(flags.iter_mut()) {
-                        scope.spawn(move || {
-                            *flag = run.advance(chunk);
-                        });
-                    }
-                });
-            }
-            if !more.iter().any(|&b| b) {
-                break;
-            }
-            // Barrier reached: migrate the globally best molecule. Islands
-            // already at or below the donor's energy would reject the
-            // offer, so skip them up front and spare the O(m) re-scoring
-            // `inject` performs for candidates it actually considers.
-            if n > 1 && cfg.migration_interval > 0 {
-                let donor = argmin_by(n, |i| runs[i].best_energy());
-                let donor_energy = runs[donor].best_energy();
-                let molecule = runs[donor].best_molecule().clone();
-                for (i, run) in runs.iter_mut().enumerate() {
-                    if i != donor && run.best_energy() > donor_energy && run.inject(&molecule) {
-                        migrations_adopted += 1;
-                    }
+        // One epoch: every island advances `chunk` steps, in waves of at
+        // most `cap` threads. Each island's state evolution depends only
+        // on its own seed and past injections, so wave layout cannot
+        // change results.
+        let mut more = vec![false; n];
+        for (wave, flags) in self.runs.chunks_mut(cap).zip(more.chunks_mut(cap)) {
+            std::thread::scope(|scope| {
+                for (run, flag) in wave.iter_mut().zip(flags.iter_mut()) {
+                    scope.spawn(move || {
+                        *flag = run.advance(chunk);
+                    });
+                }
+            });
+        }
+        if !more.iter().any(|&b| b) {
+            return false;
+        }
+        // Barrier reached: migrate the globally best molecule. Islands
+        // already at or below the donor's energy would reject the offer,
+        // so skip them up front and spare the O(m) re-scoring `inject`
+        // performs for candidates it actually considers.
+        if n > 1 && cfg.migration_interval > 0 {
+            let donor = argmin_by(n, |i| self.runs[i].best_energy());
+            let donor_energy = self.runs[donor].best_energy();
+            let molecule = self.runs[donor].best_molecule().clone();
+            for (i, run) in self.runs.iter_mut().enumerate() {
+                if i != donor && run.best_energy() > donor_energy && run.inject(&molecule) {
+                    self.migrations_adopted += 1;
                 }
             }
         }
+        true
+    }
 
-        let islands: Vec<FusionFissionResult> = runs.into_iter().map(|r| r.harvest()).collect();
+    /// Binds one cooperative cancellation token to every island: when it
+    /// fires, the in-flight epoch ends at each island's next step check
+    /// and [`advance_epoch`](EnsembleRun::advance_epoch) returns `false`.
+    pub fn bind_cancel(&mut self, token: CancelToken) {
+        for run in &mut self.runs {
+            run.bind_cancel(token.clone());
+        }
+    }
+
+    /// The live island runs, in island order — read-only access for
+    /// streaming taps (each island's
+    /// [`trace`](FusionFissionRun::trace) is the per-island improvement
+    /// stream).
+    pub fn islands(&self) -> &[FusionFissionRun<'g>] {
+        &self.runs
+    }
+
+    /// Whether every island has finished (stop condition or cancellation).
+    pub fn finished(&self) -> bool {
+        self.runs.iter().all(|r| r.finished())
+    }
+
+    /// Total steps executed so far across all islands.
+    pub fn total_steps(&self) -> u64 {
+        self.runs.iter().map(|r| r.steps()).sum()
+    }
+
+    /// Migration offers adopted so far.
+    pub fn migrations_adopted(&self) -> u64 {
+        self.migrations_adopted
+    }
+
+    /// Best objective value held at the target k so far, minimized across
+    /// islands (`None` until some island first visits the target k).
+    pub fn best_value_at_target(&self) -> Option<f64> {
+        self.runs
+            .iter()
+            .filter_map(|r| r.best_at_target().map(|(v, _)| v))
+            .min_by(f64::total_cmp)
+    }
+
+    /// Consumes the ensemble, harvesting every island and reducing.
+    pub fn harvest(self) -> EnsembleResult {
+        let n = self.runs.len();
+        let islands: Vec<FusionFissionResult> =
+            self.runs.into_iter().map(|r| r.harvest()).collect();
         let best_island = argmin_by(n, |i| islands[i].best_value);
         let trace = AnytimeTrace::merged(islands.iter().map(|r| &r.trace));
         let mut best_value_per_k = BTreeMap::new();
@@ -188,7 +271,7 @@ impl<'g> Ensemble<'g> {
             best_value: islands[best_island].best_value,
             best_island,
             steps: islands.iter().map(|r| r.steps).sum(),
-            migrations_adopted,
+            migrations_adopted: self.migrations_adopted,
             trace,
             best_value_per_k,
             islands,
@@ -305,6 +388,59 @@ mod tests {
             assert!(island.steps <= 500);
         }
         assert!(res.steps <= 1500);
+    }
+
+    #[test]
+    fn manual_epoch_drive_matches_run() {
+        let g = random_geometric(60, 0.25, 7);
+        let cfg = fast_cfg(4, 3);
+        let oneshot = Ensemble::new(&g, cfg, 99).run();
+        let mut run = Ensemble::new(&g, cfg, 99).start();
+        let mut epochs = 0;
+        while run.advance_epoch() {
+            epochs += 1;
+            assert!(run.total_steps() > 0);
+        }
+        assert!(epochs > 1, "budget should span several epochs");
+        assert!(run.finished());
+        let manual = run.harvest();
+        assert_eq!(manual.best.assignment(), oneshot.best.assignment());
+        assert_eq!(manual.best_value, oneshot.best_value);
+        assert_eq!(manual.steps, oneshot.steps);
+        assert_eq!(manual.migrations_adopted, oneshot.migrations_adopted);
+        assert_eq!(manual.best_value_per_k, oneshot.best_value_per_k);
+    }
+
+    #[test]
+    fn cancel_stops_every_island_and_harvests_best_so_far() {
+        use ff_metaheur::CancelToken;
+        let g = random_geometric(60, 0.25, 4);
+        let mut cfg = fast_cfg(4, 3);
+        cfg.base.stop = StopCondition::steps(u64::MAX); // unbounded: only cancel stops it
+        cfg.max_threads = 1;
+        let mut run = Ensemble::new(&g, cfg, 3).start();
+        let token = CancelToken::new();
+        run.bind_cancel(token.clone());
+        assert!(run.advance_epoch(), "not cancelled yet");
+        let steps_before = run.total_steps();
+        token.cancel();
+        assert!(!run.advance_epoch(), "cancelled ensemble must stop");
+        assert!(run.finished());
+        assert_eq!(run.total_steps(), steps_before);
+        let res = run.harvest();
+        assert!(res.best.validate(&g));
+        assert!(res.best_value.is_finite());
+        assert_eq!(res.steps, steps_before);
+    }
+
+    #[test]
+    fn best_value_at_target_tracks_the_min_island() {
+        let g = two_cliques_bridge(8, 2.0, 0.1);
+        let mut run = Ensemble::new(&g, fast_cfg(2, 2), 5).start();
+        while run.advance_epoch() {}
+        let live_best = run.best_value_at_target().expect("target k visited");
+        let res = run.harvest();
+        assert_eq!(live_best, res.best_value);
     }
 
     #[test]

@@ -53,6 +53,6 @@ pub mod ensemble;
 pub mod pool;
 pub mod seeds;
 
-pub use ensemble::{Ensemble, EnsembleConfig, EnsembleResult};
+pub use ensemble::{Ensemble, EnsembleConfig, EnsembleResult, EnsembleRun};
 pub use pool::parallel_map;
 pub use seeds::derive_seeds;

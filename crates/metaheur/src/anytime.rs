@@ -7,6 +7,8 @@
 //! paper's checkpoints.
 
 use ff_partition::Partition;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One improvement event: after `elapsed`, the best objective was `value`.
@@ -48,6 +50,25 @@ impl AnytimeTrace {
     /// All improvement events, chronological.
     pub fn points(&self) -> &[TracePoint] {
         &self.points
+    }
+
+    /// Number of improvement events recorded so far.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no improvement has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The events recorded at or after index `from` — the streaming tap:
+    /// a consumer that remembers how many points it has already seen
+    /// (`cursor = trace.len()` after each read) observes every improvement
+    /// exactly once, as it happens, without the trace having to know who is
+    /// listening. An out-of-range `from` yields an empty slice.
+    pub fn points_since(&self, from: usize) -> &[TracePoint] {
+        self.points.get(from..).unwrap_or(&[])
     }
 
     /// Best value held at time `t` (the last improvement at or before `t`),
@@ -98,6 +119,39 @@ impl AnytimeTrace {
             }
         }
         out
+    }
+}
+
+/// A shared cooperative-cancellation flag.
+///
+/// Cloning yields another handle to the *same* flag, so one side (a
+/// server, a supervisor thread, a signal handler) can hold a clone and
+/// [`cancel`](CancelToken::cancel) while the search loop polls
+/// [`is_cancelled`](CancelToken::is_cancelled) between steps. Cancellation
+/// is sticky: once set it never resets. The flag composes with
+/// [`StopCondition`] rather than replacing it — a run stops at whichever
+/// of (steps, time, cancel) trips first — so step-budgeted runs that are
+/// never cancelled keep their deterministic output.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
     }
 }
 
@@ -218,6 +272,39 @@ mod tests {
         assert!(AnytimeTrace::merged(std::iter::empty()).points().is_empty());
         let empty = AnytimeTrace::new();
         assert!(AnytimeTrace::merged([&empty]).points().is_empty());
+    }
+
+    #[test]
+    fn points_since_is_an_exactly_once_tap() {
+        let mut t = AnytimeTrace::new();
+        let mut cursor = 0usize;
+        assert!(t.points_since(cursor).is_empty());
+        t.record(Duration::from_millis(1), 9.0, 1);
+        t.record(Duration::from_millis(2), 7.0, 4);
+        let seen = t.points_since(cursor);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[1].value, 7.0);
+        cursor = t.len();
+        assert!(t.points_since(cursor).is_empty());
+        t.record(Duration::from_millis(5), 6.0, 9);
+        let seen = t.points_since(cursor);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].step, 9);
+        // Out-of-range cursors are harmless.
+        assert!(t.points_since(t.len() + 10).is_empty());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled() && !clone.is_cancelled());
+        clone.cancel();
+        assert!(t.is_cancelled() && clone.is_cancelled());
+        clone.cancel(); // idempotent
+        assert!(t.is_cancelled());
+        // A fresh token is independent.
+        assert!(!CancelToken::new().is_cancelled());
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod percolation;
 pub mod sa;
 
 pub use ant::{AntColony, AntColonyConfig};
-pub use anytime::{AnytimeTrace, MetaheuristicResult, StopCondition, TracePoint};
+pub use anytime::{AnytimeTrace, CancelToken, MetaheuristicResult, StopCondition, TracePoint};
 pub use percolation::{percolation_partition, percolation_with_seeds, PercolationConfig};
 pub use sa::{Cooling, SimulatedAnnealing, SimulatedAnnealingConfig};

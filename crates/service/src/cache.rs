@@ -1,0 +1,250 @@
+//! The keyed instance cache: one loaded graph serves many jobs.
+//!
+//! Loading and validating a graph (METIS parse, CSR build) can dwarf a
+//! small partition job, and a serving workload typically hammers a few
+//! instances with many `(k, objective, seed)` requests. The cache maps a
+//! client-chosen key to an [`Arc<Graph>`]; re-loading the same key from
+//! the same source is a hit (no I/O, no parse), while loading the same
+//! key from a *different* source replaces the entry (explicitly reported
+//! as `reloaded`, never silently served stale).
+
+use ff_graph::Graph;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where a graph's bytes come from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphSource {
+    /// A file on the server's filesystem.
+    Path(String),
+    /// Inline file content shipped in the request itself.
+    Data(String),
+}
+
+/// Graph file format of a [`GraphSource`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// METIS `.graph` (the default).
+    Metis,
+    /// `u v w` edge list.
+    EdgeList,
+}
+
+impl GraphFormat {
+    /// Parses a format name (`metis` | `edgelist`).
+    pub fn parse(name: &str) -> Option<GraphFormat> {
+        match name {
+            "metis" => Some(GraphFormat::Metis),
+            "edgelist" => Some(GraphFormat::EdgeList),
+            _ => None,
+        }
+    }
+
+    /// The protocol name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphFormat::Metis => "metis",
+            GraphFormat::EdgeList => "edgelist",
+        }
+    }
+}
+
+struct CachedInstance {
+    graph: Arc<Graph>,
+    source: GraphSource,
+    format: GraphFormat,
+}
+
+/// What [`InstanceCache::load`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// The request was served from cache (same key, same source).
+    pub cached: bool,
+    /// An existing entry under this key was replaced (same key,
+    /// different source).
+    pub reloaded: bool,
+}
+
+/// A thread-safe, keyed graph cache. See the module docs for semantics.
+#[derive(Default)]
+pub struct InstanceCache {
+    inner: Mutex<HashMap<String, CachedInstance>>,
+    hits: AtomicU64,
+    loads: AtomicU64,
+}
+
+impl InstanceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads (or re-uses) the graph registered under `key`.
+    pub fn load(
+        &self,
+        key: &str,
+        source: GraphSource,
+        format: GraphFormat,
+    ) -> Result<(Arc<Graph>, LoadOutcome), String> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(existing) = inner.get(key) {
+            if existing.source == source && existing.format == format {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((
+                    existing.graph.clone(),
+                    LoadOutcome {
+                        cached: true,
+                        reloaded: false,
+                    },
+                ));
+            }
+        }
+        let graph = Arc::new(read_graph(&source, format)?);
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        let reloaded = inner
+            .insert(
+                key.to_string(),
+                CachedInstance {
+                    graph: graph.clone(),
+                    source,
+                    format,
+                },
+            )
+            .is_some();
+        Ok((
+            graph,
+            LoadOutcome {
+                cached: false,
+                reloaded,
+            },
+        ))
+    }
+
+    /// The graph registered under `key`, if any (counts as a cache hit).
+    pub fn get(&self, key: &str) -> Option<Arc<Graph>> {
+        let inner = self.inner.lock().unwrap();
+        let g = inner.get(key).map(|c| c.graph.clone());
+        if g.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        g
+    }
+
+    /// Number of instances currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits served so far (cached loads + submit lookups).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Actual graph loads (parse + CSR build) performed so far.
+    pub fn loads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+    }
+}
+
+fn read_graph(source: &GraphSource, format: GraphFormat) -> Result<Graph, String> {
+    match source {
+        GraphSource::Path(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            match format {
+                GraphFormat::Metis => {
+                    ff_graph::io::read_metis(file).map_err(|e| format!("{path}: {e}"))
+                }
+                GraphFormat::EdgeList => {
+                    ff_graph::io::read_edge_list(file).map_err(|e| format!("{path}: {e}"))
+                }
+            }
+        }
+        GraphSource::Data(text) => match format {
+            GraphFormat::Metis => {
+                ff_graph::io::read_metis(text.as_bytes()).map_err(|e| format!("inline data: {e}"))
+            }
+            GraphFormat::EdgeList => ff_graph::io::read_edge_list(text.as_bytes())
+                .map_err(|e| format!("inline data: {e}")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRIANGLE: &str = "3 3\n2 3\n1 3\n1 2\n";
+    const PATH4: &str = "4 3\n2\n1 3\n2 4\n3\n";
+
+    #[test]
+    fn same_key_same_source_is_a_hit() {
+        let cache = InstanceCache::new();
+        let (g1, o1) = cache
+            .load("t", GraphSource::Data(TRIANGLE.into()), GraphFormat::Metis)
+            .unwrap();
+        assert!(!o1.cached && !o1.reloaded);
+        let (g2, o2) = cache
+            .load("t", GraphSource::Data(TRIANGLE.into()), GraphFormat::Metis)
+            .unwrap();
+        assert!(o2.cached && !o2.reloaded);
+        assert!(Arc::ptr_eq(&g1, &g2), "hit must share the loaded graph");
+        assert_eq!(cache.loads(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn same_key_different_source_replaces() {
+        let cache = InstanceCache::new();
+        cache
+            .load("g", GraphSource::Data(TRIANGLE.into()), GraphFormat::Metis)
+            .unwrap();
+        let (g, o) = cache
+            .load("g", GraphSource::Data(PATH4.into()), GraphFormat::Metis)
+            .unwrap();
+        assert!(!o.cached && o.reloaded);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.loads(), 2);
+    }
+
+    #[test]
+    fn get_counts_hits_and_misses_dont() {
+        let cache = InstanceCache::new();
+        assert!(cache.get("nope").is_none());
+        assert_eq!(cache.hits(), 0);
+        cache
+            .load("t", GraphSource::Data(TRIANGLE.into()), GraphFormat::Metis)
+            .unwrap();
+        assert!(cache.get("t").is_some());
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn malformed_sources_error_cleanly() {
+        let cache = InstanceCache::new();
+        let err = cache
+            .load(
+                "bad",
+                GraphSource::Data("not a graph".into()),
+                GraphFormat::Metis,
+            )
+            .unwrap_err();
+        assert!(err.contains("inline data"), "err: {err}");
+        let err = cache
+            .load(
+                "gone",
+                GraphSource::Path("/nonexistent/x.graph".into()),
+                GraphFormat::Metis,
+            )
+            .unwrap_err();
+        assert!(err.contains("cannot open"), "err: {err}");
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! A small blocking client for the NDJSON protocol.
+//!
+//! Used by `ffpart submit`, the examples, and the integration tests. One
+//! [`Client`] owns one connection; it can run many jobs concurrently over
+//! it — helpers like [`Client::wait_done`] buffer events that belong to
+//! *other* jobs instead of dropping them, so interleaved streams demux
+//! correctly.
+
+use crate::protocol::{DoneInfo, Event, Improvement, JobRequest, Request};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+fn bad_data(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Events read while scanning for something else; drained first.
+    pending: VecDeque<Event>,
+    /// The server's greeting: (protocol version, worker-pool width).
+    pub hello: (u64, usize),
+}
+
+impl Client {
+    /// Connects and consumes the server's `hello` greeting.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+            pending: VecDeque::new(),
+            hello: (0, 0),
+        };
+        match client.read_event()? {
+            Event::Hello { proto, workers } => client.hello = (proto, workers),
+            other => return Err(bad_data(format!("expected hello, got {other:?}"))),
+        }
+        Ok(client)
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        writeln!(self.writer, "{}", request.to_value())?;
+        self.writer.flush()
+    }
+
+    fn read_event(&mut self) -> std::io::Result<Event> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Event::parse(line.trim_end()).map_err(bad_data);
+        }
+    }
+
+    /// The next event: buffered first, then from the wire.
+    pub fn next_event(&mut self) -> std::io::Result<Event> {
+        if let Some(ev) = self.pending.pop_front() {
+            return Ok(ev);
+        }
+        self.read_event()
+    }
+
+    /// Reads until `want` accepts an event, buffering everything else in
+    /// arrival order. An `error` event without a job id fails the scan
+    /// (it is the server's reply to whatever was just requested).
+    fn scan_for<T>(&mut self, mut want: impl FnMut(&Event) -> Option<T>) -> std::io::Result<T> {
+        // Check the buffer first.
+        for i in 0..self.pending.len() {
+            if let Some(out) = want(&self.pending[i]) {
+                self.pending.remove(i);
+                return Ok(out);
+            }
+        }
+        loop {
+            let ev = self.read_event()?;
+            if let Some(out) = want(&ev) {
+                return Ok(out);
+            }
+            if let Event::Error { message, job: None } = &ev {
+                return Err(bad_data(format!("server error: {message}")));
+            }
+            self.pending.push_back(ev);
+        }
+    }
+
+    /// Loads a graph into the server's instance cache; returns the
+    /// `loaded` event fields `(vertices, edges, cached)`.
+    pub fn load(
+        &mut self,
+        instance: &str,
+        source: crate::cache::GraphSource,
+        format: crate::cache::GraphFormat,
+    ) -> std::io::Result<(usize, usize, bool)> {
+        self.send(&Request::Load {
+            instance: instance.to_string(),
+            source,
+            format,
+        })?;
+        self.scan_for(|ev| match ev {
+            Event::Loaded {
+                vertices,
+                edges,
+                cached,
+                ..
+            } => Some((*vertices, *edges, *cached)),
+            _ => None,
+        })
+    }
+
+    /// Submits a job and returns its server-assigned id.
+    pub fn submit(&mut self, job: &JobRequest) -> std::io::Result<u64> {
+        self.send(&Request::Submit(job.clone()))?;
+        self.scan_for(|ev| match ev {
+            Event::Accepted { job, .. } => Some(*job),
+            _ => None,
+        })
+    }
+
+    /// Requests cancellation of `job`; returns whether the server knew it.
+    pub fn cancel(&mut self, job: u64) -> std::io::Result<bool> {
+        self.send(&Request::Cancel { job })?;
+        self.scan_for(|ev| match ev {
+            Event::Cancelling { job: j, known } if *j == job => Some(*known),
+            _ => None,
+        })
+    }
+
+    /// Collects `job`'s streamed improvements until its `done` event.
+    pub fn wait_done(&mut self, job: u64) -> std::io::Result<(Vec<Improvement>, DoneInfo)> {
+        let mut improvements = Vec::new();
+        loop {
+            let ev = self.scan_for(|ev| match ev {
+                Event::Improvement(i) if i.job == job => Some(Event::Improvement(i.clone())),
+                Event::Done(d) if d.job == job => Some(Event::Done(d.clone())),
+                Event::Error { job: Some(j), .. } if *j == job => Some(ev.clone()),
+                _ => None,
+            })?;
+            match ev {
+                Event::Improvement(i) => improvements.push(i),
+                Event::Done(d) => return Ok((improvements, d)),
+                Event::Error { message, .. } => {
+                    return Err(bad_data(format!("job {job} failed: {message}")))
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Fetches a server statistics snapshot.
+    pub fn stats(&mut self) -> std::io::Result<Event> {
+        self.send(&Request::Stats)?;
+        self.scan_for(|ev| match ev {
+            Event::Stats { .. } => Some(ev.clone()),
+            _ => None,
+        })
+    }
+
+    /// Asks the server to stop accepting connections; waits for `bye`.
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        self.send(&Request::Shutdown)?;
+        self.scan_for(|ev| matches!(ev, Event::Bye).then_some(()))
+    }
+}

@@ -1,0 +1,129 @@
+//! A FIFO-fair counting gate: the service's worker pool.
+//!
+//! The engine's searches are resumable ([`ff_core::FusionFissionRun`],
+//! [`ff_engine::EnsembleRun`]), so a job does not need to *own* a CPU for
+//! its whole lifetime — it only needs one while advancing a chunk. The
+//! gate hands out `permits` compute slots in strict arrival order: M
+//! in-flight jobs re-acquire between chunks and therefore interleave
+//! round-robin on N slots instead of the first N jobs blocking the rest
+//! to completion. (A plain `Mutex`/semaphore gives no ordering guarantee;
+//! strict FIFO is what makes the sharing *fair*.)
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct GateState {
+    available: usize,
+    /// Tickets waiting, in arrival order.
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+}
+
+/// A FIFO-fair counting gate. See the module docs.
+pub struct FairGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+/// An acquired compute slot; released (and the next ticket woken) on drop.
+pub struct Permit {
+    gate: Arc<FairGate>,
+}
+
+impl FairGate {
+    /// A gate with `permits` concurrent slots (at least 1).
+    pub fn new(permits: usize) -> Arc<FairGate> {
+        assert!(permits >= 1, "need at least one permit");
+        Arc::new(FairGate {
+            state: Mutex::new(GateState {
+                available: permits,
+                queue: VecDeque::new(),
+                next_ticket: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Blocks until a slot is free *and* every earlier caller has been
+    /// served, then claims the slot.
+    pub fn acquire(self: &Arc<FairGate>) -> Permit {
+        let mut st = self.state.lock().unwrap();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        while !(st.available > 0 && st.queue.front() == Some(&ticket)) {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.queue.pop_front();
+        st.available -= 1;
+        drop(st);
+        // Another ticket may be eligible too (available > 1).
+        self.cv.notify_all();
+        Permit { gate: self.clone() }
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.gate.state.lock().unwrap();
+        st.available += 1;
+        drop(st);
+        self.gate.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn cap_is_never_exceeded_and_everyone_finishes() {
+        let gate = FairGate::new(2);
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..5 {
+                        let _p = gate.acquire();
+                        let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(2));
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "cap exceeded");
+    }
+
+    #[test]
+    fn grants_are_fifo_under_staggered_arrival() {
+        let gate = FairGate::new(1);
+        let order = Mutex::new(Vec::new());
+        let blocker = gate.acquire(); // everyone below must queue
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let gate = &gate;
+                let order = &order;
+                s.spawn(move || {
+                    // Stagger arrivals so ticket order is the spawn order.
+                    std::thread::sleep(Duration::from_millis(20 * (i as u64 + 1)));
+                    let _p = gate.acquire();
+                    order.lock().unwrap().push(i);
+                });
+            }
+            std::thread::sleep(Duration::from_millis(150));
+            drop(blocker); // open the gate after all four are queued
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one permit")]
+    fn zero_permits_panics() {
+        FairGate::new(0);
+    }
+}

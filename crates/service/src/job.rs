@@ -1,0 +1,394 @@
+//! One job's lifecycle: cooperative chunked execution on the worker pool.
+//!
+//! A job thread is cheap — it spends its life parked on the
+//! [`FairGate`] — and only *advances* its search
+//! while holding a gate permit, `chunk` steps (or one migration epoch) at
+//! a time. Between chunks it drains the engine's anytime-trace tap into
+//! `improvement` events and checks for cancellation, so M in-flight jobs
+//! share the pool's N compute slots fairly and react to cancel/deadline
+//! within one chunk.
+
+use crate::gate::FairGate;
+use crate::protocol::{DoneInfo, Event, Improvement, JobRequest, JobStatus};
+use ff_core::{FusionFission, FusionFissionConfig};
+use ff_engine::{Ensemble, EnsembleConfig};
+use ff_graph::Graph;
+use ff_metaheur::{CancelToken, StopCondition};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A line-atomic, shareable event writer (one per client connection).
+///
+/// Clones share the underlying stream; each event is written as one
+/// `\n`-terminated line under the lock, so events from concurrent jobs
+/// interleave *between* lines, never within one.
+#[derive(Clone)]
+pub struct EventSink {
+    out: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl EventSink {
+    /// Wraps a writer (a `TcpStream`, stdout, or a test buffer).
+    pub fn new(out: Box<dyn Write + Send>) -> EventSink {
+        EventSink {
+            out: Arc::new(Mutex::new(out)),
+        }
+    }
+
+    /// Writes one event line and flushes. An `Err` means the client is
+    /// gone; callers use that to cancel the job it was streaming to.
+    pub fn send(&self, event: &Event) -> std::io::Result<()> {
+        let mut out = self.out.lock().unwrap();
+        writeln!(out, "{}", event.to_value())?;
+        out.flush()
+    }
+}
+
+fn stop_condition(spec: &JobRequest) -> StopCondition {
+    StopCondition::new(
+        spec.steps.unwrap_or(u64::MAX),
+        spec.deadline_ms
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::MAX),
+    )
+}
+
+fn base_config(spec: &JobRequest) -> FusionFissionConfig {
+    FusionFissionConfig {
+        objective: spec.objective,
+        stop: stop_condition(spec),
+        ..FusionFissionConfig::standard(spec.k)
+    }
+}
+
+/// Runs one job to its end (budget, deadline or cancellation), streaming
+/// `improvement` events as they happen and finishing with a `done` event.
+/// Returns the final [`DoneInfo`] (already sent, unless the client
+/// disconnected mid-run).
+pub(crate) fn run_job(
+    job_id: u64,
+    spec: &JobRequest,
+    graph: &Arc<Graph>,
+    gate: &Arc<FairGate>,
+    token: &CancelToken,
+    sink: &EventSink,
+) -> DoneInfo {
+    let started = Instant::now();
+    let (value, parts, steps, migrations, assignment) = if spec.islands == 1 {
+        run_single(job_id, spec, graph, gate, token, sink)
+    } else {
+        run_ensemble(job_id, spec, graph, gate, token, sink)
+    };
+    // A deadline-bounded job that stopped before exhausting its step
+    // budget stopped because the clock ran out.
+    let budget_exhausted = spec
+        .steps
+        .is_some_and(|per_island| steps >= per_island.saturating_mul(spec.islands as u64));
+    let status = if token.is_cancelled() {
+        JobStatus::Cancelled
+    } else if spec.deadline_ms.is_some() && !budget_exhausted {
+        JobStatus::Deadline
+    } else {
+        JobStatus::Completed
+    };
+    let done = DoneInfo {
+        job: job_id,
+        status,
+        value,
+        parts,
+        steps,
+        elapsed_ms: started.elapsed().as_millis() as u64,
+        migrations,
+        assignment: spec.assignment.then_some(assignment),
+    };
+    let _ = sink.send(&Event::Done(done.clone()));
+    done
+}
+
+type JobOutcome = (f64, usize, u64, u64, Vec<u32>);
+
+/// Single-island drive: advance `chunk` steps per permit, tap the trace.
+fn run_single(
+    job_id: u64,
+    spec: &JobRequest,
+    graph: &Arc<Graph>,
+    gate: &Arc<FairGate>,
+    token: &CancelToken,
+    sink: &EventSink,
+) -> JobOutcome {
+    let mut run = FusionFission::new(graph, base_config(spec), spec.seed).start();
+    run.bind_cancel(token.clone());
+    let mut cursor = 0usize;
+    loop {
+        let permit = gate.acquire();
+        let more = run.advance(spec.chunk);
+        drop(permit);
+        for p in run.trace().points_since(cursor) {
+            let ev = Event::Improvement(Improvement {
+                job: job_id,
+                value: p.value,
+                step: p.step,
+                elapsed_ms: p.elapsed.as_millis() as u64,
+                island: 0,
+            });
+            if sink.send(&ev).is_err() {
+                // Client gone: nobody will harvest this job, stop it.
+                token.cancel();
+            }
+        }
+        cursor = run.trace().len();
+        if !more {
+            break;
+        }
+    }
+    let steps = run.steps();
+    let res = run.harvest();
+    (
+        res.best_value,
+        res.best.num_nonempty_parts(),
+        steps,
+        0,
+        res.best.assignment().to_vec(),
+    )
+}
+
+/// Island-ensemble drive: one migration epoch per permit. The ensemble's
+/// internal waves are capped at one thread so a job never holds more
+/// compute than the single pool slot its permit represents.
+fn run_ensemble(
+    job_id: u64,
+    spec: &JobRequest,
+    graph: &Arc<Graph>,
+    gate: &Arc<FairGate>,
+    token: &CancelToken,
+    sink: &EventSink,
+) -> JobOutcome {
+    let cfg = EnsembleConfig {
+        islands: spec.islands,
+        max_threads: 1,
+        migration_interval: spec.chunk,
+        base: base_config(spec),
+    };
+    let mut run = Ensemble::new(graph, cfg, spec.seed).start();
+    run.bind_cancel(token.clone());
+    let mut cursors = vec![0usize; spec.islands];
+    let mut best = f64::INFINITY;
+    loop {
+        let permit = gate.acquire();
+        let more = run.advance_epoch();
+        drop(permit);
+        // Drain each island's tap; stream only ensemble-level improvements
+        // (island order then chronological — deterministic values for
+        // step-budgeted jobs).
+        for (i, island) in run.islands().iter().enumerate() {
+            for p in island.trace().points_since(cursors[i]) {
+                if p.value < best {
+                    best = p.value;
+                    let ev = Event::Improvement(Improvement {
+                        job: job_id,
+                        value: p.value,
+                        step: p.step,
+                        elapsed_ms: p.elapsed.as_millis() as u64,
+                        island: i,
+                    });
+                    if sink.send(&ev).is_err() {
+                        token.cancel();
+                    }
+                }
+            }
+            cursors[i] = island.trace().len();
+        }
+        if !more {
+            break;
+        }
+    }
+    let steps = run.total_steps();
+    let res = run.harvest();
+    (
+        res.best_value,
+        res.best.num_nonempty_parts(),
+        steps,
+        res.migrations_adopted,
+        res.best.assignment().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{GraphFormat, GraphSource, InstanceCache};
+
+    fn sink_to_vec() -> (EventSink, Arc<Mutex<Vec<u8>>>) {
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (EventSink::new(Box::new(Shared(buf.clone()))), buf)
+    }
+
+    fn events_from(buf: &Arc<Mutex<Vec<u8>>>) -> Vec<Event> {
+        let bytes = buf.lock().unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        text.lines().map(|l| Event::parse(l).unwrap()).collect()
+    }
+
+    fn grid_graph() -> Arc<Graph> {
+        let cache = InstanceCache::new();
+        // 4×4 grid METIS text via the generator + writer, so the test
+        // exercises the same path a served instance takes.
+        let g = ff_graph::generators::grid2d(4, 4);
+        let mut text = Vec::new();
+        ff_graph::io::write_metis(&g, &mut text).unwrap();
+        let (graph, _) = cache
+            .load(
+                "grid",
+                GraphSource::Data(String::from_utf8(text).unwrap()),
+                GraphFormat::Metis,
+            )
+            .unwrap();
+        graph
+    }
+
+    #[test]
+    fn step_budgeted_job_is_deterministic_and_streams_improvements() {
+        let graph = grid_graph();
+        let gate = FairGate::new(1);
+        let spec = JobRequest {
+            steps: Some(3_000),
+            seed: 5,
+            ..JobRequest::new("grid", 2)
+        };
+        let run = || {
+            let (sink, buf) = sink_to_vec();
+            let token = CancelToken::new();
+            let done = run_job(7, &spec, &graph, &gate, &token, &sink);
+            (done, events_from(&buf))
+        };
+        let (done_a, events_a) = run();
+        let (done_b, events_b) = run();
+        assert_eq!(done_a.status, JobStatus::Completed);
+        assert_eq!(done_a.steps, 3_000);
+        assert_eq!(done_a.value, done_b.value);
+        assert_eq!(done_a.assignment, done_b.assignment);
+        assert!(done_a.assignment.as_ref().unwrap().len() == 16);
+        // The event stream ends with done, preceded by ≥1 improvement,
+        // and improvement values are strictly decreasing.
+        let improvements: Vec<f64> = events_a
+            .iter()
+            .filter_map(|e| match e {
+                Event::Improvement(i) => Some(i.value),
+                _ => None,
+            })
+            .collect();
+        assert!(!improvements.is_empty());
+        assert!(improvements.windows(2).all(|w| w[1] < w[0]));
+        assert!(matches!(events_a.last(), Some(Event::Done(_))));
+        // Improvement values (not timestamps) are deterministic too.
+        let values_b: Vec<f64> = events_b
+            .iter()
+            .filter_map(|e| match e {
+                Event::Improvement(i) => Some(i.value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(improvements, values_b);
+        // The last streamed improvement equals the final value.
+        assert_eq!(*improvements.last().unwrap(), done_a.value);
+    }
+
+    #[test]
+    fn ensemble_job_matches_direct_ensemble_run() {
+        let graph = grid_graph();
+        let gate = FairGate::new(1);
+        let spec = JobRequest {
+            steps: Some(2_000),
+            seed: 9,
+            islands: 3,
+            chunk: 256,
+            ..JobRequest::new("grid", 2)
+        };
+        let (sink, _buf) = sink_to_vec();
+        let token = CancelToken::new();
+        let done = run_job(1, &spec, &graph, &gate, &token, &sink);
+        // The service drive must be bit-equal to driving ff-engine
+        // directly with the same shape.
+        let cfg = EnsembleConfig {
+            islands: 3,
+            max_threads: 1,
+            migration_interval: 256,
+            base: base_config(&spec),
+        };
+        let direct = Ensemble::new(&graph, cfg, 9).run();
+        assert_eq!(done.value, direct.best_value);
+        assert_eq!(
+            done.assignment.as_deref().unwrap(),
+            direct.best.assignment()
+        );
+        assert_eq!(done.steps, direct.steps);
+        assert_eq!(done.migrations, direct.migrations_adopted);
+        assert_eq!(done.status, JobStatus::Completed);
+    }
+
+    #[test]
+    fn cancelled_job_returns_best_so_far_promptly() {
+        let graph = grid_graph();
+        let gate = FairGate::new(1);
+        let spec = JobRequest {
+            steps: Some(u64::MAX / 2),
+            chunk: 128,
+            ..JobRequest::new("grid", 2)
+        };
+        let (sink, buf) = sink_to_vec();
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            canceller.cancel();
+        });
+        let started = Instant::now();
+        let done = run_job(2, &spec, &graph, &gate, &token, &sink);
+        handle.join().unwrap();
+        assert_eq!(done.status, JobStatus::Cancelled);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "cancel must be prompt"
+        );
+        assert!(done.value.is_finite(), "best-so-far must be returned");
+        assert_eq!(done.parts, 2);
+        assert!(matches!(events_from(&buf).last(), Some(Event::Done(_))));
+    }
+
+    #[test]
+    fn deadline_job_stops_within_tolerance() {
+        let graph = grid_graph();
+        let gate = FairGate::new(1);
+        let spec = JobRequest {
+            deadline_ms: Some(250),
+            ..JobRequest::new("grid", 2)
+        };
+        let (sink, _buf) = sink_to_vec();
+        let token = CancelToken::new();
+        let started = Instant::now();
+        let done = run_job(3, &spec, &graph, &gate, &token, &sink);
+        let elapsed = started.elapsed();
+        assert_eq!(done.status, JobStatus::Deadline);
+        assert!(
+            elapsed >= Duration::from_millis(250),
+            "stopped early: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "deadline overshot: {elapsed:?}"
+        );
+        assert!(done.value.is_finite());
+    }
+}

@@ -1,0 +1,90 @@
+//! # ff-service — the multi-client partition-serving subsystem
+//!
+//! The paper's search is an *anytime* algorithm: it always holds a best
+//! molecule, and it only gets better. A production partitioner exploits
+//! that by running as a long-lived server — load a graph once, accept
+//! jobs from many clients, stream each job's improvements as they happen,
+//! and let clients cancel or set deadlines — instead of one-shot batch
+//! runs. This crate is that server, std-only (no async runtime):
+//!
+//! * **Protocol** ([`protocol`]): newline-delimited JSON over TCP (or
+//!   stdin/stdout), typed at both ends as [`Request`] / [`Event`].
+//! * **Worker pool** ([`gate`]): a FIFO-fair permit gate. Jobs hold a
+//!   cheap parked thread and only compute while holding one of N
+//!   permits, advancing their [`ff_core::FusionFissionRun`] /
+//!   [`ff_engine::EnsembleRun`] a chunk at a time — M in-flight jobs
+//!   share N slots round-robin instead of queueing whole-job.
+//! * **Instance cache** ([`cache`]): one loaded graph (METIS file, edge
+//!   list, inline data) serves many `(k, objective, seed)` jobs.
+//! * **Anytime streaming**: each improvement recorded in the engine's
+//!   [`ff_metaheur::AnytimeTrace`] is forwarded to the owning client as
+//!   an `improvement` event, tagged with the job id.
+//! * **Cancel & deadline**: plumbed into the engine via
+//!   [`ff_metaheur::CancelToken`] and the wall-clock half of
+//!   [`ff_metaheur::StopCondition`]; a cancelled or expired job still
+//!   returns its best-so-far partition.
+//!
+//! ## Determinism contract
+//!
+//! A step-budgeted job (`steps` set, no `deadline_ms`) is a pure function
+//! of `(instance content, k, objective, seed, islands, chunk)`: the
+//! chunked cooperative drive consumes the RNG stream exactly like a
+//! one-shot run, so resubmitting the same request — to this server run
+//! or a fresh one — yields a byte-identical final partition, regardless
+//! of worker count, pool contention, or how many other jobs are in
+//! flight. Deadline or cancelled jobs are best-effort by nature.
+//!
+//! ## Example
+//!
+//! ```
+//! use ff_service::{Client, GraphFormat, GraphSource, JobRequest, JobStatus, Server};
+//!
+//! // A server on an ephemeral port with 2 compute slots.
+//! let handle = Server::bind("127.0.0.1:0", 2).unwrap().spawn().unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//!
+//! // Load once (here from inline METIS data: a triangle + a pendant).
+//! let (vertices, _, cached) = client
+//!     .load(
+//!         "demo",
+//!         GraphSource::Data("4 4\n2 3\n1 3\n1 2 4\n3\n".into()),
+//!         GraphFormat::Metis,
+//!     )
+//!     .unwrap();
+//! assert_eq!((vertices, cached), (4, false));
+//!
+//! // Submit a step-budgeted job and stream it to completion.
+//! let job = JobRequest {
+//!     steps: Some(800),
+//!     ..JobRequest::new("demo", 2)
+//! };
+//! let id = client.submit(&job).unwrap();
+//! let (improvements, done) = client.wait_done(id).unwrap();
+//! assert!(!improvements.is_empty(), "anytime events streamed");
+//! assert_eq!(done.status, JobStatus::Completed);
+//! assert_eq!(done.assignment.as_ref().unwrap().len(), 4);
+//!
+//! // Same request ⇒ byte-identical result (the determinism contract).
+//! let rerun = client.submit(&job).unwrap();
+//! let (_, done2) = client.wait_done(rerun).unwrap();
+//! assert_eq!(done.assignment, done2.assignment);
+//!
+//! client.shutdown().unwrap();
+//! handle.join().unwrap();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod gate;
+pub mod job;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{GraphFormat, GraphSource, InstanceCache, LoadOutcome};
+pub use client::Client;
+pub use gate::{FairGate, Permit};
+pub use job::EventSink;
+pub use protocol::{
+    DoneInfo, Event, Improvement, JobRequest, JobStatus, Request, DEFAULT_CHUNK, PROTOCOL_VERSION,
+};
+pub use server::{serve_stdio, Server, ServerHandle};

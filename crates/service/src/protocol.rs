@@ -1,0 +1,725 @@
+//! The newline-delimited-JSON wire protocol: typed requests and events.
+//!
+//! Every line is one JSON object. Client→server objects carry an `"op"`
+//! field ([`Request`]); server→client objects carry an `"event"` field
+//! ([`Event`]). Both ends of the connection use the same types, so the
+//! wire format is defined exactly once: [`Request::to_value`] /
+//! [`Request::parse`] and [`Event::to_value`] / [`Event::parse`] are
+//! inverse pairs (round-trip tested below).
+//!
+//! See the README's "Serving" section for the protocol reference with
+//! example lines, the determinism contract, and cache semantics.
+
+use crate::cache::{GraphFormat, GraphSource};
+use ff_partition::Objective;
+use serde_json::{Map, Number, Value};
+
+/// Wire protocol version, reported in the `hello` event.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default cooperative-scheduling quantum (steps per worker-pool permit;
+/// for ensemble jobs, also the migration interval).
+pub const DEFAULT_CHUNK: u64 = 512;
+
+/// Objective values can legitimately be infinite (an Mcut/Ncut part with
+/// no internal weight) but JSON numbers cannot; non-finite values travel
+/// as the strings `"inf"` / `"-inf"` / `"nan"` and [`get_f64`] undoes it.
+fn num(v: f64) -> Value {
+    match Number::from_f64(v) {
+        Some(n) => Value::Number(n),
+        None if v.is_nan() => s("nan"),
+        None if v > 0.0 => s("inf"),
+        None => s("-inf"),
+    }
+}
+
+fn get_f64(v: &Value, key: &str) -> Option<f64> {
+    match v.get(key)? {
+        Value::String(text) => match text.as_str() {
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            "nan" => Some(f64::NAN),
+            _ => None,
+        },
+        other => other.as_f64(),
+    }
+}
+
+/// Integer fields (seeds, step budgets, job ids). JSON numbers are f64s,
+/// which round above 2^53 — a silently altered seed or budget would break
+/// the determinism contract — so values that don't fit exactly travel as
+/// decimal strings instead; [`get_u64`] accepts both shapes.
+fn unum(v: u64) -> Value {
+    if v <= (1u64 << 53) {
+        num(v as f64)
+    } else {
+        s(v.to_string())
+    }
+}
+
+fn s(v: impl Into<String>) -> Value {
+    Value::String(v.into())
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in entries {
+        m.insert(k.to_string(), v);
+    }
+    Value::Object(m)
+}
+
+fn get_str(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(Value::as_str).map(str::to_string)
+}
+
+fn get_u64(v: &Value, key: &str) -> Option<u64> {
+    match v.get(key)? {
+        Value::String(text) => text.parse().ok(),
+        other => other.as_u64(),
+    }
+}
+
+fn objective_name(o: Objective) -> &'static str {
+    match o {
+        Objective::Cut => "cut",
+        Objective::NCut => "ncut",
+        Objective::MCut => "mcut",
+    }
+}
+
+fn parse_objective(name: &str) -> Option<Objective> {
+    match name {
+        "cut" => Some(Objective::Cut),
+        "ncut" => Some(Objective::NCut),
+        "mcut" => Some(Objective::MCut),
+        _ => None,
+    }
+}
+
+/// A partition job: everything the server needs to reproduce the result.
+///
+/// The determinism contract: a step-budgeted job (`steps` set, no
+/// `deadline_ms`) is a pure function of `(instance content, k, objective,
+/// seed, islands, chunk)` — resubmitting it, on this server run or the
+/// next, yields a byte-identical final partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRequest {
+    /// Key of a previously loaded instance.
+    pub instance: String,
+    /// Target number of parts.
+    pub k: usize,
+    /// Objective to minimize.
+    pub objective: Objective,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Step budget (per island). At least one of `steps` / `deadline_ms`
+    /// is required.
+    pub steps: Option<u64>,
+    /// Wall-clock budget in milliseconds, measured from job start.
+    pub deadline_ms: Option<u64>,
+    /// Island-ensemble width (1 = a single search).
+    pub islands: usize,
+    /// Cooperative quantum: steps advanced per worker-pool permit; for
+    /// `islands > 1` this is also the migration interval.
+    pub chunk: u64,
+    /// Whether the `done` event should carry the full assignment vector.
+    pub assignment: bool,
+}
+
+impl JobRequest {
+    /// A job on `instance` targeting `k` parts, with serving defaults:
+    /// Mcut, seed 1, single island, chunk [`DEFAULT_CHUNK`], assignment
+    /// included, and no budget (set `steps` and/or `deadline_ms` before
+    /// submitting).
+    pub fn new(instance: impl Into<String>, k: usize) -> Self {
+        JobRequest {
+            instance: instance.into(),
+            k,
+            objective: Objective::MCut,
+            seed: 1,
+            steps: None,
+            deadline_ms: None,
+            islands: 1,
+            chunk: DEFAULT_CHUNK,
+            assignment: true,
+        }
+    }
+}
+
+/// A client→server request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Load a graph into the instance cache under a key.
+    Load {
+        /// Cache key.
+        instance: String,
+        /// Where the graph bytes come from.
+        source: GraphSource,
+        /// File format.
+        format: GraphFormat,
+    },
+    /// Submit a partition job.
+    Submit(JobRequest),
+    /// Cancel a running job by id.
+    Cancel {
+        /// Job id from the `accepted` event.
+        job: u64,
+    },
+    /// Ask for server statistics.
+    Stats,
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes to the wire object.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Request::Load {
+                instance,
+                source,
+                format,
+            } => {
+                let mut entries = vec![("op", s("load")), ("instance", s(instance))];
+                match source {
+                    GraphSource::Path(p) => entries.push(("path", s(p))),
+                    GraphSource::Data(d) => entries.push(("data", s(d))),
+                }
+                entries.push(("format", s(format.name())));
+                obj(entries)
+            }
+            Request::Submit(job) => {
+                let mut entries = vec![
+                    ("op", s("submit")),
+                    ("instance", s(&job.instance)),
+                    ("k", unum(job.k as u64)),
+                    ("objective", s(objective_name(job.objective))),
+                    ("seed", unum(job.seed)),
+                ];
+                if let Some(steps) = job.steps {
+                    entries.push(("steps", unum(steps)));
+                }
+                if let Some(ms) = job.deadline_ms {
+                    entries.push(("deadline_ms", unum(ms)));
+                }
+                entries.push(("islands", unum(job.islands as u64)));
+                entries.push(("chunk", unum(job.chunk)));
+                entries.push(("assignment", Value::Bool(job.assignment)));
+                obj(entries)
+            }
+            Request::Cancel { job } => obj(vec![("op", s("cancel")), ("job", unum(*job))]),
+            Request::Stats => obj(vec![("op", s("stats"))]),
+            Request::Shutdown => obj(vec![("op", s("shutdown"))]),
+        }
+    }
+
+    /// Parses one request line. Errors are human-readable and become
+    /// `error` events.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+        let op = get_str(&v, "op").ok_or("missing `op`")?;
+        match op.as_str() {
+            "load" => {
+                let instance = get_str(&v, "instance").ok_or("load: missing `instance`")?;
+                let format = match get_str(&v, "format") {
+                    None => GraphFormat::Metis,
+                    Some(name) => GraphFormat::parse(&name)
+                        .ok_or(format!("load: unknown format `{name}` (metis|edgelist)"))?,
+                };
+                let source = match (get_str(&v, "path"), get_str(&v, "data")) {
+                    (Some(p), None) => GraphSource::Path(p),
+                    (None, Some(d)) => GraphSource::Data(d),
+                    (None, None) => return Err("load: need `path` or `data`".into()),
+                    (Some(_), Some(_)) => {
+                        return Err("load: `path` and `data` are mutually exclusive".into())
+                    }
+                };
+                Ok(Request::Load {
+                    instance,
+                    source,
+                    format,
+                })
+            }
+            "submit" => {
+                let instance = get_str(&v, "instance").ok_or("submit: missing `instance`")?;
+                let k = get_u64(&v, "k").ok_or("submit: missing or bad `k`")? as usize;
+                let objective = match get_str(&v, "objective") {
+                    None => Objective::MCut,
+                    Some(name) => parse_objective(&name).ok_or(format!(
+                        "submit: unknown objective `{name}` (cut|ncut|mcut)"
+                    ))?,
+                };
+                let mut job = JobRequest::new(instance, k);
+                job.objective = objective;
+                job.seed = get_u64(&v, "seed").unwrap_or(1);
+                job.steps = get_u64(&v, "steps");
+                job.deadline_ms = get_u64(&v, "deadline_ms");
+                job.islands = get_u64(&v, "islands").unwrap_or(1) as usize;
+                job.chunk = get_u64(&v, "chunk").unwrap_or(DEFAULT_CHUNK);
+                job.assignment = v.get("assignment").and_then(Value::as_bool).unwrap_or(true);
+                if job.steps.is_none() && job.deadline_ms.is_none() {
+                    return Err("submit: need `steps` and/or `deadline_ms`".into());
+                }
+                if job.islands == 0 {
+                    return Err("submit: `islands` must be at least 1".into());
+                }
+                if job.chunk == 0 {
+                    return Err("submit: `chunk` must be at least 1".into());
+                }
+                Ok(Request::Submit(job))
+            }
+            "cancel" => Ok(Request::Cancel {
+                job: get_u64(&v, "job").ok_or("cancel: missing or bad `job`")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}
+
+/// How a job ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran its full step budget.
+    Completed,
+    /// Stopped by a `cancel` request (or client disconnect).
+    Cancelled,
+    /// Stopped by its wall-clock deadline.
+    Deadline,
+}
+
+impl JobStatus {
+    fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Completed => "completed",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Deadline => "deadline",
+        }
+    }
+
+    fn parse(name: &str) -> Option<JobStatus> {
+        match name {
+            "completed" => Some(JobStatus::Completed),
+            "cancelled" => Some(JobStatus::Cancelled),
+            "deadline" => Some(JobStatus::Deadline),
+            _ => None,
+        }
+    }
+}
+
+/// Final result of a job, carried by the `done` event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DoneInfo {
+    /// Job id.
+    pub job: u64,
+    /// How the job ended. Cancelled/deadline jobs still carry their
+    /// best-so-far solution.
+    pub status: JobStatus,
+    /// Best objective value found.
+    pub value: f64,
+    /// Non-empty parts in the returned partition.
+    pub parts: usize,
+    /// Total steps executed (summed over islands).
+    pub steps: u64,
+    /// Wall-clock from job start to completion, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Migration offers adopted (ensemble jobs; 0 for a single island).
+    pub migrations: u64,
+    /// The part id of every vertex, if the job asked for it.
+    pub assignment: Option<Vec<u32>>,
+}
+
+/// One streamed improvement: the job's best-so-far value dropped.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Improvement {
+    /// Job id.
+    pub job: u64,
+    /// New best objective value at the target k.
+    pub value: f64,
+    /// Step (within the finding island) at which it was found.
+    pub step: u64,
+    /// Wall-clock since job start, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Index of the island that found it (0 for single-island jobs).
+    pub island: usize,
+}
+
+/// A server→client event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// Greeting sent on connect.
+    Hello {
+        /// Protocol version ([`PROTOCOL_VERSION`]).
+        proto: u64,
+        /// Worker-pool width.
+        workers: usize,
+    },
+    /// A `load` succeeded.
+    Loaded {
+        /// Cache key.
+        instance: String,
+        /// Vertices in the graph.
+        vertices: usize,
+        /// Edges in the graph.
+        edges: usize,
+        /// Served from cache without re-reading the source.
+        cached: bool,
+        /// Replaced a previous entry under the same key.
+        reloaded: bool,
+    },
+    /// A `submit` was admitted; subsequent events reference the job id.
+    Accepted {
+        /// Assigned job id (unique per server run).
+        job: u64,
+        /// Instance the job runs on.
+        instance: String,
+        /// Target part count.
+        k: usize,
+    },
+    /// Streamed anytime improvement.
+    Improvement(Improvement),
+    /// Job finished (in any [`JobStatus`]).
+    Done(DoneInfo),
+    /// Acknowledges a `cancel` request.
+    Cancelling {
+        /// The job id the cancel targeted.
+        job: u64,
+        /// Whether that job was actually running here.
+        known: bool,
+    },
+    /// Server statistics snapshot.
+    Stats {
+        /// Instances currently cached.
+        instances: usize,
+        /// Cache hits served.
+        cache_hits: u64,
+        /// Graph loads performed.
+        cache_loads: u64,
+        /// Jobs accepted since start.
+        jobs_submitted: u64,
+        /// Jobs currently running.
+        jobs_running: u64,
+        /// Jobs finished (any status).
+        jobs_done: u64,
+    },
+    /// A request failed; `job` is set when the failure is job-scoped.
+    Error {
+        /// Human-readable description.
+        message: String,
+        /// The affected job, if any.
+        job: Option<u64>,
+    },
+    /// Acknowledges `shutdown`.
+    Bye,
+}
+
+impl Event {
+    /// Serializes to the wire object.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Event::Hello { proto, workers } => obj(vec![
+                ("event", s("hello")),
+                ("proto", unum(*proto)),
+                ("workers", unum(*workers as u64)),
+            ]),
+            Event::Loaded {
+                instance,
+                vertices,
+                edges,
+                cached,
+                reloaded,
+            } => obj(vec![
+                ("event", s("loaded")),
+                ("instance", s(instance)),
+                ("vertices", unum(*vertices as u64)),
+                ("edges", unum(*edges as u64)),
+                ("cached", Value::Bool(*cached)),
+                ("reloaded", Value::Bool(*reloaded)),
+            ]),
+            Event::Accepted { job, instance, k } => obj(vec![
+                ("event", s("accepted")),
+                ("job", unum(*job)),
+                ("instance", s(instance)),
+                ("k", unum(*k as u64)),
+            ]),
+            Event::Improvement(imp) => obj(vec![
+                ("event", s("improvement")),
+                ("job", unum(imp.job)),
+                ("value", num(imp.value)),
+                ("step", unum(imp.step)),
+                ("elapsed_ms", unum(imp.elapsed_ms)),
+                ("island", unum(imp.island as u64)),
+            ]),
+            Event::Done(d) => {
+                let mut entries = vec![
+                    ("event", s("done")),
+                    ("job", unum(d.job)),
+                    ("status", s(d.status.name())),
+                    ("value", num(d.value)),
+                    ("parts", unum(d.parts as u64)),
+                    ("steps", unum(d.steps)),
+                    ("elapsed_ms", unum(d.elapsed_ms)),
+                    ("migrations", unum(d.migrations)),
+                ];
+                if let Some(a) = &d.assignment {
+                    entries.push((
+                        "assignment",
+                        Value::Array(a.iter().map(|&p| unum(p as u64)).collect()),
+                    ));
+                }
+                obj(entries)
+            }
+            Event::Cancelling { job, known } => obj(vec![
+                ("event", s("cancelling")),
+                ("job", unum(*job)),
+                ("known", Value::Bool(*known)),
+            ]),
+            Event::Stats {
+                instances,
+                cache_hits,
+                cache_loads,
+                jobs_submitted,
+                jobs_running,
+                jobs_done,
+            } => obj(vec![
+                ("event", s("stats")),
+                ("instances", unum(*instances as u64)),
+                ("cache_hits", unum(*cache_hits)),
+                ("cache_loads", unum(*cache_loads)),
+                ("jobs_submitted", unum(*jobs_submitted)),
+                ("jobs_running", unum(*jobs_running)),
+                ("jobs_done", unum(*jobs_done)),
+            ]),
+            Event::Error { message, job } => {
+                let mut entries = vec![("event", s("error")), ("message", s(message))];
+                if let Some(job) = job {
+                    entries.push(("job", unum(*job)));
+                }
+                obj(entries)
+            }
+            Event::Bye => obj(vec![("event", s("bye"))]),
+        }
+    }
+
+    /// Parses one event line (the client side of the protocol).
+    pub fn parse(line: &str) -> Result<Event, String> {
+        let v = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+        let event = get_str(&v, "event").ok_or("missing `event`")?;
+        let u = |key: &str| get_u64(&v, key).ok_or(format!("{event}: missing `{key}`"));
+        match event.as_str() {
+            "hello" => Ok(Event::Hello {
+                proto: u("proto")?,
+                workers: u("workers")? as usize,
+            }),
+            "loaded" => Ok(Event::Loaded {
+                instance: get_str(&v, "instance").ok_or("loaded: missing `instance`")?,
+                vertices: u("vertices")? as usize,
+                edges: u("edges")? as usize,
+                cached: v.get("cached").and_then(Value::as_bool).unwrap_or(false),
+                reloaded: v.get("reloaded").and_then(Value::as_bool).unwrap_or(false),
+            }),
+            "accepted" => Ok(Event::Accepted {
+                job: u("job")?,
+                instance: get_str(&v, "instance").unwrap_or_default(),
+                k: u("k")? as usize,
+            }),
+            "improvement" => Ok(Event::Improvement(Improvement {
+                job: u("job")?,
+                value: get_f64(&v, "value").ok_or("improvement: missing `value`")?,
+                step: u("step")?,
+                elapsed_ms: u("elapsed_ms")?,
+                island: u("island").unwrap_or(0) as usize,
+            })),
+            "done" => Ok(Event::Done(DoneInfo {
+                job: u("job")?,
+                status: get_str(&v, "status")
+                    .and_then(|name| JobStatus::parse(&name))
+                    .ok_or("done: missing or bad `status`")?,
+                value: get_f64(&v, "value").ok_or("done: missing `value`")?,
+                parts: u("parts")? as usize,
+                steps: u("steps")?,
+                elapsed_ms: u("elapsed_ms")?,
+                migrations: u("migrations").unwrap_or(0),
+                assignment: v.get("assignment").and_then(Value::as_array).map(|items| {
+                    items
+                        .iter()
+                        .filter_map(Value::as_u64)
+                        .map(|p| p as u32)
+                        .collect()
+                }),
+            })),
+            "cancelling" => Ok(Event::Cancelling {
+                job: u("job")?,
+                known: v.get("known").and_then(Value::as_bool).unwrap_or(false),
+            }),
+            "stats" => Ok(Event::Stats {
+                instances: u("instances")? as usize,
+                cache_hits: u("cache_hits")?,
+                cache_loads: u("cache_loads")?,
+                jobs_submitted: u("jobs_submitted")?,
+                jobs_running: u("jobs_running")?,
+                jobs_done: u("jobs_done")?,
+            }),
+            "error" => Ok(Event::Error {
+                message: get_str(&v, "message").unwrap_or_default(),
+                job: get_u64(&v, "job"),
+            }),
+            "bye" => Ok(Event::Bye),
+            other => Err(format!("unknown event `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Load {
+                instance: "web".into(),
+                source: GraphSource::Path("/tmp/g.graph".into()),
+                format: GraphFormat::Metis,
+            },
+            Request::Load {
+                instance: "inline".into(),
+                source: GraphSource::Data("3 3\n2 3\n1 3\n1 2\n".into()),
+                format: GraphFormat::Metis,
+            },
+            Request::Submit(JobRequest {
+                steps: Some(20_000),
+                deadline_ms: Some(4_000),
+                islands: 3,
+                seed: 7,
+                ..JobRequest::new("web", 4)
+            }),
+            // Integers above 2^53 (an "unbounded" budget, a full-width
+            // seed) must round-trip exactly, not round through f64.
+            Request::Submit(JobRequest {
+                steps: Some(u64::MAX - 1),
+                seed: u64::MAX,
+                ..JobRequest::new("web", 4)
+            }),
+            Request::Cancel { job: 9 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.to_value().to_string();
+            assert_eq!(Request::parse(&line).unwrap(), req, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let events = [
+            Event::Hello {
+                proto: PROTOCOL_VERSION,
+                workers: 4,
+            },
+            Event::Loaded {
+                instance: "web".into(),
+                vertices: 762,
+                edges: 3444,
+                cached: true,
+                reloaded: false,
+            },
+            Event::Accepted {
+                job: 3,
+                instance: "web".into(),
+                k: 26,
+            },
+            Event::Improvement(Improvement {
+                job: 3,
+                value: 4.25,
+                step: 900,
+                elapsed_ms: 15,
+                island: 2,
+            }),
+            // Non-finite objective values must survive the wire (a part
+            // with no internal weight has infinite Mcut).
+            Event::Improvement(Improvement {
+                job: 3,
+                value: f64::INFINITY,
+                step: 1,
+                elapsed_ms: 0,
+                island: 0,
+            }),
+            Event::Done(DoneInfo {
+                job: 3,
+                status: JobStatus::Cancelled,
+                value: 4.125,
+                parts: 26,
+                steps: 12_345,
+                elapsed_ms: 250,
+                migrations: 2,
+                assignment: Some(vec![0, 1, 1, 0]),
+            }),
+            Event::Cancelling {
+                job: 3,
+                known: true,
+            },
+            Event::Stats {
+                instances: 1,
+                cache_hits: 9,
+                cache_loads: 1,
+                jobs_submitted: 10,
+                jobs_running: 2,
+                jobs_done: 8,
+            },
+            Event::Error {
+                message: "unknown instance `x`".into(),
+                job: Some(4),
+            },
+            Event::Bye,
+        ];
+        for ev in events {
+            let line = ev.to_value().to_string();
+            assert_eq!(Event::parse(&line).unwrap(), ev, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn submit_validation_rejects_unbounded_and_degenerate_jobs() {
+        let no_budget = r#"{"op":"submit","instance":"g","k":2}"#;
+        assert!(Request::parse(no_budget).unwrap_err().contains("steps"));
+        let zero_islands = r#"{"op":"submit","instance":"g","k":2,"steps":10,"islands":0}"#;
+        assert!(Request::parse(zero_islands)
+            .unwrap_err()
+            .contains("islands"));
+        let zero_chunk = r#"{"op":"submit","instance":"g","k":2,"steps":10,"chunk":0}"#;
+        assert!(Request::parse(zero_chunk).unwrap_err().contains("chunk"));
+    }
+
+    #[test]
+    fn malformed_lines_error_cleanly() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{}").unwrap_err().contains("op"));
+        assert!(Request::parse(r#"{"op":"warp"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(Request::parse(r#"{"op":"load","instance":"a"}"#)
+            .unwrap_err()
+            .contains("path"));
+        assert!(Event::parse(r#"{"event":"nope"}"#).is_err());
+    }
+
+    #[test]
+    fn submit_defaults_match_job_request_new() {
+        let line = r#"{"op":"submit","instance":"g","k":3,"steps":100}"#;
+        let parsed = match Request::parse(line).unwrap() {
+            Request::Submit(j) => j,
+            other => panic!("wrong request {other:?}"),
+        };
+        let expected = JobRequest {
+            steps: Some(100),
+            k: 3,
+            ..JobRequest::new("g", 3)
+        };
+        assert_eq!(parsed, expected);
+    }
+}

@@ -1,0 +1,276 @@
+//! The serve loop: TCP listener, per-connection dispatch, job registry.
+//!
+//! Threading model: one cheap reader thread per client connection, one
+//! cheap driver thread per in-flight job, and one [`FairGate`] bounding
+//! actual compute to `workers` slots. Connections and jobs are decoupled
+//! — a connection can stream many concurrent jobs (events are
+//! line-atomic and tagged with the job id), and a job keeps its identity
+//! in the server-wide registry so `cancel` works from any connection
+//! (clients are trusted; this is a local/LAN service, not a public one).
+
+use crate::cache::InstanceCache;
+use crate::gate::FairGate;
+use crate::job::{run_job, EventSink};
+use crate::protocol::{Event, JobRequest, Request, PROTOCOL_VERSION};
+use ff_metaheur::CancelToken;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Shared server state: cache, worker pool, job registry, counters.
+struct ServerState {
+    cache: InstanceCache,
+    gate: Arc<FairGate>,
+    workers: usize,
+    jobs: Mutex<HashMap<u64, CancelToken>>,
+    next_job: AtomicU64,
+    submitted: AtomicU64,
+    running: AtomicU64,
+    finished: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn new(workers: usize) -> Arc<ServerState> {
+        Arc::new(ServerState {
+            cache: InstanceCache::new(),
+            gate: FairGate::new(workers),
+            workers,
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(1),
+            submitted: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            finished: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+}
+
+/// Resolves a worker count: `0` means one per available core.
+fn resolve_workers(workers: usize) -> usize {
+    if workers > 0 {
+        workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// A bound, not-yet-running partition server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with a
+    /// worker pool of `workers` compute slots (`0` = one per core).
+    pub fn bind(addr: &str, workers: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            state: ServerState::new(resolve_workers(workers)),
+        })
+    }
+
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves connections until a client sends `shutdown`.
+    /// Jobs still in flight at shutdown keep their driver threads; a
+    /// process that wants a hard stop simply exits.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if self.state.shutdown.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = self.state.clone();
+                    std::thread::spawn(move || handle_tcp_client(state, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    // Transient accept failures (a client resetting
+                    // mid-handshake, a momentary fd shortage under a
+                    // connection burst) must not take down a server with
+                    // jobs in flight; back off and keep accepting.
+                    eprintln!("ff-service: accept error (continuing): {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+    }
+
+    /// Runs the serve loop on a background thread, returning a handle
+    /// with the bound address — the shape tests and examples want.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let join = std::thread::spawn(move || self.run());
+        Ok(ServerHandle { addr, join })
+    }
+}
+
+/// A running server on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the serve loop to end (a client must send `shutdown`).
+    pub fn join(self) -> std::io::Result<()> {
+        self.join.join().expect("serve loop panicked")
+    }
+}
+
+/// Serves one already-connected client over any `(reader, sink)` pair —
+/// the transport-agnostic core shared by TCP and stdio serving.
+fn handle_client(state: &Arc<ServerState>, reader: impl BufRead, sink: &EventSink) {
+    if sink
+        .send(&Event::Hello {
+            proto: PROTOCOL_VERSION,
+            workers: state.workers,
+        })
+        .is_err()
+    {
+        return;
+    }
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // connection dropped
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse(&line) {
+            Ok(r) => r,
+            Err(message) => {
+                if sink.send(&Event::Error { message, job: None }).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let reply = match request {
+            Request::Load {
+                instance,
+                source,
+                format,
+            } => match state.cache.load(&instance, source, format) {
+                Ok((graph, outcome)) => Event::Loaded {
+                    instance,
+                    vertices: graph.num_vertices(),
+                    edges: graph.num_edges(),
+                    cached: outcome.cached,
+                    reloaded: outcome.reloaded,
+                },
+                Err(message) => Event::Error { message, job: None },
+            },
+            Request::Submit(spec) => submit(state, spec, sink),
+            Request::Cancel { job } => {
+                let known = match state.jobs.lock().unwrap().get(&job) {
+                    Some(token) => {
+                        token.cancel();
+                        true
+                    }
+                    None => false,
+                };
+                Event::Cancelling { job, known }
+            }
+            Request::Stats => Event::Stats {
+                instances: state.cache.len(),
+                cache_hits: state.cache.hits(),
+                cache_loads: state.cache.loads(),
+                jobs_submitted: state.submitted.load(Ordering::Relaxed),
+                jobs_running: state.running.load(Ordering::Relaxed),
+                jobs_done: state.finished.load(Ordering::Relaxed),
+            },
+            Request::Shutdown => {
+                state.shutdown.store(true, Ordering::Release);
+                let _ = sink.send(&Event::Bye);
+                return;
+            }
+        };
+        if sink.send(&reply).is_err() {
+            break;
+        }
+    }
+}
+
+/// Validates a submit and, if admissible, spawns its driver thread.
+/// Returns the event to send back (`accepted` or `error`).
+fn submit(state: &Arc<ServerState>, spec: JobRequest, sink: &EventSink) -> Event {
+    let graph = match state.cache.get(&spec.instance) {
+        Some(g) => g,
+        None => {
+            return Event::Error {
+                message: format!("unknown instance `{}` (load it first)", spec.instance),
+                job: None,
+            }
+        }
+    };
+    if spec.k == 0 || spec.k > graph.num_vertices() {
+        return Event::Error {
+            message: format!(
+                "k must be in 1..={} for instance `{}`",
+                graph.num_vertices(),
+                spec.instance
+            ),
+            job: None,
+        };
+    }
+    let job_id = state.next_job.fetch_add(1, Ordering::Relaxed);
+    let token = CancelToken::new();
+    state.jobs.lock().unwrap().insert(job_id, token.clone());
+    state.submitted.fetch_add(1, Ordering::Relaxed);
+    state.running.fetch_add(1, Ordering::Relaxed);
+    let accepted = Event::Accepted {
+        job: job_id,
+        instance: spec.instance.clone(),
+        k: spec.k,
+    };
+    let state = state.clone();
+    let sink = sink.clone();
+    std::thread::spawn(move || {
+        run_job(job_id, &spec, &graph, &state.gate, &token, &sink);
+        state.jobs.lock().unwrap().remove(&job_id);
+        state.running.fetch_sub(1, Ordering::Relaxed);
+        state.finished.fetch_add(1, Ordering::Relaxed);
+    });
+    accepted
+}
+
+fn handle_tcp_client(state: Arc<ServerState>, stream: TcpStream) {
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let sink = EventSink::new(Box::new(writer));
+    handle_client(&state, BufReader::new(stream), &sink);
+}
+
+/// Serves exactly one client over stdin/stdout — `ffpart serve --stdio`,
+/// the shape that slots under an inetd-style supervisor or a pipe-speaking
+/// parent process. Returns when stdin closes or the client sends
+/// `shutdown`.
+pub fn serve_stdio(workers: usize) {
+    let state = ServerState::new(resolve_workers(workers));
+    let sink = EventSink::new(Box::new(std::io::stdout()));
+    handle_client(&state, std::io::stdin().lock(), &sink);
+}

@@ -1,0 +1,408 @@
+//! End-to-end tests: a real TCP server, concurrent clients, streaming,
+//! cancellation, deadlines, isolation, determinism.
+
+use ff_service::{Client, Event, GraphFormat, GraphSource, JobRequest, JobStatus, Request, Server};
+use std::time::{Duration, Instant};
+
+/// METIS text for a 60-vertex random-geometric instance — the shared
+/// "loaded once, served many" graph.
+fn instance_data() -> String {
+    let g = ff_graph::generators::random_geometric(60, 0.25, 3);
+    let mut text = Vec::new();
+    ff_graph::io::write_metis(&g, &mut text).unwrap();
+    String::from_utf8(text).unwrap()
+}
+
+fn start_server(workers: usize) -> ff_service::ServerHandle {
+    Server::bind("127.0.0.1:0", workers)
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+/// The acceptance driver: N concurrent clients over one cached instance,
+/// each streaming its own step-budgeted job. Returns per-seed
+/// `(improvement values, done)` in seed order, plus the cache-load count.
+fn drive_concurrent_jobs(seeds: &[u64]) -> (Vec<(Vec<f64>, ff_service::DoneInfo)>, u64) {
+    let handle = start_server(2);
+    let addr = handle.addr();
+    let data = instance_data();
+    let results: Vec<(Vec<f64>, ff_service::DoneInfo)> = std::thread::scope(|scope| {
+        let joins: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let data = data.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    // Every client loads the same key+data: exactly one
+                    // actual load, the rest are cache hits.
+                    client
+                        .load("geo60", GraphSource::Data(data), GraphFormat::Metis)
+                        .unwrap();
+                    let job = JobRequest {
+                        steps: Some(8_000),
+                        seed,
+                        chunk: 256,
+                        ..JobRequest::new("geo60", 4)
+                    };
+                    let id = client.submit(&job).unwrap();
+                    let (improvements, done) = client.wait_done(id).unwrap();
+                    assert_eq!(done.job, id, "result routed to the wrong job");
+                    let values: Vec<f64> = improvements.iter().map(|i| i.value).collect();
+                    (values, done)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let mut admin = Client::connect(addr).unwrap();
+    let loads = match admin.stats().unwrap() {
+        Event::Stats { cache_loads, .. } => cache_loads,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    admin.shutdown().unwrap();
+    handle.join().unwrap();
+    (results, loads)
+}
+
+/// ISSUE acceptance: ≥4 concurrent jobs over one cached instance, ≥1
+/// streamed improvement per job before completion, and byte-identical
+/// partitions for step-budgeted jobs across two separate server runs.
+#[test]
+fn four_concurrent_jobs_stream_and_reproduce_across_server_runs() {
+    let seeds = [11u64, 22, 33, 44];
+    let (first, loads_a) = drive_concurrent_jobs(&seeds);
+    let (second, loads_b) = drive_concurrent_jobs(&seeds);
+    assert_eq!(loads_a, 1, "one graph load must serve all four jobs");
+    assert_eq!(loads_b, 1);
+    for ((values, done), (values2, done2)) in first.iter().zip(&second) {
+        assert!(
+            !values.is_empty(),
+            "each job must stream ≥1 improvement before done"
+        );
+        assert_eq!(done.status, JobStatus::Completed);
+        assert_eq!(done.steps, 8_000);
+        assert_eq!(done.parts, 4);
+        // Anytime stream is strictly improving and ends at the final value.
+        assert!(values.windows(2).all(|w| w[1] < w[0]));
+        assert_eq!(values.last().copied().unwrap(), done.value);
+        // Determinism across server runs: same request + seed ⇒
+        // byte-identical final partition and identical streamed values.
+        assert_eq!(done.assignment, done2.assignment);
+        assert_eq!(done.value, done2.value);
+        assert_eq!(values, values2);
+    }
+    // Different seeds explore differently (overwhelmingly likely that at
+    // least one pair of assignments differs).
+    assert!(
+        first
+            .windows(2)
+            .any(|w| w[0].1.assignment != w[1].1.assignment),
+        "all four seeds converged to identical assignments — suspicious"
+    );
+}
+
+/// Per-job result isolation: a job run concurrently with three others
+/// returns exactly what it returns when run alone.
+#[test]
+fn concurrent_results_match_solo_runs() {
+    let seeds = [5u64, 6, 7, 8];
+    let (concurrent, _) = drive_concurrent_jobs(&seeds);
+    for (i, &seed) in seeds.iter().enumerate() {
+        let (solo, _) = drive_concurrent_jobs(&[seed]);
+        assert_eq!(
+            concurrent[i].1.assignment, solo[0].1.assignment,
+            "seed {seed}: concurrency leaked into the result"
+        );
+        assert_eq!(concurrent[i].1.value, solo[0].1.value);
+    }
+}
+
+#[test]
+fn cancel_returns_best_so_far_promptly() {
+    let handle = start_server(1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .load(
+            "geo60",
+            GraphSource::Data(instance_data()),
+            GraphFormat::Metis,
+        )
+        .unwrap();
+    // Effectively unbounded: only cancel can end it.
+    let job = JobRequest {
+        steps: Some(u64::MAX / 2),
+        chunk: 256,
+        ..JobRequest::new("geo60", 4)
+    };
+    let id = client.submit(&job).unwrap();
+    // Let it find at least one improvement first.
+    let first = loop {
+        match client.next_event().unwrap() {
+            Event::Improvement(imp) if imp.job == id => break imp,
+            _ => continue,
+        }
+    };
+    assert!(first.value.is_finite() || first.value.is_infinite());
+    let asked = Instant::now();
+    assert!(client.cancel(id).unwrap(), "job should be known");
+    let (_, done) = client.wait_done(id).unwrap();
+    assert!(
+        asked.elapsed() < Duration::from_secs(5),
+        "cancel must land promptly, took {:?}",
+        asked.elapsed()
+    );
+    assert_eq!(done.status, JobStatus::Cancelled);
+    assert!(done.value.is_finite(), "best-so-far molecule returned");
+    assert!(done.assignment.is_some());
+    // Cancelling an unknown job is answered, not ignored.
+    assert!(!client.cancel(9999).unwrap());
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn deadline_only_job_stops_within_tolerance() {
+    let handle = start_server(1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .load(
+            "geo60",
+            GraphSource::Data(instance_data()),
+            GraphFormat::Metis,
+        )
+        .unwrap();
+    let job = JobRequest {
+        deadline_ms: Some(300),
+        chunk: 256,
+        ..JobRequest::new("geo60", 4)
+    };
+    let started = Instant::now();
+    let id = client.submit(&job).unwrap();
+    let (_, done) = client.wait_done(id).unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(done.status, JobStatus::Deadline);
+    assert!(
+        elapsed >= Duration::from_millis(250),
+        "gave up early: {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "deadline overshot: {elapsed:?}"
+    );
+    assert!(done.value.is_finite());
+    assert!(done.steps > 0);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// One connection, several jobs in flight: the client-side demux must
+/// route interleaved events to the right waiter.
+#[test]
+fn one_connection_runs_concurrent_jobs() {
+    let handle = start_server(2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .load(
+            "geo60",
+            GraphSource::Data(instance_data()),
+            GraphFormat::Metis,
+        )
+        .unwrap();
+    let mk = |seed| JobRequest {
+        steps: Some(6_000),
+        seed,
+        chunk: 256,
+        ..JobRequest::new("geo60", 3)
+    };
+    let a = client.submit(&mk(1)).unwrap();
+    let b = client.submit(&mk(2)).unwrap();
+    assert_ne!(a, b);
+    // Wait in the "wrong" order on purpose: b's events arrive while
+    // waiting for a and must be buffered, not lost.
+    let (imp_a, done_a) = client.wait_done(a).unwrap();
+    let (imp_b, done_b) = client.wait_done(b).unwrap();
+    assert_eq!(done_a.status, JobStatus::Completed);
+    assert_eq!(done_b.status, JobStatus::Completed);
+    assert!(!imp_a.is_empty() && !imp_b.is_empty());
+    assert!(imp_a.iter().all(|i| i.job == a));
+    assert!(imp_b.iter().all(|i| i.job == b));
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn protocol_errors_are_events_not_disconnects() {
+    let handle = start_server(1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Unknown instance.
+    client
+        .send(&Request::Submit(JobRequest {
+            steps: Some(10),
+            ..JobRequest::new("ghost", 2)
+        }))
+        .unwrap();
+    match client.next_event().unwrap() {
+        Event::Error { message, .. } => assert!(message.contains("unknown instance")),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Malformed graph data.
+    client
+        .send(&Request::Load {
+            instance: "bad".into(),
+            source: GraphSource::Data("this is not METIS".into()),
+            format: GraphFormat::Metis,
+        })
+        .unwrap();
+    match client.next_event().unwrap() {
+        Event::Error { message, .. } => assert!(message.contains("inline data")),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // k out of range for the instance.
+    client
+        .load(
+            "tri",
+            GraphSource::Data("3 3\n2 3\n1 3\n1 2\n".into()),
+            GraphFormat::Metis,
+        )
+        .unwrap();
+    client
+        .send(&Request::Submit(JobRequest {
+            steps: Some(10),
+            ..JobRequest::new("tri", 99)
+        }))
+        .unwrap();
+    match client.next_event().unwrap() {
+        Event::Error { message, .. } => assert!(message.contains("k must be in 1..=3")),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Raw garbage line: still an error event, connection stays usable.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap(); // hello
+        writeln!(raw, "{{not json").unwrap();
+        line.clear();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        let ev = Event::parse(line.trim_end()).unwrap();
+        assert!(matches!(ev, Event::Error { .. }), "got {ev:?}");
+        writeln!(raw, "{}", Request::Stats.to_value()).unwrap();
+        line.clear();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        assert!(matches!(
+            Event::parse(line.trim_end()).unwrap(),
+            Event::Stats { .. }
+        ));
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn stats_track_cache_and_jobs() {
+    let handle = start_server(1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let (_, _, cached) = client
+        .load(
+            "tri",
+            GraphSource::Data("3 3\n2 3\n1 3\n1 2\n".into()),
+            GraphFormat::Metis,
+        )
+        .unwrap();
+    assert!(!cached);
+    let (_, _, cached) = client
+        .load(
+            "tri",
+            GraphSource::Data("3 3\n2 3\n1 3\n1 2\n".into()),
+            GraphFormat::Metis,
+        )
+        .unwrap();
+    assert!(cached, "second identical load is a hit");
+    let id = client
+        .submit(&JobRequest {
+            steps: Some(200),
+            ..JobRequest::new("tri", 2)
+        })
+        .unwrap();
+    let (_, done) = client.wait_done(id).unwrap();
+    assert_eq!(done.status, JobStatus::Completed);
+    match client.stats().unwrap() {
+        Event::Stats {
+            instances,
+            cache_loads,
+            cache_hits,
+            jobs_submitted,
+            jobs_running,
+            jobs_done,
+        } => {
+            assert_eq!(instances, 1);
+            assert_eq!(cache_loads, 1);
+            assert!(
+                cache_hits >= 2,
+                "load hit + submit lookup, got {cache_hits}"
+            );
+            assert_eq!(jobs_submitted, 1);
+            assert_eq!(jobs_running, 0);
+            assert_eq!(jobs_done, 1);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// An ensemble job served over the wire equals the library-level ensemble.
+#[test]
+fn ensemble_jobs_work_over_the_wire() {
+    let handle = start_server(2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .load(
+            "geo60",
+            GraphSource::Data(instance_data()),
+            GraphFormat::Metis,
+        )
+        .unwrap();
+    let job = JobRequest {
+        steps: Some(4_000),
+        seed: 17,
+        islands: 3,
+        chunk: 512,
+        ..JobRequest::new("geo60", 4)
+    };
+    let id = client.submit(&job).unwrap();
+    let (improvements, done) = client.wait_done(id).unwrap();
+    assert_eq!(done.status, JobStatus::Completed);
+    assert_eq!(done.steps, 12_000, "3 islands × 4000 steps");
+    assert!(!improvements.is_empty());
+    // The streamed ensemble-level values strictly improve.
+    let values: Vec<f64> = improvements.iter().map(|i| i.value).collect();
+    assert!(values.windows(2).all(|w| w[1] < w[0]));
+    // And the result is the deterministic library-level ensemble result.
+    let g = ff_graph::io::read_metis(instance_data().as_bytes()).unwrap();
+    let cfg = ff_engine::EnsembleConfig {
+        islands: 3,
+        max_threads: 1,
+        migration_interval: 512,
+        base: ff_core::FusionFissionConfig {
+            objective: ff_partition::Objective::MCut,
+            stop: ff_metaheur::StopCondition::steps(4_000),
+            ..ff_core::FusionFissionConfig::standard(4)
+        },
+    };
+    let direct = ff_engine::Ensemble::new(&g, cfg, 17).run();
+    assert_eq!(done.value, direct.best_value);
+    assert_eq!(
+        done.assignment.as_deref().unwrap(),
+        direct.best.assignment()
+    );
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -1,0 +1,132 @@
+//! The partition server, end to end: one in-process `ff-service` server,
+//! one shared cached instance, and three clients exercising the three
+//! request shapes — a step-budgeted deterministic job, an island-ensemble
+//! job, and a long job that gets cancelled and hands back its best-so-far
+//! molecule.
+//!
+//! ```text
+//! cargo run --release --example serve
+//! ```
+
+use ff_service::{Client, GraphFormat, GraphSource, JobRequest, JobStatus, Server};
+use fusionfission::graph::generators::random_geometric;
+use std::time::Duration;
+
+fn main() {
+    // A server on an ephemeral port, 2 compute slots shared by all jobs.
+    let handle = Server::bind("127.0.0.1:0", 2)
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr();
+    println!("server on {addr}");
+
+    // Ship the instance inline (METIS text), cached under one key.
+    let g = random_geometric(120, 0.18, 7);
+    let mut metis = Vec::new();
+    fusionfission::graph::io::write_metis(&g, &mut metis).expect("serialize");
+    let data = String::from_utf8(metis).expect("utf8");
+
+    std::thread::scope(|scope| {
+        // Client 1: a step-budgeted job — deterministic, streamed.
+        scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("connect");
+            client
+                .load(
+                    "geo120",
+                    GraphSource::Data(data.clone()),
+                    GraphFormat::Metis,
+                )
+                .expect("load");
+            let id = client
+                .submit(&JobRequest {
+                    steps: Some(60_000),
+                    seed: 1,
+                    ..JobRequest::new("geo120", 6)
+                })
+                .expect("submit");
+            let (improvements, done) = client.wait_done(id).expect("stream");
+            for imp in &improvements {
+                println!(
+                    "[steps  job {id}] mcut {:.5} at step {}",
+                    imp.value, imp.step
+                );
+            }
+            println!(
+                "[steps  job {id}] {:?}: mcut {:.5} in {} steps",
+                done.status, done.value, done.steps
+            );
+        });
+
+        // Client 2: a 3-island ensemble over the same cached instance.
+        scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("connect");
+            client
+                .load(
+                    "geo120",
+                    GraphSource::Data(data.clone()),
+                    GraphFormat::Metis,
+                )
+                .expect("load");
+            let id = client
+                .submit(&JobRequest {
+                    steps: Some(20_000),
+                    seed: 2,
+                    islands: 3,
+                    ..JobRequest::new("geo120", 6)
+                })
+                .expect("submit");
+            let (improvements, done) = client.wait_done(id).expect("stream");
+            println!(
+                "[island job {id}] {:?}: mcut {:.5}, {} improvements, {} migrations",
+                done.status,
+                done.value,
+                improvements.len(),
+                done.migrations
+            );
+        });
+
+        // Client 3: an effectively unbounded job, cancelled after 300 ms —
+        // it returns promptly with its best-so-far partition.
+        scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("connect");
+            client
+                .load(
+                    "geo120",
+                    GraphSource::Data(data.clone()),
+                    GraphFormat::Metis,
+                )
+                .expect("load");
+            let id = client
+                .submit(&JobRequest {
+                    steps: Some(u64::MAX / 2),
+                    seed: 3,
+                    ..JobRequest::new("geo120", 6)
+                })
+                .expect("submit");
+            let mut canceller = Client::connect(addr).expect("connect");
+            std::thread::sleep(Duration::from_millis(300));
+            canceller.cancel(id).expect("cancel");
+            let (_, done) = client.wait_done(id).expect("stream");
+            assert_eq!(done.status, JobStatus::Cancelled);
+            println!(
+                "[cancel job {id}] {:?}: best-so-far mcut {:.5} after {} steps",
+                done.status, done.value, done.steps
+            );
+        });
+    });
+
+    // One load, many jobs: show the cache did its job, then shut down.
+    let mut admin = Client::connect(addr).expect("connect");
+    if let ff_service::Event::Stats {
+        cache_loads,
+        cache_hits,
+        jobs_done,
+        ..
+    } = admin.stats().expect("stats")
+    {
+        println!("cache: {cache_loads} load(s), {cache_hits} hit(s); jobs done: {jobs_done}");
+    }
+    admin.shutdown().expect("shutdown");
+    handle.join().expect("server exits");
+}

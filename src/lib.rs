@@ -13,6 +13,7 @@
 //! | [`metaheur`] (`ff-metaheur`) | simulated annealing, ant colony, percolation |
 //! | [`core`] (`ff-core`) | the fusion–fission metaheuristic itself |
 //! | [`engine`] (`ff-engine`) | parallel multi-seed island ensemble with best-molecule migration |
+//! | [`service`] (`ff-service`) | multi-client partition server: NDJSON job protocol, streaming anytime results, cancel/deadline |
 //! | [`atc`] (`ff-atc`) | synthetic European-airspace FABOP workload |
 //!
 //! ## Quickstart
@@ -37,6 +38,7 @@ pub use ff_linalg as linalg;
 pub use ff_metaheur as metaheur;
 pub use ff_multilevel as multilevel;
 pub use ff_partition as partition;
+pub use ff_service as service;
 pub use ff_spectral as spectral;
 
 /// One-stop imports for the common workflow: build/generate a graph, run a

@@ -1,9 +1,10 @@
 //! Offline vendored shim of the `serde_json` *Value* subset this workspace
 //! uses: building [`Value`] trees by hand ([`Map`], [`Number::from_f64`]),
-//! inspecting them (`as_array`, `as_f64`, `is_string`, indexing), and
-//! serializing with [`to_writer_pretty`] / [`to_string`]. There is no
-//! parser and no serde integration — the build container cannot reach
-//! crates.io, and the experiment harness only ever *writes* JSON.
+//! inspecting them (`as_array`, `as_f64`, `is_string`, indexing),
+//! serializing with [`to_writer_pretty`] / [`to_string`], and parsing with
+//! [`from_str`] (a full JSON text parser returning [`Value`], used by the
+//! `ff-service` newline-delimited-JSON protocol). There is no serde
+//! derive integration — the build container cannot reach crates.io.
 //!
 //! ```
 //! let mut obj = serde_json::Map::new();
@@ -127,6 +128,57 @@ impl Value {
             Value::Array(a) => Some(a),
             _ => None,
         }
+    }
+
+    /// The entries if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if this is a number with an
+    /// exact `u64` value (integral, in range — upstream's lossless rule).
+    pub fn as_u64(&self) -> Option<u64> {
+        let v = self.as_f64()?;
+        if v >= 0.0 && v <= u64::MAX as f64 && v.fract() == 0.0 {
+            Some(v as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The value as a signed integer, if integral and in `i64` range.
+    pub fn as_i64(&self) -> Option<i64> {
+        let v = self.as_f64()?;
+        if v >= i64::MIN as f64 && v <= i64::MAX as f64 && v.fract() == 0.0 {
+            Some(v as i64)
+        } else {
+            None
+        }
+    }
+
+    /// Object member lookup without the panicky index sugar: `None` for
+    /// missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
     }
 
     /// The float if this is a number.
@@ -275,6 +327,284 @@ impl fmt::Display for Value {
     }
 }
 
+/// A JSON parse error: a message plus the byte offset it arose at.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Recursive-descent JSON text parser (RFC 8259 grammar over [`Value`]).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Nesting cap: parsing is recursive, and protocol input is untrusted, so
+/// bound the stack instead of overflowing on `[[[[…`.
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, Error> {
+        Err(Error {
+            msg: msg.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {what}"))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            self.err(format!("invalid literal (expected `{kw}`)"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => self.err("unexpected character"),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'[', "`[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'{', "`{`")?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return self.err("expected string key");
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "`:`")?;
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u16::from_str_radix(s, 16).ok());
+        match s {
+            Some(v) => {
+                self.pos = end;
+                Ok(v)
+            }
+            None => self.err("bad \\u escape"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "`\"`")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes at once.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                    Ok(s) => out.push_str(s),
+                    Err(_) => return self.err("invalid UTF-8 in string"),
+                }
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return self.err("unpaired surrogate");
+                                    }
+                                    let code = 0x10000
+                                        + ((hi as u32 - 0xD800) << 10)
+                                        + (lo as u32 - 0xDC00);
+                                    char::from_u32(code)
+                                } else {
+                                    return self.err("unpaired surrogate");
+                                }
+                            } else {
+                                char::from_u32(hi as u32)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("bad \\u escape"),
+                            }
+                            continue; // pos already past the escape
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => return self.err("control character in string"),
+                None => return self.err("unterminated string"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Parser| {
+            let s = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            p.pos > s
+        };
+        if !digits(self) {
+            return self.err("expected digits");
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return self.err("expected fraction digits");
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return self.err("expected exponent digits");
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        match text.parse::<f64>().ok().and_then(Number::from_f64) {
+            Some(n) => Ok(Value::Number(n)),
+            None => self.err("number out of range"),
+        }
+    }
+}
+
+/// Parses a JSON text into a [`Value`]. Trailing whitespace is allowed;
+/// trailing non-whitespace is an error (one value per input, the contract
+/// newline-delimited-JSON protocols rely on).
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
 /// Serializes compactly to a string. Infallible for [`Value`] trees; the
 /// `Result` mirrors the upstream signature.
 pub fn to_string(value: &Value) -> io::Result<String> {
@@ -352,6 +682,77 @@ mod tests {
         assert_eq!(v[0]["nope"], Value::Null);
         assert_eq!(v[9], Value::Null);
         assert!(v[0]["name"].is_string());
+    }
+
+    #[test]
+    fn parse_roundtrips_own_output() {
+        let v = sample();
+        let parsed = from_str(&v.to_string()).unwrap();
+        assert_eq!(parsed, v);
+        let pretty = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn parse_scalars_and_structure() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("-2.5e2").unwrap().as_f64(), Some(-250.0));
+        assert_eq!(from_str("42").unwrap().as_u64(), Some(42));
+        assert_eq!(from_str("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(from_str("2.5").unwrap().as_u64(), None);
+        let v = from_str(r#"{"a":[1,{"b":"x"},[]],"c":{}}"#).unwrap();
+        assert_eq!(v["a"][1]["b"], "x");
+        assert!(v["a"][2].as_array().unwrap().is_empty());
+        assert!(v.get("c").unwrap().as_object().unwrap().is_empty());
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = from_str(r#""a\"b\\c\n\t\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\"b\\c\n\tAé😀");
+    }
+
+    #[test]
+    fn parse_preserves_key_order_and_dups_replace() {
+        let v = from_str(r#"{"z":1,"a":2,"z":3}"#).unwrap();
+        let keys: Vec<&String> = v.as_object().unwrap().iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["z", "a"]);
+        assert_eq!(v["z"].as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "nul",
+            "01x",
+            r#""unterminated"#,
+            "{\"a\":}",
+            "[1] extra",
+            "\"\\q\"",
+            "1e",
+            "- 1",
+            "{1:2}",
+            r#""\ud800""#,
+        ] {
+            assert!(from_str(bad).is_err(), "should reject {bad:?}");
+        }
+        // The depth bound trips instead of overflowing the stack.
+        let deep = "[".repeat(4000) + &"]".repeat(4000);
+        assert!(from_str(&deep).is_err());
+    }
+
+    #[test]
+    fn parse_error_reports_offset() {
+        let err = from_str("[1, x]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
     }
 
     #[test]
