@@ -11,6 +11,19 @@
 //!                            use port 0 for an ephemeral port)
 //!   --workers N              compute slots shared by all in-flight jobs
 //!                            (default: one per core)
+//!   --max-jobs N             admission bound on in-flight (queued+running)
+//!                            jobs; overflow gets a typed `rejected` event
+//!                            with a retry hint            (default: unlimited)
+//!   --max-jobs-per-conn N    same bound per client connection
+//!                            (default: unlimited)
+//!   --cache-bytes N          instance-cache byte budget (CSR bytes); LRU
+//!                            entries past it are evicted, pinned in-use
+//!                            instances never               (default: unlimited)
+//!   --http [ADDR]            also serve the HTTP/1.1 gateway on ADDR
+//!                            (default 127.0.0.1:7412 when ADDR omitted):
+//!                            POST /jobs, GET /jobs/:id/events (chunked
+//!                            NDJSON), DELETE /jobs/:id, GET /stats,
+//!                            PUT /instances/:key
 //!   --stdio                  serve one client on stdin/stdout instead of TCP
 //!
 //! submit options:
@@ -56,7 +69,8 @@
 //!   -h, --help               this text
 //! ```
 //!
-//! Exit codes: 0 success, 2 usage error, 3 input/connection error.
+//! Exit codes: 0 success, 2 usage error, 3 input/connection error,
+//! 4 submit rejected by admission control (retry later).
 
 use ff_bench::{run_method_ensemble, MethodBudget, MethodId};
 use ff_graph::Graph;
@@ -67,7 +81,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: ffpart <graph> -k <parts> [-m method] [-o objective] \
 [-b budget-secs] [--steps n] [-s seed] [-j islands] [--threads n] [-f metis|edgelist] \
-[-w out.part] [-r] [-q]\n       ffpart serve [--listen addr] [--workers n] [--stdio]\n       \
+[-w out.part] [-r] [-q]\n       ffpart serve [--listen addr] [--workers n] [--max-jobs n] \
+[--max-jobs-per-conn n] [--cache-bytes n] [--http [addr]] [--stdio]\n       \
 ffpart submit --connect addr <graph> -k <parts> [--steps n] [--deadline-ms n] …\n\
 see `ffpart --help`";
 
@@ -214,41 +229,70 @@ fn load_graph(path: &str, format: &str) -> Result<Graph, String> {
 /// `ffpart serve`: run the ff-service partition server.
 fn serve_main(args: &[String]) -> ExitCode {
     let mut listen = "127.0.0.1:7411".to_string();
-    let mut workers = 0usize;
+    let mut config = ff_service::ServerConfig::default();
     let mut stdio = false;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
+    let usage_err = |msg: &str| {
+        eprintln!("ffpart serve: {msg}\n{USAGE}");
+        ExitCode::from(2)
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        // Flags with a required value read args[i + 1].
+        let mut val = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg {
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            "--listen" => match it.next() {
-                Some(v) => listen = v.clone(),
-                None => {
-                    eprintln!("ffpart serve: --listen needs a value\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+            "--listen" => match val("--listen") {
+                Ok(v) => listen = v,
+                Err(e) => return usage_err(&e),
             },
-            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => workers = v,
-                None => {
-                    eprintln!("ffpart serve: bad --workers value\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+            "--workers" => match val("--workers").map(|v| v.parse()) {
+                Ok(Ok(v)) => config.workers = v,
+                _ => return usage_err("bad --workers value"),
             },
-            "--stdio" => stdio = true,
-            other => {
-                eprintln!("ffpart serve: unknown flag `{other}`\n{USAGE}");
-                return ExitCode::from(2);
+            "--max-jobs" => match val("--max-jobs").map(|v| v.parse()) {
+                Ok(Ok(v)) => config.max_jobs = v,
+                _ => return usage_err("bad --max-jobs value"),
+            },
+            "--max-jobs-per-conn" => match val("--max-jobs-per-conn").map(|v| v.parse()) {
+                Ok(Ok(v)) => config.max_jobs_per_conn = v,
+                _ => return usage_err("bad --max-jobs-per-conn value"),
+            },
+            "--cache-bytes" => match val("--cache-bytes").map(|v| v.parse()) {
+                Ok(Ok(v)) => config.cache_bytes = v,
+                _ => return usage_err("bad --cache-bytes value"),
+            },
+            // `--http` takes an optional address: `--http 0.0.0.0:8080`
+            // or bare `--http` for the default gateway port.
+            "--http" => {
+                let addr = match args.get(i + 1) {
+                    Some(next) if !next.starts_with('-') => {
+                        i += 1;
+                        next.clone()
+                    }
+                    _ => "127.0.0.1:7412".to_string(),
+                };
+                config.http = Some(addr);
             }
+            "--stdio" => stdio = true,
+            other => return usage_err(&format!("unknown flag `{other}`")),
         }
+        i += 1;
     }
     if stdio {
-        ff_service::serve_stdio(workers);
+        config.http = None;
+        ff_service::serve_stdio_with(config);
         return ExitCode::SUCCESS;
     }
-    let server = match ff_service::Server::bind(&listen, workers) {
+    let server = match ff_service::Server::bind_with(&listen, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("ffpart serve: cannot bind {listen}: {e}");
@@ -262,6 +306,10 @@ fn serve_main(args: &[String]) -> ExitCode {
             eprintln!("ffpart serve: {e}");
             return ExitCode::from(3);
         }
+    }
+    if let Some(http) = server.http_addr() {
+        // Second banner line, same parseable shape.
+        println!("ffpart: http on {http}");
     }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -401,7 +449,13 @@ fn submit_main(args: &[String]) -> ExitCode {
     };
     let id = match client.submit(&job) {
         Ok(id) => id,
-        // The server rejecting the request (bad k, unknown instance) is a
+        // Admission-control rejection: transient capacity, own exit code
+        // so scripts can branch into a retry loop.
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            eprintln!("ffpart submit: {e}");
+            return ExitCode::from(4);
+        }
+        // The server refusing the request (bad k, unknown instance) is a
         // usage error (2); a dropped/failed connection is exit 3, matching
         // the documented contract.
         Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
@@ -415,14 +469,14 @@ fn submit_main(args: &[String]) -> ExitCode {
     };
     eprintln!("ffpart: job {id} accepted");
     if let Some(ms) = cancel_after_ms {
-        // Cancel over a second connection — the job registry is
-        // server-wide, so any client may cancel by id.
-        let connect = connect.clone();
+        // Cancel by the job handle we already hold, over this same
+        // connection: `submit` has consumed the `accepted` event, so even
+        // a 0 ms cancel targets a job the server definitely knows —
+        // unlike a second connection racing the handshake.
+        let mut canceller = client.canceller();
         std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(ms));
-            if let Ok(mut canceller) = ff_service::Client::connect(&*connect) {
-                let _ = canceller.cancel(id);
-            }
+            let _ = canceller.cancel(id);
         });
     }
     // Stream events as they arrive — printing an improvement the moment

@@ -244,24 +244,42 @@ impl Drop for ServeGuard {
     }
 }
 
-fn spawn_server() -> (ServeGuard, String) {
+fn spawn_server_with(extra: &[&str]) -> (ServeGuard, String, Option<String>) {
     use std::io::BufRead;
+    let mut args = vec!["serve", "--listen", "127.0.0.1:0", "--workers", "2"];
+    args.extend_from_slice(extra);
     let mut child = ffpart()
-        .args(["serve", "--listen", "127.0.0.1:0", "--workers", "2"])
+        .args(&args)
         .stdout(std::process::Stdio::piped())
         .spawn()
         .expect("serve starts");
     let stdout = child.stdout.take().unwrap();
+    let mut reader = std::io::BufReader::new(stdout);
     let mut line = String::new();
-    std::io::BufReader::new(stdout)
-        .read_line(&mut line)
-        .unwrap();
+    reader.read_line(&mut line).unwrap();
     let addr = line
         .trim()
         .strip_prefix("ffpart: serving on ")
         .unwrap_or_else(|| panic!("unexpected banner: {line}"))
         .to_string();
-    (ServeGuard(child), addr)
+    let http = if extra.contains(&"--http") {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        Some(
+            line.trim()
+                .strip_prefix("ffpart: http on ")
+                .unwrap_or_else(|| panic!("unexpected http banner: {line}"))
+                .to_string(),
+        )
+    } else {
+        None
+    };
+    (ServeGuard(child), addr, http)
+}
+
+fn spawn_server() -> (ServeGuard, String) {
+    let (guard, addr, _) = spawn_server_with(&[]);
+    (guard, addr)
 }
 
 #[test]
@@ -398,5 +416,141 @@ fn mincut_diagnostic() {
         stdout.contains("global min cut: 1.0000"),
         "stdout: {stdout}"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `--cancel-after-ms` race fix: a 0 ms cancel rides the same
+/// connection as the submit and lands on a job the server already
+/// acknowledged — the CLI still exits 0 with a best-so-far partition,
+/// never an error.
+#[test]
+fn zero_ms_cancel_still_yields_best_so_far_partition() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-cancel0-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+    let (guard, addr) = spawn_server();
+    let out = dir.join("cancelled.part");
+    let output = ffpart()
+        .args([
+            "submit",
+            "--connect",
+            &addr,
+            graph.to_str().unwrap(),
+            "-k",
+            "2",
+            "--steps",
+            "100000000000",
+            "--cancel-after-ms",
+            "0",
+            "-q",
+            "-w",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("status=cancelled"), "stdout: {stdout}");
+    assert_eq!(
+        std::fs::read_to_string(&out).unwrap().lines().count(),
+        6,
+        "best-so-far partition written despite the immediate cancel"
+    );
+    ff_service::Client::connect(&*addr)
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    drop(guard);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `ffpart serve` hardening flags: a saturated `--max-jobs 1` server
+/// answers the overflow submit with a rejection (exit 4), and the
+/// `--http` gateway banner + `GET /stats` work end to end.
+#[test]
+fn serve_hardening_flags_reject_overflow_and_serve_http() {
+    use std::io::{Read, Write};
+    let dir = std::env::temp_dir().join(format!("ffpart-test-harden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+    let (guard, addr, http) = spawn_server_with(&["--max-jobs", "1", "--http", "127.0.0.1:0"]);
+    let http = http.expect("--http must print a banner");
+
+    // Fill the single admission slot with an effectively unbounded job.
+    let mut filler = ffpart()
+        .args([
+            "submit",
+            "--connect",
+            &addr,
+            graph.to_str().unwrap(),
+            "-k",
+            "2",
+            "--steps",
+            "100000000000",
+            "-q",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    // Wait until the server reports the job in flight.
+    let mut admin = ff_service::Client::connect(&*addr).unwrap();
+    for _ in 0..100 {
+        match admin.stats().unwrap() {
+            ff_service::Event::Stats(st) if st.jobs_running >= 1 => break,
+            _ => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    }
+
+    // Overflow submit: exit 4 with the retry hint on stderr.
+    let output = ffpart()
+        .args([
+            "submit",
+            "--connect",
+            &addr,
+            graph.to_str().unwrap(),
+            "-k",
+            "2",
+            "--steps",
+            "100",
+            "-q",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(4), "rejection is exit 4");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("retry after"), "stderr: {stderr}");
+
+    // The HTTP gateway answers GET /stats with the admission numbers.
+    let mut stream = std::net::TcpStream::connect(&*http).unwrap();
+    write!(
+        stream,
+        "GET /stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "raw: {raw}");
+    assert!(raw.contains("\"max_jobs\":1"), "raw: {raw}");
+    assert!(raw.contains("\"jobs_rejected\":1"), "raw: {raw}");
+
+    // Cancel the filler via HTTP DELETE (job ids start at 1).
+    let mut stream = std::net::TcpStream::connect(&*http).unwrap();
+    write!(
+        stream,
+        "DELETE /jobs/1 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.contains("\"known\":true"), "raw: {raw}");
+    assert!(filler.wait().unwrap().success(), "cancelled job exits 0");
+
+    admin.shutdown().unwrap();
+    drop(guard);
     std::fs::remove_dir_all(&dir).ok();
 }

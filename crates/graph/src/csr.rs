@@ -222,6 +222,20 @@ impl Graph {
             .unwrap_or(0)
     }
 
+    /// Heap bytes held by the CSR arrays (plus the struct itself):
+    /// `xadj` + `adjncy` + `adjwgt` + `vwgt` + `degw`. This is the size a
+    /// byte-budgeted cache should account a resident graph at — it scales
+    /// with `n` and `m`, not with the source text the graph was parsed
+    /// from.
+    pub fn csr_bytes(&self) -> usize {
+        std::mem::size_of::<Graph>()
+            + self.xadj.len() * std::mem::size_of::<usize>()
+            + self.adjncy.len() * std::mem::size_of::<VertexId>()
+            + self.adjwgt.len() * std::mem::size_of::<f64>()
+            + self.vwgt.len() * std::mem::size_of::<f64>()
+            + self.degw.len() * std::mem::size_of::<f64>()
+    }
+
     /// Mean unweighted degree (2m/n), 0 for the empty graph.
     pub fn mean_degree(&self) -> f64 {
         let n = self.num_vertices();
@@ -423,5 +437,18 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn csr_bytes_scales_with_n_and_m() {
+        let small = triangle();
+        // 4 entries of xadj, 6 of adjncy (u32), 6+3+3 f64s + struct.
+        let expected = std::mem::size_of::<Graph>() + 4 * 8 + 6 * 4 + (6 + 3 + 3) * 8;
+        assert_eq!(small.csr_bytes(), expected);
+        let bigger = crate::generators::grid2d(20, 20);
+        assert!(
+            bigger.csr_bytes() > 10 * small.csr_bytes(),
+            "400 vertices must account much larger than 3"
+        );
     }
 }

@@ -10,15 +10,49 @@ use crate::protocol::{DoneInfo, Event, Improvement, JobRequest, Request};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
 
 fn bad_data(message: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
 }
 
+/// What [`Client::try_submit`] got back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted, with the server-assigned job id.
+    Accepted(u64),
+    /// Refused by admission control; resubmit after the hinted backoff.
+    Rejected {
+        /// Which bound tripped.
+        reason: String,
+        /// Suggested backoff before resubmitting.
+        retry_after_ms: u64,
+    },
+}
+
+/// A send-only cancel handle cloned off a [`Client`] connection
+/// (see [`Client::canceller`]). Shares the client's write lock, so a
+/// cancel fired from another thread can never interleave bytes with a
+/// request the owning thread is sending.
+pub struct JobCanceller {
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+impl JobCanceller {
+    /// Sends a cancel for `job`. Fire-and-forget: the `cancelling`
+    /// acknowledgement arrives on the owning client's event stream.
+    pub fn cancel(&mut self, job: u64) -> std::io::Result<()> {
+        let mut writer = self.writer.lock().unwrap();
+        writeln!(writer, "{}", Request::Cancel { job }.to_value())?;
+        writer.flush()
+    }
+}
+
 /// A connected protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    /// Write half, lockable so [`JobCanceller`] clones stay line-atomic.
+    writer: Arc<Mutex<TcpStream>>,
     /// Events read while scanning for something else; drained first.
     pending: VecDeque<Event>,
     /// The server's greeting: (protocol version, worker-pool width).
@@ -29,7 +63,7 @@ impl Client {
     /// Connects and consumes the server's `hello` greeting.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
-        let writer = stream.try_clone()?;
+        let writer = Arc::new(Mutex::new(stream.try_clone()?));
         let mut client = Client {
             reader: BufReader::new(stream),
             writer,
@@ -45,8 +79,9 @@ impl Client {
 
     /// Sends one request line.
     pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
-        writeln!(self.writer, "{}", request.to_value())?;
-        self.writer.flush()
+        let mut writer = self.writer.lock().unwrap();
+        writeln!(writer, "{}", request.to_value())?;
+        writer.flush()
     }
 
     fn read_event(&mut self) -> std::io::Result<Event> {
@@ -121,13 +156,48 @@ impl Client {
         })
     }
 
-    /// Submits a job and returns its server-assigned id.
+    /// Submits a job and returns its server-assigned id. An
+    /// admission-control rejection surfaces as an
+    /// [`std::io::ErrorKind::WouldBlock`] error carrying the server's
+    /// retry hint; use [`Client::try_submit`] to branch on it instead.
     pub fn submit(&mut self, job: &JobRequest) -> std::io::Result<u64> {
+        match self.try_submit(job)? {
+            SubmitOutcome::Accepted(id) => Ok(id),
+            SubmitOutcome::Rejected {
+                reason,
+                retry_after_ms,
+            } => Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                format!("rejected: {reason} (retry after {retry_after_ms} ms)"),
+            )),
+        }
+    }
+
+    /// Submits a job, reporting an admission-control rejection as a
+    /// value instead of an error — the shape a retrying client wants.
+    pub fn try_submit(&mut self, job: &JobRequest) -> std::io::Result<SubmitOutcome> {
         self.send(&Request::Submit(job.clone()))?;
         self.scan_for(|ev| match ev {
-            Event::Accepted { job, .. } => Some(*job),
+            Event::Accepted { job, .. } => Some(SubmitOutcome::Accepted(*job)),
+            Event::Rejected {
+                reason,
+                retry_after_ms,
+                ..
+            } => Some(SubmitOutcome::Rejected {
+                reason: reason.clone(),
+                retry_after_ms: *retry_after_ms,
+            }),
             _ => None,
         })
+    }
+
+    /// A send-only handle on this connection for cancelling jobs from
+    /// another thread while the owning thread keeps reading events. The
+    /// `cancelling` acknowledgement arrives in the main event stream.
+    pub fn canceller(&self) -> JobCanceller {
+        JobCanceller {
+            writer: self.writer.clone(),
+        }
     }
 
     /// Requests cancellation of `job`; returns whether the server knew it.

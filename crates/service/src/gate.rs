@@ -8,9 +8,23 @@
 //! round-robin on N slots instead of the first N jobs blocking the rest
 //! to completion. (A plain `Mutex`/semaphore gives no ordering guarantee;
 //! strict FIFO is what makes the sharing *fair*.)
+//!
+//! Every acquire also records how long it waited into a coarse
+//! logarithmic histogram ([`FairGate::wait_histogram`]) — the server's
+//! `stats` event exposes it, so operators can see contention building up
+//! *before* admission control starts rejecting.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Number of buckets in the permit-wait histogram.
+pub const WAIT_BUCKETS: usize = 5;
+
+/// Upper bounds (exclusive, in milliseconds) of the first
+/// `WAIT_BUCKETS - 1` histogram buckets; the last bucket is unbounded.
+pub const WAIT_BUCKET_MS: [u64; WAIT_BUCKETS - 1] = [1, 10, 100, 1000];
 
 struct GateState {
     available: usize,
@@ -23,6 +37,7 @@ struct GateState {
 pub struct FairGate {
     state: Mutex<GateState>,
     cv: Condvar,
+    waits: [AtomicU64; WAIT_BUCKETS],
 }
 
 /// An acquired compute slot; released (and the next ticket woken) on drop.
@@ -41,12 +56,15 @@ impl FairGate {
                 next_ticket: 0,
             }),
             cv: Condvar::new(),
+            waits: Default::default(),
         })
     }
 
     /// Blocks until a slot is free *and* every earlier caller has been
-    /// served, then claims the slot.
+    /// served, then claims the slot. The time spent blocked is recorded
+    /// in the wait histogram.
     pub fn acquire(self: &Arc<FairGate>) -> Permit {
+        let started = Instant::now();
         let mut st = self.state.lock().unwrap();
         let ticket = st.next_ticket;
         st.next_ticket += 1;
@@ -57,9 +75,27 @@ impl FairGate {
         st.queue.pop_front();
         st.available -= 1;
         drop(st);
+        let waited_ms = started.elapsed().as_millis() as u64;
+        let bucket = WAIT_BUCKET_MS
+            .iter()
+            .position(|&hi| waited_ms < hi)
+            .unwrap_or(WAIT_BUCKETS - 1);
+        self.waits[bucket].fetch_add(1, Ordering::Relaxed);
         // Another ticket may be eligible too (available > 1).
         self.cv.notify_all();
         Permit { gate: self.clone() }
+    }
+
+    /// Tickets currently blocked waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// Counts of completed acquires by how long they waited: buckets are
+    /// `< 1 ms`, `< 10 ms`, `< 100 ms`, `< 1 s`, `≥ 1 s`
+    /// (see [`WAIT_BUCKET_MS`]).
+    pub fn wait_histogram(&self) -> [u64; WAIT_BUCKETS] {
+        std::array::from_fn(|i| self.waits[i].load(Ordering::Relaxed))
     }
 }
 
@@ -97,6 +133,12 @@ mod tests {
             }
         });
         assert!(peak.load(Ordering::SeqCst) <= 2, "cap exceeded");
+        assert_eq!(
+            gate.wait_histogram().iter().sum::<u64>(),
+            40,
+            "every acquire must be counted exactly once"
+        );
+        assert_eq!(gate.queued(), 0);
     }
 
     #[test]
@@ -116,9 +158,33 @@ mod tests {
                 });
             }
             std::thread::sleep(Duration::from_millis(150));
+            assert_eq!(gate.queued(), 4, "all four must be parked");
             drop(blocker); // open the gate after all four are queued
         });
         assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn wait_histogram_separates_fast_and_slow_acquires() {
+        let gate = FairGate::new(1);
+        {
+            let _p = gate.acquire(); // uncontended: < 1 ms bucket
+        }
+        let blocker = gate.acquire();
+        let gate2 = gate.clone();
+        let waiter = std::thread::spawn(move || {
+            let _p = gate2.acquire(); // blocked ≥ 20 ms
+        });
+        std::thread::sleep(Duration::from_millis(25));
+        drop(blocker);
+        waiter.join().unwrap();
+        let hist = gate.wait_histogram();
+        assert_eq!(hist.iter().sum::<u64>(), 3);
+        assert!(hist[0] >= 1, "uncontended acquires land in bucket 0");
+        assert!(
+            hist[2..].iter().sum::<u64>() >= 1,
+            "the blocked acquire must land in a ≥ 10 ms bucket: {hist:?}"
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@ use std::io::Write;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// A line-atomic, shareable event writer (one per client connection).
+/// A line-atomic, shareable event writer (one per client connection, or
+/// one per HTTP-submitted job, where the "stream" is the job's buffered
+/// event log).
 ///
 /// Clones share the underlying stream; each event is written as one
 /// `\n`-terminated line under the lock, so events from concurrent jobs
@@ -36,8 +38,10 @@ impl EventSink {
         }
     }
 
-    /// Writes one event line and flushes. An `Err` means the client is
-    /// gone; callers use that to cancel the job it was streaming to.
+    /// Writes one event line and flushes. For connection-backed sinks an
+    /// `Err` means the client is gone; callers use that to cancel the
+    /// job it was streaming to. (Log-backed sinks never fail — an HTTP
+    /// job outlives its submitting connection by design.)
     pub fn send(&self, event: &Event) -> std::io::Result<()> {
         let mut out = self.out.lock().unwrap();
         writeln!(out, "{}", event.to_value())?;
@@ -66,6 +70,11 @@ fn base_config(spec: &JobRequest) -> FusionFissionConfig {
 /// `improvement` events as they happen and finishing with a `done` event.
 /// Returns the final [`DoneInfo`] (already sent, unless the client
 /// disconnected mid-run).
+///
+/// `before_done` runs after the result is final but *before* the `done`
+/// event is emitted: the server hangs registry removal and counter
+/// updates on it, so a client that reacts instantly to `done` (resubmit,
+/// stats) can never observe the finished job as still in flight.
 pub(crate) fn run_job(
     job_id: u64,
     spec: &JobRequest,
@@ -73,6 +82,7 @@ pub(crate) fn run_job(
     gate: &Arc<FairGate>,
     token: &CancelToken,
     sink: &EventSink,
+    before_done: impl FnOnce(),
 ) -> DoneInfo {
     let started = Instant::now();
     let (value, parts, steps, migrations, assignment) = if spec.islands == 1 {
@@ -102,6 +112,7 @@ pub(crate) fn run_job(
         migrations,
         assignment: spec.assignment.then_some(assignment),
     };
+    before_done();
     let _ = sink.send(&Event::Done(done.clone()));
     done
 }
@@ -270,7 +281,7 @@ mod tests {
         let run = || {
             let (sink, buf) = sink_to_vec();
             let token = CancelToken::new();
-            let done = run_job(7, &spec, &graph, &gate, &token, &sink);
+            let done = run_job(7, &spec, &graph, &gate, &token, &sink, || ());
             (done, events_from(&buf))
         };
         let (done_a, events_a) = run();
@@ -318,7 +329,7 @@ mod tests {
         };
         let (sink, _buf) = sink_to_vec();
         let token = CancelToken::new();
-        let done = run_job(1, &spec, &graph, &gate, &token, &sink);
+        let done = run_job(1, &spec, &graph, &gate, &token, &sink, || ());
         // The service drive must be bit-equal to driving ff-engine
         // directly with the same shape.
         let cfg = EnsembleConfig {
@@ -355,7 +366,7 @@ mod tests {
             canceller.cancel();
         });
         let started = Instant::now();
-        let done = run_job(2, &spec, &graph, &gate, &token, &sink);
+        let done = run_job(2, &spec, &graph, &gate, &token, &sink, || ());
         handle.join().unwrap();
         assert_eq!(done.status, JobStatus::Cancelled);
         assert!(
@@ -378,7 +389,7 @@ mod tests {
         let (sink, _buf) = sink_to_vec();
         let token = CancelToken::new();
         let started = Instant::now();
-        let done = run_job(3, &spec, &graph, &gate, &token, &sink);
+        let done = run_job(3, &spec, &graph, &gate, &token, &sink, || ());
         let elapsed = started.elapsed();
         assert_eq!(done.status, JobStatus::Deadline);
         assert!(

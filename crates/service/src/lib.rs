@@ -9,13 +9,26 @@
 //!
 //! * **Protocol** ([`protocol`]): newline-delimited JSON over TCP (or
 //!   stdin/stdout), typed at both ends as [`Request`] / [`Event`].
+//! * **HTTP/1.1 gateway** ([`ServerConfig::http`]): the same job layer
+//!   for browsers and `curl` — `PUT /instances/:key`, `POST /jobs`,
+//!   `GET /jobs/:id/events` (chunked NDJSON streaming), `DELETE
+//!   /jobs/:id`, `GET /stats`; overflow is `429` with `Retry-After`.
 //! * **Worker pool** ([`gate`]): a FIFO-fair permit gate. Jobs hold a
 //!   cheap parked thread and only compute while holding one of N
 //!   permits, advancing their [`ff_core::FusionFissionRun`] /
 //!   [`ff_engine::EnsembleRun`] a chunk at a time — M in-flight jobs
-//!   share N slots round-robin instead of queueing whole-job.
+//!   share N slots round-robin instead of queueing whole-job. Permit
+//!   wait times are histogrammed into `stats`.
+//! * **Admission control** ([`ServerConfig::max_jobs`],
+//!   [`ServerConfig::max_jobs_per_conn`]): in-flight jobs are bounded
+//!   server-wide and per connection; overflow gets a typed `rejected`
+//!   event with a `retry_after_ms` hint instead of unbounded queueing.
 //! * **Instance cache** ([`cache`]): one loaded graph (METIS file, edge
-//!   list, inline data) serves many `(k, objective, seed)` jobs.
+//!   list, inline data) serves many `(k, objective, seed)` jobs. Sources
+//!   are remembered as 64-bit content digests (keys stay O(1) however
+//!   large the graph), and a byte budget ([`ServerConfig::cache_bytes`])
+//!   evicts least-recently-used instances — never one pinned by a
+//!   running job.
 //! * **Anytime streaming**: each improvement recorded in the engine's
 //!   [`ff_metaheur::AnytimeTrace`] is forwarded to the owning client as
 //!   an `improvement` event, tagged with the job id.
@@ -72,19 +85,76 @@
 //! client.shutdown().unwrap();
 //! handle.join().unwrap();
 //! ```
+//!
+//! ## HTTP example
+//!
+//! The gateway speaks plain HTTP/1.1, so `curl` — or twenty lines of
+//! `std::net` — is a complete client:
+//!
+//! ```
+//! use ff_service::{Server, ServerConfig};
+//! use std::io::{Read, Write};
+//!
+//! let handle = Server::bind_with(
+//!     "127.0.0.1:0",
+//!     ServerConfig {
+//!         workers: 1,
+//!         http: Some("127.0.0.1:0".into()),
+//!         ..Default::default()
+//!     },
+//! )
+//! .unwrap()
+//! .spawn()
+//! .unwrap();
+//! let http = handle.http_addr().unwrap();
+//! let exchange = |request: String| {
+//!     let mut s = std::net::TcpStream::connect(http).unwrap();
+//!     s.write_all(request.as_bytes()).unwrap();
+//!     let mut reply = String::new();
+//!     s.read_to_string(&mut reply).unwrap();
+//!     reply
+//! };
+//!
+//! // Load an instance (inline METIS body), then submit a job against it.
+//! let graph = "4 4\n2 3\n1 3\n1 2 4\n3\n";
+//! let reply = exchange(format!(
+//!     "PUT /instances/demo HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{graph}",
+//!     graph.len()
+//! ));
+//! assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+//! let job = r#"{"instance":"demo","k":2,"steps":500}"#;
+//! let reply = exchange(format!(
+//!     "POST /jobs HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{job}",
+//!     job.len()
+//! ));
+//! assert!(reply.starts_with("HTTP/1.1 202"), "{reply}");
+//!
+//! // Stream the job's events: chunked NDJSON that ends with `done`.
+//! let reply = exchange("GET /jobs/1/events HTTP/1.1\r\nConnection: close\r\n\r\n".into());
+//! assert!(reply.contains("\"event\":\"done\""), "{reply}");
+//!
+//! ff_service::Client::connect(handle.addr()).unwrap().shutdown().unwrap();
+//! handle.join().unwrap();
+//! ```
 
 pub mod cache;
 pub mod client;
 pub mod gate;
+mod http;
 pub mod job;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{GraphFormat, GraphSource, InstanceCache, LoadOutcome};
-pub use client::Client;
-pub use gate::{FairGate, Permit};
+pub use cache::{
+    CacheEntryInfo, CacheStats, GraphFormat, GraphSource, InstanceCache, LoadOutcome, PinnedGraph,
+};
+pub use client::{Client, JobCanceller, SubmitOutcome};
+pub use gate::{FairGate, Permit, WAIT_BUCKETS, WAIT_BUCKET_MS};
 pub use job::EventSink;
 pub use protocol::{
-    DoneInfo, Event, Improvement, JobRequest, JobStatus, Request, DEFAULT_CHUNK, PROTOCOL_VERSION,
+    DoneInfo, Event, Improvement, JobRequest, JobStatus, Request, StatsInfo, DEFAULT_CHUNK,
+    PROTOCOL_VERSION,
 };
-pub use server::{serve_stdio, Server, ServerHandle};
+pub use server::{
+    serve_stdio, serve_stdio_with, Server, ServerConfig, ServerHandle, MAX_LINE_BYTES,
+};

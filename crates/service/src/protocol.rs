@@ -11,6 +11,7 @@
 //! example lines, the determinism contract, and cache semantics.
 
 use crate::cache::{GraphFormat, GraphSource};
+use crate::gate::WAIT_BUCKETS;
 use ff_partition::Objective;
 use serde_json::{Map, Number, Value};
 
@@ -145,6 +146,38 @@ impl JobRequest {
             assignment: true,
         }
     }
+
+    /// Extracts and validates a job from a parsed JSON object — the
+    /// shared schema behind both the NDJSON `submit` op and the HTTP
+    /// `POST /jobs` body, so the two transports can never drift apart.
+    pub fn from_value(v: &Value) -> Result<JobRequest, String> {
+        let instance = get_str(v, "instance").ok_or("submit: missing `instance`")?;
+        let k = get_u64(v, "k").ok_or("submit: missing or bad `k`")? as usize;
+        let objective = match get_str(v, "objective") {
+            None => Objective::MCut,
+            Some(name) => parse_objective(&name).ok_or(format!(
+                "submit: unknown objective `{name}` (cut|ncut|mcut)"
+            ))?,
+        };
+        let mut job = JobRequest::new(instance, k);
+        job.objective = objective;
+        job.seed = get_u64(v, "seed").unwrap_or(1);
+        job.steps = get_u64(v, "steps");
+        job.deadline_ms = get_u64(v, "deadline_ms");
+        job.islands = get_u64(v, "islands").unwrap_or(1) as usize;
+        job.chunk = get_u64(v, "chunk").unwrap_or(DEFAULT_CHUNK);
+        job.assignment = v.get("assignment").and_then(Value::as_bool).unwrap_or(true);
+        if job.steps.is_none() && job.deadline_ms.is_none() {
+            return Err("submit: need `steps` and/or `deadline_ms`".into());
+        }
+        if job.islands == 0 {
+            return Err("submit: `islands` must be at least 1".into());
+        }
+        if job.chunk == 0 {
+            return Err("submit: `chunk` must be at least 1".into());
+        }
+        Ok(job)
+    }
 }
 
 /// A client→server request.
@@ -241,34 +274,7 @@ impl Request {
                     format,
                 })
             }
-            "submit" => {
-                let instance = get_str(&v, "instance").ok_or("submit: missing `instance`")?;
-                let k = get_u64(&v, "k").ok_or("submit: missing or bad `k`")? as usize;
-                let objective = match get_str(&v, "objective") {
-                    None => Objective::MCut,
-                    Some(name) => parse_objective(&name).ok_or(format!(
-                        "submit: unknown objective `{name}` (cut|ncut|mcut)"
-                    ))?,
-                };
-                let mut job = JobRequest::new(instance, k);
-                job.objective = objective;
-                job.seed = get_u64(&v, "seed").unwrap_or(1);
-                job.steps = get_u64(&v, "steps");
-                job.deadline_ms = get_u64(&v, "deadline_ms");
-                job.islands = get_u64(&v, "islands").unwrap_or(1) as usize;
-                job.chunk = get_u64(&v, "chunk").unwrap_or(DEFAULT_CHUNK);
-                job.assignment = v.get("assignment").and_then(Value::as_bool).unwrap_or(true);
-                if job.steps.is_none() && job.deadline_ms.is_none() {
-                    return Err("submit: need `steps` and/or `deadline_ms`".into());
-                }
-                if job.islands == 0 {
-                    return Err("submit: `islands` must be at least 1".into());
-                }
-                if job.chunk == 0 {
-                    return Err("submit: `chunk` must be at least 1".into());
-                }
-                Ok(Request::Submit(job))
-            }
+            "submit" => Ok(Request::Submit(JobRequest::from_value(&v)?)),
             "cancel" => Ok(Request::Cancel {
                 job: get_u64(&v, "job").ok_or("cancel: missing or bad `job`")?,
             }),
@@ -331,6 +337,43 @@ pub struct DoneInfo {
     pub assignment: Option<Vec<u32>>,
 }
 
+/// A server statistics snapshot, carried by the `stats` event. Every
+/// knob relevant to capacity planning travels with its live counter, so
+/// a dashboard needs exactly one request.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct StatsInfo {
+    /// Instances currently cached.
+    pub instances: usize,
+    /// Cache hits served.
+    pub cache_hits: u64,
+    /// Graph loads performed.
+    pub cache_loads: u64,
+    /// Cache entries evicted to stay within the byte budget.
+    pub cache_evictions: u64,
+    /// CSR bytes currently resident in the cache.
+    pub cache_bytes: u64,
+    /// Cache byte budget (`0` = unlimited).
+    pub cache_budget_bytes: u64,
+    /// Jobs accepted since start.
+    pub jobs_submitted: u64,
+    /// Jobs currently admitted and not yet done (queued + running).
+    pub jobs_running: u64,
+    /// Jobs finished (any status).
+    pub jobs_done: u64,
+    /// Jobs refused by admission control.
+    pub jobs_rejected: u64,
+    /// Admission bound on in-flight jobs (`0` = unlimited).
+    pub max_jobs: u64,
+    /// Worker-pool width (compute slots).
+    pub workers: usize,
+    /// Chunks currently blocked waiting for a compute slot.
+    pub gate_queued: usize,
+    /// Permit-wait histogram: completed slot acquisitions bucketed by
+    /// how long they blocked (`< 1 ms`, `< 10 ms`, `< 100 ms`, `< 1 s`,
+    /// `≥ 1 s`).
+    pub permit_wait_hist: [u64; WAIT_BUCKETS],
+}
+
 /// One streamed improvement: the job's best-so-far value dropped.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Improvement {
@@ -378,6 +421,20 @@ pub enum Event {
         /// Target part count.
         k: usize,
     },
+    /// A `submit` was refused by admission control (the server or this
+    /// connection is at its in-flight job bound). Not an error: the
+    /// request was well-formed — retry after `retry_after_ms`.
+    Rejected {
+        /// Instance the refused job targeted.
+        instance: String,
+        /// Which bound tripped, human-readable.
+        reason: String,
+        /// Suggested client backoff before resubmitting, in ms (a load
+        /// heuristic, not a promise of admission).
+        retry_after_ms: u64,
+        /// Jobs in flight (queued + running) at the moment of refusal.
+        in_flight: u64,
+    },
     /// Streamed anytime improvement.
     Improvement(Improvement),
     /// Job finished (in any [`JobStatus`]).
@@ -390,20 +447,7 @@ pub enum Event {
         known: bool,
     },
     /// Server statistics snapshot.
-    Stats {
-        /// Instances currently cached.
-        instances: usize,
-        /// Cache hits served.
-        cache_hits: u64,
-        /// Graph loads performed.
-        cache_loads: u64,
-        /// Jobs accepted since start.
-        jobs_submitted: u64,
-        /// Jobs currently running.
-        jobs_running: u64,
-        /// Jobs finished (any status).
-        jobs_done: u64,
-    },
+    Stats(StatsInfo),
     /// A request failed; `job` is set when the failure is job-scoped.
     Error {
         /// Human-readable description.
@@ -444,6 +488,18 @@ impl Event {
                 ("instance", s(instance)),
                 ("k", unum(*k as u64)),
             ]),
+            Event::Rejected {
+                instance,
+                reason,
+                retry_after_ms,
+                in_flight,
+            } => obj(vec![
+                ("event", s("rejected")),
+                ("instance", s(instance)),
+                ("reason", s(reason)),
+                ("retry_after_ms", unum(*retry_after_ms)),
+                ("in_flight", unum(*in_flight)),
+            ]),
             Event::Improvement(imp) => obj(vec![
                 ("event", s("improvement")),
                 ("job", unum(imp.job)),
@@ -476,21 +532,25 @@ impl Event {
                 ("job", unum(*job)),
                 ("known", Value::Bool(*known)),
             ]),
-            Event::Stats {
-                instances,
-                cache_hits,
-                cache_loads,
-                jobs_submitted,
-                jobs_running,
-                jobs_done,
-            } => obj(vec![
+            Event::Stats(st) => obj(vec![
                 ("event", s("stats")),
-                ("instances", unum(*instances as u64)),
-                ("cache_hits", unum(*cache_hits)),
-                ("cache_loads", unum(*cache_loads)),
-                ("jobs_submitted", unum(*jobs_submitted)),
-                ("jobs_running", unum(*jobs_running)),
-                ("jobs_done", unum(*jobs_done)),
+                ("instances", unum(st.instances as u64)),
+                ("cache_hits", unum(st.cache_hits)),
+                ("cache_loads", unum(st.cache_loads)),
+                ("cache_evictions", unum(st.cache_evictions)),
+                ("cache_bytes", unum(st.cache_bytes)),
+                ("cache_budget_bytes", unum(st.cache_budget_bytes)),
+                ("jobs_submitted", unum(st.jobs_submitted)),
+                ("jobs_running", unum(st.jobs_running)),
+                ("jobs_done", unum(st.jobs_done)),
+                ("jobs_rejected", unum(st.jobs_rejected)),
+                ("max_jobs", unum(st.max_jobs)),
+                ("workers", unum(st.workers as u64)),
+                ("gate_queued", unum(st.gate_queued as u64)),
+                (
+                    "permit_wait_hist",
+                    Value::Array(st.permit_wait_hist.iter().map(|&c| unum(c)).collect()),
+                ),
             ]),
             Event::Error { message, job } => {
                 let mut entries = vec![("event", s("error")), ("message", s(message))];
@@ -525,6 +585,12 @@ impl Event {
                 instance: get_str(&v, "instance").unwrap_or_default(),
                 k: u("k")? as usize,
             }),
+            "rejected" => Ok(Event::Rejected {
+                instance: get_str(&v, "instance").unwrap_or_default(),
+                reason: get_str(&v, "reason").unwrap_or_default(),
+                retry_after_ms: u("retry_after_ms")?,
+                in_flight: get_u64(&v, "in_flight").unwrap_or(0),
+            }),
             "improvement" => Ok(Event::Improvement(Improvement {
                 job: u("job")?,
                 value: get_f64(&v, "value").ok_or("improvement: missing `value`")?,
@@ -554,14 +620,30 @@ impl Event {
                 job: u("job")?,
                 known: v.get("known").and_then(Value::as_bool).unwrap_or(false),
             }),
-            "stats" => Ok(Event::Stats {
-                instances: u("instances")? as usize,
-                cache_hits: u("cache_hits")?,
-                cache_loads: u("cache_loads")?,
-                jobs_submitted: u("jobs_submitted")?,
-                jobs_running: u("jobs_running")?,
-                jobs_done: u("jobs_done")?,
-            }),
+            "stats" => {
+                let mut permit_wait_hist = [0u64; WAIT_BUCKETS];
+                if let Some(items) = v.get("permit_wait_hist").and_then(Value::as_array) {
+                    for (slot, item) in permit_wait_hist.iter_mut().zip(items) {
+                        *slot = item.as_u64().unwrap_or(0);
+                    }
+                }
+                Ok(Event::Stats(StatsInfo {
+                    instances: u("instances")? as usize,
+                    cache_hits: u("cache_hits")?,
+                    cache_loads: u("cache_loads")?,
+                    cache_evictions: get_u64(&v, "cache_evictions").unwrap_or(0),
+                    cache_bytes: get_u64(&v, "cache_bytes").unwrap_or(0),
+                    cache_budget_bytes: get_u64(&v, "cache_budget_bytes").unwrap_or(0),
+                    jobs_submitted: u("jobs_submitted")?,
+                    jobs_running: u("jobs_running")?,
+                    jobs_done: u("jobs_done")?,
+                    jobs_rejected: get_u64(&v, "jobs_rejected").unwrap_or(0),
+                    max_jobs: get_u64(&v, "max_jobs").unwrap_or(0),
+                    workers: get_u64(&v, "workers").unwrap_or(0) as usize,
+                    gate_queued: get_u64(&v, "gate_queued").unwrap_or(0) as usize,
+                    permit_wait_hist,
+                }))
+            }
             "error" => Ok(Event::Error {
                 message: get_str(&v, "message").unwrap_or_default(),
                 job: get_u64(&v, "job"),
@@ -662,14 +744,28 @@ mod tests {
                 job: 3,
                 known: true,
             },
-            Event::Stats {
+            Event::Rejected {
+                instance: "web".into(),
+                reason: "server at capacity (max 8 in-flight jobs)".into(),
+                retry_after_ms: 250,
+                in_flight: 8,
+            },
+            Event::Stats(StatsInfo {
                 instances: 1,
                 cache_hits: 9,
                 cache_loads: 1,
+                cache_evictions: 3,
+                cache_bytes: 65_536,
+                cache_budget_bytes: 1 << 20,
                 jobs_submitted: 10,
                 jobs_running: 2,
                 jobs_done: 8,
-            },
+                jobs_rejected: 4,
+                max_jobs: 16,
+                workers: 2,
+                gate_queued: 5,
+                permit_wait_hist: [7, 5, 3, 1, 0],
+            }),
             Event::Error {
                 message: "unknown instance `x`".into(),
                 job: Some(4),

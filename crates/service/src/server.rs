@@ -1,4 +1,5 @@
-//! The serve loop: TCP listener, per-connection dispatch, job registry.
+//! The serve loop: TCP listener, per-connection dispatch, job registry,
+//! admission control.
 //!
 //! Threading model: one cheap reader thread per client connection, one
 //! cheap driver thread per in-flight job, and one [`FairGate`] bounding
@@ -7,45 +8,140 @@
 //! line-atomic and tagged with the job id), and a job keeps its identity
 //! in the server-wide registry so `cancel` works from any connection
 //! (clients are trusted; this is a local/LAN service, not a public one).
+//!
+//! Unbounded acceptance is the demo-server failure mode: every submit
+//! spawns a parked thread and pins a graph, so a burst of clients can
+//! exhaust memory long before the gate saturates. [`ServerConfig`]
+//! therefore bounds in-flight jobs server-wide (`max_jobs`) and per
+//! connection (`max_jobs_per_conn`); overflow is answered with a typed
+//! `rejected` event carrying a retry hint, never silently queued.
 
 use crate::cache::InstanceCache;
 use crate::gate::FairGate;
+use crate::http::{handle_http_client, EventLog};
 use crate::job::{run_job, EventSink};
-use crate::protocol::{Event, JobRequest, Request, PROTOCOL_VERSION};
+use crate::protocol::{Event, JobRequest, Request, StatsInfo, PROTOCOL_VERSION};
 use ff_metaheur::CancelToken;
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader};
+use std::collections::{HashMap, VecDeque};
+use std::io::BufRead;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// Longest request line the NDJSON reader will buffer (inline graph
+/// uploads are the legitimate big lines; anything larger is answered
+/// with an `error` event and the connection is closed, since there is no
+/// way to resynchronize mid-line).
+pub const MAX_LINE_BYTES: usize = 64 << 20;
+
+/// Completed HTTP job event logs retained for late `GET /jobs/:id/events`
+/// readers before the oldest are dropped.
+const RETAINED_EVENT_LOGS: usize = 256;
+
+/// Everything configurable about a [`Server`]. `0` means "unlimited"
+/// (or "one per core" for `workers`) throughout.
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    /// Compute slots shared by all in-flight jobs (`0` = one per core).
+    pub workers: usize,
+    /// Server-wide bound on in-flight (queued + running) jobs.
+    pub max_jobs: usize,
+    /// Per-connection bound on in-flight jobs.
+    pub max_jobs_per_conn: usize,
+    /// Instance-cache byte budget (CSR bytes; LRU eviction past it).
+    pub cache_bytes: usize,
+    /// Bind address for the HTTP/1.1 gateway (e.g. `127.0.0.1:0`);
+    /// `None` serves NDJSON only.
+    pub http: Option<String>,
+}
+
+impl ServerConfig {
+    /// The PR-3-compatible shape: `workers` slots, everything unbounded,
+    /// no HTTP listener.
+    pub fn with_workers(workers: usize) -> ServerConfig {
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        }
+    }
+}
+
 /// Shared server state: cache, worker pool, job registry, counters.
-struct ServerState {
-    cache: InstanceCache,
-    gate: Arc<FairGate>,
-    workers: usize,
+pub(crate) struct ServerState {
+    pub(crate) cache: InstanceCache,
+    pub(crate) gate: Arc<FairGate>,
+    pub(crate) workers: usize,
+    max_jobs: usize,
+    max_jobs_per_conn: usize,
     jobs: Mutex<HashMap<u64, CancelToken>>,
+    /// Event logs of HTTP-submitted jobs, for `GET /jobs/:id/events`.
+    logs: Mutex<HashMap<u64, Arc<EventLog>>>,
+    /// Completion order of HTTP jobs, for bounded log retention.
+    finished_logs: Mutex<VecDeque<u64>>,
     next_job: AtomicU64,
     submitted: AtomicU64,
-    running: AtomicU64,
     finished: AtomicU64,
+    rejected: AtomicU64,
     shutdown: AtomicBool,
 }
 
 impl ServerState {
-    fn new(workers: usize) -> Arc<ServerState> {
+    fn new(config: &ServerConfig) -> Arc<ServerState> {
+        let workers = resolve_workers(config.workers);
         Arc::new(ServerState {
-            cache: InstanceCache::new(),
+            cache: InstanceCache::with_budget(config.cache_bytes),
             gate: FairGate::new(workers),
             workers,
+            max_jobs: config.max_jobs,
+            max_jobs_per_conn: config.max_jobs_per_conn,
             jobs: Mutex::new(HashMap::new()),
+            logs: Mutex::new(HashMap::new()),
+            finished_logs: Mutex::new(VecDeque::new()),
             next_job: AtomicU64::new(1),
             submitted: AtomicU64::new(0),
-            running: AtomicU64::new(0),
             finished: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         })
+    }
+
+    pub(crate) fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn cancel_job(&self, job: u64) -> bool {
+        match self.jobs.lock().unwrap().get(&job) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub(crate) fn event_log(&self, job: u64) -> Option<Arc<EventLog>> {
+        self.logs.lock().unwrap().get(&job).cloned()
+    }
+
+    pub(crate) fn stats(&self) -> StatsInfo {
+        let cache = self.cache.stats();
+        StatsInfo {
+            instances: cache.instances,
+            cache_hits: cache.hits,
+            cache_loads: cache.loads,
+            cache_evictions: cache.evictions,
+            cache_bytes: cache.bytes,
+            cache_budget_bytes: cache.budget,
+            jobs_submitted: self.submitted.load(Ordering::Relaxed),
+            jobs_running: self.jobs.lock().unwrap().len() as u64,
+            jobs_done: self.finished.load(Ordering::Relaxed),
+            jobs_rejected: self.rejected.load(Ordering::Relaxed),
+            max_jobs: self.max_jobs as u64,
+            workers: self.workers,
+            gate_queued: self.gate.queued(),
+            permit_wait_hist: self.gate.wait_histogram(),
+        }
     }
 }
 
@@ -63,17 +159,32 @@ fn resolve_workers(workers: usize) -> usize {
 /// A bound, not-yet-running partition server.
 pub struct Server {
     listener: TcpListener,
+    http_listener: Option<TcpListener>,
     state: Arc<ServerState>,
 }
 
 impl Server {
     /// Binds to `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with a
-    /// worker pool of `workers` compute slots (`0` = one per core).
+    /// worker pool of `workers` compute slots (`0` = one per core) and no
+    /// admission/cache bounds — the PR 3 shape. Production servers want
+    /// [`Server::bind_with`].
     pub fn bind(addr: &str, workers: usize) -> std::io::Result<Server> {
+        Server::bind_with(addr, ServerConfig::with_workers(workers))
+    }
+
+    /// Binds the NDJSON listener on `addr` and, if `config.http` is set,
+    /// the HTTP/1.1 gateway on that address too. Both front-ends share
+    /// one cache, gate, job registry and admission bound.
+    pub fn bind_with(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let http_listener = match &config.http {
+            Some(http_addr) => Some(TcpListener::bind(http_addr.as_str())?),
+            None => None,
+        };
         Ok(Server {
             listener,
-            state: ServerState::new(resolve_workers(workers)),
+            http_listener,
+            state: ServerState::new(&config),
         })
     }
 
@@ -82,54 +193,98 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The HTTP gateway's bound address, if one was configured.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
+    }
+
     /// Accepts and serves connections until a client sends `shutdown`.
     /// Jobs still in flight at shutdown keep their driver threads; a
     /// process that wants a hard stop simply exits.
     pub fn run(self) -> std::io::Result<()> {
-        self.listener.set_nonblocking(true)?;
-        loop {
-            if self.state.shutdown.load(Ordering::Acquire) {
-                return Ok(());
+        let http_join = match self.http_listener {
+            Some(listener) => {
+                let state = self.state.clone();
+                Some(std::thread::spawn(move || {
+                    accept_loop(&listener, &state, |state, stream| {
+                        handle_http_client(state, stream)
+                    })
+                }))
             }
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    let state = self.state.clone();
-                    std::thread::spawn(move || handle_tcp_client(state, stream));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                Err(e) => {
-                    // Transient accept failures (a client resetting
-                    // mid-handshake, a momentary fd shortage under a
-                    // connection burst) must not take down a server with
-                    // jobs in flight; back off and keep accepting.
-                    eprintln!("ff-service: accept error (continuing): {e}");
-                    std::thread::sleep(Duration::from_millis(100));
-                }
-            }
+            None => None,
+        };
+        let result = accept_loop(&self.listener, &self.state, handle_tcp_client);
+        self.state.request_shutdown(); // unblock the http loop on error
+        if let Some(join) = http_join {
+            join.join().expect("http accept loop panicked")?;
         }
+        result
     }
 
     /// Runs the serve loop on a background thread, returning a handle
-    /// with the bound address — the shape tests and examples want.
+    /// with the bound addresses — the shape tests and examples want.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
+        let http_addr = self.http_addr();
         let join = std::thread::spawn(move || self.run());
-        Ok(ServerHandle { addr, join })
+        Ok(ServerHandle {
+            addr,
+            http_addr,
+            join,
+        })
+    }
+}
+
+/// One nonblocking accept loop; used for both the NDJSON and HTTP
+/// listeners so they poll the same shutdown flag.
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    handle: fn(Arc<ServerState>, TcpStream),
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if state.shutdown.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = state.clone();
+                std::thread::spawn(move || handle(state, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                // Transient accept failures (a client resetting
+                // mid-handshake, a momentary fd shortage under a
+                // connection burst) must not take down a server with
+                // jobs in flight; back off and keep accepting.
+                eprintln!("ff-service: accept error (continuing): {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
     }
 }
 
 /// A running server on a background thread.
 pub struct ServerHandle {
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     join: std::thread::JoinHandle<std::io::Result<()>>,
 }
 
 impl ServerHandle {
-    /// The address clients connect to.
+    /// The address NDJSON clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The address HTTP clients connect to, if the gateway is enabled.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
     }
 
     /// Waits for the serve loop to end (a client must send `shutdown`).
@@ -138,9 +293,57 @@ impl ServerHandle {
     }
 }
 
+/// What one capped line read produced.
+pub(crate) enum LineRead {
+    /// A complete line (without its newline).
+    Line,
+    /// End of stream (any partial trailing line is in the buffer).
+    Eof,
+    /// The line exceeded the cap; the stream cannot be resynchronized.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line into `out` without ever buffering more
+/// than `cap` bytes — `BufRead::read_line` would happily grow the
+/// buffer until the allocator gives out, which hands any client a
+/// one-line memory DoS.
+pub(crate) fn read_line_capped<R: BufRead>(
+    reader: &mut R,
+    out: &mut Vec<u8>,
+    cap: usize,
+) -> std::io::Result<LineRead> {
+    out.clear();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if out.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            if out.len() + pos > cap {
+                reader.consume(pos + 1);
+                return Ok(LineRead::TooLong);
+            }
+            out.extend_from_slice(&buf[..pos]);
+            reader.consume(pos + 1);
+            return Ok(LineRead::Line);
+        }
+        let len = buf.len();
+        if out.len() + len > cap {
+            reader.consume(len);
+            return Ok(LineRead::TooLong);
+        }
+        out.extend_from_slice(buf);
+        reader.consume(len);
+    }
+}
+
 /// Serves one already-connected client over any `(reader, sink)` pair —
 /// the transport-agnostic core shared by TCP and stdio serving.
-fn handle_client(state: &Arc<ServerState>, reader: impl BufRead, sink: &EventSink) {
+fn handle_client(state: &Arc<ServerState>, mut reader: impl BufRead, sink: &EventSink) {
     if sink
         .send(&Event::Hello {
             proto: PROTOCOL_VERSION,
@@ -150,10 +353,22 @@ fn handle_client(state: &Arc<ServerState>, reader: impl BufRead, sink: &EventSin
     {
         return;
     }
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break, // connection dropped
+    let conn_jobs = Arc::new(AtomicUsize::new(0));
+    let mut line = Vec::new();
+    loop {
+        let line = match read_line_capped(&mut reader, &mut line, MAX_LINE_BYTES) {
+            Ok(LineRead::Line) => String::from_utf8_lossy(&line),
+            Ok(LineRead::Eof) | Err(_) => break, // connection dropped
+            Ok(LineRead::TooLong) => {
+                let _ = sink.send(&Event::Error {
+                    message: format!(
+                        "request line exceeds {} bytes; closing connection",
+                        MAX_LINE_BYTES
+                    ),
+                    job: None,
+                });
+                break;
+            }
         };
         if line.trim().is_empty() {
             continue;
@@ -182,27 +397,14 @@ fn handle_client(state: &Arc<ServerState>, reader: impl BufRead, sink: &EventSin
                 },
                 Err(message) => Event::Error { message, job: None },
             },
-            Request::Submit(spec) => submit(state, spec, sink),
-            Request::Cancel { job } => {
-                let known = match state.jobs.lock().unwrap().get(&job) {
-                    Some(token) => {
-                        token.cancel();
-                        true
-                    }
-                    None => false,
-                };
-                Event::Cancelling { job, known }
-            }
-            Request::Stats => Event::Stats {
-                instances: state.cache.len(),
-                cache_hits: state.cache.hits(),
-                cache_loads: state.cache.loads(),
-                jobs_submitted: state.submitted.load(Ordering::Relaxed),
-                jobs_running: state.running.load(Ordering::Relaxed),
-                jobs_done: state.finished.load(Ordering::Relaxed),
+            Request::Submit(spec) => submit_job(state, spec, sink.clone(), &conn_jobs, None),
+            Request::Cancel { job } => Event::Cancelling {
+                job,
+                known: state.cancel_job(job),
             },
+            Request::Stats => Event::Stats(state.stats()),
             Request::Shutdown => {
-                state.shutdown.store(true, Ordering::Release);
+                state.request_shutdown();
                 let _ = sink.send(&Event::Bye);
                 return;
             }
@@ -213,19 +415,76 @@ fn handle_client(state: &Arc<ServerState>, reader: impl BufRead, sink: &EventSin
     }
 }
 
-/// Validates a submit and, if admissible, spawns its driver thread.
-/// Returns the event to send back (`accepted` or `error`).
-fn submit(state: &Arc<ServerState>, spec: JobRequest, sink: &EventSink) -> Event {
-    let graph = match state.cache.get(&spec.instance) {
-        Some(g) => g,
-        None => {
-            return Event::Error {
-                message: format!("unknown instance `{}` (load it first)", spec.instance),
-                job: None,
+/// A deterministic-enough backoff hint for a rejected submit: roughly
+/// how long until a gate slot has turned over once per queued job. A
+/// heuristic for polite clients, not a reservation.
+fn retry_hint_ms(in_flight: u64, workers: usize) -> u64 {
+    (100 * in_flight / workers.max(1) as u64).clamp(50, 10_000)
+}
+
+/// Validates a submit, applies admission control and, if admissible,
+/// spawns its driver thread. Returns the event to send back (`accepted`,
+/// `rejected` or `error`). `log`, when given (the HTTP path), is
+/// registered for replay under the job id and marked finished when the
+/// job ends.
+pub(crate) fn submit_job(
+    state: &Arc<ServerState>,
+    spec: JobRequest,
+    sink: EventSink,
+    conn_jobs: &Arc<AtomicUsize>,
+    log: Option<Arc<EventLog>>,
+) -> Event {
+    // Admission control runs FIRST — a rejected submit must not touch
+    // the cache (no hit counted, no LRU recency refreshed for work that
+    // will never run). The in-flight check and the registry insert
+    // happen under one lock, so a burst of concurrent submits can never
+    // admit past the bound: the slot is reserved here and released below
+    // if validation fails.
+    let (job_id, token) = {
+        let mut jobs = state.jobs.lock().unwrap();
+        let in_flight = jobs.len() as u64;
+        let reject = |reason: String| {
+            state.rejected.fetch_add(1, Ordering::Relaxed);
+            Event::Rejected {
+                instance: spec.instance.clone(),
+                reason,
+                retry_after_ms: retry_hint_ms(in_flight.max(1), state.workers),
+                in_flight,
             }
+        };
+        if state.max_jobs > 0 && jobs.len() >= state.max_jobs {
+            return reject(format!(
+                "server at capacity (max {} in-flight jobs)",
+                state.max_jobs
+            ));
         }
+        if state.max_jobs_per_conn > 0
+            && conn_jobs.load(Ordering::Relaxed) >= state.max_jobs_per_conn
+        {
+            return reject(format!(
+                "connection at capacity (max {} in-flight jobs per connection)",
+                state.max_jobs_per_conn
+            ));
+        }
+        let job_id = state.next_job.fetch_add(1, Ordering::Relaxed);
+        let token = CancelToken::new();
+        jobs.insert(job_id, token.clone());
+        conn_jobs.fetch_add(1, Ordering::Relaxed);
+        (job_id, token)
+    };
+    let release_slot = || {
+        state.jobs.lock().unwrap().remove(&job_id);
+        conn_jobs.fetch_sub(1, Ordering::Relaxed);
+    };
+    let Some(graph) = state.cache.pin(&spec.instance) else {
+        release_slot();
+        return Event::Error {
+            message: format!("unknown instance `{}` (load it first)", spec.instance),
+            job: None,
+        };
     };
     if spec.k == 0 || spec.k > graph.num_vertices() {
+        release_slot();
         return Event::Error {
             message: format!(
                 "k must be in 1..={} for instance `{}`",
@@ -235,23 +494,46 @@ fn submit(state: &Arc<ServerState>, spec: JobRequest, sink: &EventSink) -> Event
             job: None,
         };
     }
-    let job_id = state.next_job.fetch_add(1, Ordering::Relaxed);
-    let token = CancelToken::new();
-    state.jobs.lock().unwrap().insert(job_id, token.clone());
     state.submitted.fetch_add(1, Ordering::Relaxed);
-    state.running.fetch_add(1, Ordering::Relaxed);
+    if let Some(log) = &log {
+        state.logs.lock().unwrap().insert(job_id, log.clone());
+    }
     let accepted = Event::Accepted {
         job: job_id,
         instance: spec.instance.clone(),
         k: spec.k,
     };
     let state = state.clone();
-    let sink = sink.clone();
+    let conn_jobs = conn_jobs.clone();
     std::thread::spawn(move || {
-        run_job(job_id, &spec, &graph, &state.gate, &token, &sink);
-        state.jobs.lock().unwrap().remove(&job_id);
-        state.running.fetch_sub(1, Ordering::Relaxed);
-        state.finished.fetch_add(1, Ordering::Relaxed);
+        // `graph` is a PinnedGraph: the cache cannot evict this instance
+        // for as long as the job runs. Registry and counters are updated
+        // in `before_done` — i.e. before the `done` event reaches the
+        // client — so stats taken right after `wait_done` are coherent
+        // and the freed admission slot is visible to an instant resubmit.
+        run_job(
+            job_id,
+            &spec,
+            graph.graph(),
+            &state.gate,
+            &token,
+            &sink,
+            || {
+                state.jobs.lock().unwrap().remove(&job_id);
+                conn_jobs.fetch_sub(1, Ordering::Relaxed);
+                state.finished.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        if let Some(log) = log {
+            log.finish();
+            let mut finished = state.finished_logs.lock().unwrap();
+            finished.push_back(job_id);
+            while finished.len() > RETAINED_EVENT_LOGS {
+                if let Some(old) = finished.pop_front() {
+                    state.logs.lock().unwrap().remove(&old);
+                }
+            }
+        }
     });
     accepted
 }
@@ -262,7 +544,7 @@ fn handle_tcp_client(state: Arc<ServerState>, stream: TcpStream) {
         Err(_) => return,
     };
     let sink = EventSink::new(Box::new(writer));
-    handle_client(&state, BufReader::new(stream), &sink);
+    handle_client(&state, std::io::BufReader::new(stream), &sink);
 }
 
 /// Serves exactly one client over stdin/stdout — `ffpart serve --stdio`,
@@ -270,7 +552,54 @@ fn handle_tcp_client(state: Arc<ServerState>, stream: TcpStream) {
 /// parent process. Returns when stdin closes or the client sends
 /// `shutdown`.
 pub fn serve_stdio(workers: usize) {
-    let state = ServerState::new(resolve_workers(workers));
+    serve_stdio_with(ServerConfig::with_workers(workers));
+}
+
+/// [`serve_stdio`] with full [`ServerConfig`] control (admission bounds,
+/// cache budget; `config.http` is ignored — stdio serves one NDJSON
+/// client).
+pub fn serve_stdio_with(config: ServerConfig) {
+    let state = ServerState::new(&config);
     let sink = EventSink::new(Box::new(std::io::stdout()));
     handle_client(&state, std::io::stdin().lock(), &sink);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn capped_line_reader_reads_lines_and_rejects_monsters() {
+        let mut input = Cursor::new(b"short\nsecond line\n".to_vec());
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_line_capped(&mut input, &mut buf, MAX_LINE_BYTES).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"short");
+        assert!(matches!(
+            read_line_capped(&mut input, &mut buf, MAX_LINE_BYTES).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"second line");
+        assert!(matches!(
+            read_line_capped(&mut input, &mut buf, MAX_LINE_BYTES).unwrap(),
+            LineRead::Eof
+        ));
+        // A trailing unterminated line still comes out.
+        let mut input = Cursor::new(b"tail".to_vec());
+        assert!(matches!(
+            read_line_capped(&mut input, &mut buf, MAX_LINE_BYTES).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"tail");
+    }
+
+    #[test]
+    fn retry_hint_is_clamped_and_monotone() {
+        assert_eq!(retry_hint_ms(1, 4), 50);
+        assert!(retry_hint_ms(100, 2) >= retry_hint_ms(10, 2));
+        assert_eq!(retry_hint_ms(u64::MAX / 200, 1), 10_000);
+    }
 }

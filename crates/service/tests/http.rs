@@ -1,0 +1,410 @@
+//! HTTP/1.1 gateway end-to-end tests: the full verb surface, the
+//! NDJSON-vs-HTTP determinism contract, admission control as `429`, and
+//! malformed-request fuzzing (never a panic, never a hang).
+
+use ff_service::{
+    Client, Event, GraphFormat, GraphSource, JobRequest, JobStatus, Server, ServerConfig,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn instance_data() -> String {
+    let g = ff_graph::generators::random_geometric(60, 0.25, 3);
+    let mut text = Vec::new();
+    ff_graph::io::write_metis(&g, &mut text).unwrap();
+    String::from_utf8(text).unwrap()
+}
+
+fn start_http_server(config: ServerConfig) -> ff_service::ServerHandle {
+    Server::bind_with(
+        "127.0.0.1:0",
+        ServerConfig {
+            http: Some("127.0.0.1:0".into()),
+            ..config
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap()
+}
+
+/// One-shot HTTP exchange (`Connection: close`), returning
+/// `(status code, head, body)`.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+    (status, head.to_string(), body.to_string())
+}
+
+/// Decodes a chunked body into its payload bytes.
+fn decode_chunked(body: &str) -> String {
+    let mut out = String::new();
+    let mut rest = body;
+    while let Some((size_line, tail)) = rest.split_once("\r\n") {
+        let size = usize::from_str_radix(size_line.trim(), 16).unwrap_or(0);
+        if size == 0 {
+            break;
+        }
+        out.push_str(&tail[..size]);
+        rest = tail[size..].strip_prefix("\r\n").unwrap_or(&tail[size..]);
+    }
+    out
+}
+
+/// Streams `GET /jobs/:id/events` to completion and parses the NDJSON
+/// payload into typed events.
+fn stream_job_events(addr: SocketAddr, id: u64) -> Vec<Event> {
+    let (status, head, body) = http(addr, "GET", &format!("/jobs/{id}/events"), "");
+    assert_eq!(status, 200, "head: {head}");
+    assert!(head.contains("Transfer-Encoding: chunked"), "head: {head}");
+    decode_chunked(&body)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Event::parse(l).unwrap())
+        .collect()
+}
+
+fn submit_http(addr: SocketAddr, body: &str) -> (u16, Event) {
+    let (status, _, reply) = http(addr, "POST", "/jobs", body);
+    (status, Event::parse(reply.trim()).unwrap())
+}
+
+#[test]
+fn http_verbs_cover_the_job_lifecycle() {
+    let handle = start_http_server(ServerConfig::with_workers(2));
+    let http_addr = handle.http_addr().expect("gateway bound");
+
+    // PUT an instance (inline METIS body).
+    let (status, _, reply) = http(http_addr, "PUT", "/instances/geo60", &instance_data());
+    assert_eq!(status, 200, "reply: {reply}");
+    match Event::parse(reply.trim()).unwrap() {
+        Event::Loaded {
+            instance, vertices, ..
+        } => {
+            assert_eq!(instance, "geo60");
+            assert_eq!(vertices, 60);
+        }
+        other => panic!("expected loaded, got {other:?}"),
+    }
+    // Re-PUT of identical content is a cache hit.
+    let (_, _, reply) = http(http_addr, "PUT", "/instances/geo60", &instance_data());
+    assert!(reply.contains("\"cached\":true"), "reply: {reply}");
+
+    // POST a step-budgeted job.
+    let (status, accepted) = submit_http(
+        http_addr,
+        r#"{"instance":"geo60","k":4,"seed":11,"steps":4000,"chunk":256}"#,
+    );
+    assert_eq!(status, 202);
+    let job = match accepted {
+        Event::Accepted { job, .. } => job,
+        other => panic!("expected accepted, got {other:?}"),
+    };
+
+    // Stream its events: ≥1 improvement, then done with the assignment.
+    let events = stream_job_events(http_addr, job);
+    let improvements = events
+        .iter()
+        .filter(|e| matches!(e, Event::Improvement(_)))
+        .count();
+    assert!(improvements >= 1, "events: {events:?}");
+    let done = match events.last() {
+        Some(Event::Done(d)) => d.clone(),
+        other => panic!("stream must end with done, got {other:?}"),
+    };
+    assert_eq!(done.status, JobStatus::Completed);
+    assert_eq!(done.assignment.as_ref().unwrap().len(), 60);
+
+    // The stream replays for a second (late) reader, identically.
+    let replay = stream_job_events(http_addr, job);
+    assert_eq!(events, replay, "event log must replay byte-identically");
+
+    // GET /stats sees the work.
+    let (status, _, reply) = http(http_addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    match Event::parse(reply.trim()).unwrap() {
+        Event::Stats(st) => {
+            assert_eq!(st.jobs_done, 1);
+            assert_eq!(st.instances, 1);
+            assert!(st.cache_hits >= 1);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // DELETE cancels: start an effectively unbounded job, cancel it, and
+    // its stream still ends with a best-so-far done.
+    let (_, accepted) = submit_http(
+        http_addr,
+        r#"{"instance":"geo60","k":4,"steps":100000000000,"chunk":128}"#,
+    );
+    let long_job = match accepted {
+        Event::Accepted { job, .. } => job,
+        other => panic!("expected accepted, got {other:?}"),
+    };
+    std::thread::sleep(Duration::from_millis(150)); // let it improve once
+    let (status, _, reply) = http(http_addr, "DELETE", &format!("/jobs/{long_job}"), "");
+    assert_eq!(status, 200);
+    assert!(reply.contains("\"known\":true"), "reply: {reply}");
+    let events = stream_job_events(http_addr, long_job);
+    match events.last() {
+        Some(Event::Done(d)) => {
+            assert_eq!(d.status, JobStatus::Cancelled);
+            assert!(d.value.is_finite(), "best-so-far returned");
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+
+    // Unknown job id: typed 404.
+    let (status, _, _) = http(http_addr, "GET", "/jobs/99999/events", "");
+    assert_eq!(status, 404);
+
+    // `Expect: 100-continue` (what `curl -T` sends for real uploads)
+    // gets the interim response so the body is transmitted immediately.
+    {
+        use std::io::{Read, Write};
+        let body = instance_data();
+        let mut stream = TcpStream::connect(http_addr).unwrap();
+        write!(
+            stream,
+            "PUT /instances/geo60b HTTP/1.1\r\nHost: t\r\nExpect: 100-continue\r\n\
+             Connection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 100 Continue"), "raw: {raw}");
+        assert!(raw.contains("HTTP/1.1 200"), "raw: {raw}");
+        assert!(raw.contains("\"event\":\"loaded\""), "raw: {raw}");
+    }
+
+    // Shut down over NDJSON; the HTTP accept loop must join too.
+    Client::connect(handle.addr()).unwrap().shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// ISSUE acceptance: the same step-budgeted job, submitted over NDJSON
+/// and over HTTP, cold cache and warm cache, under a saturated gate,
+/// produces byte-identical partitions.
+#[test]
+fn ndjson_and_http_partitions_are_byte_identical() {
+    let data = instance_data();
+    let job_json = r#"{"instance":"geo60","k":4,"seed":3,"steps":4000,"chunk":256}"#;
+    let job = JobRequest {
+        steps: Some(4_000),
+        seed: 3,
+        chunk: 256,
+        ..JobRequest::new("geo60", 4)
+    };
+
+    // Server A: NDJSON first (cold cache), then HTTP (warm cache), both
+    // while a filler job keeps the single-slot gate saturated.
+    let handle = start_http_server(ServerConfig::with_workers(1));
+    let http_addr = handle.http_addr().unwrap();
+    let mut ndjson = Client::connect(handle.addr()).unwrap();
+    ndjson
+        .load("geo60", GraphSource::Data(data.clone()), GraphFormat::Metis)
+        .unwrap();
+    let filler = ndjson
+        .submit(&JobRequest {
+            steps: Some(u64::MAX / 2),
+            seed: 99,
+            chunk: 128,
+            ..JobRequest::new("geo60", 4)
+        })
+        .unwrap();
+    let id = ndjson.submit(&job).unwrap();
+    let (_, done_ndjson) = ndjson.wait_done(id).unwrap();
+    assert_eq!(done_ndjson.status, JobStatus::Completed);
+
+    let (status, accepted) = submit_http(http_addr, job_json);
+    assert_eq!(status, 202);
+    let http_job = match accepted {
+        Event::Accepted { job, .. } => job,
+        other => panic!("expected accepted, got {other:?}"),
+    };
+    let events = stream_job_events(http_addr, http_job);
+    let done_http_warm = match events.last() {
+        Some(Event::Done(d)) => d.clone(),
+        other => panic!("expected done, got {other:?}"),
+    };
+
+    // Server B: HTTP only, cold cache, no contention.
+    let handle_b = start_http_server(ServerConfig::with_workers(2));
+    let http_b = handle_b.http_addr().unwrap();
+    let (status, _, _) = http(http_b, "PUT", "/instances/geo60", &data);
+    assert_eq!(status, 200);
+    let (_, accepted) = submit_http(http_b, job_json);
+    let cold_job = match accepted {
+        Event::Accepted { job, .. } => job,
+        other => panic!("expected accepted, got {other:?}"),
+    };
+    let done_http_cold = match stream_job_events(http_b, cold_job).last() {
+        Some(Event::Done(d)) => d.clone(),
+        other => panic!("expected done, got {other:?}"),
+    };
+
+    assert_eq!(
+        done_ndjson.assignment, done_http_warm.assignment,
+        "NDJSON (cold, saturated) vs HTTP (warm, saturated)"
+    );
+    assert_eq!(
+        done_ndjson.assignment, done_http_cold.assignment,
+        "vs HTTP on a fresh server (cold cache)"
+    );
+    assert_eq!(done_ndjson.value, done_http_warm.value);
+    assert_eq!(done_ndjson.value, done_http_cold.value);
+    assert_eq!(done_ndjson.steps, done_http_warm.steps);
+
+    assert!(ndjson.cancel(filler).unwrap());
+    ndjson.wait_done(filler).unwrap();
+    ndjson.shutdown().unwrap();
+    handle.join().unwrap();
+    Client::connect(handle_b.addr())
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    handle_b.join().unwrap();
+}
+
+/// Admission control speaks HTTP: overflow is `429 Too Many Requests`
+/// with a `Retry-After` header and the typed `rejected` body.
+#[test]
+fn http_submit_overflow_is_429_with_retry_after() {
+    let handle = start_http_server(ServerConfig {
+        workers: 1,
+        max_jobs: 1,
+        ..Default::default()
+    });
+    let http_addr = handle.http_addr().unwrap();
+    let (status, _, _) = http(http_addr, "PUT", "/instances/geo60", &instance_data());
+    assert_eq!(status, 200);
+    let long = r#"{"instance":"geo60","k":4,"steps":100000000000,"chunk":128}"#;
+    let (status, accepted) = submit_http(http_addr, long);
+    assert_eq!(status, 202);
+    let running = match accepted {
+        Event::Accepted { job, .. } => job,
+        other => panic!("expected accepted, got {other:?}"),
+    };
+    let (status, head, reply) = http(http_addr, "POST", "/jobs", long);
+    assert_eq!(status, 429, "reply: {reply}");
+    assert!(head.contains("Retry-After:"), "head: {head}");
+    match Event::parse(reply.trim()).unwrap() {
+        Event::Rejected { reason, .. } => {
+            assert!(reason.contains("server at capacity"), "reason: {reason}")
+        }
+        other => panic!("expected rejected, got {other:?}"),
+    }
+    let (status, _, _) = http(http_addr, "DELETE", &format!("/jobs/{running}"), "");
+    assert_eq!(status, 200);
+    Client::connect(handle.addr()).unwrap().shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Malformed request heads: every one gets a typed 4xx/5xx (or a clean
+/// close), the server never panics, and it keeps serving afterwards.
+#[test]
+fn malformed_http_heads_get_typed_errors_never_panics() {
+    let handle = start_http_server(ServerConfig::with_workers(1));
+    let http_addr = handle.http_addr().unwrap();
+
+    let monsters: Vec<Vec<u8>> = vec![
+        b"not an http request at all\r\n\r\n".to_vec(),
+        b"GET\r\n\r\n".to_vec(),
+        b"GET /stats\r\n\r\n".to_vec(), // HTTP/0.9-style, no version
+        b"GET /stats SPDY/3\r\n\r\n".to_vec(),
+        b"POST /jobs HTTP/1.1\r\nContent-Length: -5\r\n\r\n".to_vec(),
+        b"POST /jobs HTTP/1.1\r\nContent-Length: zebra\r\n\r\n".to_vec(),
+        b"POST /jobs HTTP/1.1\r\nContent-Length: 999999999999999999\r\n\r\n".to_vec(),
+        b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(),
+        b"GET /stats HTTP/1.1\r\nno-colon-header\r\n\r\n".to_vec(),
+        // Truncated body: promises 50 bytes, sends 3, closes.
+        b"POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{}}".to_vec(),
+        // Oversized header line (past the 8 KiB per-line cap).
+        {
+            let mut v = b"GET /stats HTTP/1.1\r\nX-Big: ".to_vec();
+            v.extend(std::iter::repeat_n(b'x', 10_000));
+            v.extend_from_slice(b"\r\n\r\n");
+            v
+        },
+        // Binary garbage.
+        (0u8..=255).cycle().take(512).collect(),
+    ];
+    for (i, monster) in monsters.iter().enumerate() {
+        let mut stream = TcpStream::connect(http_addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        stream.write_all(monster).unwrap();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut raw = String::new();
+        // A clean close with no bytes is acceptable for unparseable
+        // garbage; any response must be a typed 4xx/5xx.
+        let _ = stream.read_to_string(&mut raw);
+        if let Some(status) = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+        {
+            assert!(
+                (400..=599).contains(&status),
+                "case {i}: unexpected status {status} in {raw:?}"
+            );
+        }
+    }
+
+    // An HTTP/1.0 request without a Connection header must get a closed
+    // connection after the response (1.0 clients read to EOF) — this
+    // read_to_string would hang forever if the server kept it alive.
+    {
+        let mut stream = TcpStream::connect(http_addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        stream
+            .write_all(b"GET /stats HTTP/1.0\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200"), "raw: {raw}");
+        assert!(raw.contains("\"event\":\"stats\""), "raw: {raw}");
+    }
+
+    // Bad routes and methods on a healthy connection are typed too.
+    let (status, _, _) = http(http_addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _, _) = http(http_addr, "PATCH", "/jobs", "");
+    assert_eq!(status, 405);
+    let (status, _, _) = http(http_addr, "GET", "/jobs/notanumber/events", "");
+    assert_eq!(status, 400);
+    let (status, _, _) = http(http_addr, "PUT", "/instances/bad", "this is not METIS");
+    assert_eq!(status, 400);
+
+    // The server survived all of it.
+    let (status, _, reply) = http(http_addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert!(matches!(
+        Event::parse(reply.trim()).unwrap(),
+        Event::Stats(_)
+    ));
+    Client::connect(handle.addr()).unwrap().shutdown().unwrap();
+    handle.join().unwrap();
+}

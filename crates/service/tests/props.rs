@@ -1,0 +1,349 @@
+//! Property tests: the byte-budgeted LRU cache against an independent
+//! reference model, and parser fuzzing (NDJSON lines) — the "never
+//! panic, always typed" half of the serving-hardening contract.
+
+use ff_service::{Event, GraphFormat, GraphSource, InstanceCache, PinnedGraph, Request};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+// ---------------------------------------------------------------------
+// LRU cache vs reference model
+// ---------------------------------------------------------------------
+
+/// The op alphabet driving both the real cache and the model.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Load `keys[k]` from `sizes[s]`'s data.
+    Load(usize, usize),
+    /// Pin `keys[k]` (guard kept until a later Unpin).
+    Pin(usize),
+    /// Drop the most recent live guard.
+    Unpin,
+    /// Touch `keys[k]` without pinning.
+    Get(usize),
+}
+
+const KEYS: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+/// Three distinct graph "sizes" (path graphs; distinct content ⇒
+/// distinct digests, so reloading a key at a different size replaces).
+fn corpus() -> Vec<(String, usize)> {
+    [4usize, 10, 24]
+        .iter()
+        .map(|&n| {
+            let g = ff_graph::generators::path(n);
+            let mut text = Vec::new();
+            ff_graph::io::write_metis(&g, &mut text).unwrap();
+            let data = String::from_utf8(text).unwrap();
+            let bytes = ff_graph::io::read_metis(data.as_bytes())
+                .unwrap()
+                .csr_bytes();
+            (data, bytes)
+        })
+        .collect()
+}
+
+/// An entry in the reference model.
+#[derive(Clone, Debug)]
+struct ModelEntry {
+    key: usize,
+    size: usize,
+    bytes: usize,
+    pins: u32,
+    last_use: u64,
+    id: u64,
+}
+
+/// An independent reimplementation of the documented cache policy:
+/// content-digest hits, LRU eviction past the budget, pinned entries and
+/// the entry being inserted are exempt.
+#[derive(Debug, Default)]
+struct Model {
+    entries: Vec<ModelEntry>,
+    budget: usize,
+    tick: u64,
+    next_id: u64,
+    evictions: u64,
+    loads: u64,
+}
+
+impl Model {
+    fn total(&self) -> usize {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    fn evict(&mut self, protect: u64) {
+        if self.budget == 0 {
+            return;
+        }
+        while self.total() > self.budget {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|e| e.pins == 0 && e.id != protect)
+                .min_by_key(|e| e.last_use)
+                .map(|e| e.id);
+            let Some(id) = victim else { break };
+            let gone = self.entries.iter().find(|e| e.id == id).unwrap();
+            assert_eq!(gone.pins, 0, "model must never evict a pinned entry");
+            self.entries.retain(|e| e.id != id);
+            self.evictions += 1;
+        }
+    }
+
+    /// Returns `(cached, reloaded)` like the real cache.
+    fn load(&mut self, key: usize, size: usize, bytes: usize) -> (bool, bool) {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            if e.size == size {
+                e.last_use = self.tick;
+                return (true, false);
+            }
+        }
+        let reloaded = self.entries.iter().any(|e| e.key == key);
+        self.entries.retain(|e| e.key != key);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.loads += 1;
+        self.entries.push(ModelEntry {
+            key,
+            size,
+            bytes,
+            pins: 0,
+            last_use: self.tick,
+            id,
+        });
+        self.evict(id);
+        (false, reloaded)
+    }
+
+    /// Returns the pinned entry's generation id, if present.
+    fn pin(&mut self, key: usize) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.entries.iter_mut().find(|e| e.key == key)?;
+        e.pins += 1;
+        e.last_use = tick;
+        Some(e.id)
+    }
+
+    /// Mirrors a guard drop: decrement only if the generation matches,
+    /// and reclaim over-budget bytes once the entry is fully unpinned.
+    fn unpin(&mut self, key: usize, id: u64) {
+        let mut unpinned = false;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            if e.id == id {
+                e.pins -= 1;
+                unpinned = e.pins == 0;
+            }
+        }
+        if unpinned {
+            self.evict(u64::MAX);
+        }
+    }
+
+    fn get(&mut self, key: usize) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.iter_mut().find(|e| e.key == key) {
+            Some(e) => {
+                e.last_use = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `(key, bytes, pins)` rows, least-recently-used first — the shape
+    /// [`InstanceCache::entries`] reports.
+    fn rows(&self) -> Vec<(String, usize, u32)> {
+        let mut sorted: Vec<&ModelEntry> = self.entries.iter().collect();
+        sorted.sort_by_key(|e| e.last_use);
+        sorted
+            .iter()
+            .map(|e| (KEYS[e.key].to_string(), e.bytes, e.pins))
+            .collect()
+    }
+}
+
+/// Strategy: a budget choice and an op tape, derived from one seed the
+/// way the repo's other property suites build structured inputs.
+fn arb_case() -> impl Strategy<Value = (usize, Vec<Op>)> {
+    (any::<u64>(), 8usize..48).prop_map(|(seed, len)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sizes = corpus();
+        let budget = match rng.gen_range(0u32..4) {
+            0 => 0, // unlimited
+            1 => sizes[0].1 * 2 + sizes[0].1 / 2,
+            2 => sizes[1].1 * 2,
+            _ => sizes[2].1 + sizes[1].1 + sizes[0].1,
+        };
+        let ops = (0..len)
+            .map(|_| match rng.gen_range(0u32..10) {
+                0..=3 => Op::Load(rng.gen_range(0..KEYS.len()), rng.gen_range(0usize..3)),
+                4..=5 => Op::Pin(rng.gen_range(0..KEYS.len())),
+                6..=7 => Op::Unpin,
+                _ => Op::Get(rng.gen_range(0..KEYS.len())),
+            })
+            .collect();
+        (budget, ops)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// ISSUE acceptance: arbitrary load/pin/unpin/get sequences keep the
+    /// real cache in lockstep with the reference model — budget
+    /// respected, pinned entries never evicted, LRU order preserved.
+    #[test]
+    fn lru_cache_matches_reference_model((budget, ops) in arb_case()) {
+        let sizes = corpus();
+        let cache = InstanceCache::with_budget(budget);
+        let mut model = Model {
+            budget,
+            ..Model::default()
+        };
+        // Live guards as (key index, model generation id, real guard).
+        let mut guards: Vec<(usize, u64, PinnedGraph)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Load(k, s) => {
+                    let (data, bytes) = &sizes[s];
+                    let (_, outcome) = cache
+                        .load(KEYS[k], GraphSource::Data(data.clone()), GraphFormat::Metis)
+                        .unwrap();
+                    let (cached, reloaded) = model.load(k, s, *bytes);
+                    prop_assert_eq!(outcome.cached, cached);
+                    prop_assert_eq!(outcome.reloaded, reloaded);
+                }
+                Op::Pin(k) => {
+                    let real = cache.pin(KEYS[k]);
+                    let id = model.pin(k);
+                    prop_assert_eq!(real.is_some(), id.is_some());
+                    if let (Some(guard), Some(id)) = (real, id) {
+                        guards.push((k, id, guard));
+                    }
+                }
+                Op::Unpin => {
+                    if let Some((k, id, guard)) = guards.pop() {
+                        drop(guard);
+                        model.unpin(k, id);
+                    }
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(cache.get(KEYS[k]).is_some(), model.get(k));
+                }
+            }
+            // Lockstep state: same entries, same bytes, same LRU order,
+            // same pin counts, same eviction/load counters.
+            let real_rows: Vec<(String, usize, u32)> = cache
+                .entries()
+                .into_iter()
+                .map(|e| (e.key, e.bytes, e.pins))
+                .collect();
+            prop_assert_eq!(&real_rows, &model.rows());
+            let stats = cache.stats();
+            prop_assert_eq!(stats.bytes as usize, model.total());
+            prop_assert_eq!(stats.evictions, model.evictions);
+            prop_assert_eq!(stats.loads, model.loads);
+            // The budget invariant: exceeding it is only legal when every
+            // entry is pinned or is the single most-recently-loaded one.
+            if budget > 0 && stats.bytes as usize > budget {
+                let unpinned_lru_count = model
+                    .entries
+                    .iter()
+                    .filter(|e| e.pins == 0 && e.id != model.next_id - 1)
+                    .count();
+                prop_assert_eq!(unpinned_lru_count, 0);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol fuzz: truncated / overlong / type-confused lines
+// ---------------------------------------------------------------------
+
+/// Valid lines to mutate, covering every op and event shape.
+fn seed_lines() -> Vec<String> {
+    vec![
+        r#"{"op":"load","instance":"g","data":"3 3\n2 3\n1 3\n1 2\n","format":"metis"}"#.into(),
+        r#"{"op":"load","instance":"g","path":"/tmp/x.graph"}"#.into(),
+        r#"{"op":"submit","instance":"g","k":4,"objective":"mcut","seed":7,"steps":1000,"islands":2,"chunk":64,"assignment":true}"#.into(),
+        r#"{"op":"cancel","job":3}"#.into(),
+        r#"{"op":"stats"}"#.into(),
+        r#"{"op":"shutdown"}"#.into(),
+        r#"{"event":"hello","proto":1,"workers":2}"#.into(),
+        r#"{"event":"accepted","job":1,"instance":"g","k":4}"#.into(),
+        r#"{"event":"rejected","instance":"g","reason":"full","retry_after_ms":100,"in_flight":8}"#.into(),
+        r#"{"event":"improvement","job":1,"value":4.25,"step":900,"elapsed_ms":15,"island":0}"#.into(),
+        r#"{"event":"done","job":1,"status":"completed","value":4.0,"parts":4,"steps":1000,"elapsed_ms":20,"migrations":0,"assignment":[0,1,2,3]}"#.into(),
+        r#"{"event":"stats","instances":1,"cache_hits":2,"cache_loads":1,"jobs_submitted":3,"jobs_running":1,"jobs_done":2,"permit_wait_hist":[1,2,3,4,5]}"#.into(),
+        r#"{"event":"error","message":"boom","job":9}"#.into(),
+    ]
+}
+
+/// One deterministic mutation of a valid line.
+fn mutate(line: &str, rng: &mut ChaCha8Rng) -> String {
+    let mut bytes = line.as_bytes().to_vec();
+    match rng.gen_range(0u32..5) {
+        // Truncate at a random byte.
+        0 => {
+            let cut = rng.gen_range(0..=bytes.len());
+            bytes.truncate(cut);
+        }
+        // Overlong: splice a huge run of a random byte into the middle.
+        1 => {
+            let at = rng.gen_range(0..=bytes.len());
+            let filler = vec![b'a' + (rng.gen::<u8>() % 26); rng.gen_range(1_000usize..20_000)];
+            bytes.splice(at..at, filler);
+        }
+        // Type confusion: numbers become strings/objects and vice versa.
+        2 => {
+            let s = String::from_utf8_lossy(&bytes)
+                .replace(":1", ":\"one\"")
+                .replace(":4", ":{}")
+                .replace("\"mcut\"", "3.25")
+                .replace("[0,1,2,3]", "\"0123\"");
+            bytes = s.into_bytes();
+        }
+        // Random byte corruption.
+        3 => {
+            for _ in 0..rng.gen_range(1u32..8) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] = rng.gen();
+            }
+        }
+        // Pure garbage of random length.
+        _ => {
+            bytes = (0..rng.gen_range(0usize..256)).map(|_| rng.gen()).collect();
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Request/event parsing never panics: every mutated line either
+    /// parses or yields a non-empty, human-readable error message.
+    #[test]
+    fn mutated_protocol_lines_never_panic(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let lines = seed_lines();
+        for line in &lines {
+            let mutant = mutate(line, &mut rng);
+            if let Err(msg) = Request::parse(&mutant) {
+                prop_assert!(!msg.is_empty(), "empty error for {mutant:?}");
+            }
+            if let Err(msg) = Event::parse(&mutant) {
+                prop_assert!(!msg.is_empty(), "empty error for {mutant:?}");
+            }
+        }
+    }
+}

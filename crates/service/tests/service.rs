@@ -57,7 +57,7 @@ fn drive_concurrent_jobs(seeds: &[u64]) -> (Vec<(Vec<f64>, ff_service::DoneInfo)
     });
     let mut admin = Client::connect(addr).unwrap();
     let loads = match admin.stats().unwrap() {
-        Event::Stats { cache_loads, .. } => cache_loads,
+        Event::Stats(st) => st.cache_loads,
         other => panic!("expected stats, got {other:?}"),
     };
     admin.shutdown().unwrap();
@@ -334,23 +334,25 @@ fn stats_track_cache_and_jobs() {
     let (_, done) = client.wait_done(id).unwrap();
     assert_eq!(done.status, JobStatus::Completed);
     match client.stats().unwrap() {
-        Event::Stats {
-            instances,
-            cache_loads,
-            cache_hits,
-            jobs_submitted,
-            jobs_running,
-            jobs_done,
-        } => {
-            assert_eq!(instances, 1);
-            assert_eq!(cache_loads, 1);
+        Event::Stats(st) => {
+            assert_eq!(st.instances, 1);
+            assert_eq!(st.cache_loads, 1);
             assert!(
-                cache_hits >= 2,
-                "load hit + submit lookup, got {cache_hits}"
+                st.cache_hits >= 2,
+                "load hit + submit lookup, got {}",
+                st.cache_hits
             );
-            assert_eq!(jobs_submitted, 1);
-            assert_eq!(jobs_running, 0);
-            assert_eq!(jobs_done, 1);
+            assert_eq!(st.jobs_submitted, 1);
+            assert_eq!(st.jobs_running, 0);
+            assert_eq!(st.jobs_done, 1);
+            assert_eq!(st.jobs_rejected, 0);
+            assert_eq!(st.cache_evictions, 0);
+            assert!(st.cache_bytes > 0, "resident CSR bytes must be accounted");
+            assert_eq!(st.workers, 1);
+            assert!(
+                st.permit_wait_hist.iter().sum::<u64>() > 0,
+                "the job's chunk acquires must be in the histogram"
+            );
         }
         other => panic!("expected stats, got {other:?}"),
     }
@@ -403,6 +405,187 @@ fn ensemble_jobs_work_over_the_wire() {
         done.assignment.as_deref().unwrap(),
         direct.best.assignment()
     );
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Admission control: a saturated server answers overflow submits with a
+/// typed `rejected` event (not an error, not unbounded queueing), and
+/// capacity freed by a finished job is re-admittable.
+#[test]
+fn admission_control_rejects_overflow_and_recovers() {
+    let handle = ff_service::Server::bind_with(
+        "127.0.0.1:0",
+        ff_service::ServerConfig {
+            workers: 1,
+            max_jobs: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .load(
+            "geo60",
+            GraphSource::Data(instance_data()),
+            GraphFormat::Metis,
+        )
+        .unwrap();
+    let long_job = JobRequest {
+        steps: Some(u64::MAX / 2),
+        chunk: 128,
+        ..JobRequest::new("geo60", 4)
+    };
+    let first = match client.try_submit(&long_job).unwrap() {
+        ff_service::SubmitOutcome::Accepted(id) => id,
+        other => panic!("first job must be admitted, got {other:?}"),
+    };
+    // The server is now at max_jobs = 1: overflow is rejected with a hint.
+    match client.try_submit(&long_job).unwrap() {
+        ff_service::SubmitOutcome::Rejected {
+            reason,
+            retry_after_ms,
+        } => {
+            assert!(reason.contains("server at capacity"), "reason: {reason}");
+            assert!(retry_after_ms >= 50, "hint too eager: {retry_after_ms}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    // And `submit` (the strict variant) maps the rejection to WouldBlock.
+    let err = client.submit(&long_job).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+    match client.stats().unwrap() {
+        Event::Stats(st) => {
+            assert_eq!(st.jobs_rejected, 2);
+            assert_eq!(st.jobs_running, 1);
+            assert_eq!(st.max_jobs, 1);
+            // Rejected submits must not touch the cache: the only hit is
+            // the admitted job's pin (the initial load was a miss).
+            assert_eq!(st.cache_hits, 1, "rejections must not count hits");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    // Freeing the slot makes the server admit again.
+    assert!(client.cancel(first).unwrap());
+    let (_, done) = client.wait_done(first).unwrap();
+    assert_eq!(done.status, JobStatus::Cancelled);
+    let second = client
+        .submit(&JobRequest {
+            steps: Some(500),
+            ..JobRequest::new("geo60", 4)
+        })
+        .unwrap();
+    let (_, done) = client.wait_done(second).unwrap();
+    assert_eq!(done.status, JobStatus::Completed);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Per-connection admission is independent of server-wide capacity:
+/// a second connection can still submit when the first is at its bound.
+#[test]
+fn per_connection_bound_is_per_connection() {
+    let handle = ff_service::Server::bind_with(
+        "127.0.0.1:0",
+        ff_service::ServerConfig {
+            workers: 2,
+            max_jobs_per_conn: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let mut a = Client::connect(handle.addr()).unwrap();
+    a.load(
+        "geo60",
+        GraphSource::Data(instance_data()),
+        GraphFormat::Metis,
+    )
+    .unwrap();
+    let long_job = JobRequest {
+        steps: Some(u64::MAX / 2),
+        chunk: 128,
+        ..JobRequest::new("geo60", 4)
+    };
+    let running = a.submit(&long_job).unwrap();
+    match a.try_submit(&long_job).unwrap() {
+        ff_service::SubmitOutcome::Rejected { reason, .. } => {
+            assert!(reason.contains("connection at capacity"), "got: {reason}");
+        }
+        other => panic!("expected per-conn rejection, got {other:?}"),
+    }
+    let mut b = Client::connect(handle.addr()).unwrap();
+    let id = b
+        .submit(&JobRequest {
+            steps: Some(500),
+            ..JobRequest::new("geo60", 4)
+        })
+        .unwrap();
+    let (_, done) = b.wait_done(id).unwrap();
+    assert_eq!(done.status, JobStatus::Completed);
+    assert!(a.cancel(running).unwrap());
+    a.wait_done(running).unwrap();
+    a.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// A byte-budgeted server evicts the LRU instance; submitting against an
+/// evicted key is the ordinary unknown-instance error.
+#[test]
+fn cache_budget_evicts_lru_instance_end_to_end() {
+    let data = instance_data();
+    let g = ff_graph::io::read_metis(data.as_bytes()).unwrap();
+    let budget = g.csr_bytes() + g.csr_bytes() / 2; // room for one, not two
+    let handle = ff_service::Server::bind_with(
+        "127.0.0.1:0",
+        ff_service::ServerConfig {
+            workers: 1,
+            cache_bytes: budget,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .load("first", GraphSource::Data(data.clone()), GraphFormat::Metis)
+        .unwrap();
+    client
+        .load("second", GraphSource::Data(data), GraphFormat::Metis)
+        .unwrap();
+    match client.stats().unwrap() {
+        Event::Stats(st) => {
+            assert_eq!(st.instances, 1, "budget holds one instance");
+            assert_eq!(st.cache_evictions, 1);
+            assert!(st.cache_bytes <= st.cache_budget_bytes);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    client
+        .send(&Request::Submit(JobRequest {
+            steps: Some(10),
+            ..JobRequest::new("first", 2)
+        }))
+        .unwrap();
+    match client.next_event().unwrap() {
+        Event::Error { message, .. } => {
+            assert!(message.contains("unknown instance"), "got: {message}")
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    // The resident instance still serves jobs.
+    let id = client
+        .submit(&JobRequest {
+            steps: Some(500),
+            ..JobRequest::new("second", 4)
+        })
+        .unwrap();
+    let (_, done) = client.wait_done(id).unwrap();
+    assert_eq!(done.status, JobStatus::Completed);
     client.shutdown().unwrap();
     handle.join().unwrap();
 }

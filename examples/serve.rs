@@ -118,14 +118,12 @@ fn main() {
 
     // One load, many jobs: show the cache did its job, then shut down.
     let mut admin = Client::connect(addr).expect("connect");
-    if let ff_service::Event::Stats {
-        cache_loads,
-        cache_hits,
-        jobs_done,
-        ..
-    } = admin.stats().expect("stats")
-    {
-        println!("cache: {cache_loads} load(s), {cache_hits} hit(s); jobs done: {jobs_done}");
+    if let ff_service::Event::Stats(st) = admin.stats().expect("stats") {
+        println!(
+            "cache: {} load(s), {} hit(s), {} resident byte(s); jobs done: {}; \
+             permit waits by bucket: {:?}",
+            st.cache_loads, st.cache_hits, st.cache_bytes, st.jobs_done, st.permit_wait_hist
+        );
     }
     admin.shutdown().expect("shutdown");
     handle.join().expect("server exits");

@@ -13,7 +13,7 @@
 //! | [`metaheur`] (`ff-metaheur`) | simulated annealing, ant colony, percolation |
 //! | [`core`] (`ff-core`) | the fusion–fission metaheuristic itself |
 //! | [`engine`] (`ff-engine`) | parallel multi-seed island ensemble with best-molecule migration |
-//! | [`service`] (`ff-service`) | multi-client partition server: NDJSON job protocol, streaming anytime results, cancel/deadline |
+//! | [`service`] (`ff-service`) | multi-client partition server: NDJSON + HTTP/1.1 front-ends, admission control, byte-budgeted LRU instance cache, streaming anytime results, cancel/deadline |
 //! | [`atc`] (`ff-atc`) | synthetic European-airspace FABOP workload |
 //!
 //! ## Quickstart
