@@ -3,17 +3,21 @@
 //! seed luck when two methods are within a percent).
 //!
 //! With `--islands N > 1`, every method gets the parallel ensemble
-//! treatment (`ff-engine`): fusion–fission runs N islands with
-//! best-molecule migration, the baselines run N independent seeds and keep
-//! their best — so nobody wins just by being handed more parallelism.
+//! treatment (`ff-engine`'s `Solver`): fusion–fission runs N islands with
+//! the chosen `--migration` policy (`replace`, `combine`, `adaptive`),
+//! the baselines run N independent seeds and keep their best — so nobody
+//! wins just by being handed more parallelism.
 //!
 //! ```text
 //! cargo run -p ff-bench --release --bin head2head -- [--budget-secs 10] \
-//!     [--seeds 5] [--sectors 762] [--k 32] [--islands 1] [--threads 0]
+//!     [--seeds 5] [--sectors 762] [--k 32] [--islands 1] [--threads 0] \
+//!     [--migration replace]
 //! ```
 
 use ff_atc::{FabopConfig, FabopInstance, PAPER_K};
-use ff_bench::{run_method_ensemble, write_csv, Cell, MethodBudget, MethodId, Table};
+use ff_bench::{
+    run_method_ensemble, write_csv, Cell, MethodBudget, MethodId, MigrationPolicyId, Table,
+};
 use ff_partition::Objective;
 
 struct Args {
@@ -23,6 +27,7 @@ struct Args {
     seeds: u64,
     islands: usize,
     threads: usize,
+    migration: MigrationPolicyId,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +38,7 @@ fn parse_args() -> Args {
         seeds: 5,
         islands: 1,
         threads: 0,
+        migration: MigrationPolicyId::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -44,6 +50,11 @@ fn parse_args() -> Args {
             "--seeds" => args.seeds = val().parse().expect("bad seeds"),
             "--islands" => args.islands = val().parse().expect("bad islands"),
             "--threads" => args.threads = val().parse().expect("bad threads"),
+            "--migration" => {
+                let name = val();
+                args.migration = MigrationPolicyId::parse(&name)
+                    .unwrap_or_else(|| panic!("unknown migration policy {name}"));
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -86,6 +97,7 @@ fn main() {
             seed,
             args.islands,
             args.threads,
+            args.migration,
         );
         Objective::MCut.evaluate(g, &out.partition)
     };

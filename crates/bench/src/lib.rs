@@ -15,5 +15,6 @@
 pub mod methods;
 pub mod report;
 
+pub use ff_engine::MigrationPolicyId;
 pub use methods::{run_method, run_method_ensemble, MethodBudget, MethodId, MethodOutcome};
 pub use report::{to_json, write_csv, write_json, Cell, Table};

@@ -2,7 +2,7 @@
 //! wrapper that gives any of them the multi-seed island treatment.
 
 use ff_core::FusionFissionConfig;
-use ff_engine::{derive_seeds, parallel_map, Ensemble, EnsembleConfig};
+use ff_engine::{derive_seeds, parallel_map, MigrationPolicyId, Solver};
 use ff_graph::Graph;
 use ff_metaheur::{AntColonyConfig, PercolationConfig, SimulatedAnnealingConfig, StopCondition};
 use ff_multilevel::{multilevel_partition, MultilevelConfig, MultilevelMode};
@@ -329,11 +329,13 @@ pub fn run_method(
 /// at `seed` (per-island seeds are [`derive_seeds`]-derived, so results
 /// are reproducible for any thread schedule; see the `ff-engine` docs).
 ///
-/// * **Fusion–fission** runs as a true island ensemble with best-molecule
-///   migration ([`Ensemble`]),
+/// * **Fusion–fission** runs as a true island ensemble through the
+///   [`Solver`] builder, with `migration` choosing the exchange policy
+///   (replace-if-better, KaFFPaE-style combine, or adaptive intervals),
 /// * **every other method** runs `islands` independently seeded copies in
 ///   parallel and keeps the partition with the lowest `objective` (ties to
-///   the lowest island index) — multi-start, the fair baseline treatment.
+///   the lowest island index) — multi-start, the fair baseline treatment
+///   (`migration` is ignored for them).
 ///
 /// `max_threads` caps concurrency (`0` = one thread per island);
 /// `islands <= 1` is exactly [`run_method`].
@@ -355,6 +357,7 @@ pub fn run_method_ensemble(
     seed: u64,
     islands: usize,
     max_threads: usize,
+    migration: MigrationPolicyId,
 ) -> MethodOutcome {
     if islands <= 1 {
         return run_method(method, g, k, objective, budget, seed);
@@ -367,11 +370,15 @@ pub fn run_method_ensemble(
                 stop: budget.stop(),
                 ..FusionFissionConfig::standard(k)
             };
-            let cfg = EnsembleConfig {
-                max_threads,
-                ..EnsembleConfig::new(base, islands)
-            };
-            Ensemble::new(g, cfg, seed).run().best
+            Solver::on(g)
+                .config(base)
+                .islands(islands)
+                .threads(max_threads)
+                .migration(migration.build())
+                .seed(seed)
+                .run()
+                .expect("validated budget/k")
+                .best
         }
         _ => {
             let seeds = derive_seeds(seed, islands);
@@ -438,8 +445,29 @@ mod tests {
             MethodId::SimulatedAnnealing,
             MethodId::MultilevelBi,
         ] {
-            let a = run_method_ensemble(method, &inst.graph, 6, Objective::MCut, budget, 3, 3, 2);
-            let b = run_method_ensemble(method, &inst.graph, 6, Objective::MCut, budget, 3, 3, 2);
+            let policy = MigrationPolicyId::default();
+            let a = run_method_ensemble(
+                method,
+                &inst.graph,
+                6,
+                Objective::MCut,
+                budget,
+                3,
+                3,
+                2,
+                policy,
+            );
+            let b = run_method_ensemble(
+                method,
+                &inst.graph,
+                6,
+                Objective::MCut,
+                budget,
+                3,
+                3,
+                2,
+                policy,
+            );
             assert_eq!(
                 a.partition.assignment(),
                 b.partition.assignment(),
@@ -483,6 +511,7 @@ mod tests {
             7,
             1,
             0,
+            MigrationPolicyId::default(),
         );
         let b = run_method(
             MethodId::FusionFission,

@@ -29,12 +29,18 @@
 //! submit options:
 //!   --connect ADDR           server address (required)
 //!   <graph> -k N             instance file (server-side path) and part count
-//!   -o, --objective NAME     cut | ncut | mcut                 (default mcut)
+//!   -o, --objective LIST     cut | ncut | mcut, or a comma list like
+//!                            cut,ncut,mcut — more than one distinct
+//!                            objective runs a Pareto job: islands cycle
+//!                            the list and the non-dominated front is
+//!                            reported                          (default mcut)
 //!   --steps N                step budget per island (deterministic output
 //!                            when used without --deadline-ms)
 //!   --deadline-ms N          wall-clock budget from job start
 //!   -s, --seed N             root RNG seed                     (default 1)
-//!   -j, --islands N          island-ensemble width             (default 1)
+//!   -j, --islands N          island-ensemble width (default 1; raised to
+//!                            the objective count for Pareto jobs)
+//!   --migration NAME         replace | combine | adaptive      (default replace)
 //!   --chunk N                cooperative scheduling quantum    (default 512)
 //!   --instance NAME          cache key                 (default: graph path)
 //!   -f, --format NAME        metis | edgelist                  (default metis)
@@ -48,7 +54,12 @@
 //!   -m, --method NAME        ff | sa | aco | percolation | multilevel |
 //!                            multilevel-kway | spectral | spectral-rqi |
 //!                            spectral-oct | linear | linear-kl  (default ff)
-//!   -o, --objective NAME     cut | ncut | mcut                 (default mcut)
+//!   -o, --objective LIST     cut | ncut | mcut, or a comma list like
+//!                            cut,ncut — more than one distinct objective
+//!                            runs a mixed-objective Pareto ensemble
+//!                            (method ff only): islands cycle the list and
+//!                            the non-dominated front is printed
+//!                            (default mcut)
 //!   -b, --budget-secs S      metaheuristic time budget         (default 10)
 //!   --steps N                metaheuristic step budget per island; when
 //!                            given without -b, the run is purely
@@ -57,7 +68,10 @@
 //!   -j, --islands N          parallel ensemble width: N independently
 //!                            seeded searches with periodic best-molecule
 //!                            exchange (ff) or best-of-N (other methods)
-//!                            (default 1)
+//!                            (default 1; raised to the objective count
+//!                            for Pareto runs)
+//!   --migration NAME         island-exchange policy for ff ensembles:
+//!                            replace | combine | adaptive      (default replace)
 //!   --threads N              concurrent OS threads for the ensemble
 //!                            (default: one per island)
 //!   -f, --format NAME        metis | edgelist                  (default metis)
@@ -73,15 +87,18 @@
 //! 4 submit rejected by admission control (retry later).
 
 use ff_bench::{run_method_ensemble, MethodBudget, MethodId};
+use ff_engine::{MigrationPolicyId, ParetoFront, ParetoResult, Solver};
 use ff_graph::Graph;
+use ff_metaheur::StopCondition;
 use ff_partition::{analyze, imbalance, repair_connectivity, write_partition, Objective};
 use std::fs::File;
 use std::process::ExitCode;
 use std::time::Duration;
 
-const USAGE: &str = "usage: ffpart <graph> -k <parts> [-m method] [-o objective] \
-[-b budget-secs] [--steps n] [-s seed] [-j islands] [--threads n] [-f metis|edgelist] \
-[-w out.part] [-r] [-q]\n       ffpart serve [--listen addr] [--workers n] [--max-jobs n] \
+const USAGE: &str = "usage: ffpart <graph> -k <parts> [-m method] [-o objective[,objective…]] \
+[-b budget-secs] [--steps n] [-s seed] [-j islands] [--migration replace|combine|adaptive] \
+[--threads n] [-f metis|edgelist] [-w out.part] [-r] [-q]\n       \
+ffpart serve [--listen addr] [--workers n] [--max-jobs n] \
 [--max-jobs-per-conn n] [--cache-bytes n] [--http [addr]] [--stdio]\n       \
 ffpart submit --connect addr <graph> -k <parts> [--steps n] [--deadline-ms n] …\n\
 see `ffpart --help`";
@@ -90,7 +107,8 @@ struct Args {
     graph_path: String,
     k: usize,
     method: MethodId,
-    objective: Objective,
+    objectives: Vec<Objective>,
+    migration: MigrationPolicyId,
     budget_secs: Option<f64>,
     steps: Option<u64>,
     seed: u64,
@@ -129,11 +147,54 @@ fn parse_objective(name: &str) -> Option<Objective> {
     })
 }
 
+/// Parses `-o`'s comma list (`cut`, `cut,ncut,mcut`, …). Order is kept —
+/// the first objective is the primary one a Pareto run reports its
+/// representative under.
+fn parse_objective_list(list: &str) -> Option<Vec<Objective>> {
+    let objectives: Option<Vec<Objective>> = list
+        .split(',')
+        .map(|name| parse_objective(name.trim()))
+        .collect();
+    objectives.filter(|l| !l.is_empty())
+}
+
+fn objective_label(o: Objective) -> &'static str {
+    match o {
+        Objective::Cut => "cut",
+        Objective::NCut => "ncut",
+        Objective::MCut => "mcut",
+    }
+}
+
+/// One row of a rendered Pareto front:
+/// `(island, its own objective, (objective, value) vector, parts)`.
+type FrontRow = (usize, Objective, Vec<(Objective, f64)>, usize);
+
+/// Renders a Pareto front, one deterministic line per point (pinned by
+/// the CI smoke, so the format is part of the CLI contract).
+fn print_front(front: &[FrontRow]) {
+    println!("pareto front: {} point(s)", front.len());
+    for (island, objective, values, parts) in front {
+        let values: Vec<String> = values
+            .iter()
+            .map(|&(o, v)| format!("{} {:.6}", objective_label(o), v))
+            .collect();
+        println!(
+            "  island {} [{}]  {}  parts {}",
+            island,
+            objective_label(*objective),
+            values.join("  "),
+            parts
+        );
+    }
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut graph_path: Option<String> = None;
     let mut k: Option<usize> = None;
     let mut method = MethodId::FusionFission;
-    let mut objective = Objective::MCut;
+    let mut objectives = vec![Objective::MCut];
+    let mut migration = MigrationPolicyId::default();
     let mut budget_secs = None;
     let mut steps = None;
     let mut seed = 1u64;
@@ -163,8 +224,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "-o" | "--objective" => {
                 let name = val("-o")?;
-                objective =
-                    parse_objective(&name).ok_or_else(|| format!("unknown objective `{name}`"))?;
+                objectives = parse_objective_list(&name)
+                    .ok_or_else(|| format!("unknown objective `{name}`"))?;
+            }
+            "--migration" => {
+                let name = val("--migration")?;
+                migration = MigrationPolicyId::parse(&name)
+                    .ok_or_else(|| format!("unknown migration policy `{name}`"))?;
             }
             "-b" | "--budget-secs" => {
                 budget_secs = Some(val("-b")?.parse().map_err(|_| "bad budget".to_string())?)
@@ -203,7 +269,8 @@ fn parse_args() -> Result<Args, String> {
         graph_path: graph_path.ok_or("missing graph path")?,
         k: k.ok_or("missing -k")?,
         method,
-        objective,
+        objectives,
+        migration,
         budget_secs,
         steps,
         seed,
@@ -327,7 +394,8 @@ fn submit_main(args: &[String]) -> ExitCode {
     let mut connect: Option<String> = None;
     let mut graph_path: Option<String> = None;
     let mut k: Option<usize> = None;
-    let mut objective = Objective::MCut;
+    let mut objectives = vec![Objective::MCut];
+    let mut migration = MigrationPolicyId::default();
     let mut steps: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut seed = 1u64;
@@ -370,9 +438,16 @@ fn submit_main(args: &[String]) -> ExitCode {
             "-k" | "--parts" => k = Some(parse_of!("-k")),
             "-o" | "--objective" => {
                 let name = value_of!("-o");
-                objective = match parse_objective(&name) {
-                    Some(o) => o,
+                objectives = match parse_objective_list(&name) {
+                    Some(list) => list,
                     None => return usage_err(&format!("unknown objective `{name}`")),
+                };
+            }
+            "--migration" => {
+                let name = value_of!("--migration");
+                migration = match MigrationPolicyId::parse(&name) {
+                    Some(policy) => policy,
+                    None => return usage_err(&format!("unknown migration policy `{name}`")),
                 };
             }
             "--steps" => steps = Some(parse_of!("--steps")),
@@ -436,10 +511,17 @@ fn submit_main(args: &[String]) -> ExitCode {
         "ffpart: instance `{instance}` {vertices} vertices, {edges} edges{}",
         if cached { " (cached)" } else { "" }
     );
+    let needed = ff_engine::islands_to_cover(&objectives);
+    if ff_engine::distinct_objectives(&objectives).len() > 1 && islands < needed {
+        eprintln!("ffpart: raising --islands {islands} → {needed} (covering every objective)");
+        islands = needed;
+    }
     let job = ff_service::JobRequest {
         instance,
         k,
-        objective,
+        objective: objectives[0],
+        objectives: (objectives.len() > 1).then(|| objectives.clone()),
+        migration,
         seed,
         steps,
         deadline_ms,
@@ -485,8 +567,12 @@ fn submit_main(args: &[String]) -> ExitCode {
         match client.next_event() {
             Ok(ff_service::Event::Improvement(imp)) if imp.job == id => {
                 if !quiet {
+                    let tag = imp
+                        .objective
+                        .map(|o| format!(" objective={}", objective_label(o)))
+                        .unwrap_or_default();
                     println!(
-                        "improvement job={} value={:.6} step={} t={}ms island={}",
+                        "improvement job={} value={:.6} step={} t={}ms island={}{tag}",
                         imp.job, imp.value, imp.step, imp.elapsed_ms, imp.island
                     );
                 }
@@ -503,6 +589,13 @@ fn submit_main(args: &[String]) -> ExitCode {
             }
         }
     };
+    if let Some(front) = &done.pareto {
+        let rows: Vec<FrontRow> = front
+            .iter()
+            .map(|p| (p.island, p.objective, p.values.clone(), p.parts))
+            .collect();
+        print_front(&rows);
+    }
     println!(
         "done job={} status={} value={:.6} parts={} steps={} migrations={} time={}ms",
         done.job,
@@ -572,14 +665,32 @@ fn main() -> ExitCode {
         eprintln!("ffpart: --islands must be at least 1");
         return ExitCode::from(2);
     }
+    let pareto_run = ff_engine::distinct_objectives(&args.objectives).len() > 1;
+    if pareto_run && args.method != MethodId::FusionFission {
+        eprintln!("ffpart: multi-objective runs need -m ff");
+        return ExitCode::from(2);
+    }
+    // Cycling the objective list needs enough islands that every
+    // distinct objective gets one (duplicates in the list weight the
+    // cycle, so this can exceed the distinct count).
+    let needed = ff_engine::islands_to_cover(&args.objectives);
+    let islands = if pareto_run && args.islands < needed {
+        eprintln!(
+            "ffpart: raising --islands {} → {needed} (covering every objective)",
+            args.islands
+        );
+        needed
+    } else {
+        args.islands
+    };
     eprintln!(
         "ffpart: {} vertices, {} edges → k = {} via {}{}",
         g.num_vertices(),
         g.num_edges(),
         args.k,
         args.method.label(),
-        if args.islands > 1 {
-            format!(" × {} islands", args.islands)
+        if islands > 1 {
+            format!(" × {islands} islands")
         } else {
             String::new()
         }
@@ -609,17 +720,62 @@ fn main() -> ExitCode {
         },
         (None, None) => MethodBudget::seconds(10.0),
     };
-    let out = run_method_ensemble(
-        args.method,
-        &g,
-        args.k,
-        args.objective,
-        budget,
-        args.seed,
-        args.islands,
-        args.threads,
-    );
-    let mut partition = out.partition;
+    let (mut partition, elapsed) = if pareto_run {
+        // Mixed objectives: drive the Solver directly, print the front,
+        // continue with the representative (best under the primary —
+        // first — objective) for the per-part report and -w.
+        let started = std::time::Instant::now();
+        let result = Solver::on(&g)
+            .k(args.k)
+            .objectives(args.objectives.clone())
+            .islands(islands)
+            .threads(args.threads)
+            .migration(args.migration.build())
+            .reduction(ParetoFront)
+            .stop(StopCondition::new(budget.steps, budget.time))
+            .seed(args.seed)
+            .run();
+        let result = match result {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("ffpart: invalid configuration: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let front: &ParetoResult = result.pareto.as_ref().expect("pareto reduction ran");
+        let rows: Vec<FrontRow> = front
+            .points
+            .iter()
+            .map(|p| {
+                (
+                    p.island,
+                    p.objective,
+                    front
+                        .objectives
+                        .iter()
+                        .copied()
+                        .zip(p.values.iter().copied())
+                        .collect(),
+                    p.parts,
+                )
+            })
+            .collect();
+        print_front(&rows);
+        (result.best.clone(), started.elapsed())
+    } else {
+        let out = run_method_ensemble(
+            args.method,
+            &g,
+            args.k,
+            args.objectives[0],
+            budget,
+            args.seed,
+            islands,
+            args.threads,
+            args.migration,
+        );
+        (out.partition, out.elapsed)
+    };
     if args.repair {
         let moved = repair_connectivity(&g, &mut partition, 16);
         if moved > 0 {
@@ -633,7 +789,7 @@ fn main() -> ExitCode {
         Objective::NCut.evaluate(&g, &partition),
         Objective::MCut.evaluate(&g, &partition),
         100.0 * imbalance(&partition),
-        out.elapsed.as_secs_f64()
+        elapsed.as_secs_f64()
     );
     if !args.quiet {
         let report = analyze(&g, &partition);

@@ -138,6 +138,168 @@ fn island_ensemble_is_byte_identical_across_invocations() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// One deterministic front, printed identically on every invocation, for
+/// a mixed-objective one-shot run — and the `done`-event front from a
+/// served job with the same parameters must agree line for line (the
+/// CLI ⇄ NDJSON ⇄ library acceptance check; chunk 1024 aligns the
+/// service's migration interval with the one-shot solver default).
+#[test]
+fn mixed_objective_front_agrees_between_oneshot_and_server() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-pareto-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+
+    let oneshot = |out: Option<&std::path::Path>| {
+        let mut args = vec![
+            graph.to_str().unwrap().to_string(),
+            "-k".into(),
+            "2".into(),
+            "-o".into(),
+            "cut,mcut".into(),
+            "--islands".into(),
+            "4".into(),
+            "--steps".into(),
+            "4000".into(),
+            "-s".into(),
+            "7".into(),
+            "-q".into(),
+        ];
+        if let Some(out) = out {
+            args.push("-w".into());
+            args.push(out.to_str().unwrap().to_string());
+        }
+        let output = ffpart().args(&args).output().unwrap();
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8_lossy(&output.stdout).into_owned()
+    };
+    let front_lines = |stdout: &str| -> Vec<String> {
+        stdout
+            .lines()
+            .skip_while(|l| !l.starts_with("pareto front:"))
+            .take_while(|l| l.starts_with("pareto front:") || l.starts_with("  island"))
+            .map(str::to_string)
+            .collect()
+    };
+
+    let (a, b) = (dir.join("a.part"), dir.join("b.part"));
+    let stdout_a = oneshot(Some(&a));
+    let stdout_b = oneshot(Some(&b));
+    let lines_a = front_lines(&stdout_a);
+    assert!(!lines_a.is_empty(), "no front in: {stdout_a}");
+    assert!(lines_a[0].starts_with("pareto front:"), "{stdout_a}");
+    assert!(lines_a.len() >= 2, "front has no points: {stdout_a}");
+    assert_eq!(lines_a, front_lines(&stdout_b), "front not deterministic");
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "representative partition not byte-identical"
+    );
+
+    // The same job through the server: same front, rendered by the same
+    // code path from the done event.
+    let (guard, addr) = spawn_server();
+    let output = ffpart()
+        .args([
+            "submit",
+            "--connect",
+            &addr,
+            graph.to_str().unwrap(),
+            "-k",
+            "2",
+            "-o",
+            "cut,mcut",
+            "--islands",
+            "4",
+            "--steps",
+            "4000",
+            "-s",
+            "7",
+            "--chunk",
+            "1024",
+            "-q",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let submit_stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(
+        lines_a,
+        front_lines(&submit_stdout),
+        "served front disagrees with the one-shot front"
+    );
+    ff_service::Client::connect(&*addr)
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    drop(guard);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The combine policy re-runs byte-identically (CI satellite).
+#[test]
+fn combine_policy_is_byte_identical_across_invocations() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-combine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+    let run = |out: &std::path::Path| {
+        let output = ffpart()
+            .args([
+                graph.to_str().unwrap(),
+                "-k",
+                "2",
+                "--migration",
+                "combine",
+                "--islands",
+                "3",
+                "--steps",
+                "4000",
+                "-s",
+                "5",
+                "-q",
+                "-w",
+                out.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    };
+    let (a, b) = (dir.join("a.part"), dir.join("b.part"));
+    run(&a);
+    run(&b);
+    assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_migration_policy_and_non_ff_pareto_exit_2() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-badpol-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+    let g = graph.to_str().unwrap();
+    let cases: &[&[&str]] = &[
+        &[g, "-k", "2", "--migration", "osmosis"],
+        &[g, "-k", "2", "-o", "cut,typo"],
+        &[g, "-k", "2", "-o", "cut,mcut", "-m", "multilevel"],
+    ];
+    for args in cases {
+        let output = ffpart().args(*args).output().unwrap();
+        assert_eq!(output.status.code(), Some(2), "{args:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn zero_islands_is_a_usage_error() {
     let dir = std::env::temp_dir().join(format!("ffpart-test-islands0-{}", std::process::id()));

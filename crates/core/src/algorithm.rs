@@ -130,7 +130,9 @@ impl<'g> FusionFission<'g> {
     /// a chunked drive consumes the RNG stream exactly like [`FusionFission::run`].
     pub fn start(&self) -> FusionFissionRun<'g> {
         let cfg = self.cfg;
-        cfg.validate();
+        if let Err(e) = cfg.try_validate() {
+            panic!("{e}");
+        }
         let g = self.g;
         let n = g.num_vertices();
         assert!(n >= 1, "graph must have vertices");
@@ -148,7 +150,7 @@ impl<'g> FusionFission<'g> {
             rng: ChaCha8Rng::seed_from_u64(self.seed),
             step: 0,
             started: Instant::now(),
-            trace: AnytimeTrace::new(),
+            trace: AnytimeTrace::with_tag(cfg.objective),
             best_at_k: None,
             best_energy: f64::INFINITY,
             best_molecule: init_part,
@@ -520,6 +522,30 @@ impl<'g> FusionFissionRun<'g> {
         }
     }
 
+    /// KaFFPaE-style *combine* migration hook: crosses the foreign
+    /// molecule with this island's current best via
+    /// [`ops::overlap_combine`](crate::ops::overlap_combine) and offers
+    /// both the child and the raw foreign molecule through
+    /// [`inject`](FusionFissionRun::inject) (each adopted only if
+    /// strictly better than the best held at the time). Deterministic —
+    /// no RNG is consumed, so the island's own stream is untouched.
+    /// Returns whether anything was adopted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `foreign` is for a different vertex count.
+    pub fn inject_crossover(&mut self, foreign: &Partition) -> bool {
+        assert_eq!(
+            foreign.num_vertices(),
+            self.g.num_vertices(),
+            "molecule size mismatch"
+        );
+        let child = crate::ops::overlap_combine(self.g, &self.s.best_molecule, foreign, self.cfg.k);
+        let adopted_child = self.inject(&child);
+        let adopted_foreign = self.inject(foreign);
+        adopted_child || adopted_foreign
+    }
+
     /// Steps to the stop condition, then harvests.
     pub fn run_to_completion(mut self) -> FusionFissionResult {
         while self.step_once() {}
@@ -736,6 +762,60 @@ mod tests {
         // The run keeps working and still harvests the target k.
         let res = run.run_to_completion();
         assert_eq!(res.best.num_nonempty_parts(), 2);
+    }
+
+    #[test]
+    fn inject_crossover_adopts_improving_children_without_touching_rng() {
+        let g = two_cliques_bridge(8, 2.0, 0.1);
+        let cfg = FusionFissionConfig::fast(2);
+        // Two runs, same seed: one receives a crossover offer mid-flight,
+        // the other doesn't. The offer must not consume RNG, so both
+        // walk identical step streams afterward.
+        let mut with = FusionFission::new(&g, cfg, 3).start();
+        let mut without = FusionFission::new(&g, cfg, 3).start();
+        // Only a couple of steps in, the searches are still mid-
+        // agglomeration, so the optimal bisection strictly beats them.
+        with.advance(2);
+        without.advance(2);
+        let optimal = Partition::from_assignment(
+            &g,
+            (0..16).map(|v| u32::from(v >= 8)).collect::<Vec<_>>(),
+            2,
+        );
+        assert!(with.inject_crossover(&optimal), "optimal offer adopted");
+        assert_eq!(with.best_molecule().assignment(), optimal.assignment());
+        // Re-offering is not strictly better.
+        assert!(!with.inject_crossover(&optimal));
+        while with.advance(64) {}
+        while without.advance(64) {}
+        assert_eq!(with.steps(), without.steps(), "no RNG consumed by offer");
+        let res = with.harvest();
+        assert_eq!(res.best.num_nonempty_parts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn inject_crossover_wrong_size_panics() {
+        let g = random_geometric(20, 0.4, 1);
+        let h = random_geometric(10, 0.4, 1);
+        let mut run = FusionFission::new(&g, FusionFissionConfig::fast(2), 1).start();
+        run.inject_crossover(&Partition::random(&h, 2, 1));
+    }
+
+    #[test]
+    fn trace_is_tagged_with_the_objective() {
+        let g = random_geometric(40, 0.3, 2);
+        let cfg = FusionFissionConfig {
+            objective: Objective::Cut,
+            ..FusionFissionConfig::fast(3)
+        };
+        let res = FusionFission::new(&g, cfg, 5).run();
+        assert_eq!(res.trace.tag(), Some(Objective::Cut));
+        assert!(res
+            .trace
+            .points()
+            .iter()
+            .all(|p| p.objective == Some(Objective::Cut)));
     }
 
     #[test]

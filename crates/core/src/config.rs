@@ -10,6 +10,71 @@ use crate::choice::ChoiceFunction;
 use ff_metaheur::StopCondition;
 use ff_partition::Objective;
 
+/// A configuration invariant violation, as a typed value instead of a
+/// panic — servers map it to a typed `error` event, CLIs to a usage-error
+/// exit code. Produced by [`FusionFissionConfig::try_validate`] and the
+/// `ff-engine` solver builder (which adds the ensemble-level variants).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `k` was 0 (or never set on a builder).
+    NonPositiveK,
+    /// `t_max` did not exceed `t_min`.
+    BadTemperatureRange,
+    /// `nbt` was 0.
+    ZeroNbt,
+    /// `choice_k` or `choice_r` was negative.
+    NegativeChoice,
+    /// `law_rate` was outside `[0, 1)`.
+    BadLawRate,
+    /// An ensemble was configured with 0 islands.
+    ZeroIslands,
+    /// A per-island objective override list was empty.
+    NoObjectives,
+    /// An explicit island-seed list did not match the island count.
+    SeedCountMismatch {
+        /// Configured island count.
+        islands: usize,
+        /// Seeds supplied.
+        seeds: usize,
+    },
+    /// Too few islands to cycle the per-island objective list: some
+    /// distinct objective would never get an island.
+    UncoveredObjectives {
+        /// Configured island count.
+        islands: usize,
+        /// Minimum islands so every distinct objective gets one.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositiveK => write!(f, "k must be positive"),
+            ConfigError::BadTemperatureRange => write!(f, "t_max must exceed t_min"),
+            ConfigError::ZeroNbt => write!(f, "nbt must be positive"),
+            ConfigError::NegativeChoice => {
+                write!(f, "choice_k and choice_r must be non-negative")
+            }
+            ConfigError::BadLawRate => write!(f, "law_rate in [0,1)"),
+            ConfigError::ZeroIslands => write!(f, "need at least one island"),
+            ConfigError::NoObjectives => write!(f, "need at least one objective"),
+            ConfigError::SeedCountMismatch { islands, seeds } => write!(
+                f,
+                "island seed count mismatch: {islands} islands but {seeds} seeds"
+            ),
+            ConfigError::UncoveredObjectives { islands, needed } => write!(
+                f,
+                "the objective list needs at least {needed} islands so every \
+                 distinct objective gets an island (got {islands})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// How fission splits an atom in two (ablation switch; the paper uses
 /// percolation, §4.4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,13 +159,38 @@ impl FusionFissionConfig {
         }
     }
 
-    /// Validates invariants; called by the runner.
+    /// Validates invariants, returning a typed [`ConfigError`] instead of
+    /// panicking. Called by the runner (which panics on `Err` to preserve
+    /// the historical contract for in-process misuse) and by the
+    /// `ff-engine` solver builder (which propagates the error).
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.k < 1 {
+            return Err(ConfigError::NonPositiveK);
+        }
+        if self.t_max <= self.t_min {
+            return Err(ConfigError::BadTemperatureRange);
+        }
+        if self.nbt < 1 {
+            return Err(ConfigError::ZeroNbt);
+        }
+        if self.choice_k < 0.0 || self.choice_r < 0.0 {
+            return Err(ConfigError::NegativeChoice);
+        }
+        if !(0.0..1.0).contains(&self.law_rate) {
+            return Err(ConfigError::BadLawRate);
+        }
+        Ok(())
+    }
+
+    /// Validates invariants, panicking on violation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_validate` and handle the ConfigError"
+    )]
     pub fn validate(&self) {
-        assert!(self.k >= 1, "k must be positive");
-        assert!(self.t_max > self.t_min, "t_max must exceed t_min");
-        assert!(self.nbt >= 1, "nbt must be positive");
-        assert!(self.choice_k >= 0.0 && self.choice_r >= 0.0);
-        assert!((0.0..1.0).contains(&self.law_rate), "law_rate in [0,1)");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -110,24 +200,45 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        FusionFissionConfig::standard(32).validate();
-        FusionFissionConfig::fast(2).validate();
+        FusionFissionConfig::standard(32).try_validate().unwrap();
+        FusionFissionConfig::fast(2).try_validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "t_max must exceed")]
-    fn bad_temperatures_panic() {
+    fn bad_temperatures_are_typed() {
         let cfg = FusionFissionConfig {
             t_max: 0.0,
             t_min: 0.5,
             ..FusionFissionConfig::standard(4)
         };
-        cfg.validate();
+        assert_eq!(cfg.try_validate(), Err(ConfigError::BadTemperatureRange));
+        assert_eq!(
+            cfg.try_validate().unwrap_err().to_string(),
+            "t_max must exceed t_min"
+        );
+    }
+
+    #[test]
+    fn zero_k_is_typed() {
+        assert_eq!(
+            FusionFissionConfig::standard(0).try_validate(),
+            Err(ConfigError::NonPositiveK)
+        );
+    }
+
+    #[test]
+    fn bad_law_rate_is_typed() {
+        let cfg = FusionFissionConfig {
+            law_rate: 1.0,
+            ..FusionFissionConfig::standard(4)
+        };
+        assert_eq!(cfg.try_validate(), Err(ConfigError::BadLawRate));
     }
 
     #[test]
     #[should_panic(expected = "k must be positive")]
-    fn zero_k_panics() {
+    fn deprecated_validate_still_panics() {
+        #[allow(deprecated)]
         FusionFissionConfig::standard(0).validate();
     }
 }

@@ -59,6 +59,7 @@ pub mod ops;
 
 pub use algorithm::{FusionFission, FusionFissionResult, FusionFissionRun};
 pub use choice::{alpha, choice, choice_with, ChoiceFunction};
-pub use config::{FissionSplitter, FusionFissionConfig};
+pub use config::{ConfigError, FissionSplitter, FusionFissionConfig};
 pub use energy::{binding_factor, scaled_energy};
 pub use laws::LawTable;
+pub use ops::overlap_combine;

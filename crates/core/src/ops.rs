@@ -1,9 +1,9 @@
 //! The fusion and fission operators (§4.2).
 
 use crate::config::FissionSplitter;
-use ff_graph::{induced_subgraph, VertexId};
+use ff_graph::{induced_subgraph, Graph, VertexId};
 use ff_metaheur::percolation::{percolation_with_seeds, spread_seeds, PercolationConfig};
-use ff_partition::CutState;
+use ff_partition::{CutState, Partition};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
@@ -180,6 +180,74 @@ pub fn fission_split(
     Some(new_part)
 }
 
+/// KaFFPaE-style overlap crossover of two molecules.
+///
+/// The *overlap* of parents `a` and `b` groups vertices by their pair of
+/// part ids `(a(v), b(v))`: inside one overlap class both parents agree
+/// the vertices belong together; every boundary where they disagree stays
+/// cut. The child is then agglomerated back down to at most `k` atoms
+/// with the fusion operator itself — repeatedly fuse the smallest atom
+/// into its strongest-connected neighbor (ties broken by lowest part id)
+/// — so only the disagreement region gets re-fused and the consensus
+/// structure survives.
+///
+/// Fully deterministic (no RNG): a pure function of `(g, a, b, k)`. The
+/// result is compacted to dense part ids. Isolated atoms with no
+/// neighboring atom cannot fuse; if only such atoms remain the child may
+/// keep more than `k` parts (the caller's accept test rejects bad
+/// children anyway).
+///
+/// # Panics
+///
+/// Panics if the parents disagree with `g` on the vertex count.
+pub fn overlap_combine(g: &Graph, a: &Partition, b: &Partition, k: usize) -> Partition {
+    assert_eq!(a.num_vertices(), g.num_vertices(), "parent size mismatch");
+    assert_eq!(b.num_vertices(), g.num_vertices(), "parent size mismatch");
+    // Overlap classes, numbered in first-seen vertex order.
+    let mut class_of: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut assignment = Vec::with_capacity(g.num_vertices());
+    for v in g.vertices() {
+        let key = (a.part_of(v), b.part_of(v));
+        let next = class_of.len() as u32;
+        assignment.push(*class_of.entry(key).or_insert(next));
+    }
+    let classes = class_of.len();
+    let mut st = CutState::new(g, Partition::from_assignment(g, assignment, classes));
+    while st.partition().num_nonempty_parts() > k {
+        // Smallest live atom first (ties → lowest id); the first one with
+        // a neighbor fuses into its strongest connection.
+        let part = st.partition();
+        let mut order: Vec<(usize, u32)> = (0..part.num_parts() as u32)
+            .filter(|&p| part.part_size(p) > 0)
+            .map(|p| (part.part_size(p), p))
+            .collect();
+        order.sort_unstable();
+        let mut fused = false;
+        for &(_, p) in &order {
+            let conn = part_connections(&st, p);
+            let mut targets: Vec<(u32, f64)> = conn.into_iter().collect();
+            targets.sort_unstable_by_key(|&(q, _)| q);
+            let best = targets
+                .iter()
+                .fold(None::<(u32, f64)>, |acc, &(q, w)| match acc {
+                    Some((_, bw)) if bw >= w => acc,
+                    _ => Some((q, w)),
+                });
+            if let Some((q, _)) = best {
+                fuse(&mut st, p, q);
+                fused = true;
+                break;
+            }
+        }
+        if !fused {
+            break; // only isolated atoms remain
+        }
+    }
+    let mut child = st.into_partition();
+    child.compact();
+    child
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +354,60 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(select_partner(&st, 0, 0.05, 0.5, &mut rng), Some(1));
         }
+    }
+
+    #[test]
+    fn overlap_combine_keeps_consensus_and_hits_k() {
+        let g = two_cliques_bridge(6, 2.0, 0.1);
+        // Parent a: the ideal bisection. Parent b: one clique-A vertex
+        // defected to the B side — the disagreement region is {5}.
+        let a_asg: Vec<u32> = (0..12).map(|v| u32::from(v >= 6)).collect();
+        let mut b_asg = a_asg.clone();
+        b_asg[5] = 1;
+        let a = Partition::from_assignment(&g, a_asg, 2);
+        let b = Partition::from_assignment(&g, b_asg, 2);
+        let child = overlap_combine(&g, &a, &b, 2);
+        assert!(child.validate(&g));
+        assert_eq!(child.num_nonempty_parts(), 2);
+        // The disagreement vertex re-fuses into its strongest connection:
+        // clique A (5 internal edges of weight 2 vs a 0.1 bridge).
+        assert_eq!(child.part_of(5), child.part_of(0));
+        // Consensus vertices never split.
+        for v in 0..5 {
+            assert_eq!(child.part_of(v), child.part_of(0));
+        }
+        for v in 6..12 {
+            assert_eq!(child.part_of(v), child.part_of(6));
+        }
+    }
+
+    #[test]
+    fn overlap_combine_is_deterministic_and_order_sensitive_only_to_parents() {
+        let g = grid2d(5, 5);
+        let a = Partition::random(&g, 3, 7);
+        let b = Partition::random(&g, 3, 8);
+        let x = overlap_combine(&g, &a, &b, 3);
+        let y = overlap_combine(&g, &a, &b, 3);
+        assert_eq!(x.assignment(), y.assignment());
+        assert_eq!(x.num_nonempty_parts(), 3); // connected grid: always reaches k
+    }
+
+    #[test]
+    fn overlap_combine_identical_parents_is_the_parent() {
+        let g = grid2d(4, 4);
+        let a = Partition::from_assignment(&g, (0..16).map(|v| u32::from(v >= 8)).collect(), 2);
+        let child = overlap_combine(&g, &a, &a, 2);
+        assert_eq!(child.assignment(), a.assignment());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn overlap_combine_size_mismatch_panics() {
+        let g = grid2d(2, 2);
+        let h = grid2d(3, 3);
+        let a = Partition::singletons(&g);
+        let b = Partition::singletons(&h);
+        overlap_combine(&g, &a, &b, 2);
     }
 
     #[test]

@@ -1,14 +1,24 @@
-//! The island ensemble: N fusion–fission searches, lockstep epochs,
-//! best-molecule migration, deterministic reduction.
+//! The historical ensemble entry points, now thin shims over the
+//! [`Solver`] builder, plus the shared [`EnsembleResult`] type.
+//!
+//! [`Ensemble`]/[`EnsembleConfig`] predate the pluggable
+//! [`MigrationPolicy`](crate::MigrationPolicy)/
+//! [`Reduction`](crate::Reduction) seams: they hard-wire replace-if-better
+//! migration and the min-energy reduction. They are kept (deprecated) so
+//! existing callers keep compiling, and their output is bit-equal to the
+//! equivalent `Solver` chain — asserted by the tests below.
 
-use crate::seeds::derive_seeds;
-use ff_core::{FusionFission, FusionFissionConfig, FusionFissionResult, FusionFissionRun};
+use crate::migration::ReplaceIfBetter;
+use crate::reduction::{MinEnergy, ParetoResult};
+use crate::solver::{Solver, SolverRun};
+use ff_core::{ConfigError, FusionFissionConfig, FusionFissionResult};
 use ff_graph::Graph;
-use ff_metaheur::{AnytimeTrace, CancelToken, MetaheuristicResult};
+use ff_metaheur::{AnytimeTrace, MetaheuristicResult};
 use ff_partition::Partition;
 use std::collections::BTreeMap;
 
-/// Configuration for [`Ensemble`].
+/// Configuration for the deprecated [`Ensemble`] shim. New code states
+/// the same things fluently on [`Solver`].
 #[derive(Clone, Copy, Debug)]
 pub struct EnsembleConfig {
     /// Number of independently seeded island searches (≥ 1).
@@ -40,40 +50,72 @@ impl EnsembleConfig {
         }
     }
 
-    /// Validates invariants; called by [`Ensemble::run`].
+    /// Validates invariants as a typed result.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.islands < 1 {
+            return Err(ConfigError::ZeroIslands);
+        }
+        self.base.try_validate()
+    }
+
+    /// Validates invariants, panicking on violation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_validate` and handle the ConfigError"
+    )]
     pub fn validate(&self) {
-        assert!(self.islands >= 1, "need at least one island");
-        self.base.validate();
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// The equivalent [`Solver`] chain (replace-if-better migration,
+    /// min-energy reduction — exactly the behavior this type hard-wired).
+    pub fn solver<'g>(&self, g: &'g Graph, root_seed: u64) -> Solver<'g> {
+        Solver::on(g)
+            .config(self.base)
+            .islands(self.islands)
+            .threads(self.max_threads)
+            .migration_interval(self.migration_interval)
+            .migration(ReplaceIfBetter)
+            .reduction(MinEnergy)
+            .seed(root_seed)
     }
 }
 
-/// Result of an ensemble run.
+/// Result of an ensemble / solver run.
 #[derive(Clone, Debug)]
 pub struct EnsembleResult {
-    /// Best partition across all islands (ties go to the lowest island
-    /// index). It has exactly the target k non-empty parts whenever the
-    /// winning island visited k at all; under a budget too tiny for that,
-    /// it falls back to that island's best molecule at whatever part count
+    /// Best partition across all islands per the configured reduction
+    /// (min-energy: lowest value, ties to the lowest island index;
+    /// Pareto: the front's representative under the first objective). It
+    /// has exactly the target k non-empty parts whenever the winning
+    /// island visited k at all; under a budget too tiny for that, it
+    /// falls back to that island's best molecule at whatever part count
     /// it holds (same contract as [`FusionFissionResult::best`]).
     pub best: Partition,
-    /// Objective value of [`EnsembleResult::best`]; always equal to the
-    /// minimum of the islands' `best_value`s.
+    /// Objective value of [`EnsembleResult::best`] under the winning
+    /// island's own objective.
     pub best_value: f64,
     /// Index of the island that holds [`EnsembleResult::best`].
     pub best_island: usize,
     /// Every island's own result, in island order.
     pub islands: Vec<FusionFissionResult>,
     /// Ensemble-level best-so-far trace
-    /// ([`AnytimeTrace::merged`] over the island traces).
+    /// ([`AnytimeTrace::merged`] over the island traces of the primary —
+    /// first — objective).
     pub trace: AnytimeTrace,
     /// Total steps executed across all islands.
     pub steps: u64,
     /// How many migration offers were adopted (a foreign molecule strictly
     /// beat an island's own best).
     pub migrations_adopted: u64,
-    /// Best value seen at every visited part count, min-merged across
-    /// islands.
+    /// Best value seen at every visited part count, min-merged across the
+    /// primary objective's islands.
     pub best_value_per_k: BTreeMap<usize, f64>,
+    /// The deterministic non-dominated front, when the run used the
+    /// [`ParetoFront`](crate::ParetoFront) reduction.
+    pub pareto: Option<ParetoResult>,
 }
 
 impl EnsembleResult {
@@ -88,200 +130,62 @@ impl EnsembleResult {
     }
 }
 
-/// The parallel multi-seed ensemble runner. See the crate docs for the
-/// execution model and determinism guarantees.
+/// The pre-builder ensemble runner: hard-wired replace-if-better
+/// migration and min-energy reduction.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Solver` builder: `Solver::on(g).k(…).islands(…).seed(…)`"
+)]
 pub struct Ensemble<'g> {
     g: &'g Graph,
     cfg: EnsembleConfig,
     root_seed: u64,
 }
 
-/// Index of the minimum of `key(0..n)`, ties to the lowest index (strict
-/// `<` never replaces on equality; NaN never wins).
-fn argmin_by(n: usize, key: impl Fn(usize) -> f64) -> usize {
-    let mut best = 0;
-    for i in 1..n {
-        if key(i) < key(best) {
-            best = i;
-        }
-    }
-    best
-}
+/// The live ensemble run. [`SolverRun`] is the same type; the alias is
+/// kept for source compatibility.
+#[deprecated(since = "0.2.0", note = "use `SolverRun`")]
+pub type EnsembleRun<'g> = SolverRun<'g>;
 
+#[allow(deprecated)]
 impl<'g> Ensemble<'g> {
     /// Prepares an ensemble on `g`. Island seeds are derived from
-    /// `root_seed` with [`derive_seeds`].
+    /// `root_seed` with [`crate::derive_seeds`].
     pub fn new(g: &'g Graph, cfg: EnsembleConfig, root_seed: u64) -> Self {
         Ensemble { g, cfg, root_seed }
     }
 
-    /// Runs all islands to their stop conditions and reduces. Equivalent
-    /// to [`Ensemble::start`] + [`EnsembleRun::advance_epoch`] to
-    /// exhaustion + [`EnsembleRun::harvest`] — bit-equal, because both
-    /// paths drive the same epoch code.
+    /// Runs all islands to their stop conditions and reduces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (the historical contract; the
+    /// `Solver` path returns the error instead).
     pub fn run(&self) -> EnsembleResult {
         let mut run = self.start();
         while run.advance_epoch() {}
         run.harvest()
     }
 
-    /// Builds the live, resumable ensemble. Drive it with
-    /// [`EnsembleRun::advance_epoch`] — the seam that lets a serving
-    /// layer interleave many ensembles cooperatively on a bounded worker
-    /// pool instead of blocking a thread per ensemble until completion.
-    pub fn start(&self) -> EnsembleRun<'g> {
-        let cfg = &self.cfg;
-        cfg.validate();
-        let n = cfg.islands;
-        let seeds = derive_seeds(self.root_seed, n);
-        let runs: Vec<FusionFissionRun<'g>> = seeds
-            .iter()
-            .map(|&seed| FusionFission::new(self.g, cfg.base, seed).start())
-            .collect();
-        EnsembleRun {
-            runs,
-            cfg: *cfg,
-            migrations_adopted: 0,
-        }
-    }
-}
-
-/// A live island ensemble that can be advanced one migration epoch at a
-/// time. Produced by [`Ensemble::start`]; the epoch layout, migration
-/// reduction and determinism guarantees are exactly those of
-/// [`Ensemble::run`] (which is implemented on top of this type).
-pub struct EnsembleRun<'g> {
-    runs: Vec<FusionFissionRun<'g>>,
-    cfg: EnsembleConfig,
-    migrations_adopted: u64,
-}
-
-impl<'g> EnsembleRun<'g> {
-    /// One epoch: every island advances `migration_interval` steps (in
-    /// waves of at most `max_threads` scoped threads), then the globally
-    /// best molecule is offered to every island. Returns `true` while at
-    /// least one island has work left (i.e. call again), `false` once all
-    /// islands hit their stop conditions or a bound [`CancelToken`] fired.
-    pub fn advance_epoch(&mut self) -> bool {
-        let cfg = &self.cfg;
-        let n = self.runs.len();
-        let chunk = if cfg.migration_interval == 0 {
-            u64::MAX
-        } else {
-            cfg.migration_interval
-        };
-        let cap = if cfg.max_threads == 0 {
-            n
-        } else {
-            cfg.max_threads.max(1)
-        };
-        // One epoch: every island advances `chunk` steps, in waves of at
-        // most `cap` threads. Each island's state evolution depends only
-        // on its own seed and past injections, so wave layout cannot
-        // change results.
-        let mut more = vec![false; n];
-        for (wave, flags) in self.runs.chunks_mut(cap).zip(more.chunks_mut(cap)) {
-            std::thread::scope(|scope| {
-                for (run, flag) in wave.iter_mut().zip(flags.iter_mut()) {
-                    scope.spawn(move || {
-                        *flag = run.advance(chunk);
-                    });
-                }
-            });
-        }
-        if !more.iter().any(|&b| b) {
-            return false;
-        }
-        // Barrier reached: migrate the globally best molecule. Islands
-        // already at or below the donor's energy would reject the offer,
-        // so skip them up front and spare the O(m) re-scoring `inject`
-        // performs for candidates it actually considers.
-        if n > 1 && cfg.migration_interval > 0 {
-            let donor = argmin_by(n, |i| self.runs[i].best_energy());
-            let donor_energy = self.runs[donor].best_energy();
-            let molecule = self.runs[donor].best_molecule().clone();
-            for (i, run) in self.runs.iter_mut().enumerate() {
-                if i != donor && run.best_energy() > donor_energy && run.inject(&molecule) {
-                    self.migrations_adopted += 1;
-                }
-            }
-        }
-        true
-    }
-
-    /// Binds one cooperative cancellation token to every island: when it
-    /// fires, the in-flight epoch ends at each island's next step check
-    /// and [`advance_epoch`](EnsembleRun::advance_epoch) returns `false`.
-    pub fn bind_cancel(&mut self, token: CancelToken) {
-        for run in &mut self.runs {
-            run.bind_cancel(token.clone());
-        }
-    }
-
-    /// The live island runs, in island order — read-only access for
-    /// streaming taps (each island's
-    /// [`trace`](FusionFissionRun::trace) is the per-island improvement
-    /// stream).
-    pub fn islands(&self) -> &[FusionFissionRun<'g>] {
-        &self.runs
-    }
-
-    /// Whether every island has finished (stop condition or cancellation).
-    pub fn finished(&self) -> bool {
-        self.runs.iter().all(|r| r.finished())
-    }
-
-    /// Total steps executed so far across all islands.
-    pub fn total_steps(&self) -> u64 {
-        self.runs.iter().map(|r| r.steps()).sum()
-    }
-
-    /// Migration offers adopted so far.
-    pub fn migrations_adopted(&self) -> u64 {
-        self.migrations_adopted
-    }
-
-    /// Best objective value held at the target k so far, minimized across
-    /// islands (`None` until some island first visits the target k).
-    pub fn best_value_at_target(&self) -> Option<f64> {
-        self.runs
-            .iter()
-            .filter_map(|r| r.best_at_target().map(|(v, _)| v))
-            .min_by(f64::total_cmp)
-    }
-
-    /// Consumes the ensemble, harvesting every island and reducing.
-    pub fn harvest(self) -> EnsembleResult {
-        let n = self.runs.len();
-        let islands: Vec<FusionFissionResult> =
-            self.runs.into_iter().map(|r| r.harvest()).collect();
-        let best_island = argmin_by(n, |i| islands[i].best_value);
-        let trace = AnytimeTrace::merged(islands.iter().map(|r| &r.trace));
-        let mut best_value_per_k = BTreeMap::new();
-        for r in &islands {
-            for (&k, &v) in &r.best_value_per_k {
-                let entry = best_value_per_k.entry(k).or_insert(f64::INFINITY);
-                if v < *entry {
-                    *entry = v;
-                }
-            }
-        }
-        EnsembleResult {
-            best: islands[best_island].best.clone(),
-            best_value: islands[best_island].best_value,
-            best_island,
-            steps: islands.iter().map(|r| r.steps).sum(),
-            migrations_adopted: self.migrations_adopted,
-            trace,
-            best_value_per_k,
-            islands,
+    /// Builds the live, resumable ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn start(&self) -> SolverRun<'g> {
+        match self.cfg.solver(self.g, self.root_seed).start() {
+            Ok(run) => run,
+            Err(e) => panic!("{e}"),
         }
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::seeds::derive_seeds;
+    use ff_core::FusionFission;
     use ff_graph::generators::{planted_partition, random_geometric, two_cliques_bridge};
     use ff_metaheur::StopCondition;
 
@@ -302,6 +206,7 @@ mod tests {
         assert_eq!(ens.best_value, solo.best_value);
         assert_eq!(ens.steps, solo.steps);
         assert_eq!(ens.migrations_adopted, 0);
+        assert!(ens.pareto.is_none());
     }
 
     #[test]

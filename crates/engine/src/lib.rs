@@ -1,58 +1,143 @@
-//! # ff-engine — parallel multi-seed ensemble over fusion–fission
+//! # ff-engine — the pluggable fusion–fission solver engine
 //!
 //! The paper's search is restart-friendly by construction: it reheats from
 //! the best molecule whenever the temperature freezes, so it loses nothing
 //! by being told, mid-run, about a better molecule someone *else* found.
 //! This crate exploits that with island/ensemble parallelism in the style
 //! of KaFFPaE (Sanders & Schulz, *Distributed Evolutionary Graph
-//! Partitioning*): N independently seeded fusion–fission searches run on
-//! their own OS threads, and every `migration_interval` steps the globally
-//! best molecule (lowest scaled binding energy) is offered to every island
-//! as its new reheat-restart point.
+//! Partitioning*), configured through one front door — the [`Solver`]
+//! builder — with two strategy seams:
+//!
+//! * a [`MigrationPolicy`] decides *what* moves between islands at each
+//!   epoch barrier and *when* the next barrier happens —
+//!   [`ReplaceIfBetter`] (offer the best molecule, adopt if strictly
+//!   better), [`Combine`] (KaFFPaE-style overlap crossover via
+//!   [`ff_core::overlap_combine`]), [`Adaptive`] (stagnation-driven
+//!   interval stretching);
+//! * a [`Reduction`] turns harvested islands into one result —
+//!   [`MinEnergy`] (lowest value wins) or [`ParetoFront`] (islands may
+//!   optimize *different* objectives; the deterministic non-dominated
+//!   front survives as a [`ParetoResult`]).
 //!
 //! In the paper's vocabulary, an **island** is a separate beaker running
 //! its own reaction chain; **migration** pours the most stable molecule
-//! found so far into every other beaker.
+//! found so far into every other beaker (or, under [`Combine`], titrates
+//! the two molecules together first).
 //!
 //! ## Determinism
 //!
-//! Results are reproducible regardless of thread scheduling:
+//! Results are reproducible regardless of thread scheduling, for every
+//! policy:
 //!
 //! * per-island seeds are derived from one root seed with SplitMix64
 //!   ([`derive_seeds`]), so island i's stream never depends on how many
 //!   threads executed it,
-//! * islands advance in lockstep **epochs** of `migration_interval` steps
-//!   with a barrier between epochs; the exchanged molecule is chosen by a
-//!   deterministic reduction (lowest energy, ties to the lowest island
-//!   index), never by which thread finished first,
-//! * the merged anytime trace uses
-//!   [`ff_metaheur::AnytimeTrace::merged`]'s deterministic reduction.
+//! * islands advance in lockstep **epochs** with a barrier between them;
+//!   policies act only on barrier-time island state and consume no RNG,
+//!   wall-clock or thread identity,
+//! * reductions are deterministic functions of the harvested islands
+//!   (ties broken by island index), insensitive to harvest order.
 //!
-//! With a step-based [`ff_metaheur::StopCondition`] the ensemble's best
-//! partition and objective are therefore byte-identical across repeated
-//! runs and across any `max_threads` setting. Wall-clock stop conditions
-//! keep every *structural* guarantee (same reduction, same invariants) but
-//! naturally cut each island at a machine-dependent step count.
+//! With a step-based [`ff_metaheur::StopCondition`] the solver's output is
+//! therefore byte-identical across repeated runs and across any
+//! [`Solver::threads`] cap. Wall-clock stop conditions keep every
+//! *structural* guarantee but naturally cut each island at a
+//! machine-dependent step count.
+//!
+//! ## Replace-if-better (the default)
 //!
 //! ```
-//! use ff_engine::{Ensemble, EnsembleConfig};
-//! use ff_core::FusionFissionConfig;
+//! use ff_engine::Solver;
 //! use ff_graph::generators::planted_partition;
 //!
 //! let g = planted_partition(4, 10, 0.85, 0.03, 5);
-//! let cfg = EnsembleConfig::new(FusionFissionConfig::fast(4), 4);
-//! let a = Ensemble::new(&g, cfg, 42).run();
-//! let b = Ensemble::new(&g, cfg, 42).run();
+//! let a = Solver::on(&g).k(4).islands(4).steps(1_500).seed(42).run().unwrap();
+//! let b = Solver::on(&g).k(4).islands(4).steps(1_500).seed(42).run().unwrap();
 //! assert_eq!(a.best.assignment(), b.best.assignment());
-//! // The ensemble best is the min over island bests.
+//! // The min-energy reduction keeps the best island.
 //! let island_min = a.islands.iter().map(|r| r.best_value).fold(f64::INFINITY, f64::min);
 //! assert_eq!(a.best_value, island_min);
 //! ```
+//!
+//! ## Combine (KaFFPaE-style crossover)
+//!
+//! ```
+//! use ff_engine::{Combine, Solver};
+//! use ff_graph::generators::planted_partition;
+//!
+//! let g = planted_partition(4, 10, 0.85, 0.03, 5);
+//! let run = |threads| {
+//!     Solver::on(&g)
+//!         .k(4)
+//!         .islands(3)
+//!         .migration(Combine)
+//!         .migration_interval(300)
+//!         .steps(1_500)
+//!         .seed(7)
+//!         .threads(threads)
+//!         .run()
+//!         .unwrap()
+//! };
+//! // Byte-identical across thread caps, crossover included.
+//! assert_eq!(run(0).best.assignment(), run(1).best.assignment());
+//! ```
+//!
+//! ## Adaptive migration intervals
+//!
+//! ```
+//! use ff_engine::{Adaptive, Solver};
+//! use ff_graph::generators::planted_partition;
+//!
+//! let g = planted_partition(4, 10, 0.85, 0.03, 5);
+//! let res = Solver::on(&g)
+//!     .k(4)
+//!     .islands(3)
+//!     .migration(Adaptive::new(2, 8)) // patience 2 barriers, ≤ 8× interval
+//!     .migration_interval(200)
+//!     .steps(1_500)
+//!     .seed(3)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(res.best.num_nonempty_parts(), 4);
+//! ```
+//!
+//! ## Multi-objective Pareto ensembles
+//!
+//! ```
+//! use ff_engine::{ParetoFront, Solver};
+//! use ff_graph::generators::planted_partition;
+//! use ff_partition::{dominates, Objective};
+//!
+//! let g = planted_partition(4, 10, 0.85, 0.03, 5);
+//! let res = Solver::on(&g)
+//!     .k(4)
+//!     .islands(4) // cycles over the objective list: cut, ncut, cut, ncut
+//!     .objectives([Objective::Cut, Objective::NCut])
+//!     .reduction(ParetoFront)
+//!     .steps(1_500)
+//!     .seed(11)
+//!     .run()
+//!     .unwrap();
+//! let front = res.pareto.expect("pareto reduction ran");
+//! assert!(!front.points.is_empty());
+//! for a in &front.points {
+//!     for b in &front.points {
+//!         assert!(a.island == b.island || !dominates(&a.values, &b.values));
+//!     }
+//! }
+//! ```
 
 pub mod ensemble;
+pub mod migration;
 pub mod pool;
+pub mod reduction;
 pub mod seeds;
+pub mod solver;
 
+#[allow(deprecated)]
 pub use ensemble::{Ensemble, EnsembleConfig, EnsembleResult, EnsembleRun};
+pub use migration::{Adaptive, Combine, MigrationPolicy, MigrationPolicyId, ReplaceIfBetter};
 pub use pool::parallel_map;
+pub use reduction::{MinEnergy, ParetoFront, ParetoPoint, ParetoResult, Reduced, Reduction};
 pub use seeds::derive_seeds;
+pub use solver::{distinct_objectives, islands_to_cover, Solver, SolverRun};

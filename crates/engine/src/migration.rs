@@ -1,0 +1,356 @@
+//! Pluggable island-migration policies: *what* moves between islands at
+//! an epoch barrier, and *when* the next barrier happens.
+//!
+//! The engine advances all islands in lockstep epochs; at each barrier it
+//! hands the policy mutable access to every island run. A policy must be
+//! a deterministic function of the island states it observes — it may
+//! keep its own state across barriers (the adaptive policy does), but it
+//! must not consult wall-clock time, thread identity, or an unseeded RNG,
+//! or the engine's byte-identical reproducibility contract breaks.
+//!
+//! Islands optimizing **different objectives** (a Pareto ensemble) are
+//! grouped by objective before any exchange: binding energies are only
+//! comparable within one criterion, so each objective group elects its
+//! own donor. Single-objective ensembles form one group, which makes
+//! [`ReplaceIfBetter`] bit-equal to the historical hard-coded rule.
+
+use ff_core::FusionFissionRun;
+use ff_partition::Objective;
+
+/// A migration strategy plugged into the solver
+/// ([`Solver::migration`](crate::Solver::migration)).
+pub trait MigrationPolicy: Send {
+    /// Stable display name (also the wire/CLI spelling).
+    fn name(&self) -> &'static str;
+
+    /// Steps every island advances before the next exchange barrier,
+    /// given the configured base interval. The default keeps the base;
+    /// [`Adaptive`] stretches it under stagnation. Called once per epoch,
+    /// before the islands advance.
+    fn interval(&mut self, base: u64) -> u64 {
+        base
+    }
+
+    /// Exchange molecules at a barrier. Returns how many offers were
+    /// adopted. Only called when at least two islands are live and
+    /// migration is enabled.
+    fn exchange(&mut self, islands: &mut [FusionFissionRun<'_>]) -> u64;
+}
+
+impl MigrationPolicy for Box<dyn MigrationPolicy> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn interval(&mut self, base: u64) -> u64 {
+        (**self).interval(base)
+    }
+
+    fn exchange(&mut self, islands: &mut [FusionFissionRun<'_>]) -> u64 {
+        (**self).exchange(islands)
+    }
+}
+
+/// Indices grouped by objective, each group in ascending island order;
+/// groups ordered by first appearance. Exchange never crosses groups.
+fn objective_groups(islands: &[FusionFissionRun<'_>]) -> Vec<(Objective, Vec<usize>)> {
+    let mut groups: Vec<(Objective, Vec<usize>)> = Vec::new();
+    for (i, run) in islands.iter().enumerate() {
+        let obj = run.config().objective;
+        match groups.iter_mut().find(|(o, _)| *o == obj) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((obj, vec![i])),
+        }
+    }
+    groups
+}
+
+/// Donor = lowest best-energy island of the group (ties → lowest index).
+fn donor_of(group: &[usize], islands: &[FusionFissionRun<'_>]) -> usize {
+    let mut best = group[0];
+    for &i in &group[1..] {
+        if islands[i].best_energy() < islands[best].best_energy() {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The historical rule: the group's best molecule is offered to every
+/// other island, adopted iff strictly better (bit-equal to the
+/// pre-builder `Ensemble::run`, which is test-asserted).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplaceIfBetter;
+
+impl MigrationPolicy for ReplaceIfBetter {
+    fn name(&self) -> &'static str {
+        "replace"
+    }
+
+    fn exchange(&mut self, islands: &mut [FusionFissionRun<'_>]) -> u64 {
+        let mut adopted = 0;
+        for (_, group) in objective_groups(islands) {
+            if group.len() < 2 {
+                continue;
+            }
+            let donor = donor_of(&group, islands);
+            let donor_energy = islands[donor].best_energy();
+            let molecule = islands[donor].best_molecule().clone();
+            for &i in &group {
+                // Islands already at or below the donor's energy would
+                // reject the offer; skip them up front and spare the O(m)
+                // re-scoring `inject` performs.
+                if i != donor
+                    && islands[i].best_energy() > donor_energy
+                    && islands[i].inject(&molecule)
+                {
+                    adopted += 1;
+                }
+            }
+        }
+        adopted
+    }
+}
+
+/// KaFFPaE-style *combine*: each receiving island crosses the donor's
+/// molecule with its own best via
+/// [`ff_core::overlap_combine`] (consensus
+/// structure kept, disagreement region re-fused by the fusion operator)
+/// and adopts whichever of {child, donor molecule} strictly improves it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Combine;
+
+impl MigrationPolicy for Combine {
+    fn name(&self) -> &'static str {
+        "combine"
+    }
+
+    fn exchange(&mut self, islands: &mut [FusionFissionRun<'_>]) -> u64 {
+        let mut adopted = 0;
+        for (_, group) in objective_groups(islands) {
+            if group.len() < 2 {
+                continue;
+            }
+            let donor = donor_of(&group, islands);
+            let molecule = islands[donor].best_molecule().clone();
+            for &i in &group {
+                if i != donor && islands[i].inject_crossover(&molecule) {
+                    adopted += 1;
+                }
+            }
+        }
+        adopted
+    }
+}
+
+/// Stagnation-driven interval scaling around [`ReplaceIfBetter`]: while
+/// the ensemble keeps improving, barriers stay at the base interval
+/// (frequent mixing); after `patience` consecutive barriers with no group
+/// improving its best energy, the interval doubles — up to
+/// `max_scale`× — so stagnating islands get longer independent walks
+/// before the next exchange. Any improvement snaps the interval back to
+/// the base. Entirely a function of barrier-time island energies, so the
+/// byte-identical contract holds.
+#[derive(Clone, Debug)]
+pub struct Adaptive {
+    /// Stagnant barriers tolerated before the interval doubles.
+    pub patience: u32,
+    /// Hard cap on the interval multiplier.
+    pub max_scale: u64,
+    inner: ReplaceIfBetter,
+    scale: u64,
+    stagnant: u32,
+    last_energies: Vec<f64>,
+}
+
+impl Default for Adaptive {
+    fn default() -> Self {
+        Adaptive {
+            patience: 3,
+            max_scale: 8,
+            inner: ReplaceIfBetter,
+            scale: 1,
+            stagnant: 0,
+            last_energies: Vec::new(),
+        }
+    }
+}
+
+impl Adaptive {
+    /// An adaptive policy with explicit knobs.
+    pub fn new(patience: u32, max_scale: u64) -> Self {
+        Adaptive {
+            patience: patience.max(1),
+            max_scale: max_scale.max(1),
+            ..Adaptive::default()
+        }
+    }
+
+    /// The current interval multiplier (1 until stagnation kicks in).
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+}
+
+impl MigrationPolicy for Adaptive {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn interval(&mut self, base: u64) -> u64 {
+        base.saturating_mul(self.scale)
+    }
+
+    fn exchange(&mut self, islands: &mut [FusionFissionRun<'_>]) -> u64 {
+        // Per-group minimum best energy, in deterministic group order.
+        let energies: Vec<f64> = objective_groups(islands)
+            .iter()
+            .map(|(_, group)| {
+                group
+                    .iter()
+                    .map(|&i| islands[i].best_energy())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let improved = self.last_energies.is_empty()
+            || energies
+                .iter()
+                .zip(&self.last_energies)
+                .any(|(now, before)| now < before);
+        if improved {
+            self.stagnant = 0;
+            self.scale = 1;
+        } else {
+            self.stagnant += 1;
+            if self.stagnant >= self.patience {
+                self.stagnant = 0;
+                self.scale = (self.scale * 2).min(self.max_scale);
+            }
+        }
+        self.last_energies = energies;
+        self.inner.exchange(islands)
+    }
+}
+
+/// The built-in policies by name — the CLI/wire spelling used by
+/// `ffpart --migration` and the service job schema.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum MigrationPolicyId {
+    /// [`ReplaceIfBetter`] (the default, spelled `replace`).
+    #[default]
+    ReplaceIfBetter,
+    /// [`Combine`] (spelled `combine`).
+    Combine,
+    /// [`Adaptive`] with default knobs (spelled `adaptive`).
+    Adaptive,
+}
+
+impl MigrationPolicyId {
+    /// The wire/CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MigrationPolicyId::ReplaceIfBetter => "replace",
+            MigrationPolicyId::Combine => "combine",
+            MigrationPolicyId::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses the wire/CLI spelling.
+    pub fn parse(name: &str) -> Option<MigrationPolicyId> {
+        match name {
+            "replace" | "replace-if-better" => Some(MigrationPolicyId::ReplaceIfBetter),
+            "combine" => Some(MigrationPolicyId::Combine),
+            "adaptive" => Some(MigrationPolicyId::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the policy with default knobs.
+    pub fn build(&self) -> Box<dyn MigrationPolicy> {
+        match self {
+            MigrationPolicyId::ReplaceIfBetter => Box::new(ReplaceIfBetter),
+            MigrationPolicyId::Combine => Box::new(Combine),
+            MigrationPolicyId::Adaptive => Box::new(Adaptive::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_core::{FusionFission, FusionFissionConfig};
+    use ff_graph::generators::random_geometric;
+
+    #[test]
+    fn policy_ids_round_trip() {
+        for id in [
+            MigrationPolicyId::ReplaceIfBetter,
+            MigrationPolicyId::Combine,
+            MigrationPolicyId::Adaptive,
+        ] {
+            assert_eq!(MigrationPolicyId::parse(id.name()), Some(id));
+            assert_eq!(id.build().name(), id.name());
+        }
+        assert_eq!(MigrationPolicyId::parse("osmosis"), None);
+    }
+
+    #[test]
+    fn groups_split_by_objective_in_island_order() {
+        let g = random_geometric(30, 0.35, 1);
+        let mk = |obj| {
+            FusionFission::new(
+                &g,
+                FusionFissionConfig {
+                    objective: obj,
+                    ..FusionFissionConfig::fast(2)
+                },
+                1,
+            )
+            .start()
+        };
+        let runs = vec![
+            mk(Objective::Cut),
+            mk(Objective::MCut),
+            mk(Objective::Cut),
+            mk(Objective::NCut),
+        ];
+        let groups = objective_groups(&runs);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], (Objective::Cut, vec![0, 2]));
+        assert_eq!(groups[1], (Objective::MCut, vec![1]));
+        assert_eq!(groups[2], (Objective::NCut, vec![3]));
+    }
+
+    #[test]
+    fn adaptive_scales_on_stagnation_and_resets_on_improvement() {
+        let mut pol = Adaptive::new(2, 8);
+        assert_eq!(pol.interval(100), 100);
+        // Fake the state machine directly: no islands needed to check
+        // the scaling arithmetic, which is what determinism rests on.
+        pol.last_energies = vec![1.0];
+        let g = random_geometric(20, 0.4, 1);
+        let mut runs = vec![
+            FusionFission::new(&g, FusionFissionConfig::fast(2), 1).start(),
+            FusionFission::new(&g, FusionFissionConfig::fast(2), 2).start(),
+        ];
+        // Fresh runs hold +inf best energy: never an improvement on 1.0.
+        for _ in 0..2 {
+            pol.exchange(&mut runs);
+        }
+        assert_eq!(pol.scale(), 2);
+        for _ in 0..2 {
+            pol.exchange(&mut runs);
+        }
+        assert_eq!(pol.scale(), 4);
+        assert_eq!(pol.interval(100), 400);
+        // An improvement (advance the runs so they hold finite energy
+        // below the fake previous best) snaps back to the base.
+        pol.last_energies = vec![f64::INFINITY];
+        for run in &mut runs {
+            run.advance(500);
+        }
+        pol.exchange(&mut runs);
+        assert_eq!(pol.scale(), 1);
+        assert_eq!(pol.interval(100), 100);
+    }
+}

@@ -1,0 +1,238 @@
+//! Pluggable ensemble reductions: how harvested islands become one
+//! result.
+//!
+//! [`MinEnergy`] is the historical rule — keep the island with the lowest
+//! objective value. [`ParetoFront`] is the multi-objective rule: islands
+//! may optimize different criteria, every island's best molecule is
+//! re-scored under *all* of the run's objectives, and the deterministic
+//! non-dominated front survives (dominance from
+//! [`ff_partition::dominance`], ties broken by island index).
+
+use ff_core::FusionFissionResult;
+use ff_graph::Graph;
+use ff_partition::{pareto_front_indices, Objective, Partition};
+
+/// One non-dominated point of a [`ParetoResult`].
+#[derive(Clone, Debug)]
+pub struct ParetoPoint {
+    /// Island that produced the molecule.
+    pub island: usize,
+    /// The objective that island itself was minimizing.
+    pub objective: Objective,
+    /// The molecule scored under every objective of
+    /// [`ParetoResult::objectives`], in that order.
+    pub values: Vec<f64>,
+    /// Non-empty parts of [`ParetoPoint::partition`].
+    pub parts: usize,
+    /// The molecule itself.
+    pub partition: Partition,
+}
+
+/// The deterministic non-dominated front of a mixed-objective ensemble.
+#[derive(Clone, Debug)]
+pub struct ParetoResult {
+    /// The distinct objectives the ensemble ran, in island order of first
+    /// appearance; every point's `values` aligns with this.
+    pub objectives: Vec<Objective>,
+    /// Front points in ascending island order (the index is also the
+    /// tie-break: of two equal objective vectors only the lower island
+    /// survives).
+    pub points: Vec<ParetoPoint>,
+}
+
+impl ParetoResult {
+    /// The front point minimizing `objective` (ties → lowest island), or
+    /// `None` when the objective wasn't part of the run or the front is
+    /// empty.
+    pub fn best_under(&self, objective: Objective) -> Option<&ParetoPoint> {
+        let axis = self.objectives.iter().position(|&o| o == objective)?;
+        self.points.iter().min_by(|a, b| {
+            a.values[axis]
+                .total_cmp(&b.values[axis])
+                .then(a.island.cmp(&b.island))
+        })
+    }
+}
+
+/// What a reduction decided.
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// The representative island whose molecule becomes
+    /// `EnsembleResult::best`.
+    pub best_island: usize,
+    /// The non-dominated front, when the reduction computes one.
+    pub pareto: Option<ParetoResult>,
+}
+
+/// An ensemble reduction plugged into the solver
+/// ([`Solver::reduction`](crate::Solver::reduction)).
+pub trait Reduction: Send {
+    /// Stable display name (also the wire/CLI spelling).
+    fn name(&self) -> &'static str;
+
+    /// Reduces harvested islands. `objectives` is the run's distinct
+    /// objective list in island order of first appearance; `islands` is
+    /// in island order. Must be deterministic and insensitive to any
+    /// reordering the caller could have observed the islands in.
+    fn reduce(
+        &self,
+        g: &Graph,
+        islands: &[FusionFissionResult],
+        objectives: &[Objective],
+    ) -> Reduced;
+}
+
+/// The historical reduction: lowest `best_value`, ties to the lowest
+/// island index (NaN never wins). With mixed objectives the comparison is
+/// apples-to-oranges — prefer [`ParetoFront`] there.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinEnergy;
+
+impl Reduction for MinEnergy {
+    fn name(&self) -> &'static str {
+        "min"
+    }
+
+    fn reduce(
+        &self,
+        _g: &Graph,
+        islands: &[FusionFissionResult],
+        _objectives: &[Objective],
+    ) -> Reduced {
+        let mut best = 0;
+        for i in 1..islands.len() {
+            if islands[i].best_value < islands[best].best_value {
+                best = i;
+            }
+        }
+        Reduced {
+            best_island: best,
+            pareto: None,
+        }
+    }
+}
+
+/// The multi-objective reduction: every island's best molecule is scored
+/// under all objectives and the non-dominated front is returned. The
+/// representative island (`best_island`) is the front point minimizing
+/// the *first* objective, ties to the lowest island index.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParetoFront;
+
+impl Reduction for ParetoFront {
+    fn name(&self) -> &'static str {
+        "pareto"
+    }
+
+    fn reduce(
+        &self,
+        g: &Graph,
+        islands: &[FusionFissionResult],
+        objectives: &[Objective],
+    ) -> Reduced {
+        let vectors: Vec<Vec<f64>> = islands
+            .iter()
+            .map(|r| objectives.iter().map(|o| o.evaluate(g, &r.best)).collect())
+            .collect();
+        let front = pareto_front_indices(&vectors);
+        let points: Vec<ParetoPoint> = front
+            .iter()
+            .map(|&i| ParetoPoint {
+                island: i,
+                objective: islands[i].trace.tag().unwrap_or(objectives[0]),
+                values: vectors[i].clone(),
+                parts: islands[i].best.num_nonempty_parts(),
+                partition: islands[i].best.clone(),
+            })
+            .collect();
+        let result = ParetoResult {
+            objectives: objectives.to_vec(),
+            points,
+        };
+        let best_island = result
+            .best_under(objectives[0])
+            .map(|p| p.island)
+            .unwrap_or(0);
+        Reduced {
+            best_island,
+            pareto: Some(result),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_core::{FusionFission, FusionFissionConfig};
+    use ff_graph::generators::two_cliques_bridge;
+    use ff_metaheur::StopCondition;
+
+    fn harvests(objs: &[Objective]) -> (Graph, Vec<FusionFissionResult>) {
+        let g = two_cliques_bridge(6, 2.0, 0.1);
+        let islands = objs
+            .iter()
+            .enumerate()
+            .map(|(i, &objective)| {
+                FusionFission::new(
+                    &g,
+                    FusionFissionConfig {
+                        objective,
+                        stop: StopCondition::steps(1_200),
+                        ..FusionFissionConfig::fast(2)
+                    },
+                    7 + i as u64,
+                )
+                .run()
+            })
+            .collect();
+        (g, islands)
+    }
+
+    #[test]
+    fn min_energy_matches_manual_argmin() {
+        let (g, islands) = harvests(&[Objective::MCut, Objective::MCut, Objective::MCut]);
+        let red = MinEnergy.reduce(&g, &islands, &[Objective::MCut]);
+        let manual = (0..islands.len())
+            .min_by(|&a, &b| islands[a].best_value.total_cmp(&islands[b].best_value))
+            .unwrap();
+        assert_eq!(red.best_island, manual);
+        assert!(red.pareto.is_none());
+    }
+
+    #[test]
+    fn pareto_front_is_mutually_non_dominated_and_tagged() {
+        use ff_partition::dominates;
+        let objs = [Objective::Cut, Objective::NCut, Objective::MCut];
+        let (g, islands) = harvests(&objs);
+        let red = ParetoFront.reduce(&g, &islands, &objs);
+        let front = red.pareto.expect("pareto reduction returns a front");
+        assert_eq!(front.objectives, objs.to_vec());
+        assert!(!front.points.is_empty());
+        for a in &front.points {
+            assert_eq!(a.values.len(), 3);
+            assert_eq!(a.objective, islands[a.island].trace.tag().unwrap());
+            for b in &front.points {
+                assert!(
+                    !dominates(&a.values, &b.values) || a.island == b.island,
+                    "front not mutually non-dominated"
+                );
+            }
+        }
+        // Ascending island order, and the representative minimizes the
+        // first objective.
+        for w in front.points.windows(2) {
+            assert!(w[0].island < w[1].island);
+        }
+        let rep = front.best_under(Objective::Cut).unwrap();
+        assert_eq!(red.best_island, rep.island);
+    }
+
+    #[test]
+    fn best_under_unknown_objective_is_none() {
+        let objs = [Objective::Cut];
+        let (g, islands) = harvests(&objs);
+        let red = ParetoFront.reduce(&g, &islands, &objs);
+        let front = red.pareto.unwrap();
+        assert!(front.best_under(Objective::NCut).is_none());
+    }
+}

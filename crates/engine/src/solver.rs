@@ -1,0 +1,437 @@
+//! The [`Solver`] builder — the one front door to the fusion–fission
+//! engine.
+//!
+//! Historically the engine had scattered entry points
+//! (`FusionFission::new`/`with_initial`, `Ensemble::new`,
+//! `EnsembleConfig`); the builder unifies them behind one fluent,
+//! validated configuration path and adds the two strategy seams:
+//! [`MigrationPolicy`] (what moves between islands, and when) and
+//! [`Reduction`] (how harvested islands become one result, including the
+//! multi-objective Pareto front).
+//!
+//! ```
+//! use ff_engine::Solver;
+//! use ff_graph::generators::planted_partition;
+//!
+//! let g = planted_partition(4, 10, 0.85, 0.03, 5);
+//! let result = Solver::on(&g)
+//!     .k(4)
+//!     .islands(3)
+//!     .steps(2_000)
+//!     .seed(42)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(result.best.num_nonempty_parts(), 4);
+//! ```
+
+use crate::ensemble::EnsembleResult;
+use crate::migration::{MigrationPolicy, ReplaceIfBetter};
+use crate::reduction::{MinEnergy, Reduction};
+use crate::seeds::derive_seeds;
+use ff_core::{
+    ConfigError, FusionFission, FusionFissionConfig, FusionFissionResult, FusionFissionRun,
+};
+use ff_graph::Graph;
+use ff_metaheur::{AnytimeTrace, CancelToken, StopCondition};
+use ff_partition::{Objective, Partition};
+use std::collections::BTreeMap;
+
+/// The distinct objectives of a per-island cycle list, in first-
+/// appearance order — the axis order of any Pareto front built over it.
+pub fn distinct_objectives(list: &[Objective]) -> Vec<Objective> {
+    let mut distinct = Vec::new();
+    for &o in list {
+        if !distinct.contains(&o) {
+            distinct.push(o);
+        }
+    }
+    distinct
+}
+
+/// Minimum island count so that cycling `list` over the islands gives
+/// every distinct objective at least one island: the index of the last
+/// first occurrence, plus one. (`[Cut, Cut, MCut]` needs 3 islands —
+/// with 2, MCut would silently never be optimized.)
+pub fn islands_to_cover(list: &[Objective]) -> usize {
+    let mut seen = Vec::new();
+    let mut needed = 0;
+    for (i, &o) in list.iter().enumerate() {
+        if !seen.contains(&o) {
+            seen.push(o);
+            needed = i + 1;
+        }
+    }
+    needed
+}
+
+/// Fluent, validated configuration for a fusion–fission run — one island
+/// or a whole migration ensemble. Build with [`Solver::on`], configure,
+/// then [`Solver::run`] (one-shot) or [`Solver::start`] (resumable
+/// [`SolverRun`]).
+pub struct Solver<'g> {
+    g: &'g Graph,
+    base: FusionFissionConfig,
+    islands: usize,
+    max_threads: usize,
+    migration_interval: u64,
+    migration: Box<dyn MigrationPolicy>,
+    reduction: Box<dyn Reduction>,
+    seed: u64,
+    island_seeds: Option<Vec<u64>>,
+    objectives: Option<Vec<Objective>>,
+    initial: Option<Partition>,
+}
+
+impl<'g> Solver<'g> {
+    /// A solver on `g` with the paper-faithful defaults: single island,
+    /// Mcut, seed 1, [`ReplaceIfBetter`] migration every 1024 steps,
+    /// [`MinEnergy`] reduction. `k` **must** be set before starting.
+    pub fn on(g: &'g Graph) -> Solver<'g> {
+        Solver {
+            g,
+            base: FusionFissionConfig::standard(0),
+            islands: 1,
+            max_threads: 0,
+            migration_interval: 1024,
+            migration: Box::new(ReplaceIfBetter),
+            reduction: Box::new(MinEnergy),
+            seed: 1,
+            island_seeds: None,
+            objectives: None,
+            initial: None,
+        }
+    }
+
+    /// Target part count (required).
+    pub fn k(mut self, k: usize) -> Self {
+        self.base.k = k;
+        self
+    }
+
+    /// The objective every island minimizes (default Mcut). For
+    /// per-island overrides see [`Solver::objectives`].
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.base.objective = objective;
+        self.objectives = None;
+        self
+    }
+
+    /// Per-island objective overrides: island `i` minimizes
+    /// `objectives[i % len]`, so 4 islands over `[Cut, MCut]` run two of
+    /// each. More than one distinct objective usually wants the
+    /// [`ParetoFront`](crate::ParetoFront) reduction.
+    pub fn objectives(mut self, objectives: impl Into<Vec<Objective>>) -> Self {
+        self.objectives = Some(objectives.into());
+        self
+    }
+
+    /// Island count (default 1).
+    pub fn islands(mut self, islands: usize) -> Self {
+        self.islands = islands;
+        self
+    }
+
+    /// Concurrent OS threads per epoch; `0` (default) means one per
+    /// island. Results are identical for any cap under step budgets.
+    pub fn threads(mut self, max_threads: usize) -> Self {
+        self.max_threads = max_threads;
+        self
+    }
+
+    /// The migration policy (default [`ReplaceIfBetter`]).
+    pub fn migration(mut self, policy: impl MigrationPolicy + 'static) -> Self {
+        self.migration = Box::new(policy);
+        self
+    }
+
+    /// Steps each island advances between migration barriers (default
+    /// 1024); `0` disables migration (pure independent multi-start).
+    pub fn migration_interval(mut self, interval: u64) -> Self {
+        self.migration_interval = interval;
+        self
+    }
+
+    /// The ensemble reduction (default [`MinEnergy`]).
+    pub fn reduction(mut self, reduction: impl Reduction + 'static) -> Self {
+        self.reduction = Box::new(reduction);
+        self
+    }
+
+    /// Root RNG seed (default 1). Island seeds are derived from it with
+    /// [`derive_seeds`] unless [`Solver::island_seeds`] overrides them.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Explicit per-island seeds, bypassing root-seed derivation — how a
+    /// single-island solver reproduces a plain
+    /// `FusionFission::new(g, cfg, seed)` run bit-for-bit. Must match the
+    /// island count.
+    pub fn island_seeds(mut self, seeds: impl Into<Vec<u64>>) -> Self {
+        self.island_seeds = Some(seeds.into());
+        self
+    }
+
+    /// Step budget per island (a convenience over [`Solver::stop`]).
+    pub fn steps(mut self, steps: u64) -> Self {
+        self.base.stop = StopCondition::steps(steps);
+        self
+    }
+
+    /// Full stop condition per island (steps and/or wall-clock).
+    pub fn stop(mut self, stop: StopCondition) -> Self {
+        self.base.stop = stop;
+        self
+    }
+
+    /// Warm start: every island skips Algorithm 2's singleton
+    /// agglomeration and starts from `initial` (the
+    /// `FusionFission::with_initial` hybridization).
+    pub fn initial(mut self, initial: Partition) -> Self {
+        self.initial = Some(initial);
+        self
+    }
+
+    /// Full control over the per-island search configuration (presets,
+    /// temperatures, ablation switches). Overwrites `k`, `objective` and
+    /// the stop condition, so call it *before* those builder methods.
+    pub fn config(mut self, base: FusionFissionConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Validates the whole configuration without starting anything.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        self.base.try_validate()?;
+        if self.islands == 0 {
+            return Err(ConfigError::ZeroIslands);
+        }
+        if let Some(seeds) = &self.island_seeds {
+            if seeds.len() != self.islands {
+                return Err(ConfigError::SeedCountMismatch {
+                    islands: self.islands,
+                    seeds: seeds.len(),
+                });
+            }
+        }
+        if let Some(objectives) = &self.objectives {
+            if objectives.is_empty() {
+                return Err(ConfigError::NoObjectives);
+            }
+            let needed = islands_to_cover(objectives);
+            if self.islands < needed {
+                return Err(ConfigError::UncoveredObjectives {
+                    islands: self.islands,
+                    needed,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the live, resumable run, or reports the first
+    /// configuration error.
+    pub fn start(self) -> Result<SolverRun<'g>, ConfigError> {
+        self.try_validate()?;
+        let n = self.islands;
+        let seeds = match self.island_seeds {
+            Some(seeds) => seeds,
+            None => derive_seeds(self.seed, n),
+        };
+        let per_island: Vec<Objective> = match &self.objectives {
+            Some(list) => (0..n).map(|i| list[i % list.len()]).collect(),
+            None => vec![self.base.objective; n],
+        };
+        // Axis order of any Pareto front. Validation guaranteed the
+        // cycled assignment covers every distinct objective of the list.
+        let distinct = distinct_objectives(&per_island);
+        let runs: Vec<FusionFissionRun<'g>> = seeds
+            .iter()
+            .zip(&per_island)
+            .map(|(&seed, &objective)| {
+                let cfg = FusionFissionConfig {
+                    objective,
+                    ..self.base
+                };
+                match &self.initial {
+                    Some(p) => FusionFission::with_initial(self.g, cfg, seed, p.clone()),
+                    None => FusionFission::new(self.g, cfg, seed),
+                }
+                .start()
+            })
+            .collect();
+        Ok(SolverRun {
+            g: self.g,
+            runs,
+            max_threads: self.max_threads,
+            base_interval: self.migration_interval,
+            migration: self.migration,
+            reduction: self.reduction,
+            objectives: distinct,
+            migrations_adopted: 0,
+        })
+    }
+
+    /// Runs to every island's stop condition and reduces — equivalent to
+    /// [`Solver::start`] + [`SolverRun::advance_epoch`] to exhaustion +
+    /// [`SolverRun::harvest`] (bit-equal; both paths drive the same epoch
+    /// code).
+    pub fn run(self) -> Result<EnsembleResult, ConfigError> {
+        let mut run = self.start()?;
+        while run.advance_epoch() {}
+        Ok(run.harvest())
+    }
+}
+
+/// A live, resumable solver run: islands advance in lockstep epochs with
+/// the migration policy exchanging molecules at each barrier. Produced by
+/// [`Solver::start`]; drive with [`SolverRun::advance_epoch`], harvest
+/// with [`SolverRun::harvest`].
+///
+/// ## Determinism
+///
+/// With a step-based stop condition the result is byte-identical across
+/// repeated runs and across any [`Solver::threads`] cap, for every
+/// migration policy: island seeds are pure functions of the root seed,
+/// epochs are barriers, and policies act only on barrier-time island
+/// state.
+pub struct SolverRun<'g> {
+    g: &'g Graph,
+    runs: Vec<FusionFissionRun<'g>>,
+    max_threads: usize,
+    base_interval: u64,
+    migration: Box<dyn MigrationPolicy>,
+    reduction: Box<dyn Reduction>,
+    objectives: Vec<Objective>,
+    migrations_adopted: u64,
+}
+
+impl<'g> SolverRun<'g> {
+    /// One epoch: every island advances by the policy's interval (in
+    /// waves of at most the configured thread cap), then the policy
+    /// exchanges molecules at the barrier. Returns `true` while at least
+    /// one island has work left, `false` once all islands hit their stop
+    /// conditions or a bound [`CancelToken`] fired.
+    pub fn advance_epoch(&mut self) -> bool {
+        let n = self.runs.len();
+        let chunk = if self.base_interval == 0 {
+            u64::MAX
+        } else {
+            self.migration.interval(self.base_interval).max(1)
+        };
+        let cap = if self.max_threads == 0 {
+            n
+        } else {
+            self.max_threads.max(1)
+        };
+        // Each island's state evolution depends only on its own seed and
+        // past injections, so wave layout cannot change results.
+        let mut more = vec![false; n];
+        for (wave, flags) in self.runs.chunks_mut(cap).zip(more.chunks_mut(cap)) {
+            std::thread::scope(|scope| {
+                for (run, flag) in wave.iter_mut().zip(flags.iter_mut()) {
+                    scope.spawn(move || {
+                        *flag = run.advance(chunk);
+                    });
+                }
+            });
+        }
+        if !more.iter().any(|&b| b) {
+            return false;
+        }
+        if n > 1 && self.base_interval > 0 {
+            self.migrations_adopted += self.migration.exchange(&mut self.runs);
+        }
+        true
+    }
+
+    /// Binds one cooperative cancellation token to every island: when it
+    /// fires, the in-flight epoch ends at each island's next step check
+    /// and [`advance_epoch`](SolverRun::advance_epoch) returns `false`.
+    pub fn bind_cancel(&mut self, token: CancelToken) {
+        for run in &mut self.runs {
+            run.bind_cancel(token.clone());
+        }
+    }
+
+    /// The live island runs, in island order — read-only access for
+    /// streaming taps (each island's
+    /// [`trace`](FusionFissionRun::trace) is the per-island improvement
+    /// stream, tagged with that island's objective).
+    pub fn islands(&self) -> &[FusionFissionRun<'g>] {
+        &self.runs
+    }
+
+    /// The distinct objectives this run optimizes, in island order of
+    /// first appearance.
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// Whether every island has finished (stop condition or cancellation).
+    pub fn finished(&self) -> bool {
+        self.runs.iter().all(|r| r.finished())
+    }
+
+    /// Total steps executed so far across all islands.
+    pub fn total_steps(&self) -> u64 {
+        self.runs.iter().map(|r| r.steps()).sum()
+    }
+
+    /// Migration offers adopted so far.
+    pub fn migrations_adopted(&self) -> u64 {
+        self.migrations_adopted
+    }
+
+    /// Best objective value held at the target k so far, minimized across
+    /// islands (`None` until some island first visits the target k). Only
+    /// meaningful for single-objective runs — mixed-objective values are
+    /// not comparable.
+    pub fn best_value_at_target(&self) -> Option<f64> {
+        self.runs
+            .iter()
+            .filter_map(|r| r.best_at_target().map(|(v, _)| v))
+            .min_by(f64::total_cmp)
+    }
+
+    /// Consumes the run, harvesting every island and applying the
+    /// configured [`Reduction`].
+    pub fn harvest(self) -> EnsembleResult {
+        let islands: Vec<FusionFissionResult> =
+            self.runs.into_iter().map(|r| r.harvest()).collect();
+        let reduced = self.reduction.reduce(self.g, &islands, &self.objectives);
+        let best_island = reduced.best_island;
+        // Cross-island merges only make sense within one criterion: merge
+        // the primary (first) objective's islands, which for a
+        // single-objective run is every island — bit-equal to the
+        // historical reduction.
+        let primary = self.objectives[0];
+        let primary_islands = || {
+            islands
+                .iter()
+                .filter(move |r| r.trace.tag().unwrap_or(primary) == primary)
+        };
+        let trace = AnytimeTrace::merged(primary_islands().map(|r| &r.trace));
+        let mut best_value_per_k = BTreeMap::new();
+        for r in primary_islands() {
+            for (&k, &v) in &r.best_value_per_k {
+                let entry = best_value_per_k.entry(k).or_insert(f64::INFINITY);
+                if v < *entry {
+                    *entry = v;
+                }
+            }
+        }
+        EnsembleResult {
+            best: islands[best_island].best.clone(),
+            best_value: islands[best_island].best_value,
+            best_island,
+            steps: islands.iter().map(|r| r.steps).sum(),
+            migrations_adopted: self.migrations_adopted,
+            trace,
+            best_value_per_k,
+            pareto: reduced.pareto,
+            islands,
+        }
+    }
+}

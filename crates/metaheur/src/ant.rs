@@ -138,7 +138,7 @@ impl<'g> AntColony<'g> {
 
         let mut best = self.init.clone();
         let mut best_value = cfg.objective.evaluate(g, &best);
-        let mut trace = AnytimeTrace::new();
+        let mut trace = AnytimeTrace::with_tag(cfg.objective);
         trace.record(started.elapsed(), best_value, 0);
 
         let mut step = 0u64;

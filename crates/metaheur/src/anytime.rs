@@ -6,7 +6,7 @@
 //! solution improves; the figure harness samples these traces at the
 //! paper's checkpoints.
 
-use ff_partition::Partition;
+use ff_partition::{Objective, Partition};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -20,12 +20,17 @@ pub struct TracePoint {
     pub value: f64,
     /// Steps executed so far.
     pub step: u64,
+    /// Which criterion `value` measures, when the producing trace was
+    /// tagged ([`AnytimeTrace::with_tag`]) — how multi-objective
+    /// ensembles keep provenance through [`AnytimeTrace::merged`].
+    pub objective: Option<Objective>,
 }
 
 /// A best-so-far trace.
 #[derive(Clone, Debug, Default)]
 pub struct AnytimeTrace {
     points: Vec<TracePoint>,
+    tag: Option<Objective>,
 }
 
 impl AnytimeTrace {
@@ -34,7 +39,22 @@ impl AnytimeTrace {
         Self::default()
     }
 
-    /// Appends an improvement event.
+    /// An empty trace whose future points are all stamped with
+    /// `objective` — used by runs inside a mixed-objective ensemble so a
+    /// merged stream stays attributable.
+    pub fn with_tag(objective: Objective) -> Self {
+        AnytimeTrace {
+            points: Vec::new(),
+            tag: Some(objective),
+        }
+    }
+
+    /// The objective this trace is tagged with, if any.
+    pub fn tag(&self) -> Option<Objective> {
+        self.tag
+    }
+
+    /// Appends an improvement event (stamped with the trace's tag).
     pub fn record(&mut self, elapsed: Duration, value: f64, step: u64) {
         debug_assert!(
             self.points.last().is_none_or(|p| value <= p.value),
@@ -44,6 +64,7 @@ impl AnytimeTrace {
             elapsed,
             value,
             step,
+            objective: self.tag,
         });
     }
 
@@ -312,5 +333,19 @@ mod tests {
         let t = AnytimeTrace::new();
         assert!(t.final_value().is_none());
         assert!(t.value_at(Duration::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn tagged_points_keep_provenance_through_merge() {
+        use ff_partition::Objective;
+        let mut cut = AnytimeTrace::with_tag(Objective::Cut);
+        cut.record(Duration::from_millis(10), 5.0, 1);
+        let mut untagged = AnytimeTrace::new();
+        untagged.record(Duration::from_millis(20), 4.0, 2);
+        assert_eq!(cut.tag(), Some(Objective::Cut));
+        assert_eq!(untagged.tag(), None);
+        let merged = AnytimeTrace::merged([&cut, &untagged]);
+        let objs: Vec<Option<Objective>> = merged.points().iter().map(|p| p.objective).collect();
+        assert_eq!(objs, vec![Some(Objective::Cut), None]);
     }
 }

@@ -123,7 +123,7 @@ impl<'g> SimulatedAnnealing<'g> {
         let mut current = st.objective(cfg.objective);
         let mut best = self.init.clone();
         let mut best_value = current;
-        let mut trace = AnytimeTrace::new();
+        let mut trace = AnytimeTrace::with_tag(cfg.objective);
         let started = Instant::now();
         trace.record(started.elapsed(), best_value, 0);
 

@@ -1,0 +1,165 @@
+//! Pareto dominance over objective vectors.
+//!
+//! Multi-objective ensembles (islands minimizing different criteria) are
+//! reduced by *dominance* instead of a scalar minimum: a candidate is kept
+//! iff no other candidate is at least as good on every objective and
+//! strictly better on one. Everything here is deterministic and
+//! order-insensitive — the front depends only on the multiset of vectors
+//! (plus the index tie-break), never on the order they are offered in.
+//!
+//! All objectives are minimized; vectors must share one length and one
+//! component order. Non-finite components are legal (an Mcut part with no
+//! internal weight is ∞) and compare the usual IEEE way, except that a
+//! vector containing NaN never dominates and is never kept on a front
+//! (its quality is unknowable).
+
+/// Whether `a` Pareto-dominates `b`: `a` is ≤ `b` on every component and
+/// `<` on at least one. Irreflexive; NaN anywhere makes it `false`.
+///
+/// ```
+/// use ff_partition::dominance::dominates;
+///
+/// assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+/// assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0])); // equal: no domination
+/// assert!(!dominates(&[0.0, 5.0], &[1.0, 2.0])); // trade-off: incomparable
+/// ```
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must align");
+    let mut strict = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x.is_nan() || y.is_nan() || x > y {
+            return false;
+        }
+        if x < y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Indices of the non-dominated vectors, ascending.
+///
+/// Duplicates collapse deterministically: when two vectors are
+/// component-wise equal, only the lowest index survives — so the front is
+/// a function of the vector multiset alone, insensitive to how the
+/// candidates were gathered (harvest order, thread schedule). Vectors
+/// containing NaN are dropped.
+///
+/// ```
+/// use ff_partition::dominance::pareto_front_indices;
+///
+/// let vs = [vec![1.0, 4.0], vec![2.0, 2.0], vec![3.0, 3.0], vec![1.0, 4.0]];
+/// // [3.0, 3.0] is dominated by [2.0, 2.0]; the duplicate keeps index 0.
+/// assert_eq!(pareto_front_indices(&vs), vec![0, 1]);
+/// ```
+pub fn pareto_front_indices(vectors: &[Vec<f64>]) -> Vec<usize> {
+    (0..vectors.len())
+        .filter(|&i| {
+            let vi = &vectors[i];
+            if vi.iter().any(|v| v.is_nan()) {
+                return false;
+            }
+            vectors.iter().enumerate().all(|(j, vj)| {
+                if j == i || vj.iter().any(|v| v.is_nan()) {
+                    return true;
+                }
+                // Dominated ⇒ out. Exact duplicate ⇒ only the lowest
+                // index stays in.
+                !(dominates(vj, vi) || (vj == vi && j < i))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0], &[2.0]));
+        assert!(!dominates(&[2.0], &[1.0]));
+        assert!(!dominates(&[1.0], &[1.0]));
+        assert!(dominates(&[1.0, 1.0, 1.0], &[1.0, 1.0, 2.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[f64::INFINITY, 2.0]));
+        assert!(!dominates(&[f64::NAN, 0.0], &[1.0, 1.0]));
+        assert!(!dominates(&[0.0, 0.0], &[f64::NAN, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn front_is_mutually_non_dominated() {
+        let vs = vec![
+            vec![5.0, 1.0],
+            vec![1.0, 5.0],
+            vec![3.0, 3.0],
+            vec![4.0, 4.0], // dominated by [3,3]
+            vec![2.0, 6.0], // dominated by [1,5]
+        ];
+        let front = pareto_front_indices(&vs);
+        assert_eq!(front, vec![0, 1, 2]);
+        for &i in &front {
+            for &j in &front {
+                assert!(!dominates(&vs[i], &vs[j]) || i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn front_is_permutation_insensitive() {
+        let vs = vec![
+            vec![5.0, 1.0],
+            vec![1.0, 5.0],
+            vec![3.0, 3.0],
+            vec![4.0, 4.0],
+        ];
+        let base: Vec<Vec<f64>> = pareto_front_indices(&vs)
+            .into_iter()
+            .map(|i| vs[i].clone())
+            .collect();
+        // Every rotation yields the same *set* of surviving vectors.
+        for rot in 1..vs.len() {
+            let mut perm = vs.clone();
+            perm.rotate_left(rot);
+            let mut got: Vec<Vec<f64>> = pareto_front_indices(&perm)
+                .into_iter()
+                .map(|i| perm[i].clone())
+                .collect();
+            let mut want = base.clone();
+            let key = |v: &Vec<f64>| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            got.sort_by_key(key);
+            want.sort_by_key(key);
+            assert_eq!(got, want, "rotation {rot}");
+        }
+    }
+
+    #[test]
+    fn duplicates_keep_lowest_index() {
+        let vs = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(pareto_front_indices(&vs), vec![0]);
+    }
+
+    #[test]
+    fn nan_vectors_never_survive() {
+        let vs = vec![vec![f64::NAN, 0.0], vec![1.0, 1.0]];
+        assert_eq!(pareto_front_indices(&vs), vec![1]);
+    }
+
+    #[test]
+    fn single_and_empty() {
+        assert!(pareto_front_indices(&[]).is_empty());
+        assert_eq!(pareto_front_indices(&[vec![1.0]]), vec![0]);
+        // An all-infinite vector still forms a (degenerate) front alone.
+        assert_eq!(pareto_front_indices(&[vec![f64::INFINITY]]), vec![0]);
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`refine`] — local refinement: Kernighan–Lin pairwise swaps,
 //!   Fiduccia–Mattheyses single-move passes with rollback, and greedy
 //!   k-way boundary refinement,
-//! * [`balance`] — part-weight balance metrics and constraints.
+//! * [`balance`] — part-weight balance metrics and constraints,
+//! * [`dominance`] — Pareto dominance over objective vectors, the
+//!   reduction multi-objective ensembles use instead of a scalar min.
 //!
 //! In the paper's analogy this crate is the *molecule*: a [`Partition`] is
 //! the molecule, each part an atom, each vertex a nucleon; [`CutState`] is
@@ -35,6 +37,7 @@
 
 pub mod analysis;
 pub mod balance;
+pub mod dominance;
 pub mod io;
 pub mod objective;
 pub mod partition;
@@ -42,6 +45,7 @@ pub mod refine;
 
 pub use analysis::{analyze, repair_connectivity, PartStats, PartitionReport};
 pub use balance::{imbalance, BalanceConstraint};
+pub use dominance::{dominates, pareto_front_indices};
 pub use io::{read_partition, write_partition};
 pub use objective::{CutState, Objective, PartConnectivity};
 pub use partition::Partition;

@@ -9,11 +9,13 @@
 //! within one chunk.
 
 use crate::gate::FairGate;
-use crate::protocol::{DoneInfo, Event, Improvement, JobRequest, JobStatus};
-use ff_core::{FusionFission, FusionFissionConfig};
-use ff_engine::{Ensemble, EnsembleConfig};
+use crate::protocol::{DoneInfo, Event, Improvement, JobRequest, JobStatus, ParetoPointInfo};
+use ff_core::{ConfigError, FusionFissionConfig};
+use ff_engine::{ParetoFront, Solver};
 use ff_graph::Graph;
 use ff_metaheur::{CancelToken, StopCondition};
+use ff_partition::Objective;
+use std::collections::HashMap;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -66,6 +68,43 @@ fn base_config(spec: &JobRequest) -> FusionFissionConfig {
     }
 }
 
+/// The [`Solver`] a job request describes — the single definition both
+/// the submit-time validation and the driver thread use, so a job that
+/// was admitted can never fail to start.
+///
+/// Byte-compat notes: a single-island job's root seed *is* its island
+/// seed (the historical `run_single` contract), while multi-island jobs
+/// derive island seeds from the root; internal waves are capped at one
+/// thread so a job never holds more compute than the single pool slot
+/// its permit represents; the cooperative `chunk` doubles as the
+/// migration interval.
+pub(crate) fn job_solver<'g>(spec: &JobRequest, graph: &'g Graph) -> Solver<'g> {
+    let mut solver = Solver::on(graph)
+        .config(base_config(spec))
+        .islands(spec.islands)
+        .threads(1)
+        .migration_interval(spec.chunk)
+        .migration(spec.migration.build())
+        .seed(spec.seed);
+    if spec.islands == 1 {
+        solver = solver.island_seeds(vec![spec.seed]);
+    }
+    if let Some(list) = &spec.objectives {
+        solver = solver.objectives(list.clone());
+    }
+    if spec.is_pareto() {
+        solver = solver.reduction(ParetoFront);
+    }
+    solver
+}
+
+/// Submit-time validation of everything the driver thread would
+/// otherwise panic on — the server maps the typed error into an `error`
+/// event instead of a worker panic.
+pub(crate) fn validate_job(spec: &JobRequest, graph: &Graph) -> Result<(), ConfigError> {
+    job_solver(spec, graph).try_validate()
+}
+
 /// Runs one job to its end (budget, deadline or cancellation), streaming
 /// `improvement` events as they happen and finishing with a `done` event.
 /// Returns the final [`DoneInfo`] (already sent, unless the client
@@ -85,11 +124,70 @@ pub(crate) fn run_job(
     before_done: impl FnOnce(),
 ) -> DoneInfo {
     let started = Instant::now();
-    let (value, parts, steps, migrations, assignment) = if spec.islands == 1 {
-        run_single(job_id, spec, graph, gate, token, sink)
-    } else {
-        run_ensemble(job_id, spec, graph, gate, token, sink)
-    };
+    let mut run = job_solver(spec, graph)
+        .start()
+        .expect("job config validated at submit time");
+    run.bind_cancel(token.clone());
+    let multi = spec.is_pareto();
+    let mut cursors = vec![0usize; spec.islands];
+    // Per-objective best-so-far: improvements stream only when an
+    // island's value beats the best of *its own criterion* (for a
+    // single-objective job that is the historical global filter; island
+    // order then chronological, so step-budgeted jobs stream
+    // deterministic values).
+    let mut best: HashMap<Objective, f64> = HashMap::new();
+    loop {
+        let permit = gate.acquire();
+        let more = run.advance_epoch();
+        drop(permit);
+        for (i, island) in run.islands().iter().enumerate() {
+            let objective = island.config().objective;
+            for p in island.trace().points_since(cursors[i]) {
+                let entry = best.entry(objective).or_insert(f64::INFINITY);
+                if p.value < *entry {
+                    *entry = p.value;
+                    let ev = Event::Improvement(Improvement {
+                        job: job_id,
+                        value: p.value,
+                        step: p.step,
+                        elapsed_ms: p.elapsed.as_millis() as u64,
+                        island: i,
+                        objective: multi.then_some(objective),
+                    });
+                    if sink.send(&ev).is_err() {
+                        // Client gone: nobody will harvest this job (HTTP
+                        // log sinks never fail, so their jobs outlive the
+                        // submitting connection by design).
+                        token.cancel();
+                    }
+                }
+            }
+            cursors[i] = island.trace().len();
+        }
+        if !more {
+            break;
+        }
+    }
+    let steps = run.total_steps();
+    let res = run.harvest();
+    let pareto = res.pareto.as_ref().map(|front| {
+        front
+            .points
+            .iter()
+            .map(|p| ParetoPointInfo {
+                island: p.island,
+                objective: p.objective,
+                values: front
+                    .objectives
+                    .iter()
+                    .copied()
+                    .zip(p.values.iter().copied())
+                    .collect(),
+                parts: p.parts,
+                assignment: spec.assignment.then(|| p.partition.assignment().to_vec()),
+            })
+            .collect::<Vec<_>>()
+    });
     // A deadline-bounded job that stopped before exhausting its step
     // budget stopped because the clock ran out.
     let budget_exhausted = spec
@@ -105,124 +203,17 @@ pub(crate) fn run_job(
     let done = DoneInfo {
         job: job_id,
         status,
-        value,
-        parts,
+        value: res.best_value,
+        parts: res.best.num_nonempty_parts(),
         steps,
         elapsed_ms: started.elapsed().as_millis() as u64,
-        migrations,
-        assignment: spec.assignment.then_some(assignment),
+        migrations: res.migrations_adopted,
+        assignment: spec.assignment.then(|| res.best.assignment().to_vec()),
+        pareto,
     };
     before_done();
     let _ = sink.send(&Event::Done(done.clone()));
     done
-}
-
-type JobOutcome = (f64, usize, u64, u64, Vec<u32>);
-
-/// Single-island drive: advance `chunk` steps per permit, tap the trace.
-fn run_single(
-    job_id: u64,
-    spec: &JobRequest,
-    graph: &Arc<Graph>,
-    gate: &Arc<FairGate>,
-    token: &CancelToken,
-    sink: &EventSink,
-) -> JobOutcome {
-    let mut run = FusionFission::new(graph, base_config(spec), spec.seed).start();
-    run.bind_cancel(token.clone());
-    let mut cursor = 0usize;
-    loop {
-        let permit = gate.acquire();
-        let more = run.advance(spec.chunk);
-        drop(permit);
-        for p in run.trace().points_since(cursor) {
-            let ev = Event::Improvement(Improvement {
-                job: job_id,
-                value: p.value,
-                step: p.step,
-                elapsed_ms: p.elapsed.as_millis() as u64,
-                island: 0,
-            });
-            if sink.send(&ev).is_err() {
-                // Client gone: nobody will harvest this job, stop it.
-                token.cancel();
-            }
-        }
-        cursor = run.trace().len();
-        if !more {
-            break;
-        }
-    }
-    let steps = run.steps();
-    let res = run.harvest();
-    (
-        res.best_value,
-        res.best.num_nonempty_parts(),
-        steps,
-        0,
-        res.best.assignment().to_vec(),
-    )
-}
-
-/// Island-ensemble drive: one migration epoch per permit. The ensemble's
-/// internal waves are capped at one thread so a job never holds more
-/// compute than the single pool slot its permit represents.
-fn run_ensemble(
-    job_id: u64,
-    spec: &JobRequest,
-    graph: &Arc<Graph>,
-    gate: &Arc<FairGate>,
-    token: &CancelToken,
-    sink: &EventSink,
-) -> JobOutcome {
-    let cfg = EnsembleConfig {
-        islands: spec.islands,
-        max_threads: 1,
-        migration_interval: spec.chunk,
-        base: base_config(spec),
-    };
-    let mut run = Ensemble::new(graph, cfg, spec.seed).start();
-    run.bind_cancel(token.clone());
-    let mut cursors = vec![0usize; spec.islands];
-    let mut best = f64::INFINITY;
-    loop {
-        let permit = gate.acquire();
-        let more = run.advance_epoch();
-        drop(permit);
-        // Drain each island's tap; stream only ensemble-level improvements
-        // (island order then chronological — deterministic values for
-        // step-budgeted jobs).
-        for (i, island) in run.islands().iter().enumerate() {
-            for p in island.trace().points_since(cursors[i]) {
-                if p.value < best {
-                    best = p.value;
-                    let ev = Event::Improvement(Improvement {
-                        job: job_id,
-                        value: p.value,
-                        step: p.step,
-                        elapsed_ms: p.elapsed.as_millis() as u64,
-                        island: i,
-                    });
-                    if sink.send(&ev).is_err() {
-                        token.cancel();
-                    }
-                }
-            }
-            cursors[i] = island.trace().len();
-        }
-        if !more {
-            break;
-        }
-    }
-    let steps = run.total_steps();
-    let res = run.harvest();
-    (
-        res.best_value,
-        res.best.num_nonempty_parts(),
-        steps,
-        res.migrations_adopted,
-        res.best.assignment().to_vec(),
-    )
 }
 
 #[cfg(test)]
@@ -317,7 +308,7 @@ mod tests {
     }
 
     #[test]
-    fn ensemble_job_matches_direct_ensemble_run() {
+    fn ensemble_job_matches_direct_solver_run() {
         let graph = grid_graph();
         let gate = FairGate::new(1);
         let spec = JobRequest {
@@ -332,13 +323,14 @@ mod tests {
         let done = run_job(1, &spec, &graph, &gate, &token, &sink, || ());
         // The service drive must be bit-equal to driving ff-engine
         // directly with the same shape.
-        let cfg = EnsembleConfig {
-            islands: 3,
-            max_threads: 1,
-            migration_interval: 256,
-            base: base_config(&spec),
-        };
-        let direct = Ensemble::new(&graph, cfg, 9).run();
+        let direct = Solver::on(&graph)
+            .config(base_config(&spec))
+            .islands(3)
+            .threads(1)
+            .migration_interval(256)
+            .seed(9)
+            .run()
+            .unwrap();
         assert_eq!(done.value, direct.best_value);
         assert_eq!(
             done.assignment.as_deref().unwrap(),
@@ -347,6 +339,84 @@ mod tests {
         assert_eq!(done.steps, direct.steps);
         assert_eq!(done.migrations, direct.migrations_adopted);
         assert_eq!(done.status, JobStatus::Completed);
+    }
+
+    #[test]
+    fn pareto_job_returns_the_library_front_end_to_end() {
+        let graph = grid_graph();
+        let gate = FairGate::new(1);
+        let spec = JobRequest {
+            steps: Some(3_000),
+            seed: 4,
+            islands: 4,
+            chunk: 300,
+            objectives: Some(vec![Objective::Cut, Objective::MCut]),
+            ..JobRequest::new("grid", 2)
+        };
+        assert!(spec.is_pareto());
+        let (sink, buf) = sink_to_vec();
+        let token = CancelToken::new();
+        let done = run_job(5, &spec, &graph, &gate, &token, &sink, || ());
+        let front = done.pareto.as_ref().expect("pareto job carries a front");
+        // The wire front must equal the library front exactly.
+        let direct = job_solver(&spec, &graph).start().unwrap();
+        let mut direct = direct;
+        while direct.advance_epoch() {}
+        let lib = direct.harvest();
+        let lib_front = lib.pareto.expect("library front");
+        assert_eq!(front.len(), lib_front.points.len());
+        for (wire, point) in front.iter().zip(&lib_front.points) {
+            assert_eq!(wire.island, point.island);
+            assert_eq!(wire.objective, point.objective);
+            let values: Vec<f64> = wire.values.iter().map(|&(_, v)| v).collect();
+            assert_eq!(values, point.values);
+            assert_eq!(
+                wire.assignment.as_deref().unwrap(),
+                point.partition.assignment()
+            );
+        }
+        // Front points are mutually non-dominated.
+        for a in front {
+            for b in front {
+                let av: Vec<f64> = a.values.iter().map(|&(_, v)| v).collect();
+                let bv: Vec<f64> = b.values.iter().map(|&(_, v)| v).collect();
+                assert!(a.island == b.island || !ff_partition::dominates(&av, &bv));
+            }
+        }
+        // Multi-objective improvements are tagged with their criterion.
+        let improvements: Vec<Improvement> = events_from(&buf)
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Improvement(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        assert!(!improvements.is_empty());
+        assert!(improvements.iter().all(|i| i.objective.is_some()));
+        // And the representative equals the front's best under the first
+        // objective.
+        assert_eq!(done.value, lib.best_value);
+        assert_eq!(done.assignment.as_deref().unwrap(), lib.best.assignment());
+    }
+
+    #[test]
+    fn invalid_job_config_is_a_typed_error_not_a_panic() {
+        let graph = grid_graph();
+        // 17 parts on a 16-vertex graph: k > n.
+        let spec = JobRequest {
+            steps: Some(100),
+            ..JobRequest::new("grid", 2)
+        };
+        assert!(validate_job(&spec, &graph).is_ok());
+        let starved = JobRequest {
+            steps: Some(100),
+            islands: 0,
+            ..JobRequest::new("grid", 2)
+        };
+        assert_eq!(
+            validate_job(&starved, &graph),
+            Err(ConfigError::ZeroIslands)
+        );
     }
 
     #[test]

@@ -152,8 +152,8 @@ pub use client::{Client, JobCanceller, SubmitOutcome};
 pub use gate::{FairGate, Permit, WAIT_BUCKETS, WAIT_BUCKET_MS};
 pub use job::EventSink;
 pub use protocol::{
-    DoneInfo, Event, Improvement, JobRequest, JobStatus, Request, StatsInfo, DEFAULT_CHUNK,
-    PROTOCOL_VERSION,
+    DoneInfo, Event, Improvement, JobRequest, JobStatus, ParetoPointInfo, Request, StatsInfo,
+    DEFAULT_CHUNK, PROTOCOL_VERSION,
 };
 pub use server::{
     serve_stdio, serve_stdio_with, Server, ServerConfig, ServerHandle, MAX_LINE_BYTES,

@@ -12,6 +12,7 @@
 
 use crate::cache::{GraphFormat, GraphSource};
 use crate::gate::WAIT_BUCKETS;
+use ff_engine::MigrationPolicyId;
 use ff_partition::Objective;
 use serde_json::{Map, Number, Value};
 
@@ -34,8 +35,8 @@ fn num(v: f64) -> Value {
     }
 }
 
-fn get_f64(v: &Value, key: &str) -> Option<f64> {
-    match v.get(key)? {
+fn decode_f64(v: &Value) -> Option<f64> {
+    match v {
         Value::String(text) => match text.as_str() {
             "inf" => Some(f64::INFINITY),
             "-inf" => Some(f64::NEG_INFINITY),
@@ -44,6 +45,10 @@ fn get_f64(v: &Value, key: &str) -> Option<f64> {
         },
         other => other.as_f64(),
     }
+}
+
+fn get_f64(v: &Value, key: &str) -> Option<f64> {
+    decode_f64(v.get(key)?)
 }
 
 /// Integer fields (seeds, step budgets, job ids). JSON numbers are f64s,
@@ -101,17 +106,26 @@ fn parse_objective(name: &str) -> Option<Objective> {
 /// A partition job: everything the server needs to reproduce the result.
 ///
 /// The determinism contract: a step-budgeted job (`steps` set, no
-/// `deadline_ms`) is a pure function of `(instance content, k, objective,
-/// seed, islands, chunk)` — resubmitting it, on this server run or the
-/// next, yields a byte-identical final partition.
+/// `deadline_ms`) is a pure function of `(instance content, k, objective
+/// list, seed, islands, chunk, migration policy)` — resubmitting it, on
+/// this server run or the next, yields a byte-identical final partition
+/// (and, for multi-objective jobs, an identical Pareto front).
 #[derive(Clone, Debug, PartialEq)]
 pub struct JobRequest {
     /// Key of a previously loaded instance.
     pub instance: String,
     /// Target number of parts.
     pub k: usize,
-    /// Objective to minimize.
+    /// Objective to minimize (ignored when `objectives` is set).
     pub objective: Objective,
+    /// Per-island objective overrides (wire field `objectives`, an array
+    /// of objective names): island `i` minimizes `objectives[i % len]`.
+    /// More than one distinct objective makes this a Pareto job — the
+    /// `done` event then carries the non-dominated front.
+    pub objectives: Option<Vec<Objective>>,
+    /// Island-migration policy (wire field `migration`:
+    /// `replace` | `combine` | `adaptive`).
+    pub migration: MigrationPolicyId,
     /// Root RNG seed.
     pub seed: u64,
     /// Step budget (per island). At least one of `steps` / `deadline_ms`
@@ -138,6 +152,8 @@ impl JobRequest {
             instance: instance.into(),
             k,
             objective: Objective::MCut,
+            objectives: None,
+            migration: MigrationPolicyId::default(),
             seed: 1,
             steps: None,
             deadline_ms: None,
@@ -147,10 +163,53 @@ impl JobRequest {
         }
     }
 
+    /// The distinct objectives this job optimizes, in island order of
+    /// first appearance (a single-objective job yields one entry).
+    pub fn distinct_objectives(&self) -> Vec<Objective> {
+        match &self.objectives {
+            None => vec![self.objective],
+            Some(list) => {
+                let cycled: Vec<Objective> =
+                    (0..self.islands).map(|i| list[i % list.len()]).collect();
+                ff_engine::distinct_objectives(&cycled)
+            }
+        }
+    }
+
+    /// Whether the job runs more than one distinct objective (and its
+    /// `done` event therefore carries a Pareto front).
+    pub fn is_pareto(&self) -> bool {
+        self.distinct_objectives().len() > 1
+    }
+
     /// Extracts and validates a job from a parsed JSON object — the
     /// shared schema behind both the NDJSON `submit` op and the HTTP
     /// `POST /jobs` body, so the two transports can never drift apart.
+    ///
+    /// Unknown fields are rejected with an error naming the field — a
+    /// typo'd `objctives` must not silently run a different job than the
+    /// client believes it submitted.
     pub fn from_value(v: &Value) -> Result<JobRequest, String> {
+        const KNOWN_FIELDS: [&str; 11] = [
+            "op",
+            "instance",
+            "k",
+            "objective",
+            "objectives",
+            "migration",
+            "seed",
+            "steps",
+            "deadline_ms",
+            "islands",
+            "chunk",
+        ];
+        if let Some(object) = v.as_object() {
+            for (key, _) in object.iter() {
+                if !KNOWN_FIELDS.contains(&key.as_str()) && key != "assignment" {
+                    return Err(format!("submit: unknown field `{key}`"));
+                }
+            }
+        }
         let instance = get_str(v, "instance").ok_or("submit: missing `instance`")?;
         let k = get_u64(v, "k").ok_or("submit: missing or bad `k`")? as usize;
         let objective = match get_str(v, "objective") {
@@ -161,6 +220,28 @@ impl JobRequest {
         };
         let mut job = JobRequest::new(instance, k);
         job.objective = objective;
+        if let Some(items) = v.get("objectives").and_then(Value::as_array) {
+            let mut list = Vec::with_capacity(items.len());
+            for item in items {
+                let name = item
+                    .as_str()
+                    .ok_or("submit: `objectives` must be an array of objective names")?;
+                list.push(parse_objective(name).ok_or(format!(
+                    "submit: unknown objective `{name}` (cut|ncut|mcut)"
+                ))?);
+            }
+            if list.is_empty() {
+                return Err("submit: `objectives` must not be empty".into());
+            }
+            job.objectives = Some(list);
+        } else if v.get("objectives").is_some() {
+            return Err("submit: `objectives` must be an array of objective names".into());
+        }
+        if let Some(name) = get_str(v, "migration") {
+            job.migration = MigrationPolicyId::parse(&name).ok_or(format!(
+                "submit: unknown migration policy `{name}` (replace|combine|adaptive)"
+            ))?;
+        }
         job.seed = get_u64(v, "seed").unwrap_or(1);
         job.steps = get_u64(v, "steps");
         job.deadline_ms = get_u64(v, "deadline_ms");
@@ -175,6 +256,19 @@ impl JobRequest {
         }
         if job.chunk == 0 {
             return Err("submit: `chunk` must be at least 1".into());
+        }
+        if let Some(list) = &job.objectives {
+            // Cycling fewer islands than the list needs would silently
+            // never optimize some objective — e.g. ["cut","cut","mcut"]
+            // needs 3 islands before mcut gets one.
+            let needed = ff_engine::islands_to_cover(list);
+            if job.islands < needed {
+                return Err(format!(
+                    "submit: `objectives` needs at least {needed} islands so every \
+                     distinct objective gets an island (got {})",
+                    job.islands
+                ));
+            }
         }
         Ok(job)
     }
@@ -230,6 +324,15 @@ impl Request {
                     ("objective", s(objective_name(job.objective))),
                     ("seed", unum(job.seed)),
                 ];
+                if let Some(list) = &job.objectives {
+                    entries.push((
+                        "objectives",
+                        Value::Array(list.iter().map(|&o| s(objective_name(o))).collect()),
+                    ));
+                }
+                if job.migration != MigrationPolicyId::default() {
+                    entries.push(("migration", s(job.migration.name())));
+                }
                 if let Some(steps) = job.steps {
                     entries.push(("steps", unum(steps)));
                 }
@@ -315,6 +418,23 @@ impl JobStatus {
     }
 }
 
+/// One point of a multi-objective job's non-dominated front, carried in
+/// the `done` event's optional `pareto` array.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParetoPointInfo {
+    /// Island that produced the molecule.
+    pub island: usize,
+    /// The objective that island itself was minimizing.
+    pub objective: Objective,
+    /// The molecule scored under every objective of the job, as
+    /// `(objective, value)` pairs in the job's distinct-objective order.
+    pub values: Vec<(Objective, f64)>,
+    /// Non-empty parts of the molecule.
+    pub parts: usize,
+    /// The part id of every vertex, if the job asked for assignments.
+    pub assignment: Option<Vec<u32>>,
+}
+
 /// Final result of a job, carried by the `done` event.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DoneInfo {
@@ -323,7 +443,8 @@ pub struct DoneInfo {
     /// How the job ended. Cancelled/deadline jobs still carry their
     /// best-so-far solution.
     pub status: JobStatus,
-    /// Best objective value found.
+    /// Best objective value found (for a Pareto job: the representative
+    /// point's value under its own objective).
     pub value: f64,
     /// Non-empty parts in the returned partition.
     pub parts: usize,
@@ -335,6 +456,8 @@ pub struct DoneInfo {
     pub migrations: u64,
     /// The part id of every vertex, if the job asked for it.
     pub assignment: Option<Vec<u32>>,
+    /// The deterministic non-dominated front, for multi-objective jobs.
+    pub pareto: Option<Vec<ParetoPointInfo>>,
 }
 
 /// A server statistics snapshot, carried by the `stats` event. Every
@@ -387,6 +510,9 @@ pub struct Improvement {
     pub elapsed_ms: u64,
     /// Index of the island that found it (0 for single-island jobs).
     pub island: usize,
+    /// Which criterion `value` measures — set on multi-objective jobs,
+    /// where islands stream improvements under different objectives.
+    pub objective: Option<Objective>,
 }
 
 /// A server→client event.
@@ -500,14 +626,20 @@ impl Event {
                 ("retry_after_ms", unum(*retry_after_ms)),
                 ("in_flight", unum(*in_flight)),
             ]),
-            Event::Improvement(imp) => obj(vec![
-                ("event", s("improvement")),
-                ("job", unum(imp.job)),
-                ("value", num(imp.value)),
-                ("step", unum(imp.step)),
-                ("elapsed_ms", unum(imp.elapsed_ms)),
-                ("island", unum(imp.island as u64)),
-            ]),
+            Event::Improvement(imp) => {
+                let mut entries = vec![
+                    ("event", s("improvement")),
+                    ("job", unum(imp.job)),
+                    ("value", num(imp.value)),
+                    ("step", unum(imp.step)),
+                    ("elapsed_ms", unum(imp.elapsed_ms)),
+                    ("island", unum(imp.island as u64)),
+                ];
+                if let Some(o) = imp.objective {
+                    entries.push(("objective", s(objective_name(o))));
+                }
+                obj(entries)
+            }
             Event::Done(d) => {
                 let mut entries = vec![
                     ("event", s("done")),
@@ -524,6 +656,34 @@ impl Event {
                         "assignment",
                         Value::Array(a.iter().map(|&p| unum(p as u64)).collect()),
                     ));
+                }
+                if let Some(front) = &d.pareto {
+                    let points: Vec<Value> = front
+                        .iter()
+                        .map(|p| {
+                            let mut entries = vec![
+                                ("island", unum(p.island as u64)),
+                                ("objective", s(objective_name(p.objective))),
+                                (
+                                    "values",
+                                    obj(p
+                                        .values
+                                        .iter()
+                                        .map(|&(o, v)| (objective_name(o), num(v)))
+                                        .collect()),
+                                ),
+                                ("parts", unum(p.parts as u64)),
+                            ];
+                            if let Some(a) = &p.assignment {
+                                entries.push((
+                                    "assignment",
+                                    Value::Array(a.iter().map(|&q| unum(q as u64)).collect()),
+                                ));
+                            }
+                            obj(entries)
+                        })
+                        .collect();
+                    entries.push(("pareto", Value::Array(points)));
                 }
                 obj(entries)
             }
@@ -597,25 +757,65 @@ impl Event {
                 step: u("step")?,
                 elapsed_ms: u("elapsed_ms")?,
                 island: u("island").unwrap_or(0) as usize,
+                objective: get_str(&v, "objective").and_then(|name| parse_objective(&name)),
             })),
-            "done" => Ok(Event::Done(DoneInfo {
-                job: u("job")?,
-                status: get_str(&v, "status")
-                    .and_then(|name| JobStatus::parse(&name))
-                    .ok_or("done: missing or bad `status`")?,
-                value: get_f64(&v, "value").ok_or("done: missing `value`")?,
-                parts: u("parts")? as usize,
-                steps: u("steps")?,
-                elapsed_ms: u("elapsed_ms")?,
-                migrations: u("migrations").unwrap_or(0),
-                assignment: v.get("assignment").and_then(Value::as_array).map(|items| {
-                    items
-                        .iter()
-                        .filter_map(Value::as_u64)
-                        .map(|p| p as u32)
-                        .collect()
-                }),
-            })),
+            "done" => {
+                let assignment_of = |v: &Value| {
+                    v.get("assignment").and_then(Value::as_array).map(|items| {
+                        items
+                            .iter()
+                            .filter_map(Value::as_u64)
+                            .map(|p| p as u32)
+                            .collect::<Vec<u32>>()
+                    })
+                };
+                let pareto = match v.get("pareto").and_then(Value::as_array) {
+                    None => None,
+                    Some(items) => {
+                        let mut points = Vec::with_capacity(items.len());
+                        for item in items {
+                            let values = item
+                                .get("values")
+                                .and_then(Value::as_object)
+                                .ok_or("done: pareto point missing `values`")?
+                                .iter()
+                                .map(|(name, value)| {
+                                    let o = parse_objective(name)
+                                        .ok_or(format!("done: unknown objective `{name}`"))?;
+                                    let x = decode_f64(value)
+                                        .ok_or(format!("done: bad value for `{name}`"))?;
+                                    Ok((o, x))
+                                })
+                                .collect::<Result<Vec<(Objective, f64)>, String>>()?;
+                            points.push(ParetoPointInfo {
+                                island: get_u64(item, "island")
+                                    .ok_or("done: pareto point missing `island`")?
+                                    as usize,
+                                objective: get_str(item, "objective")
+                                    .and_then(|name| parse_objective(&name))
+                                    .ok_or("done: pareto point missing `objective`")?,
+                                values,
+                                parts: get_u64(item, "parts").unwrap_or(0) as usize,
+                                assignment: assignment_of(item),
+                            });
+                        }
+                        Some(points)
+                    }
+                };
+                Ok(Event::Done(DoneInfo {
+                    job: u("job")?,
+                    status: get_str(&v, "status")
+                        .and_then(|name| JobStatus::parse(&name))
+                        .ok_or("done: missing or bad `status`")?,
+                    value: get_f64(&v, "value").ok_or("done: missing `value`")?,
+                    parts: u("parts")? as usize,
+                    steps: u("steps")?,
+                    elapsed_ms: u("elapsed_ms")?,
+                    migrations: u("migrations").unwrap_or(0),
+                    assignment: assignment_of(&v),
+                    pareto,
+                }))
+            }
             "cancelling" => Ok(Event::Cancelling {
                 job: u("job")?,
                 known: v.get("known").and_then(Value::as_bool).unwrap_or(false),
@@ -678,6 +878,15 @@ mod tests {
                 seed: 7,
                 ..JobRequest::new("web", 4)
             }),
+            // Multi-objective Pareto job with a non-default migration
+            // policy: both new fields must survive the wire.
+            Request::Submit(JobRequest {
+                steps: Some(5_000),
+                islands: 4,
+                objectives: Some(vec![Objective::Cut, Objective::NCut, Objective::MCut]),
+                migration: MigrationPolicyId::Combine,
+                ..JobRequest::new("web", 4)
+            }),
             // Integers above 2^53 (an "unbounded" budget, a full-width
             // seed) must round-trip exactly, not round through f64.
             Request::Submit(JobRequest {
@@ -720,15 +929,18 @@ mod tests {
                 step: 900,
                 elapsed_ms: 15,
                 island: 2,
+                objective: None,
             }),
             // Non-finite objective values must survive the wire (a part
-            // with no internal weight has infinite Mcut).
+            // with no internal weight has infinite Mcut); multi-objective
+            // improvements carry the finding island's criterion.
             Event::Improvement(Improvement {
                 job: 3,
                 value: f64::INFINITY,
                 step: 1,
                 elapsed_ms: 0,
                 island: 0,
+                objective: Some(Objective::NCut),
             }),
             Event::Done(DoneInfo {
                 job: 3,
@@ -739,6 +951,35 @@ mod tests {
                 elapsed_ms: 250,
                 migrations: 2,
                 assignment: Some(vec![0, 1, 1, 0]),
+                pareto: None,
+            }),
+            // A Pareto job's done event: the non-dominated front rides
+            // along, objective vectors keyed by objective name.
+            Event::Done(DoneInfo {
+                job: 4,
+                status: JobStatus::Completed,
+                value: 2.0,
+                parts: 4,
+                steps: 40_000,
+                elapsed_ms: 125,
+                migrations: 1,
+                assignment: Some(vec![0, 1, 0, 1]),
+                pareto: Some(vec![
+                    ParetoPointInfo {
+                        island: 0,
+                        objective: Objective::Cut,
+                        values: vec![(Objective::Cut, 2.0), (Objective::MCut, f64::INFINITY)],
+                        parts: 4,
+                        assignment: Some(vec![0, 1, 0, 1]),
+                    },
+                    ParetoPointInfo {
+                        island: 1,
+                        objective: Objective::MCut,
+                        values: vec![(Objective::Cut, 3.0), (Objective::MCut, 0.25)],
+                        parts: 4,
+                        assignment: None,
+                    },
+                ]),
             }),
             Event::Cancelling {
                 job: 3,
@@ -788,6 +1029,32 @@ mod tests {
             .contains("islands"));
         let zero_chunk = r#"{"op":"submit","instance":"g","k":2,"steps":10,"chunk":0}"#;
         assert!(Request::parse(zero_chunk).unwrap_err().contains("chunk"));
+        let empty_objectives = r#"{"op":"submit","instance":"g","k":2,"steps":10,"objectives":[]}"#;
+        assert!(Request::parse(empty_objectives)
+            .unwrap_err()
+            .contains("objectives"));
+        // Fewer islands than distinct objectives would silently drop one.
+        let starved = r#"{"op":"submit","instance":"g","k":2,"steps":10,"islands":1,"objectives":["cut","mcut"]}"#;
+        assert!(Request::parse(starved).unwrap_err().contains("islands"));
+        let bad_policy = r#"{"op":"submit","instance":"g","k":2,"steps":10,"migration":"osmosis"}"#;
+        assert!(Request::parse(bad_policy)
+            .unwrap_err()
+            .contains("migration"));
+    }
+
+    #[test]
+    fn unknown_submit_fields_are_rejected_by_name() {
+        // The satellite fix: a typo'd field must be named, not ignored.
+        let typo = r#"{"op":"submit","instance":"g","k":2,"steps":10,"objctives":["cut"]}"#;
+        let err = Request::parse(typo).unwrap_err();
+        assert!(err.contains("unknown field"), "{err}");
+        assert!(err.contains("objctives"), "{err}");
+        // All documented fields still pass.
+        let full = r#"{"op":"submit","instance":"g","k":2,"steps":10,"deadline_ms":50,
+            "objective":"cut","objectives":["cut","ncut"],"migration":"adaptive","seed":3,
+            "islands":2,"chunk":64,"assignment":false}"#
+            .replace('\n', " ");
+        assert!(Request::parse(&full).is_ok(), "{:?}", Request::parse(&full));
     }
 
     #[test]

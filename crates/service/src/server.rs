@@ -494,6 +494,16 @@ pub(crate) fn submit_job(
             job: None,
         };
     }
+    // Full engine-level validation up front: the driver thread must never
+    // panic on a config the wire schema happened to allow — the typed
+    // error goes back to the client instead.
+    if let Err(e) = crate::job::validate_job(&spec, graph.graph()) {
+        release_slot();
+        return Event::Error {
+            message: format!("invalid job configuration: {e}"),
+            job: None,
+        };
+    }
     state.submitted.fetch_add(1, Ordering::Relaxed);
     if let Some(log) = &log {
         state.logs.lock().unwrap().insert(job_id, log.clone());

@@ -285,6 +285,65 @@ fn ndjson_and_http_partitions_are_byte_identical() {
     handle_b.join().unwrap();
 }
 
+/// ISSUE acceptance: a mixed-objective job's `done` event carries the
+/// same deterministic Pareto front over HTTP as over NDJSON, and a
+/// typo'd field in the HTTP job body is a named 400, not silently
+/// ignored.
+#[test]
+fn http_pareto_front_matches_ndjson_and_unknown_fields_are_400() {
+    let data = instance_data();
+    let job_json = r#"{"instance":"geo60","k":4,"seed":7,"steps":3000,"chunk":300,"islands":4,"objectives":["cut","ncut","mcut"]}"#;
+    let handle = start_http_server(ServerConfig::with_workers(2));
+    let http_addr = handle.http_addr().unwrap();
+
+    // NDJSON reference.
+    let mut ndjson = Client::connect(handle.addr()).unwrap();
+    ndjson
+        .load("geo60", GraphSource::Data(data.clone()), GraphFormat::Metis)
+        .unwrap();
+    let job = JobRequest {
+        steps: Some(3_000),
+        seed: 7,
+        chunk: 300,
+        islands: 4,
+        objectives: Some(vec![
+            ff_partition::Objective::Cut,
+            ff_partition::Objective::NCut,
+            ff_partition::Objective::MCut,
+        ]),
+        ..JobRequest::new("geo60", 4)
+    };
+    let id = ndjson.submit(&job).unwrap();
+    let (_, done_ndjson) = ndjson.wait_done(id).unwrap();
+    let front_ndjson = done_ndjson.pareto.expect("ndjson front");
+
+    // Same job over HTTP.
+    let (status, accepted) = submit_http(http_addr, job_json);
+    assert_eq!(status, 202);
+    let http_job = match accepted {
+        Event::Accepted { job, .. } => job,
+        other => panic!("expected accepted, got {other:?}"),
+    };
+    let done_http = match stream_job_events(http_addr, http_job).last() {
+        Some(Event::Done(d)) => d.clone(),
+        other => panic!("expected done, got {other:?}"),
+    };
+    let front_http = done_http.pareto.expect("http front");
+    assert_eq!(front_ndjson, front_http, "fronts must agree bit-for-bit");
+    assert!(!front_http.is_empty());
+    assert_eq!(done_ndjson.assignment, done_http.assignment);
+
+    // A typo'd field is named in a 400, never silently dropped.
+    let typo = r#"{"instance":"geo60","k":4,"steps":100,"objctives":["cut"]}"#;
+    let (status, _, reply) = http(http_addr, "POST", "/jobs", typo);
+    assert_eq!(status, 400, "reply: {reply}");
+    assert!(reply.contains("unknown field"), "reply: {reply}");
+    assert!(reply.contains("objctives"), "reply: {reply}");
+
+    Client::connect(handle.addr()).unwrap().shutdown().unwrap();
+    handle.join().unwrap();
+}
+
 /// Admission control speaks HTTP: overflow is `429 Too Many Requests`
 /// with a `Retry-After` header and the typed `rejected` body.
 #[test]

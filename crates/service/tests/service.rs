@@ -387,19 +387,20 @@ fn ensemble_jobs_work_over_the_wire() {
     // The streamed ensemble-level values strictly improve.
     let values: Vec<f64> = improvements.iter().map(|i| i.value).collect();
     assert!(values.windows(2).all(|w| w[1] < w[0]));
-    // And the result is the deterministic library-level ensemble result.
+    // And the result is the deterministic library-level solver result.
     let g = ff_graph::io::read_metis(instance_data().as_bytes()).unwrap();
-    let cfg = ff_engine::EnsembleConfig {
-        islands: 3,
-        max_threads: 1,
-        migration_interval: 512,
-        base: ff_core::FusionFissionConfig {
+    let direct = ff_engine::Solver::on(&g)
+        .config(ff_core::FusionFissionConfig {
             objective: ff_partition::Objective::MCut,
             stop: ff_metaheur::StopCondition::steps(4_000),
             ..ff_core::FusionFissionConfig::standard(4)
-        },
-    };
-    let direct = ff_engine::Ensemble::new(&g, cfg, 17).run();
+        })
+        .islands(3)
+        .threads(1)
+        .migration_interval(512)
+        .seed(17)
+        .run()
+        .unwrap();
     assert_eq!(done.value, direct.best_value);
     assert_eq!(
         done.assignment.as_deref().unwrap(),

@@ -1,14 +1,14 @@
-//! Island-ensemble fusion–fission: N independently seeded searches with
-//! periodic best-molecule exchange (KaFFPaE-style), reduced
-//! deterministically — same root seed, same answer, any thread count.
+//! Island-ensemble fusion–fission through the `Solver` builder: N
+//! independently seeded searches with periodic best-molecule exchange
+//! (KaFFPaE-style), reduced deterministically — same root seed, same
+//! answer, any thread count.
 //!
 //! ```text
 //! cargo run --release --example ensemble
 //! ```
 
+use fusionfission::engine::{Combine, Solver};
 use fusionfission::graph::generators::planted_partition;
-use fusionfission::metaheur::StopCondition;
-use fusionfission::prelude::*;
 use std::time::Instant;
 
 fn main() {
@@ -22,17 +22,17 @@ fn main() {
 
     // A per-island step budget makes every run below a pure function of
     // the root seed: reproducible regardless of scheduling.
-    let base = FusionFissionConfig {
-        stop: StopCondition::steps(12_000),
-        ..FusionFissionConfig::standard(6)
-    };
-
     let mut single_best = f64::INFINITY;
     for islands in [1usize, 4] {
-        let mut cfg = EnsembleConfig::new(base, islands);
-        cfg.migration_interval = 1_000;
         let started = Instant::now();
-        let res = Ensemble::new(&g, cfg, 42).run();
+        let res = Solver::on(&g)
+            .k(6)
+            .islands(islands)
+            .steps(12_000)
+            .migration_interval(1_000)
+            .seed(42)
+            .run()
+            .expect("valid configuration");
         let elapsed = started.elapsed();
         println!(
             "{islands} island(s): best Mcut {:.4} in {:.2?} wall \
@@ -62,4 +62,21 @@ fn main() {
             );
         }
     }
+
+    // The migration policy is pluggable: KaFFPaE-style combine crossover
+    // intersects the donor's molecule with each island's own best and
+    // re-fuses only the disagreement region.
+    let res = Solver::on(&g)
+        .k(6)
+        .islands(4)
+        .migration(Combine)
+        .steps(12_000)
+        .migration_interval(1_000)
+        .seed(42)
+        .run()
+        .expect("valid configuration");
+    println!(
+        "\n4 islands, combine policy: best Mcut {:.4} ({} crossover offers adopted)",
+        res.best_value, res.migrations_adopted
+    );
 }

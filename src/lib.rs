@@ -12,7 +12,7 @@
 //! | [`multilevel`] (`ff-multilevel`) | heavy-edge multilevel partitioner |
 //! | [`metaheur`] (`ff-metaheur`) | simulated annealing, ant colony, percolation |
 //! | [`core`] (`ff-core`) | the fusion–fission metaheuristic itself |
-//! | [`engine`] (`ff-engine`) | parallel multi-seed island ensemble with best-molecule migration |
+//! | [`engine`] (`ff-engine`) | the pluggable `Solver` engine: island ensembles with swappable migration policies and min-energy/Pareto reductions |
 //! | [`service`] (`ff-service`) | multi-client partition server: NDJSON + HTTP/1.1 front-ends, admission control, byte-budgeted LRU instance cache, streaming anytime results, cancel/deadline |
 //! | [`atc`] (`ff-atc`) | synthetic European-airspace FABOP workload |
 //!
@@ -44,8 +44,13 @@ pub use ff_spectral as spectral;
 /// One-stop imports for the common workflow: build/generate a graph, run a
 /// partitioner, evaluate objectives.
 pub mod prelude {
-    pub use ff_core::{FusionFission, FusionFissionConfig, FusionFissionResult};
-    pub use ff_engine::{Ensemble, EnsembleConfig, EnsembleResult};
+    pub use ff_core::{ConfigError, FusionFission, FusionFissionConfig, FusionFissionResult};
+    pub use ff_engine::{
+        Adaptive, Combine, EnsembleResult, MigrationPolicy, MigrationPolicyId, MinEnergy,
+        ParetoFront, ParetoResult, ReplaceIfBetter, Solver, SolverRun,
+    };
+    #[allow(deprecated)]
+    pub use ff_engine::{Ensemble, EnsembleConfig};
     pub use ff_graph::{Graph, GraphBuilder};
     pub use ff_metaheur::{
         ant::{AntColony, AntColonyConfig},

@@ -87,10 +87,14 @@ fn ensemble_is_thread_schedule_independent() {
     let base = FusionFissionConfig::fast(5);
     for islands in [1usize, 4] {
         let run = |max_threads: usize| {
-            let mut cfg = EnsembleConfig::new(base, islands);
-            cfg.migration_interval = 400;
-            cfg.max_threads = max_threads;
-            Ensemble::new(g, cfg, 99).run()
+            Solver::on(g)
+                .config(base)
+                .islands(islands)
+                .migration_interval(400)
+                .threads(max_threads)
+                .seed(99)
+                .run()
+                .unwrap()
         };
         // Two invocations with the same root seed are identical…
         let a = run(0);
@@ -112,6 +116,56 @@ fn ensemble_is_thread_schedule_independent() {
             .fold(f64::INFINITY, f64::min);
         assert_eq!(a.best_value, min);
         assert_eq!(a.islands.len(), islands);
+    }
+}
+
+#[test]
+fn solver_policies_and_pareto_are_deterministic() {
+    use fusionfission::partition::{dominates, Objective};
+    let inst = FabopInstance::scaled(100, &FabopConfig::default());
+    let g = &inst.graph;
+    // Every migration policy re-runs byte-identically.
+    for policy in [
+        MigrationPolicyId::ReplaceIfBetter,
+        MigrationPolicyId::Combine,
+        MigrationPolicyId::Adaptive,
+    ] {
+        let run = || {
+            Solver::on(g)
+                .config(FusionFissionConfig::fast(5))
+                .islands(3)
+                .migration(policy.build())
+                .migration_interval(300)
+                .seed(17)
+                .run()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best.assignment(), b.best.assignment(), "{policy:?}");
+        assert_eq!(a.migrations_adopted, b.migrations_adopted, "{policy:?}");
+    }
+    // A mixed-objective run returns a deterministic non-dominated front.
+    let run = || {
+        Solver::on(g)
+            .config(FusionFissionConfig::fast(5))
+            .islands(3)
+            .objectives([Objective::Cut, Objective::NCut, Objective::MCut])
+            .reduction(ParetoFront)
+            .seed(23)
+            .run()
+            .unwrap()
+    };
+    let (a, b) = (run(), run());
+    let (fa, fb) = (a.pareto.unwrap(), b.pareto.unwrap());
+    assert_eq!(fa.points.len(), fb.points.len());
+    for (x, y) in fa.points.iter().zip(&fb.points) {
+        assert_eq!(x.island, y.island);
+        assert_eq!(x.values, y.values);
+    }
+    for x in &fa.points {
+        for y in &fa.points {
+            assert!(x.island == y.island || !dominates(&x.values, &y.values));
+        }
     }
 }
 
