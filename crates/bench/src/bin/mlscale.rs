@@ -1,0 +1,193 @@
+//! Multilevel scaling harness: does `Solver::multilevel` dominate flat
+//! fusion–fission on quality-vs-wall-clock for 10^5–10^6-vertex graphs?
+//!
+//! Two modes:
+//!
+//! ```text
+//! # Write a sparse planted-partition instance as a METIS file (for the
+//! # CLI smoke and ad-hoc experiments):
+//! cargo run -p ff-bench --release --bin mlscale -- gen out.graph \
+//!     [--groups 100] [--group-size 1000] [--p-in 0.008] [--p-out 2e-5] \
+//!     [--seed 1]
+//!
+//! # Head-to-head on the same in-memory instance: flat FF and multilevel
+//! # FF get the *same* per-island step budget; report value + wall-clock
+//! # for both. With --assert, fail unless multilevel matches flat's final
+//! # energy in ≤ 25% of flat's wall-clock (the ISSUE acceptance bar):
+//! cargo run -p ff-bench --release --bin mlscale -- compare \
+//!     [--groups 100] [--group-size 1000] [--p-in 0.008] [--p-out 2e-5] \
+//!     [--k 8] [--steps 20000] [--islands 2] [--seed 1] \
+//!     [--coarsen-until 3000] [--objective cut] [--assert]
+//! ```
+//!
+//! Both runs are purely step-bounded, so each side's *partition* is
+//! deterministic; only the wall-clock ratio varies by machine.
+
+use ff_engine::{MultilevelOpts, Solver};
+use ff_graph::generators::planted_partition_sparse;
+use ff_graph::Graph;
+use ff_partition::Objective;
+use std::time::Instant;
+
+struct Params {
+    groups: usize,
+    group_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+    k: usize,
+    steps: u64,
+    islands: usize,
+    coarsen_until: usize,
+    objective: Objective,
+    assert_bar: bool,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params {
+            groups: 100,
+            group_size: 1000,
+            p_in: 0.008,
+            p_out: 2e-5,
+            seed: 1,
+            k: 8,
+            steps: 20_000,
+            islands: 2,
+            coarsen_until: 3000,
+            objective: Objective::Cut,
+            assert_bar: false,
+        }
+    }
+}
+
+fn parse_params(args: &[String]) -> Params {
+    let mut p = Params::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().expect("flag needs a value");
+        match flag.as_str() {
+            "--groups" => p.groups = val().parse().expect("bad --groups"),
+            "--group-size" => p.group_size = val().parse().expect("bad --group-size"),
+            "--p-in" => p.p_in = val().parse().expect("bad --p-in"),
+            "--p-out" => p.p_out = val().parse().expect("bad --p-out"),
+            "--seed" => p.seed = val().parse().expect("bad --seed"),
+            "--k" => p.k = val().parse().expect("bad --k"),
+            "--steps" => p.steps = val().parse().expect("bad --steps"),
+            "--islands" => p.islands = val().parse().expect("bad --islands"),
+            "--coarsen-until" => p.coarsen_until = val().parse().expect("bad --coarsen-until"),
+            "--objective" => {
+                p.objective = match val().as_str() {
+                    "cut" => Objective::Cut,
+                    "ncut" => Objective::NCut,
+                    "mcut" => Objective::MCut,
+                    other => panic!("unknown objective {other}"),
+                }
+            }
+            "--assert" => p.assert_bar = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    p
+}
+
+fn generate(p: &Params) -> Graph {
+    let started = Instant::now();
+    let g = planted_partition_sparse(p.groups, p.group_size, p.p_in, p.p_out, p.seed);
+    eprintln!(
+        "mlscale: generated {} vertices, {} edges in {:.2}s",
+        g.num_vertices(),
+        g.num_edges(),
+        started.elapsed().as_secs_f64()
+    );
+    g
+}
+
+fn base_solver<'g>(g: &'g Graph, p: &Params) -> Solver<'g> {
+    Solver::on(g)
+        .k(p.k)
+        .objective(p.objective)
+        .islands(p.islands)
+        .steps(p.steps)
+        .seed(p.seed)
+}
+
+fn compare(p: &Params) -> bool {
+    let g = generate(p);
+
+    let started = Instant::now();
+    let flat = base_solver(&g, p).run().expect("flat config");
+    let t_flat = started.elapsed();
+    println!(
+        "flat:       value {:.6}  time {:.2}s  steps {}",
+        flat.best_value,
+        t_flat.as_secs_f64(),
+        flat.steps
+    );
+
+    let started = Instant::now();
+    let ml = base_solver(&g, p)
+        .multilevel(MultilevelOpts {
+            coarsen_until: p.coarsen_until,
+            ..Default::default()
+        })
+        .run()
+        .expect("multilevel config");
+    let t_ml = started.elapsed();
+    let info = ml.multilevel.as_ref().expect("multilevel pipeline ran");
+    println!(
+        "multilevel: value {:.6}  time {:.2}s  steps {}  ({} levels, coarse {} vertices)",
+        ml.best_value,
+        t_ml.as_secs_f64(),
+        ml.steps,
+        info.levels,
+        info.coarse_vertices
+    );
+    let ratio = t_ml.as_secs_f64() / t_flat.as_secs_f64();
+    println!(
+        "speed ratio {:.3} (multilevel / flat wall-clock), quality delta {:+.6}",
+        ratio,
+        ml.best_value - flat.best_value
+    );
+
+    let quality_ok = ml.best_value <= flat.best_value;
+    let time_ok = ratio <= 0.25;
+    if p.assert_bar {
+        if !quality_ok {
+            eprintln!(
+                "mlscale: FAIL — multilevel value {:.6} worse than flat {:.6}",
+                ml.best_value, flat.best_value
+            );
+        }
+        if !time_ok {
+            eprintln!("mlscale: FAIL — wall-clock ratio {ratio:.3} > 0.25");
+        }
+    }
+    quality_ok && time_ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let out = args.get(1).expect("gen needs an output path");
+            let p = parse_params(&args[2..]);
+            let g = generate(&p);
+            let file = std::fs::File::create(out).expect("cannot create output file");
+            let mut w = std::io::BufWriter::new(file);
+            ff_graph::io::write_metis(&g, &mut w).expect("write failed");
+            eprintln!("mlscale: wrote {out}");
+        }
+        Some("compare") => {
+            let p = parse_params(&args[1..]);
+            let ok = compare(&p);
+            if p.assert_bar && !ok {
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!("usage: mlscale gen <out.graph> [params] | mlscale compare [params]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -42,6 +42,9 @@
 //!                            the objective count for Pareto jobs)
 //!   --migration NAME         replace | combine | adaptive      (default replace)
 //!   --chunk N                cooperative scheduling quantum    (default 512)
+//!   --multilevel             coarsen→solve→uncoarsen+refine server-side
+//!                            (engine default coarse target)
+//!   --coarsen-until N        multilevel coarse target (implies --multilevel)
 //!   --instance NAME          cache key                 (default: graph path)
 //!   -f, --format NAME        metis | edgelist                  (default metis)
 //!   -w, --write PATH         write the final partition (.part format)
@@ -74,6 +77,12 @@
 //!                            replace | combine | adaptive      (default replace)
 //!   --threads N              concurrent OS threads for the ensemble
 //!                            (default: one per island)
+//!   --multilevel             accelerate ff on big graphs: coarsen by
+//!                            heavy-edge matching, run the ensemble on the
+//!                            coarse graph, uncoarsen with refinement
+//!                            (method ff only; deterministic with --steps)
+//!   --coarsen-until N        multilevel coarse-graph target size
+//!                            (implies --multilevel; default 3000)
 //!   -f, --format NAME        metis | edgelist                  (default metis)
 //!   -w, --write PATH         write the partition (.part format)
 //!   -r, --repair             repair disconnected parts before reporting
@@ -97,7 +106,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: ffpart <graph> -k <parts> [-m method] [-o objective[,objective…]] \
 [-b budget-secs] [--steps n] [-s seed] [-j islands] [--migration replace|combine|adaptive] \
-[--threads n] [-f metis|edgelist] [-w out.part] [-r] [-q]\n       \
+[--threads n] [--multilevel] [--coarsen-until n] [-f metis|edgelist] [-w out.part] [-r] [-q]\n       \
 ffpart serve [--listen addr] [--workers n] [--max-jobs n] \
 [--max-jobs-per-conn n] [--cache-bytes n] [--http [addr]] [--stdio]\n       \
 ffpart submit --connect addr <graph> -k <parts> [--steps n] [--deadline-ms n] …\n\
@@ -114,6 +123,8 @@ struct Args {
     seed: u64,
     islands: usize,
     threads: usize,
+    multilevel: bool,
+    coarsen_until: Option<usize>,
     format: String,
     write: Option<String>,
     repair: bool,
@@ -200,6 +211,8 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 1u64;
     let mut islands = 1usize;
     let mut threads = 0usize;
+    let mut multilevel = false;
+    let mut coarsen_until = None;
     let mut format = "metis".to_string();
     let mut write = None;
     let mut repair = false;
@@ -251,6 +264,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad threads".to_string())?
             }
+            "--multilevel" => multilevel = true,
+            "--coarsen-until" => {
+                multilevel = true;
+                coarsen_until = Some(
+                    val("--coarsen-until")?
+                        .parse()
+                        .map_err(|_| "bad --coarsen-until value".to_string())?,
+                );
+            }
             "-f" | "--format" => format = val("-f")?,
             "-w" | "--write" => write = Some(val("-w")?),
             "-r" | "--repair" => repair = true,
@@ -276,6 +298,8 @@ fn parse_args() -> Result<Args, String> {
         seed,
         islands,
         threads,
+        multilevel,
+        coarsen_until,
         format,
         write,
         repair,
@@ -401,6 +425,8 @@ fn submit_main(args: &[String]) -> ExitCode {
     let mut seed = 1u64;
     let mut islands = 1usize;
     let mut chunk = ff_service::DEFAULT_CHUNK;
+    let mut multilevel = false;
+    let mut coarsen_until: Option<u64> = None;
     let mut instance: Option<String> = None;
     let mut format = "metis".to_string();
     let mut write: Option<String> = None;
@@ -455,6 +481,11 @@ fn submit_main(args: &[String]) -> ExitCode {
             "-s" | "--seed" => seed = parse_of!("-s"),
             "-j" | "--islands" => islands = parse_of!("-j"),
             "--chunk" => chunk = parse_of!("--chunk"),
+            "--multilevel" => multilevel = true,
+            "--coarsen-until" => {
+                multilevel = true;
+                coarsen_until = Some(parse_of!("--coarsen-until"));
+            }
             "--instance" => instance = Some(value_of!("--instance")),
             "-f" | "--format" => format = value_of!("-f"),
             "-w" | "--write" => write = Some(value_of!("-w")),
@@ -528,6 +559,8 @@ fn submit_main(args: &[String]) -> ExitCode {
         islands,
         chunk,
         assignment: true,
+        // `0` asks the server for the engine's default coarse target.
+        multilevel: multilevel.then(|| coarsen_until.unwrap_or(0)),
     };
     let id = match client.submit(&job) {
         Ok(id) => id,
@@ -670,6 +703,17 @@ fn main() -> ExitCode {
         eprintln!("ffpart: multi-objective runs need -m ff");
         return ExitCode::from(2);
     }
+    if args.multilevel && args.method != MethodId::FusionFission {
+        eprintln!("ffpart: --multilevel needs -m ff (it accelerates the fusion–fission engine)");
+        return ExitCode::from(2);
+    }
+    let ml_opts = args.multilevel.then(|| {
+        let mut opts = ff_engine::MultilevelOpts::default();
+        if let Some(n) = args.coarsen_until {
+            opts.coarsen_until = n;
+        }
+        opts
+    });
     // Cycling the objective list needs enough islands that every
     // distinct objective gets one (duplicates in the list weight the
     // cycle, so this can exceed the distinct count).
@@ -725,7 +769,7 @@ fn main() -> ExitCode {
         // continue with the representative (best under the primary —
         // first — objective) for the per-part report and -w.
         let started = std::time::Instant::now();
-        let result = Solver::on(&g)
+        let mut solver = Solver::on(&g)
             .k(args.k)
             .objectives(args.objectives.clone())
             .islands(islands)
@@ -733,15 +777,23 @@ fn main() -> ExitCode {
             .migration(args.migration.build())
             .reduction(ParetoFront)
             .stop(StopCondition::new(budget.steps, budget.time))
-            .seed(args.seed)
-            .run();
-        let result = match result {
+            .seed(args.seed);
+        if let Some(opts) = ml_opts {
+            solver = solver.multilevel(opts);
+        }
+        let result = match solver.run() {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("ffpart: invalid configuration: {e}");
                 return ExitCode::from(2);
             }
         };
+        if let Some(info) = &result.multilevel {
+            eprintln!(
+                "ffpart: multilevel: {} levels, coarse {} vertices",
+                info.levels, info.coarse_vertices
+            );
+        }
         let front: &ParetoResult = result.pareto.as_ref().expect("pareto reduction ran");
         let rows: Vec<FrontRow> = front
             .points
@@ -761,6 +813,33 @@ fn main() -> ExitCode {
             })
             .collect();
         print_front(&rows);
+        (result.best.clone(), started.elapsed())
+    } else if let Some(opts) = ml_opts {
+        // Multilevel ff drives the Solver directly; `run_method_ensemble`
+        // stays the flat path so existing pinned outputs are untouched.
+        let started = std::time::Instant::now();
+        let result = Solver::on(&g)
+            .k(args.k)
+            .objective(args.objectives[0])
+            .islands(islands)
+            .threads(args.threads)
+            .migration(args.migration.build())
+            .stop(StopCondition::new(budget.steps, budget.time))
+            .seed(args.seed)
+            .multilevel(opts)
+            .run();
+        let result = match result {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("ffpart: invalid configuration: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let info = result.multilevel.as_ref().expect("multilevel pipeline ran");
+        eprintln!(
+            "ffpart: multilevel: {} levels, coarse {} vertices",
+            info.levels, info.coarse_vertices
+        );
         (result.best.clone(), started.elapsed())
     } else {
         let out = run_method_ensemble(

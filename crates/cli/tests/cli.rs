@@ -138,6 +138,84 @@ fn island_ensemble_is_byte_identical_across_invocations() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Satellite: `--multilevel` one-shot runs are byte-identical across
+/// reruns *and* thread caps, print the level banner, and refuse
+/// non-ff methods with a usage error.
+#[test]
+fn multilevel_run_is_byte_identical_across_reruns_and_thread_caps() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-ml-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // 240 vertices — big enough to coarsen through real levels.
+    let g = ff_graph::generators::planted_partition(4, 60, 0.2, 0.01, 9);
+    let graph = dir.join("pp.graph");
+    let mut f = std::fs::File::create(&graph).unwrap();
+    ff_graph::io::write_metis(&g, &mut f).unwrap();
+    drop(f);
+
+    let run = |out: &std::path::Path, threads: &str| {
+        let output = ffpart()
+            .args([
+                graph.to_str().unwrap(),
+                "-k",
+                "4",
+                "-m",
+                "ff",
+                "--steps",
+                "2000",
+                "-s",
+                "7",
+                "--islands",
+                "2",
+                "--threads",
+                threads,
+                "--multilevel",
+                "--coarsen-until",
+                "60",
+                "-q",
+                "-w",
+                out.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("multilevel:") && stderr.contains("coarse"),
+            "level banner missing: {stderr}"
+        );
+    };
+    let (a, b, c) = (dir.join("a.part"), dir.join("b.part"), dir.join("c.part"));
+    run(&a, "1");
+    run(&b, "4");
+    run(&c, "1");
+    let pa = std::fs::read(&a).unwrap();
+    assert_eq!(pa.len(), 240 * 2, "one digit + newline per vertex");
+    assert_eq!(pa, std::fs::read(&b).unwrap(), "threads 1 vs 4 must agree");
+    assert_eq!(pa, std::fs::read(&c).unwrap(), "rerun must agree");
+
+    // --multilevel only accelerates the ff engine.
+    let output = ffpart()
+        .args([
+            graph.to_str().unwrap(),
+            "-k",
+            "4",
+            "-m",
+            "sa",
+            "--steps",
+            "100",
+            "--multilevel",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--multilevel needs -m ff"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// One deterministic front, printed identically on every invocation, for
 /// a mixed-objective one-shot run — and the `done`-event front from a
 /// served job with the same parameters must agree line for line (the
@@ -514,6 +592,73 @@ fn serve_and_submit_roundtrip_deterministically_with_cancel() {
     assert_eq!(std::fs::read_to_string(&c).unwrap().lines().count(), 6);
 
     // Shut the server down cleanly over the protocol.
+    ff_service::Client::connect(&*addr)
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    drop(guard);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: `ffpart submit --multilevel` runs the coarsen→solve→refine
+/// pipeline server-side and reproduces byte-identically on resubmit.
+#[test]
+fn submit_multilevel_job_reproduces_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-submit-ml-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let g = ff_graph::generators::planted_partition(4, 60, 0.2, 0.01, 9);
+    let graph = dir.join("pp.graph");
+    let mut f = std::fs::File::create(&graph).unwrap();
+    ff_graph::io::write_metis(&g, &mut f).unwrap();
+    drop(f);
+    let (guard, addr) = spawn_server();
+
+    let submit = |out: &std::path::Path| {
+        let output = ffpart()
+            .args([
+                "submit",
+                "--connect",
+                &addr,
+                graph.to_str().unwrap(),
+                "-k",
+                "4",
+                "-s",
+                "3",
+                "--steps",
+                "2000",
+                "-j",
+                "2",
+                "--multilevel",
+                "--coarsen-until",
+                "60",
+                "-q",
+                "-w",
+                out.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&output.stdout).contains("status=completed"),
+            "stdout: {}",
+            String::from_utf8_lossy(&output.stdout)
+        );
+    };
+    let (a, b) = (dir.join("a.part"), dir.join("b.part"));
+    submit(&a);
+    submit(&b);
+    let pa = std::fs::read(&a).unwrap();
+    assert_eq!(
+        pa.len(),
+        240 * 2,
+        "fine-graph partition, one line per vertex"
+    );
+    assert_eq!(pa, std::fs::read(&b).unwrap(), "resubmit must reproduce");
+
     ff_service::Client::connect(&*addr)
         .unwrap()
         .shutdown()

@@ -46,6 +46,15 @@ pub enum ConfigError {
         /// Minimum islands so every distinct objective gets one.
         needed: usize,
     },
+    /// A multilevel coarsening target of 0 vertices.
+    ZeroCoarsenTarget,
+    /// Multilevel mode combined with a warm-start partition: the initial
+    /// partition lives on the fine graph, but the search runs on the
+    /// coarse one.
+    MultilevelWithInitial,
+    /// Multilevel mode requested on the resumable `start()` path: the
+    /// V-cycle owns the epoch loop, so only `run()` supports it.
+    MultilevelNotResumable,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -69,6 +78,21 @@ impl std::fmt::Display for ConfigError {
                 "the objective list needs at least {needed} islands so every \
                  distinct objective gets an island (got {islands})"
             ),
+            ConfigError::ZeroCoarsenTarget => {
+                write!(f, "multilevel coarsening target must be positive")
+            }
+            ConfigError::MultilevelWithInitial => {
+                write!(
+                    f,
+                    "multilevel cannot be combined with a warm-start partition"
+                )
+            }
+            ConfigError::MultilevelNotResumable => {
+                write!(
+                    f,
+                    "multilevel runs are not resumable; use run() instead of start()"
+                )
+            }
         }
     }
 }

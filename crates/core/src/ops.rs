@@ -108,8 +108,18 @@ pub fn weakest_nucleons(st: &CutState, part: u32, count: usize) -> Vec<VertexId>
             (binding, v)
         })
         .collect();
-    scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
-    scored.into_iter().take(take).map(|(_, v)| v).collect()
+    // Partition the `take` smallest to the front, then order only that
+    // prefix — same output as a full sort (the (binding, id) key is a total
+    // order), O(n + take·log take) instead of O(n·log n).
+    let cmp = |x: &(f64, VertexId), y: &(f64, VertexId)| {
+        x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1))
+    };
+    if take < scored.len() {
+        scored.select_nth_unstable_by(take, cmp);
+        scored.truncate(take);
+    }
+    scored.sort_by(cmp);
+    scored.into_iter().map(|(_, v)| v).collect()
 }
 
 /// Absorbs nucleon `v` into its best-connected *other* atom ("nfusion").

@@ -114,8 +114,17 @@ pub struct EnsembleResult {
     /// primary objective's islands.
     pub best_value_per_k: BTreeMap<usize, f64>,
     /// The deterministic non-dominated front, when the run used the
-    /// [`ParetoFront`](crate::ParetoFront) reduction.
+    /// [`ParetoFront`](crate::ParetoFront) reduction. Under
+    /// [`Solver::multilevel`](crate::Solver::multilevel) the points are
+    /// fine-graph partitions (each refined under its own objective and
+    /// re-scored on the input graph).
     pub pareto: Option<ParetoResult>,
+    /// What the multilevel pipeline did, when the run used
+    /// [`Solver::multilevel`](crate::Solver::multilevel). `best`,
+    /// `best_value` and `pareto` are then fine-graph quantities, while
+    /// `islands`, `trace` and `best_value_per_k` describe the coarse
+    /// search.
+    pub multilevel: Option<crate::MultilevelInfo>,
 }
 
 impl EnsembleResult {

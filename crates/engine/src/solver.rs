@@ -26,14 +26,16 @@
 
 use crate::ensemble::EnsembleResult;
 use crate::migration::{MigrationPolicy, ReplaceIfBetter};
-use crate::reduction::{MinEnergy, Reduction};
+use crate::multilevel::{MultilevelInfo, MultilevelOpts};
+use crate::reduction::{MinEnergy, ParetoPoint, Reduction};
 use crate::seeds::derive_seeds;
 use ff_core::{
     ConfigError, FusionFission, FusionFissionConfig, FusionFissionResult, FusionFissionRun,
 };
 use ff_graph::Graph;
 use ff_metaheur::{AnytimeTrace, CancelToken, StopCondition};
-use ff_partition::{Objective, Partition};
+use ff_multilevel::{Vcycle, VcycleOpts};
+use ff_partition::{pareto_front_indices, Objective, Partition};
 use std::collections::BTreeMap;
 
 /// The distinct objectives of a per-island cycle list, in first-
@@ -80,6 +82,7 @@ pub struct Solver<'g> {
     island_seeds: Option<Vec<u64>>,
     objectives: Option<Vec<Objective>>,
     initial: Option<Partition>,
+    multilevel: Option<MultilevelOpts>,
 }
 
 impl<'g> Solver<'g> {
@@ -99,6 +102,7 @@ impl<'g> Solver<'g> {
             island_seeds: None,
             objectives: None,
             initial: None,
+            multilevel: None,
         }
     }
 
@@ -193,6 +197,17 @@ impl<'g> Solver<'g> {
         self
     }
 
+    /// Multilevel acceleration: coarsen the graph, run the (unchanged)
+    /// ensemble on the coarse graph, then uncoarsen with per-level greedy
+    /// refinement. Only [`Solver::run`] / [`Solver::run_with`] support it
+    /// — the V-cycle owns the epoch loop, so [`Solver::start`] rejects it
+    /// with [`ConfigError::MultilevelNotResumable`]. Incompatible with
+    /// [`Solver::initial`] (the warm start lives on the fine graph).
+    pub fn multilevel(mut self, opts: MultilevelOpts) -> Self {
+        self.multilevel = Some(opts);
+        self
+    }
+
     /// Full control over the per-island search configuration (presets,
     /// temperatures, ablation switches). Overwrites `k`, `objective` and
     /// the stop condition, so call it *before* those builder methods.
@@ -227,12 +242,32 @@ impl<'g> Solver<'g> {
                 });
             }
         }
+        if let Some(ml) = &self.multilevel {
+            if ml.coarsen_until == 0 {
+                return Err(ConfigError::ZeroCoarsenTarget);
+            }
+            if self.initial.is_some() {
+                return Err(ConfigError::MultilevelWithInitial);
+            }
+        }
         Ok(())
     }
 
     /// Builds the live, resumable run, or reports the first
-    /// configuration error.
+    /// configuration error. Rejects multilevel configurations
+    /// ([`ConfigError::MultilevelNotResumable`]): the V-cycle owns the
+    /// epoch loop, so multilevel runs go through [`Solver::run`] or
+    /// [`Solver::run_with`].
     pub fn start(self) -> Result<SolverRun<'g>, ConfigError> {
+        if self.multilevel.is_some() {
+            return Err(ConfigError::MultilevelNotResumable);
+        }
+        self.start_flat()
+    }
+
+    /// The flat start path — `self.multilevel` must already be `None` or
+    /// stripped (the coarse solver inside [`Solver::run_with`]).
+    fn start_flat(self) -> Result<SolverRun<'g>, ConfigError> {
         self.try_validate()?;
         let n = self.islands;
         let seeds = match self.island_seeds {
@@ -273,14 +308,157 @@ impl<'g> Solver<'g> {
         })
     }
 
-    /// Runs to every island's stop condition and reduces — equivalent to
-    /// [`Solver::start`] + [`SolverRun::advance_epoch`] to exhaustion +
-    /// [`SolverRun::harvest`] (bit-equal; both paths drive the same epoch
-    /// code).
+    /// Runs to every island's stop condition and reduces. Without
+    /// [`Solver::multilevel`] this is equivalent to [`Solver::start`] +
+    /// [`SolverRun::advance_epoch`] to exhaustion + [`SolverRun::harvest`]
+    /// (bit-equal; both paths drive the same epoch code). With it, the
+    /// ensemble runs on the coarse graph and the winner is uncoarsened
+    /// with per-level refinement.
     pub fn run(self) -> Result<EnsembleResult, ConfigError> {
-        let mut run = self.start()?;
-        while run.advance_epoch() {}
-        Ok(run.harvest())
+        self.run_with(|run| while run.advance_epoch() {})
+    }
+
+    /// Like [`Solver::run`], but the caller drives the epoch loop: `drive`
+    /// receives the live [`SolverRun`] (the *coarse* run under
+    /// [`Solver::multilevel`]) and advances it however it likes —
+    /// streaming traces, checking deadlines, binding cancellation.
+    /// Harvest (and, for multilevel, uncoarsening) happens after `drive`
+    /// returns.
+    pub fn run_with<D>(mut self, mut drive: D) -> Result<EnsembleResult, ConfigError>
+    where
+        D: for<'a> FnMut(&mut SolverRun<'a>),
+    {
+        self.try_validate()?;
+        let Some(opts) = self.multilevel.take() else {
+            let mut run = self.start_flat()?;
+            drive(&mut run);
+            return Ok(run.harvest());
+        };
+        let g = self.g;
+        let base = self.base;
+        let vc = Vcycle::new(
+            g,
+            VcycleOpts {
+                coarsen_until: opts.coarsen_until,
+                refine_passes: opts.refine_passes,
+                seed: self.seed,
+                min_coarse_vertices: base.k.max(2),
+            },
+        );
+        let Solver {
+            g: _,
+            base: _,
+            islands,
+            max_threads,
+            migration_interval,
+            migration,
+            reduction,
+            seed,
+            island_seeds,
+            objectives,
+            initial: _,
+            multilevel: _,
+        } = self;
+        let coarse_solver = Solver {
+            g: vc.coarsest(),
+            base,
+            islands,
+            max_threads,
+            migration_interval,
+            migration,
+            reduction,
+            seed,
+            island_seeds,
+            objectives,
+            initial: None,
+            multilevel: None,
+        };
+        let mut run = coarse_solver.start_flat()?;
+        drive(&mut run);
+        let mut res = run.harvest();
+
+        if let Some(front) = res.pareto.take() {
+            // Refine every front point under its own objective, re-score
+            // under all axes on the fine graph, and re-filter: refinement
+            // can change domination.
+            let axes = front.objectives.clone();
+            let mut points = front.points;
+            let mut reports_per_point = Vec::with_capacity(points.len());
+            for pt in &mut points {
+                let (fine, reports) = vc.refine_up(&pt.partition, pt.objective);
+                pt.values = axes.iter().map(|o| o.evaluate(g, &fine)).collect();
+                pt.parts = fine.num_nonempty_parts();
+                pt.partition = fine;
+                reports_per_point.push(reports);
+            }
+            let vectors: Vec<Vec<f64>> = points.iter().map(|p| p.values.clone()).collect();
+            let keep = pareto_front_indices(&vectors);
+            let (points, reports_per_point): (Vec<ParetoPoint>, Vec<_>) = keep
+                .into_iter()
+                .map(|i| (points[i].clone(), std::mem::take(&mut reports_per_point[i])))
+                .unzip();
+            let front = crate::reduction::ParetoResult {
+                objectives: axes,
+                points,
+            };
+            let mut rep_reports = Vec::new();
+            if let Some(rep) = front.best_under(front.objectives[0]) {
+                let axis = front
+                    .objectives
+                    .iter()
+                    .position(|&o| o == rep.objective)
+                    .unwrap_or(0);
+                res.best = rep.partition.clone();
+                res.best_value = rep.values[axis];
+                res.best_island = rep.island;
+                let idx = front.points.iter().position(|p| p.island == rep.island);
+                if let Some(idx) = idx {
+                    rep_reports = reports_per_point[idx].clone();
+                }
+            }
+            res.pareto = Some(front);
+            res.multilevel = Some(MultilevelInfo {
+                levels: vc.num_levels(),
+                coarse_vertices: vc.coarsest().num_vertices(),
+                reports: rep_reports,
+            });
+            return Ok(res);
+        }
+
+        // Single-front path: refine the winning partition under the
+        // winning island's own objective.
+        let win_obj = res.islands[res.best_island]
+            .trace
+            .tag()
+            .unwrap_or(base.objective);
+        let (fine, reports) = vc.refine_up(&res.best, win_obj);
+        res.best_value = reports
+            .last()
+            .map(|r| r.value_after)
+            .unwrap_or(res.best_value);
+        res.best = fine;
+        if opts.polish_steps > 0 {
+            // Warm-start one fine-graph fusion–fission run from the
+            // refined partition; keep it when at least as good.
+            let polish_seed = derive_seeds(seed, islands + 1)[islands];
+            let cfg = FusionFissionConfig {
+                objective: win_obj,
+                stop: StopCondition::steps(opts.polish_steps),
+                ..base
+            };
+            let polished = FusionFission::with_initial(g, cfg, polish_seed, res.best.clone()).run();
+            res.steps += polished.steps;
+            if polished.best_value <= res.best_value {
+                res.best_value = polished.best_value;
+                res.best = polished.best;
+            }
+        }
+        res.multilevel = Some(MultilevelInfo {
+            levels: vc.num_levels(),
+            coarse_vertices: vc.coarsest().num_vertices(),
+            reports,
+        });
+        Ok(res)
     }
 }
 
@@ -431,6 +609,7 @@ impl<'g> SolverRun<'g> {
             trace,
             best_value_per_k,
             pareto: reduced.pareto,
+            multilevel: None,
             islands,
         }
     }

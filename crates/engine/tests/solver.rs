@@ -532,3 +532,218 @@ fn singleton_objectives_list_equals_objective() {
     assert_eq!(a.best.assignment(), b.best.assignment());
     assert_eq!(a.best_value, b.best_value);
 }
+
+// ---------------------------------------------------------------------------
+// Multilevel: Solver::multilevel(…) — determinism, monotonicity, validation.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn multilevel_byte_identical_across_reruns_and_thread_caps() {
+    use ff_engine::MultilevelOpts;
+    let g = planted_partition(4, 120, 0.12, 0.004, 21);
+    let run = |threads: usize| {
+        Solver::on(&g)
+            .k(4)
+            .islands(3)
+            .threads(threads)
+            .steps(2_500)
+            .seed(77)
+            .multilevel(MultilevelOpts {
+                coarsen_until: 80,
+                ..Default::default()
+            })
+            .run()
+            .unwrap()
+    };
+    let base = run(0);
+    let info = base.multilevel.as_ref().expect("multilevel info attached");
+    assert!(info.levels >= 1, "480 vertices must coarsen below 80");
+    assert!(info.coarse_vertices <= 480);
+    assert_eq!(base.best.num_vertices(), 480, "best is a fine partition");
+    for threads in [1usize, 4] {
+        let r = run(threads);
+        assert_eq!(r.best.assignment(), base.best.assignment());
+        assert_eq!(r.best_value, base.best_value);
+        assert_eq!(r.steps, base.steps);
+    }
+}
+
+#[test]
+fn multilevel_refinement_monotone_for_every_objective() {
+    use ff_engine::MultilevelOpts;
+    let g = planted_partition(3, 100, 0.15, 0.005, 5);
+    for obj in Objective::all() {
+        let res = Solver::on(&g)
+            .k(3)
+            .objective(obj)
+            .steps(2_000)
+            .seed(13)
+            .multilevel(MultilevelOpts {
+                coarsen_until: 60,
+                ..Default::default()
+            })
+            .run()
+            .unwrap();
+        let info = res.multilevel.expect("multilevel info");
+        assert!(!info.reports.is_empty());
+        for r in &info.reports {
+            assert!(
+                r.value_after <= r.value_before,
+                "{obj} level {}: {} → {}",
+                r.level,
+                r.value_before,
+                r.value_after
+            );
+        }
+        // Reported final value matches the result and a fresh evaluation.
+        let last = info.reports.last().unwrap();
+        assert_eq!(last.level, 0);
+        assert_eq!(last.value_after, res.best_value);
+        let fresh = obj.evaluate(&g, &res.best);
+        assert!((fresh - res.best_value).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn multilevel_validation_and_start_rejection() {
+    use ff_core::ConfigError;
+    use ff_engine::MultilevelOpts;
+    use ff_partition::Partition;
+    let g = random_geometric(30, 0.3, 1);
+    assert_eq!(
+        Solver::on(&g)
+            .k(2)
+            .multilevel(MultilevelOpts {
+                coarsen_until: 0,
+                ..Default::default()
+            })
+            .run()
+            .err(),
+        Some(ConfigError::ZeroCoarsenTarget)
+    );
+    assert_eq!(
+        Solver::on(&g)
+            .k(2)
+            .initial(Partition::block(&g, 2))
+            .multilevel(MultilevelOpts::default())
+            .run()
+            .err(),
+        Some(ConfigError::MultilevelWithInitial)
+    );
+    assert!(matches!(
+        Solver::on(&g)
+            .k(2)
+            .multilevel(MultilevelOpts::default())
+            .start()
+            .err(),
+        Some(ConfigError::MultilevelNotResumable)
+    ));
+}
+
+#[test]
+fn multilevel_small_graph_equals_flat_run() {
+    use ff_engine::MultilevelOpts;
+    // Input below the coarsening target: the pipeline degenerates to the
+    // flat ensemble (zero levels), bit-for-bit.
+    let g = random_geometric(50, 0.25, 3);
+    let flat = Solver::on(&g).k(4).steps(1_500).seed(9).run().unwrap();
+    let ml = Solver::on(&g)
+        .k(4)
+        .steps(1_500)
+        .seed(9)
+        .multilevel(MultilevelOpts::default())
+        .run()
+        .unwrap();
+    let info = ml.multilevel.as_ref().unwrap();
+    assert_eq!(info.levels, 0);
+    assert_eq!(info.coarse_vertices, 50);
+    assert_eq!(ml.best.assignment(), flat.best.assignment());
+    assert_eq!(ml.best_value, flat.best_value);
+    assert_eq!(ml.steps, flat.steps);
+}
+
+#[test]
+fn multilevel_pareto_points_are_fine_and_non_dominated() {
+    use ff_engine::MultilevelOpts;
+    let g = planted_partition(3, 90, 0.15, 0.006, 11);
+    let objs = [Objective::Cut, Objective::MCut];
+    let res = Solver::on(&g)
+        .k(3)
+        .islands(4)
+        .objectives(objs)
+        .reduction(ParetoFront)
+        .steps(2_000)
+        .seed(31)
+        .multilevel(MultilevelOpts {
+            coarsen_until: 60,
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+    let front = res.pareto.as_ref().expect("pareto front");
+    assert_eq!(front.objectives, objs.to_vec());
+    assert!(!front.points.is_empty());
+    for a in &front.points {
+        assert_eq!(a.partition.num_vertices(), 270, "fine-graph point");
+        // values re-scored on the fine graph
+        for (axis, &o) in front.objectives.iter().enumerate() {
+            let fresh = o.evaluate(&g, &a.partition);
+            assert!(
+                (fresh - a.values[axis]).abs() < 1e-9
+                    || (fresh.is_infinite() && a.values[axis].is_infinite())
+            );
+        }
+        for b in &front.points {
+            assert!(!dominates(&a.values, &b.values) || a.island == b.island);
+        }
+    }
+    // Representative is the front's best under the first objective.
+    let rep = front.best_under(objs[0]).unwrap();
+    assert_eq!(res.best_island, rep.island);
+    assert_eq!(res.best.assignment(), rep.partition.assignment());
+    // Determinism of the whole pareto-multilevel pipeline.
+    let rerun = Solver::on(&g)
+        .k(3)
+        .islands(4)
+        .objectives(objs)
+        .reduction(ParetoFront)
+        .steps(2_000)
+        .seed(31)
+        .multilevel(MultilevelOpts {
+            coarsen_until: 60,
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+    assert_eq!(rerun.best.assignment(), res.best.assignment());
+    assert_eq!(
+        rerun.pareto.as_ref().unwrap().points.len(),
+        front.points.len()
+    );
+}
+
+#[test]
+fn multilevel_polish_never_worsens_and_stays_deterministic() {
+    use ff_engine::MultilevelOpts;
+    let g = planted_partition(4, 80, 0.15, 0.005, 17);
+    let run = |polish: u64| {
+        Solver::on(&g)
+            .k(4)
+            .steps(1_500)
+            .seed(23)
+            .multilevel(MultilevelOpts {
+                coarsen_until: 50,
+                polish_steps: polish,
+                ..Default::default()
+            })
+            .run()
+            .unwrap()
+    };
+    let plain = run(0);
+    let polished = run(1_000);
+    assert!(polished.best_value <= plain.best_value);
+    assert!(polished.steps > plain.steps, "polish steps are counted");
+    let polished2 = run(1_000);
+    assert_eq!(polished2.best.assignment(), polished.best.assignment());
+    assert_eq!(polished2.best_value, polished.best_value);
+}

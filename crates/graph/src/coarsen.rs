@@ -9,6 +9,7 @@
 //! exactly the weight of the matched edges — the quantity heavy-edge
 //! matching maximizes.
 
+use crate::matching::heavy_edge_matching;
 use crate::{Graph, GraphBuilder, Matching, VertexId};
 
 /// Result of one coarsening step: the coarse graph plus the fine→coarse
@@ -28,6 +29,104 @@ impl CoarseGraph {
             .iter()
             .map(|&c| coarse_assignment[c as usize])
             .collect()
+    }
+}
+
+/// A stack of coarsening levels built by repeated heavy-edge contraction.
+///
+/// Only the *coarse* levels are stored — the finest graph stays with the
+/// caller (at 10^6 vertices a clone of the input would dominate memory).
+/// `levels()[0]` contracts the input graph; `levels()[i]` contracts
+/// `levels()[i-1].graph`.
+#[derive(Clone, Debug, Default)]
+pub struct Hierarchy {
+    levels: Vec<CoarseGraph>,
+}
+
+impl Hierarchy {
+    /// Coarsens `g` by heavy-edge matching until the coarsest level has at
+    /// most `coarsen_until` vertices, the matching finds no pair, or a
+    /// round shrinks the graph by less than 10 % (diminishing returns —
+    /// that level is discarded).
+    ///
+    /// Level `i` uses matching seed `seed.wrapping_add(i)`, so the whole
+    /// stack is a pure function of `(g, coarsen_until, seed)`.
+    pub fn build(g: &Graph, coarsen_until: usize, seed: u64) -> Hierarchy {
+        let mut levels: Vec<CoarseGraph> = Vec::new();
+        loop {
+            let cur: &Graph = match levels.last() {
+                Some(l) => &l.graph,
+                None => g,
+            };
+            if cur.num_vertices() <= coarsen_until {
+                break;
+            }
+            let level = levels.len() as u64;
+            let m = heavy_edge_matching(cur, seed.wrapping_add(level));
+            if m.num_pairs() == 0 {
+                break;
+            }
+            let before = cur.num_vertices();
+            let c = coarsen(cur, &m);
+            if (c.graph.num_vertices() as f64) > 0.9 * before as f64 {
+                break; // diminishing returns; discard this level
+            }
+            levels.push(c);
+        }
+        Hierarchy { levels }
+    }
+
+    /// The coarse levels, finest-first. Empty when the input was already at
+    /// or below the target size.
+    pub fn levels(&self) -> &[CoarseGraph] {
+        &self.levels
+    }
+
+    /// Number of coarse levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The coarsest graph in the stack; `fine` itself when the stack is
+    /// empty. Pass the same graph the hierarchy was built from.
+    pub fn coarsest<'a>(&'a self, fine: &'a Graph) -> &'a Graph {
+        match self.levels.last() {
+            Some(l) => &l.graph,
+            None => fine,
+        }
+    }
+
+    /// The graph at `level` (0 = the input graph itself, `num_levels()` =
+    /// the coarsest). Pass the same graph the hierarchy was built from.
+    pub fn graph_at<'a>(&'a self, fine: &'a Graph, level: usize) -> &'a Graph {
+        if level == 0 {
+            fine
+        } else {
+            &self.levels[level - 1].graph
+        }
+    }
+
+    /// Pops coarsest levels while they have fewer than `min` vertices.
+    /// Safety net for tiny inputs: contraction at most halves per round,
+    /// but a caller that needs ≥ k coarse vertices can enforce it here.
+    pub fn trim_to_min_vertices(&mut self, min: usize) {
+        while self
+            .levels
+            .last()
+            .is_some_and(|l| l.graph.num_vertices() < min)
+        {
+            self.levels.pop();
+        }
+    }
+
+    /// Projects a coarsest-level assignment all the way down to the input
+    /// graph in one shot (no per-level refinement).
+    pub fn project_to_finest(&self, coarse_assignment: &[u32]) -> Vec<u32> {
+        let mut asg = coarse_assignment.to_vec();
+        for lvl in self.levels.iter().rev() {
+            asg = lvl.project(&asg);
+        }
+        asg
     }
 }
 
@@ -137,6 +236,62 @@ mod tests {
             let mate = m.mate(v);
             assert_eq!(fa[v as usize], fa[mate as usize]);
         }
+    }
+
+    #[test]
+    fn hierarchy_reaches_target_and_projects() {
+        let g = random_geometric(200, 0.15, 9);
+        let h = Hierarchy::build(&g, 24, 5);
+        assert!(h.num_levels() >= 1);
+        assert!(h.coarsest(&g).num_vertices() <= 200);
+        // Each level shrinks by ≥ 10 %.
+        let mut prev = g.num_vertices();
+        for lvl in h.levels() {
+            let nv = lvl.graph.num_vertices();
+            assert!((nv as f64) <= 0.9 * prev as f64);
+            prev = nv;
+        }
+        // Projection composes level-by-level projections.
+        let nc = h.coarsest(&g).num_vertices();
+        let ca: Vec<u32> = (0..nc as u32).map(|i| i % 3).collect();
+        let fa = h.project_to_finest(&ca);
+        assert_eq!(fa.len(), g.num_vertices());
+        let mut step = ca;
+        for lvl in h.levels().iter().rev() {
+            step = lvl.project(&step);
+        }
+        assert_eq!(fa, step);
+        // Vertex weight is preserved through the whole stack.
+        assert!((h.coarsest(&g).total_vertex_weight() - g.total_vertex_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchy_empty_for_small_input() {
+        let g = grid2d(3, 3);
+        let h = Hierarchy::build(&g, 16, 1);
+        assert_eq!(h.num_levels(), 0);
+        assert_eq!(h.coarsest(&g).num_vertices(), 9);
+        let asg = vec![0u32, 1, 0, 1, 0, 1, 0, 1, 0];
+        assert_eq!(h.project_to_finest(&asg), asg);
+    }
+
+    #[test]
+    fn hierarchy_deterministic() {
+        let g = random_geometric(150, 0.18, 3);
+        let a = Hierarchy::build(&g, 20, 11);
+        let b = Hierarchy::build(&g, 20, 11);
+        assert_eq!(a.num_levels(), b.num_levels());
+        for (x, y) in a.levels().iter().zip(b.levels()) {
+            assert_eq!(x.fine_to_coarse, y.fine_to_coarse);
+        }
+    }
+
+    #[test]
+    fn hierarchy_trim_enforces_floor() {
+        let g = random_geometric(200, 0.15, 9);
+        let mut h = Hierarchy::build(&g, 4, 5);
+        h.trim_to_min_vertices(30);
+        assert!(h.coarsest(&g).num_vertices() >= 30);
     }
 
     #[test]

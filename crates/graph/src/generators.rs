@@ -163,6 +163,105 @@ pub fn planted_partition(k: usize, group_size: usize, p_in: f64, p_out: f64, see
     b2.build()
 }
 
+/// Advances a Batagelj–Brandes geometric skip: the number of failures
+/// before the next success of a Bernoulli(p) stream.
+fn geometric_skip(rng: &mut ChaCha8Rng, p: f64) -> u64 {
+    let u: f64 = rng.gen();
+    let s = (1.0 - u).ln() / (1.0 - p).ln();
+    if s >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        s as u64
+    }
+}
+
+/// Decodes linear pair index `idx` into the `(u, v)` pair (u < v) in the
+/// lexicographic enumeration of unordered pairs over `n` vertices.
+fn pair_at(n: u64, idx: u64) -> (u64, u64) {
+    // offset(u) = pairs whose first coordinate is < u = u·(2n−u−1)/2.
+    let (mut lo, mut hi) = (0u64, n - 1);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if mid * (2 * n - mid - 1) / 2 <= idx {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let off = lo * (2 * n - lo - 1) / 2;
+    (lo, lo + 1 + (idx - off))
+}
+
+/// Sparse planted-partition graph: same family as [`planted_partition`]
+/// (k groups, intra edges weight 4.0 with probability `p_in`, inter edges
+/// weight 1.0 with probability `p_out`, plus the connectivity chain and
+/// bridges), but generated in O(edges) by Batagelj–Brandes geometric skip
+/// sampling instead of O(n²) pair enumeration — usable at 10^5–10^6
+/// vertices.
+///
+/// The RNG stream differs from the dense generator, so the two produce
+/// different (equally valid) instances for the same seed. Deterministic in
+/// `(k, group_size, p_in, p_out, seed)`.
+pub fn planted_partition_sparse(
+    k: usize,
+    group_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Graph {
+    assert!(k >= 1 && group_size >= 1);
+    assert!((0.0..1.0).contains(&p_in) && (0.0..1.0).contains(&p_out));
+    let n = k * group_size;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let expected =
+        (group_size * group_size * k) as f64 * p_in / 2.0 + (n * n) as f64 * p_out / 2.0 + n as f64;
+    let mut b = GraphBuilder::with_capacity(n, expected as usize);
+    let group = |v: u64| v / group_size as u64;
+    // Intra-group edges: one skip stream per group over its own pair space.
+    if p_in > 0.0 && group_size >= 2 {
+        let s = group_size as u64;
+        let total = s * (s - 1) / 2;
+        for g in 0..k as u64 {
+            let base = g * s;
+            let mut idx = geometric_skip(&mut rng, p_in);
+            while idx < total {
+                let (u, v) = pair_at(s, idx);
+                b.add_edge((base + u) as VertexId, (base + v) as VertexId, 4.0);
+                idx += 1 + geometric_skip(&mut rng, p_in);
+            }
+        }
+    }
+    // Inter-group edges: one skip stream over the full pair space,
+    // discarding intra-group hits (they were handled above at p_in).
+    if p_out > 0.0 && k >= 2 {
+        let total = (n as u64) * (n as u64 - 1) / 2;
+        let mut idx = geometric_skip(&mut rng, p_out);
+        while idx < total {
+            let (u, v) = pair_at(n as u64, idx);
+            if group(u) != group(v) {
+                b.add_edge(u as VertexId, v as VertexId, 1.0);
+            }
+            idx += 1 + geometric_skip(&mut rng, p_out);
+        }
+    }
+    // Same connectivity guarantee as the dense generator: chain each group
+    // and bridge consecutive groups.
+    for g in 0..k {
+        let base = g * group_size;
+        for i in 0..group_size.saturating_sub(1) {
+            b.add_edge((base + i) as VertexId, (base + i + 1) as VertexId, 4.0);
+        }
+        if g + 1 < k {
+            b.add_edge(
+                (base + group_size - 1) as VertexId,
+                (base + group_size) as VertexId,
+                0.5,
+            );
+        }
+    }
+    b.build()
+}
+
 /// Barabási–Albert preferential attachment: each new vertex attaches to
 /// `m_attach` existing vertices with probability proportional to degree.
 /// Produces the hub-dominated topology air-route networks resemble —
@@ -354,5 +453,52 @@ mod tests {
         let g = random_regular_ish(100, 4, 3);
         assert!(g.max_degree() <= 4);
         assert!(g.mean_degree() > 3.0, "mean {}", g.mean_degree());
+    }
+
+    #[test]
+    fn pair_at_decodes_lexicographic_enumeration() {
+        let n = 7u64;
+        let mut idx = 0u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert_eq!(pair_at(n, idx), (u, v));
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_planted_partition_structure() {
+        let g = planted_partition_sparse(5, 200, 0.05, 0.001, 7);
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(is_connected(&g));
+        // Expected intra ≈ 5·C(200,2)·0.05 ≈ 4975 plus 995 chain edges;
+        // inter ≈ C(1000,2)·0.001·(1 − 1/5) ≈ 399 plus 4 bridges.
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v, _) in g.edges() {
+            if u as usize / 200 == v as usize / 200 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!((4500..7000).contains(&intra), "intra {intra}");
+        assert!((250..600).contains(&inter), "inter {inter}");
+    }
+
+    #[test]
+    fn sparse_planted_partition_deterministic() {
+        let a = planted_partition_sparse(4, 100, 0.08, 0.002, 3);
+        let b = planted_partition_sparse(4, 100, 0.08, 0.002, 3);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sparse_planted_partition_zero_probabilities() {
+        // Only the connectivity skeleton: chains + bridges.
+        let g = planted_partition_sparse(3, 10, 0.0, 0.0, 1);
+        assert_eq!(g.num_vertices(), 30);
+        assert_eq!(g.num_edges(), 3 * 9 + 2);
+        assert!(is_connected(&g));
     }
 }

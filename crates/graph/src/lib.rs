@@ -43,7 +43,7 @@ pub mod subgraph;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
-pub use coarsen::{coarsen, CoarseGraph};
+pub use coarsen::{coarsen, CoarseGraph, Hierarchy};
 pub use csr::{EdgeIndex, Graph};
 pub use matching::{heavy_edge_matching, random_matching, Matching};
 pub use mincut::{stoer_wagner, MinCut};

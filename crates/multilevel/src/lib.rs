@@ -16,13 +16,35 @@
 //!   [`MultilevelMode::RecursiveBisection`],
 //! * `Multilevel (Oct)` — [`MultilevelMode::KWay`] (direct k-way V-cycle
 //!   seeded by spectral octasection on the coarsest graph).
+//!
+//! A third entry point, [`Vcycle`], opens the cycle up for a *pluggable*
+//! coarse optimizer: build the stack, run any search (`ff-engine`'s
+//! fusion–fission ensemble uses this for `Solver::multilevel`) on
+//! [`Vcycle::coarsest`], then [`Vcycle::refine_up`] the result:
+//!
+//! ```
+//! use ff_graph::generators::random_geometric;
+//! use ff_multilevel::{Vcycle, VcycleOpts};
+//! use ff_partition::{Objective, Partition};
+//!
+//! let g = random_geometric(400, 0.1, 7);
+//! let vc = Vcycle::new(&g, VcycleOpts { coarsen_until: 50, ..Default::default() });
+//! // Any optimizer goes here — even a plain random partition:
+//! let coarse = Partition::random(vc.coarsest(), 4, 1);
+//! let (fine, reports) = vc.refine_up(&coarse, Objective::Cut);
+//! assert_eq!(fine.num_vertices(), 400);
+//! // Refinement never worsens the objective at any level:
+//! assert!(reports.iter().all(|r| r.value_after <= r.value_before));
+//! ```
 
+pub mod driver;
 pub mod initial;
 pub mod vcycle;
 
 use ff_graph::Graph;
 use ff_partition::Partition;
 
+pub use driver::{LevelReport, Vcycle, VcycleOpts};
 pub use initial::{greedy_graph_growing, region_growing_kway, InitialMethod};
 pub use vcycle::{multilevel_bisection, multilevel_kway};
 

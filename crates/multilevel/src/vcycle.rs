@@ -3,7 +3,7 @@
 
 use crate::initial::{initial_partition, InitialMethod};
 use crate::MultilevelConfig;
-use ff_graph::{coarsen, heavy_edge_matching, CoarseGraph, Graph, VertexId};
+use ff_graph::{Graph, Hierarchy, VertexId};
 use ff_partition::refine::fm::FmOptions;
 use ff_partition::refine::greedy::GreedyOptions;
 use ff_partition::refine::pairwise::{pairwise_refine_kway, PairwiseMethod, PairwiseOptions};
@@ -11,51 +11,19 @@ use ff_partition::{
     fm_refine_bisection, greedy_refine_kway, BalanceConstraint, CutState, Objective, Partition,
 };
 
-/// The coarsening hierarchy: `graphs[0]` is the input; `maps[i]` projects
-/// level-`i` vertices to level-`i+1` coarse vertices.
-struct Hierarchy {
-    graphs: Vec<Graph>,
-    maps: Vec<Vec<VertexId>>,
-}
-
-fn build_hierarchy(g: &Graph, coarsen_until: usize, seed: u64) -> Hierarchy {
-    let mut graphs = vec![g.clone()];
-    let mut maps: Vec<Vec<VertexId>> = Vec::new();
-    let mut level = 0u64;
-    while graphs.last().unwrap().num_vertices() > coarsen_until {
-        let cur = graphs.last().unwrap();
-        let matching = heavy_edge_matching(cur, seed.wrapping_add(level));
-        if matching.num_pairs() == 0 {
-            break;
-        }
-        let CoarseGraph {
-            graph,
-            fine_to_coarse,
-        } = coarsen(cur, &matching);
-        // Diminishing returns: stop when contraction shrinks < 10 %.
-        if graph.num_vertices() as f64 > 0.9 * cur.num_vertices() as f64 {
-            break;
-        }
-        graphs.push(graph);
-        maps.push(fine_to_coarse);
-        level += 1;
-    }
-    Hierarchy { graphs, maps }
-}
-
 /// Multilevel bisection of `g` (the Table 1 `Multilevel (Bi)` building
 /// block): coarsen, bisect the coarsest graph, uncoarsen with FM
 /// refinement at every level.
 pub fn multilevel_bisection(g: &Graph, cfg: &MultilevelConfig) -> Partition {
     assert!(g.num_vertices() >= 2, "bisection needs ≥ 2 vertices");
-    let h = build_hierarchy(g, cfg.coarsen_until.max(4), cfg.seed);
-    let coarsest = h.graphs.last().unwrap();
+    let h = Hierarchy::build(g, cfg.coarsen_until.max(4), cfg.seed);
+    let coarsest = h.coarsest(g);
     let mut part = initial_partition(coarsest, 2, cfg.initial, cfg.seed);
 
     // Uncoarsen with per-level FM refinement.
-    for lvl in (0..h.maps.len()).rev() {
-        let fine = &h.graphs[lvl];
-        let fine_assignment: Vec<u32> = h.maps[lvl].iter().map(|&c| part.part_of(c)).collect();
+    for lvl in (0..h.num_levels()).rev() {
+        let fine = h.graph_at(g, lvl);
+        let fine_assignment = h.levels()[lvl].project(part.assignment());
         part = Partition::from_assignment(fine, fine_assignment, 2);
         let ideal = fine.total_vertex_weight() / 2.0;
         let mut st = CutState::new(fine, part);
@@ -143,8 +111,8 @@ fn recurse_bisect(
 /// uncoarsening.
 pub fn multilevel_kway(g: &Graph, k: usize, cfg: &MultilevelConfig) -> Partition {
     let coarsen_until = cfg.coarsen_until.max(3 * k);
-    let h = build_hierarchy(g, coarsen_until, cfg.seed);
-    let coarsest = h.graphs.last().unwrap();
+    let h = Hierarchy::build(g, coarsen_until, cfg.seed);
+    let coarsest = h.coarsest(g);
     let k_eff = k.min(coarsest.num_vertices());
     let mut part = match cfg.initial {
         InitialMethod::Spectral => {
@@ -161,9 +129,9 @@ pub fn multilevel_kway(g: &Graph, k: usize, cfg: &MultilevelConfig) -> Partition
         }
     };
 
-    for lvl in (0..h.maps.len()).rev() {
-        let fine = &h.graphs[lvl];
-        let fine_assignment: Vec<u32> = h.maps[lvl].iter().map(|&c| part.part_of(c)).collect();
+    for lvl in (0..h.num_levels()).rev() {
+        let fine = h.graph_at(g, lvl);
+        let fine_assignment = h.levels()[lvl].project(part.assignment());
         part = Partition::from_assignment(fine, fine_assignment, k_eff);
         let ideal = fine.total_vertex_weight() / k_eff as f64;
         let balance = BalanceConstraint {
@@ -291,15 +259,12 @@ mod tests {
     #[test]
     fn hierarchy_respects_floor() {
         let g = grid2d(20, 20);
-        let h = build_hierarchy(&g, 50, 1);
-        assert!(h.graphs.last().unwrap().num_vertices() <= 400);
-        assert!(h.graphs.len() >= 2, "400-vertex grid must coarsen");
+        let h = Hierarchy::build(&g, 50, 1);
+        assert!(h.coarsest(&g).num_vertices() <= 400);
+        assert!(h.num_levels() >= 1, "400-vertex grid must coarsen");
         // weights preserved through every level
-        for lvl in 0..h.graphs.len() {
-            assert!(
-                (h.graphs[lvl].total_vertex_weight() - 400.0).abs() < 1e-9,
-                "level {lvl}"
-            );
+        for lvl in h.levels() {
+            assert!((lvl.graph.total_vertex_weight() - 400.0).abs() < 1e-9);
         }
     }
 

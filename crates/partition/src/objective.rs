@@ -73,10 +73,17 @@ impl std::fmt::Display for Objective {
 pub struct CutState<'g> {
     g: &'g Graph,
     part: Partition,
-    /// `external[p]` = cut(P_p, V − P_p).
-    external: Vec<f64>,
-    /// `internal2[p]` = W(P_p) = 2 × (internal edge weight of P_p).
-    internal2: Vec<f64>,
+    /// Per-part sums, interleaved so the two values a move touches per
+    /// part share a cache line.
+    sums: Vec<PartSums>,
+}
+
+/// Interleaved per-part cut bookkeeping: `ext` = cut(P_p, V − P_p),
+/// `int2` = W(P_p) = 2 × (internal edge weight of P_p).
+#[derive(Clone, Copy, Debug, Default)]
+struct PartSums {
+    ext: f64,
+    int2: f64,
 }
 
 impl<'g> CutState<'g> {
@@ -84,24 +91,18 @@ impl<'g> CutState<'g> {
     pub fn new(g: &'g Graph, part: Partition) -> Self {
         assert_eq!(part.num_vertices(), g.num_vertices(), "partition size");
         let k = part.num_parts();
-        let mut external = vec![0.0; k];
-        let mut internal2 = vec![0.0; k];
+        let mut sums = vec![PartSums::default(); k];
         for v in g.vertices() {
             let pv = part.part_of(v) as usize;
             for (u, w) in g.edges_of(v) {
                 if part.part_of(u) as usize == pv {
-                    internal2[pv] += w; // each internal edge visited twice → 2w total
+                    sums[pv].int2 += w; // each internal edge visited twice → 2w total
                 } else {
-                    external[pv] += w;
+                    sums[pv].ext += w;
                 }
             }
         }
-        CutState {
-            g,
-            part,
-            external,
-            internal2,
-        }
+        CutState { g, part, sums }
     }
 
     /// The underlying partition.
@@ -124,24 +125,25 @@ impl<'g> CutState<'g> {
     /// cut(P_p, V − P_p) for part `p`.
     #[inline]
     pub fn external(&self, p: u32) -> f64 {
-        self.external[p as usize]
+        self.sums[p as usize].ext
     }
 
     /// W(P_p) = 2 × internal edge weight of part `p`.
     #[inline]
     pub fn internal2(&self, p: u32) -> f64 {
-        self.internal2[p as usize]
+        self.sums[p as usize].int2
     }
 
     /// assoc(P_p, V) = degree-weight sum of part `p`.
     #[inline]
     pub fn assoc(&self, p: u32) -> f64 {
-        self.external[p as usize] + self.internal2[p as usize]
+        let s = self.sums[p as usize];
+        s.ext + s.int2
     }
 
     /// Total cut weight, each edge counted once.
     pub fn cut(&self) -> f64 {
-        self.external.iter().sum::<f64>() / 2.0
+        self.sums.iter().map(|s| s.ext).sum::<f64>() / 2.0
     }
 
     /// Per-part contribution to Ncut/Mcut-style sums.
@@ -177,10 +179,9 @@ impl<'g> CutState<'g> {
 
     /// Evaluates an objective from the cached per-part sums. O(k).
     pub fn objective(&self, obj: Objective) -> f64 {
-        self.external
+        self.sums
             .iter()
-            .zip(&self.internal2)
-            .map(|(&e, &i)| Self::part_term(obj, e, i))
+            .map(|s| Self::part_term(obj, s.ext, s.int2))
             .sum()
     }
 
@@ -212,8 +213,14 @@ impl<'g> CutState<'g> {
             }
         }
         let degw = self.g.degree_weight(v);
-        let (ef, if2) = (self.external[from as usize], self.internal2[from as usize]);
-        let (et, it2) = (self.external[to as usize], self.internal2[to as usize]);
+        let (ef, if2) = {
+            let s = self.sums[from as usize];
+            (s.ext, s.int2)
+        };
+        let (et, it2) = {
+            let s = self.sums[to as usize];
+            (s.ext, s.int2)
+        };
         let ef_new = ef - degw + 2.0 * conn_from;
         let if2_new = if2 - 2.0 * conn_from;
         let et_new = et + degw - 2.0 * conn_to;
@@ -244,17 +251,22 @@ impl<'g> CutState<'g> {
             }
         }
         let degw = self.g.degree_weight(v);
-        self.external[from as usize] += 2.0 * conn_from - degw;
-        self.internal2[from as usize] -= 2.0 * conn_from;
-        self.external[to as usize] += degw - 2.0 * conn_to;
-        self.internal2[to as usize] += 2.0 * conn_to;
+        {
+            let s = &mut self.sums[from as usize];
+            s.ext += 2.0 * conn_from - degw;
+            s.int2 -= 2.0 * conn_from;
+        }
+        {
+            let s = &mut self.sums[to as usize];
+            s.ext += degw - 2.0 * conn_to;
+            s.int2 += 2.0 * conn_to;
+        }
         self.part.move_vertex(self.g, v, to);
     }
 
     /// Appends a new empty part to the partition and the cached sums.
     pub fn add_part(&mut self) -> u32 {
-        self.external.push(0.0);
-        self.internal2.push(0.0);
+        self.sums.push(PartSums::default());
         self.part.add_part()
     }
 
@@ -264,8 +276,8 @@ impl<'g> CutState<'g> {
         let fresh = CutState::new(self.g, self.part.clone());
         let mut d = 0.0f64;
         for p in 0..self.part.num_parts() {
-            d = d.max((fresh.external[p] - self.external[p]).abs());
-            d = d.max((fresh.internal2[p] - self.internal2[p]).abs());
+            d = d.max((fresh.sums[p].ext - self.sums[p].ext).abs());
+            d = d.max((fresh.sums[p].int2 - self.sums[p].int2).abs());
         }
         d
     }

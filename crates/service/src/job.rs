@@ -11,7 +11,7 @@
 use crate::gate::FairGate;
 use crate::protocol::{DoneInfo, Event, Improvement, JobRequest, JobStatus, ParetoPointInfo};
 use ff_core::{ConfigError, FusionFissionConfig};
-use ff_engine::{ParetoFront, Solver};
+use ff_engine::{MultilevelOpts, ParetoFront, Solver};
 use ff_graph::Graph;
 use ff_metaheur::{CancelToken, StopCondition};
 use ff_partition::Objective;
@@ -95,6 +95,13 @@ pub(crate) fn job_solver<'g>(spec: &JobRequest, graph: &'g Graph) -> Solver<'g> 
     if spec.is_pareto() {
         solver = solver.reduction(ParetoFront);
     }
+    if let Some(target) = spec.multilevel {
+        let mut opts = MultilevelOpts::default();
+        if target > 0 {
+            opts.coarsen_until = target as usize;
+        }
+        solver = solver.multilevel(opts);
+    }
     solver
 }
 
@@ -124,52 +131,58 @@ pub(crate) fn run_job(
     before_done: impl FnOnce(),
 ) -> DoneInfo {
     let started = Instant::now();
-    let mut run = job_solver(spec, graph)
-        .start()
-        .expect("job config validated at submit time");
-    run.bind_cancel(token.clone());
     let multi = spec.is_pareto();
-    let mut cursors = vec![0usize; spec.islands];
-    // Per-objective best-so-far: improvements stream only when an
-    // island's value beats the best of *its own criterion* (for a
-    // single-objective job that is the historical global filter; island
-    // order then chronological, so step-budgeted jobs stream
-    // deterministic values).
-    let mut best: HashMap<Objective, f64> = HashMap::new();
-    loop {
-        let permit = gate.acquire();
-        let more = run.advance_epoch();
-        drop(permit);
-        for (i, island) in run.islands().iter().enumerate() {
-            let objective = island.config().objective;
-            for p in island.trace().points_since(cursors[i]) {
-                let entry = best.entry(objective).or_insert(f64::INFINITY);
-                if p.value < *entry {
-                    *entry = p.value;
-                    let ev = Event::Improvement(Improvement {
-                        job: job_id,
-                        value: p.value,
-                        step: p.step,
-                        elapsed_ms: p.elapsed.as_millis() as u64,
-                        island: i,
-                        objective: multi.then_some(objective),
-                    });
-                    if sink.send(&ev).is_err() {
-                        // Client gone: nobody will harvest this job (HTTP
-                        // log sinks never fail, so their jobs outlive the
-                        // submitting connection by design).
-                        token.cancel();
+    // `run_with` lets the service keep its cooperative chunked drive
+    // (gate permits, improvement streaming, cancellation) while the
+    // engine decides *where* that drive runs: on the input graph, or —
+    // for a multilevel job — on its coarsened stand-in, with the
+    // uncoarsen+refine pipeline applied after the drive finishes.
+    let res = job_solver(spec, graph)
+        .run_with(|run| {
+            run.bind_cancel(token.clone());
+            let mut cursors = vec![0usize; spec.islands];
+            // Per-objective best-so-far: improvements stream only when an
+            // island's value beats the best of *its own criterion* (for a
+            // single-objective job that is the historical global filter;
+            // island order then chronological, so step-budgeted jobs
+            // stream deterministic values).
+            let mut best: HashMap<Objective, f64> = HashMap::new();
+            loop {
+                let permit = gate.acquire();
+                let more = run.advance_epoch();
+                drop(permit);
+                for (i, island) in run.islands().iter().enumerate() {
+                    let objective = island.config().objective;
+                    for p in island.trace().points_since(cursors[i]) {
+                        let entry = best.entry(objective).or_insert(f64::INFINITY);
+                        if p.value < *entry {
+                            *entry = p.value;
+                            let ev = Event::Improvement(Improvement {
+                                job: job_id,
+                                value: p.value,
+                                step: p.step,
+                                elapsed_ms: p.elapsed.as_millis() as u64,
+                                island: i,
+                                objective: multi.then_some(objective),
+                            });
+                            if sink.send(&ev).is_err() {
+                                // Client gone: nobody will harvest this
+                                // job (HTTP log sinks never fail, so their
+                                // jobs outlive the submitting connection
+                                // by design).
+                                token.cancel();
+                            }
+                        }
                     }
+                    cursors[i] = island.trace().len();
+                }
+                if !more {
+                    break;
                 }
             }
-            cursors[i] = island.trace().len();
-        }
-        if !more {
-            break;
-        }
-    }
-    let steps = run.total_steps();
-    let res = run.harvest();
+        })
+        .expect("job config validated at submit time");
+    let steps = res.steps;
     let pareto = res.pareto.as_ref().map(|front| {
         front
             .points
@@ -397,6 +410,49 @@ mod tests {
         // objective.
         assert_eq!(done.value, lib.best_value);
         assert_eq!(done.assignment.as_deref().unwrap(), lib.best.assignment());
+    }
+
+    #[test]
+    fn multilevel_job_is_deterministic_and_matches_direct_run() {
+        let cache = InstanceCache::new();
+        let g = ff_graph::generators::planted_partition(4, 30, 0.3, 0.02, 11);
+        let mut text = Vec::new();
+        ff_graph::io::write_metis(&g, &mut text).unwrap();
+        let (graph, _) = cache
+            .load(
+                "pp",
+                GraphSource::Data(String::from_utf8(text).unwrap()),
+                GraphFormat::Metis,
+            )
+            .unwrap();
+        let gate = FairGate::new(1);
+        let spec = JobRequest {
+            steps: Some(2_000),
+            seed: 13,
+            islands: 2,
+            chunk: 256,
+            multilevel: Some(30),
+            ..JobRequest::new("pp", 4)
+        };
+        assert!(validate_job(&spec, &graph).is_ok());
+        let run = || {
+            let (sink, _buf) = sink_to_vec();
+            let token = CancelToken::new();
+            run_job(9, &spec, &graph, &gate, &token, &sink, || ())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.status, JobStatus::Completed);
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.assignment, b.assignment);
+        // The done assignment lives on the *fine* graph.
+        assert_eq!(a.assignment.as_ref().unwrap().len(), 120);
+        assert_eq!(a.parts, 4);
+        // And the served drive is bit-equal to the engine's own run().
+        let direct = job_solver(&spec, &graph).run().unwrap();
+        assert_eq!(a.value, direct.best_value);
+        assert_eq!(a.assignment.as_deref().unwrap(), direct.best.assignment());
+        assert_eq!(a.steps, direct.steps);
     }
 
     #[test]

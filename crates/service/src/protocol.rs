@@ -140,6 +140,12 @@ pub struct JobRequest {
     pub chunk: u64,
     /// Whether the `done` event should carry the full assignment vector.
     pub assignment: bool,
+    /// Multilevel acceleration (wire field `multilevel`): coarsen the
+    /// instance to at most this many vertices, run the ensemble there,
+    /// then uncoarsen with per-level refinement. `Some(0)` uses the
+    /// engine's default target; `None` (default) runs flat. Part of the
+    /// determinism contract like every other field.
+    pub multilevel: Option<u64>,
 }
 
 impl JobRequest {
@@ -160,6 +166,7 @@ impl JobRequest {
             islands: 1,
             chunk: DEFAULT_CHUNK,
             assignment: true,
+            multilevel: None,
         }
     }
 
@@ -190,7 +197,7 @@ impl JobRequest {
     /// typo'd `objctives` must not silently run a different job than the
     /// client believes it submitted.
     pub fn from_value(v: &Value) -> Result<JobRequest, String> {
-        const KNOWN_FIELDS: [&str; 11] = [
+        const KNOWN_FIELDS: [&str; 12] = [
             "op",
             "instance",
             "k",
@@ -202,6 +209,7 @@ impl JobRequest {
             "deadline_ms",
             "islands",
             "chunk",
+            "multilevel",
         ];
         if let Some(object) = v.as_object() {
             for (key, _) in object.iter() {
@@ -248,6 +256,12 @@ impl JobRequest {
         job.islands = get_u64(v, "islands").unwrap_or(1) as usize;
         job.chunk = get_u64(v, "chunk").unwrap_or(DEFAULT_CHUNK);
         job.assignment = v.get("assignment").and_then(Value::as_bool).unwrap_or(true);
+        if let Some(target) = v.get("multilevel") {
+            job.multilevel = Some(
+                get_u64(v, "multilevel")
+                    .ok_or(format!("submit: bad `multilevel` target `{target}`"))?,
+            );
+        }
         if job.steps.is_none() && job.deadline_ms.is_none() {
             return Err("submit: need `steps` and/or `deadline_ms`".into());
         }
@@ -342,6 +356,9 @@ impl Request {
                 entries.push(("islands", unum(job.islands as u64)));
                 entries.push(("chunk", unum(job.chunk)));
                 entries.push(("assignment", Value::Bool(job.assignment)));
+                if let Some(target) = job.multilevel {
+                    entries.push(("multilevel", unum(target)));
+                }
                 obj(entries)
             }
             Request::Cancel { job } => obj(vec![("op", s("cancel")), ("job", unum(*job))]),
@@ -894,6 +911,18 @@ mod tests {
                 seed: u64::MAX,
                 ..JobRequest::new("web", 4)
             }),
+            // Multilevel jobs: both an explicit target and the 0 =
+            // server-default sentinel must survive the wire.
+            Request::Submit(JobRequest {
+                steps: Some(5_000),
+                multilevel: Some(2_000),
+                ..JobRequest::new("web", 4)
+            }),
+            Request::Submit(JobRequest {
+                steps: Some(5_000),
+                multilevel: Some(0),
+                ..JobRequest::new("web", 4)
+            }),
             Request::Cancel { job: 9 },
             Request::Stats,
             Request::Shutdown,
@@ -1052,9 +1081,11 @@ mod tests {
         // All documented fields still pass.
         let full = r#"{"op":"submit","instance":"g","k":2,"steps":10,"deadline_ms":50,
             "objective":"cut","objectives":["cut","ncut"],"migration":"adaptive","seed":3,
-            "islands":2,"chunk":64,"assignment":false}"#
+            "islands":2,"chunk":64,"assignment":false,"multilevel":500}"#
             .replace('\n', " ");
         assert!(Request::parse(&full).is_ok(), "{:?}", Request::parse(&full));
+        let bad_ml = r#"{"op":"submit","instance":"g","k":2,"steps":10,"multilevel":"big"}"#;
+        assert!(Request::parse(bad_ml).unwrap_err().contains("multilevel"));
     }
 
     #[test]

@@ -285,6 +285,73 @@ fn ndjson_and_http_partitions_are_byte_identical() {
     handle_b.join().unwrap();
 }
 
+/// Satellite: a multilevel job behaves identically over NDJSON and
+/// HTTP, and reruns byte-identically on a fresh server process.
+#[test]
+fn http_multilevel_job_matches_ndjson_and_reruns_byte_identically() {
+    let data = instance_data();
+    let job_json = r#"{"instance":"geo60","k":4,"seed":23,"steps":5000,"chunk":256,"islands":2,"multilevel":16}"#;
+    let handle = start_http_server(ServerConfig::with_workers(2));
+    let http_addr = handle.http_addr().unwrap();
+
+    // NDJSON reference on the same server.
+    let mut ndjson = Client::connect(handle.addr()).unwrap();
+    ndjson
+        .load("geo60", GraphSource::Data(data.clone()), GraphFormat::Metis)
+        .unwrap();
+    let job = JobRequest {
+        steps: Some(5_000),
+        seed: 23,
+        chunk: 256,
+        islands: 2,
+        multilevel: Some(16),
+        ..JobRequest::new("geo60", 4)
+    };
+    let id = ndjson.submit(&job).unwrap();
+    let (_, done_ndjson) = ndjson.wait_done(id).unwrap();
+    assert_eq!(done_ndjson.status, JobStatus::Completed);
+    assert_eq!(done_ndjson.assignment.as_ref().unwrap().len(), 60);
+
+    let (status, accepted) = submit_http(http_addr, job_json);
+    assert_eq!(status, 202);
+    let http_job = match accepted {
+        Event::Accepted { job, .. } => job,
+        other => panic!("expected accepted, got {other:?}"),
+    };
+    let done_http = match stream_job_events(http_addr, http_job).last() {
+        Some(Event::Done(d)) => d.clone(),
+        other => panic!("expected done, got {other:?}"),
+    };
+    assert_eq!(done_ndjson.assignment, done_http.assignment);
+    assert_eq!(done_ndjson.value, done_http.value);
+    assert_eq!(done_ndjson.steps, done_http.steps);
+
+    // Fresh server process, cold cache: still byte-identical.
+    let handle_b = start_http_server(ServerConfig::with_workers(1));
+    let http_b = handle_b.http_addr().unwrap();
+    let (status, _, _) = http(http_b, "PUT", "/instances/geo60", &data);
+    assert_eq!(status, 200);
+    let (_, accepted) = submit_http(http_b, job_json);
+    let cold_job = match accepted {
+        Event::Accepted { job, .. } => job,
+        other => panic!("expected accepted, got {other:?}"),
+    };
+    let done_cold = match stream_job_events(http_b, cold_job).last() {
+        Some(Event::Done(d)) => d.clone(),
+        other => panic!("expected done, got {other:?}"),
+    };
+    assert_eq!(done_ndjson.assignment, done_cold.assignment);
+    assert_eq!(done_ndjson.value, done_cold.value);
+
+    Client::connect(handle.addr()).unwrap().shutdown().unwrap();
+    handle.join().unwrap();
+    Client::connect(handle_b.addr())
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    handle_b.join().unwrap();
+}
+
 /// ISSUE acceptance: a mixed-objective job's `done` event carries the
 /// same deterministic Pareto front over HTTP as over NDJSON, and a
 /// typo'd field in the HTTP job body is a named 400, not silently

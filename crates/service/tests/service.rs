@@ -102,6 +102,50 @@ fn four_concurrent_jobs_stream_and_reproduce_across_server_runs() {
     );
 }
 
+/// Satellite: served multilevel jobs honour the same determinism
+/// contract as flat ones — same request ⇒ byte-identical `done`
+/// assignment across two separate server processes.
+#[test]
+fn multilevel_job_over_the_wire_is_byte_identical_across_server_runs() {
+    let run = || {
+        let handle = start_server(2);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client
+            .load(
+                "geo60",
+                GraphSource::Data(instance_data()),
+                GraphFormat::Metis,
+            )
+            .unwrap();
+        let job = JobRequest {
+            steps: Some(6_000),
+            seed: 17,
+            islands: 2,
+            chunk: 256,
+            multilevel: Some(16),
+            ..JobRequest::new("geo60", 4)
+        };
+        let id = client.submit(&job).unwrap();
+        let (improvements, done) = client.wait_done(id).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+        let values: Vec<f64> = improvements.iter().map(|i| i.value).collect();
+        (values, done)
+    };
+    let (values_a, done_a) = run();
+    let (values_b, done_b) = run();
+    assert_eq!(done_a.status, JobStatus::Completed);
+    assert_eq!(done_a.parts, 4);
+    assert_eq!(done_a.assignment.as_ref().unwrap().len(), 60);
+    // Coarse-phase improvements stream, and the refined fine-graph value
+    // can only be at least as good as the last coarse improvement.
+    assert!(!values_a.is_empty());
+    assert!(done_a.value <= values_a.last().copied().unwrap());
+    assert_eq!(done_a.assignment, done_b.assignment);
+    assert_eq!(done_a.value, done_b.value);
+    assert_eq!(values_a, values_b);
+}
+
 /// Per-job result isolation: a job run concurrently with three others
 /// returns exactly what it returns when run alone.
 #[test]

@@ -132,6 +132,109 @@ proptest! {
         prop_assert!(seen.iter().all(|&s| s));
     }
 
+    /// The full coarsening hierarchy (not just one level) conserves total
+    /// vertex weight exactly, never grows total edge weight, and strictly
+    /// shrinks the graph at every level — the invariants the multilevel
+    /// V-cycle's "solve coarse, project fine" logic rests on.
+    #[test]
+    fn hierarchy_preserves_weights_at_every_level(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        use ff_graph::Hierarchy;
+        let target = (g.num_vertices() / 4).max(2);
+        let h = Hierarchy::build(&g, target, seed);
+        let mut prev_n = g.num_vertices();
+        for level in h.levels() {
+            let c = &level.graph;
+            prop_assert!(
+                (c.total_vertex_weight() - g.total_vertex_weight()).abs() < 1e-9,
+                "vertex weight drifted at a level"
+            );
+            prop_assert!(c.total_edge_weight() <= g.total_edge_weight() + 1e-9);
+            prop_assert!(c.num_vertices() < prev_n, "coarsening must shrink");
+            prev_n = c.num_vertices();
+        }
+    }
+
+    /// Projecting a coarse partition down the whole hierarchy preserves
+    /// the Cut objective *exactly*: merged vertices share a part, so every
+    /// cut edge of the fine partition maps to coarse cut weight and vice
+    /// versa. (NCut/MCut renormalize by level-dependent volumes, so only
+    /// Cut admits this bitwise-style identity.)
+    #[test]
+    fn projection_round_trips_the_cut_objective(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        use ff_graph::Hierarchy;
+        let target = (g.num_vertices() / 4).max(2);
+        let h = Hierarchy::build(&g, target, seed);
+        let coarsest = h.coarsest(&g);
+        let k = 2 + (seed % 3) as usize;
+        if k > coarsest.num_vertices() {
+            return Ok(());
+        }
+        let coarse = Partition::random(coarsest, k, seed ^ 0x9e37);
+        let coarse_cut = Objective::Cut.evaluate(coarsest, &coarse);
+        let fine_asg = h.project_to_finest(coarse.assignment());
+        let fine = Partition::from_assignment(&g, fine_asg, k);
+        let fine_cut = Objective::Cut.evaluate(&g, &fine);
+        prop_assert!(
+            (fine_cut - coarse_cut).abs() <= 1e-9 * (1.0 + coarse_cut.abs()),
+            "cut changed under projection: coarse {coarse_cut} vs fine {fine_cut}"
+        );
+    }
+
+    /// The V-cycle driver refines monotonically at every level, under
+    /// every objective, and lands on a partition whose incremental value
+    /// matches a fresh evaluation on the finest graph.
+    #[test]
+    fn vcycle_refine_up_is_monotone_for_all_objectives(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        use fusionfission::multilevel::{Vcycle, VcycleOpts};
+        let opts = VcycleOpts {
+            coarsen_until: (g.num_vertices() / 3).max(2),
+            refine_passes: 4,
+            seed,
+            min_coarse_vertices: 2,
+        };
+        let vc = Vcycle::new(&g, opts);
+        let k = 2 + (seed % 3) as usize;
+        if k > vc.coarsest().num_vertices() {
+            return Ok(());
+        }
+        let coarse = Partition::random(vc.coarsest(), k, seed);
+        for obj in Objective::all() {
+            let start = obj.evaluate(vc.coarsest(), &coarse);
+            let (refined, reports) = vc.refine_up(&coarse, obj);
+            prop_assert_eq!(refined.num_vertices(), g.num_vertices());
+            for r in &reports {
+                prop_assert!(
+                    r.value_after <= r.value_before + 1e-9,
+                    "refinement worsened level {}: {} -> {}",
+                    r.level, r.value_before, r.value_after
+                );
+            }
+            let fresh = obj.evaluate(&g, &refined);
+            if let Some(last) = reports.last() {
+                prop_assert!(
+                    (last.value_after - fresh).abs() < 1e-7
+                        || (last.value_after.is_infinite() && fresh.is_infinite()),
+                    "{obj}: report {} vs fresh {}",
+                    last.value_after, fresh
+                );
+            }
+            // Cut projects exactly, so for Cut the refined value can never
+            // exceed where the coarse search left off.
+            if obj == Objective::Cut && start.is_finite() {
+                prop_assert!(fresh <= start + 1e-9);
+            }
+        }
+    }
+
     #[test]
     fn fusion_fission_preserves_vertex_universe(
         g in arb_graph(),
