@@ -5,6 +5,9 @@
 //! ffpart <graph> -k <parts> [options]      one-shot partitioning
 //! ffpart serve [serve-options]             run the NDJSON partition server
 //! ffpart submit [submit-options]           submit a job to a running server
+//! ffpart worker [slots]                    distributed-islands worker on
+//!                                          stdin/stdout (spawned by
+//!                                          --workers; rarely run by hand)
 //!
 //! serve options:
 //!   --listen ADDR            bind address          (default 127.0.0.1:7411;
@@ -51,6 +54,14 @@
 //!   --cancel-after-ms N      send a cancel N ms after acceptance (the job
 //!                            then returns its best-so-far partition)
 //!   -q, --quiet              suppress streamed improvement lines
+//!   --workers A,B,…          federate the job across several running
+//!                            servers instead of submitting to one: this
+//!                            process coordinates, each listed server
+//!                            hosts a shard of the islands. Same bytes
+//!                            out as a single-server submit with the
+//!                            same seed/steps/chunk. Needs --steps (no
+//!                            --deadline-ms/--multilevel); replaces
+//!                            --connect
 //!
 //! one-shot options:
 //!   -k, --parts N            number of parts (required)
@@ -83,6 +94,11 @@
 //!                            (method ff only; deterministic with --steps)
 //!   --coarsen-until N        multilevel coarse-graph target size
 //!                            (implies --multilevel; default 3000)
+//!   --workers N|auto         distribute the islands across N spawned
+//!                            worker processes (`auto` = one per core,
+//!                            capped at the island count). Byte-identical
+//!                            to the same run without --workers; needs
+//!                            -m ff and a pure --steps budget
 //!   -f, --format NAME        metis | edgelist                  (default metis)
 //!   -w, --write PATH         write the partition (.part format)
 //!   -r, --repair             repair disconnected parts before reporting
@@ -106,10 +122,13 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: ffpart <graph> -k <parts> [-m method] [-o objective[,objective…]] \
 [-b budget-secs] [--steps n] [-s seed] [-j islands] [--migration replace|combine|adaptive] \
-[--threads n] [--multilevel] [--coarsen-until n] [-f metis|edgelist] [-w out.part] [-r] [-q]\n       \
+[--threads n] [--workers n|auto] [--multilevel] [--coarsen-until n] [-f metis|edgelist] \
+[-w out.part] [-r] [-q]\n       \
 ffpart serve [--listen addr] [--workers n] [--max-jobs n] \
 [--max-jobs-per-conn n] [--cache-bytes n] [--http [addr]] [--stdio]\n       \
-ffpart submit --connect addr <graph> -k <parts> [--steps n] [--deadline-ms n] …\n\
+ffpart submit --connect addr <graph> -k <parts> [--steps n] [--deadline-ms n] …\n       \
+ffpart submit --workers addr,addr… <graph> -k <parts> --steps n …\n       \
+ffpart worker [slots]\n\
 see `ffpart --help`";
 
 struct Args {
@@ -130,6 +149,7 @@ struct Args {
     repair: bool,
     quiet: bool,
     mincut: bool,
+    workers: Option<String>,
 }
 
 fn parse_method(name: &str) -> Option<MethodId> {
@@ -218,6 +238,7 @@ fn parse_args() -> Result<Args, String> {
     let mut repair = false;
     let mut quiet = false;
     let mut mincut = false;
+    let mut workers = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -278,6 +299,7 @@ fn parse_args() -> Result<Args, String> {
             "-r" | "--repair" => repair = true,
             "-q" | "--quiet" => quiet = true,
             "--mincut" => mincut = true,
+            "--workers" => workers = Some(val("--workers")?),
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             other => {
                 if graph_path.is_some() {
@@ -305,6 +327,7 @@ fn parse_args() -> Result<Args, String> {
         repair,
         quiet,
         mincut,
+        workers,
     })
 }
 
@@ -432,6 +455,7 @@ fn submit_main(args: &[String]) -> ExitCode {
     let mut write: Option<String> = None;
     let mut cancel_after_ms: Option<u64> = None;
     let mut quiet = false;
+    let mut workers: Option<String> = None;
 
     let mut it = args.iter();
     let usage_err = |msg: &str| {
@@ -491,6 +515,7 @@ fn submit_main(args: &[String]) -> ExitCode {
             "-w" | "--write" => write = Some(value_of!("-w")),
             "--cancel-after-ms" => cancel_after_ms = Some(parse_of!("--cancel-after-ms")),
             "-q" | "--quiet" => quiet = true,
+            "--workers" => workers = Some(value_of!("--workers")),
             other if other.starts_with('-') => {
                 return usage_err(&format!("unknown flag `{other}`"))
             }
@@ -502,9 +527,6 @@ fn submit_main(args: &[String]) -> ExitCode {
             }
         }
     }
-    let Some(connect) = connect else {
-        return usage_err("missing --connect");
-    };
     let Some(graph_path) = graph_path else {
         return usage_err("missing graph path");
     };
@@ -516,6 +538,49 @@ fn submit_main(args: &[String]) -> ExitCode {
     }
     let Some(format) = ff_service::GraphFormat::parse(&format) else {
         return usage_err("unknown format (metis|edgelist)");
+    };
+    if let Some(list) = workers {
+        // Federated mode: this process is the coordinator, the listed
+        // servers are the workers. The deterministic contract needs a
+        // pure step budget and the flat solver path.
+        if connect.is_some() {
+            return usage_err("--workers and --connect are mutually exclusive");
+        }
+        if deadline_ms.is_some() || steps.is_none() {
+            return usage_err("--workers needs a pure --steps budget (no --deadline-ms)");
+        }
+        if multilevel {
+            return usage_err("--workers does not combine with --multilevel");
+        }
+        if cancel_after_ms.is_some() {
+            return usage_err("--cancel-after-ms is not supported with --workers");
+        }
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if addrs.is_empty() {
+            return usage_err("--workers needs a comma list of host:port addresses");
+        }
+        return submit_federated(
+            addrs,
+            graph_path,
+            instance,
+            format,
+            k,
+            objectives,
+            migration,
+            steps.unwrap(),
+            seed,
+            islands,
+            chunk,
+            write,
+            quiet,
+        );
+    }
+    let Some(connect) = connect else {
+        return usage_err("missing --connect");
     };
 
     let mut client = match ff_service::Client::connect(&*connect) {
@@ -662,11 +727,284 @@ fn submit_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `ffpart submit --workers`: run one job federated across several
+/// already-running servers, this process acting as the coordinator.
+/// Byte-identical to submitting the same job to a single server: the
+/// coordinator fixes seeds and interval exactly as the server's job
+/// driver would (`chunk` doubles as the migration interval, a single
+/// island keeps the root seed).
+#[allow(clippy::too_many_arguments)]
+fn submit_federated(
+    addrs: Vec<String>,
+    graph_path: String,
+    instance: Option<String>,
+    format: ff_service::GraphFormat,
+    k: usize,
+    objectives: Vec<Objective>,
+    migration: MigrationPolicyId,
+    steps: u64,
+    seed: u64,
+    mut islands: usize,
+    chunk: u64,
+    write: Option<String>,
+    quiet: bool,
+) -> ExitCode {
+    // The coordinator needs the graph locally (reduction, molecule
+    // reconstruction) and the servers don't share our filesystem, so
+    // read the file once and ship it inline.
+    let data = match std::fs::read_to_string(&graph_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ffpart submit: cannot read {graph_path}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let parsed = match format {
+        ff_service::GraphFormat::Metis => ff_graph::io::read_metis(data.as_bytes()),
+        ff_service::GraphFormat::EdgeList => ff_graph::io::read_edge_list(data.as_bytes()),
+    };
+    let g = match parsed {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("ffpart submit: {graph_path}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    if k == 0 || k > g.num_vertices() {
+        eprintln!(
+            "ffpart submit: -k must be in 1..={} for this graph",
+            g.num_vertices()
+        );
+        return ExitCode::from(2);
+    }
+    if islands == 0 {
+        eprintln!("ffpart submit: --islands must be at least 1");
+        return ExitCode::from(2);
+    }
+    let needed = ff_engine::islands_to_cover(&objectives);
+    let pareto = ff_engine::distinct_objectives(&objectives).len() > 1;
+    if pareto && islands < needed {
+        eprintln!("ffpart: raising --islands {islands} → {needed} (covering every objective)");
+        islands = needed;
+    }
+    let spec = ff_service::DistSpec {
+        instance: instance.unwrap_or_else(|| graph_path.clone()),
+        source: ff_service::GraphSource::Data(data),
+        format,
+        k,
+        steps,
+        // Match the server's job driver: one island keeps the root
+        // seed, ensembles derive per-island seeds from it.
+        seeds: if islands == 1 {
+            vec![seed]
+        } else {
+            ff_engine::derive_seeds(seed, islands)
+        },
+        objectives: (0..islands)
+            .map(|i| objectives[i % objectives.len()])
+            .collect(),
+        interval: chunk,
+        migration,
+        pareto,
+    };
+    eprintln!(
+        "ffpart: federating {islands} island(s) across {} server(s)",
+        addrs.len()
+    );
+    let started = std::time::Instant::now();
+    let result = ff_service::solve_distributed(
+        &g,
+        &spec,
+        &ff_service::WorkerSet::Connect { addrs },
+        &ff_service::DistOpts::default(),
+        &mut |island, news| {
+            if !quiet {
+                println!(
+                    "improvement value={:.6} step={} t={}ms island={island}",
+                    news.value, news.step, news.elapsed_ms
+                );
+            }
+        },
+    );
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ffpart submit: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    if let Some(front) = &result.pareto {
+        let rows: Vec<FrontRow> = front
+            .points
+            .iter()
+            .map(|p| {
+                (
+                    p.island,
+                    p.objective,
+                    front
+                        .objectives
+                        .iter()
+                        .copied()
+                        .zip(p.values.iter().copied())
+                        .collect(),
+                    p.parts,
+                )
+            })
+            .collect();
+        print_front(&rows);
+    }
+    println!(
+        "done status=completed value={:.6} parts={} steps={} migrations={} time={}ms",
+        result.best_value,
+        result.best.num_nonempty_parts(),
+        result.steps,
+        result.migrations_adopted,
+        started.elapsed().as_millis()
+    );
+    if let Some(path) = write {
+        match File::create(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|f| write_partition(&result.best, f).map_err(|e| e.to_string()))
+        {
+            Ok(()) => eprintln!("ffpart: partition written to {path}"),
+            Err(e) => {
+                eprintln!("ffpart submit: cannot write {path}: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// One-shot `--workers`: shard the island ensemble across spawned
+/// `ffpart worker` child processes. Byte-identical to the same run
+/// without `--workers` — same seeds, same epoch schedule — which is why
+/// it insists on the deterministic budget shape (`--steps`, no `-b`).
+fn run_distributed_oneshot(
+    g: &Graph,
+    args: &Args,
+    islands: usize,
+    pareto_run: bool,
+    workers_spec: &str,
+) -> Result<(ff_partition::Partition, Duration), ExitCode> {
+    let fail = |code: u8, msg: &str| {
+        eprintln!("ffpart: {msg}");
+        Err::<(ff_partition::Partition, Duration), ExitCode>(ExitCode::from(code))
+    };
+    if args.method != MethodId::FusionFission {
+        return fail(
+            2,
+            "--workers needs -m ff (it distributes the fusion–fission ensemble)",
+        );
+    }
+    if args.multilevel {
+        return fail(2, "--workers does not combine with --multilevel");
+    }
+    let Some(steps) = args.steps else {
+        return fail(2, "--workers needs a pure step budget (--steps without -b)");
+    };
+    if args.budget_secs.is_some() {
+        return fail(2, "--workers needs a pure step budget (--steps without -b)");
+    }
+    let workers = if workers_spec == "auto" {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        match workers_spec.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                return fail(
+                    2,
+                    &format!("bad --workers value `{workers_spec}` (count or `auto`)"),
+                )
+            }
+        }
+    }
+    .min(islands);
+    let Some(format) = ff_service::GraphFormat::parse(&args.format) else {
+        return fail(2, "unknown format (metis|edgelist)");
+    };
+    let exe = match std::env::current_exe() {
+        Ok(p) => p.to_string_lossy().into_owned(),
+        Err(e) => return fail(3, &format!("cannot locate own executable: {e}")),
+    };
+    let spec = ff_service::DistSpec {
+        instance: args.graph_path.clone(),
+        source: ff_service::GraphSource::Path(args.graph_path.clone()),
+        format,
+        k: args.k,
+        steps,
+        seeds: ff_engine::derive_seeds(args.seed, islands),
+        objectives: (0..islands)
+            .map(|i| args.objectives[i % args.objectives.len()])
+            .collect(),
+        // The Solver's default migration interval — what the run would
+        // use in-process.
+        interval: 1024,
+        migration: args.migration,
+        pareto: pareto_run,
+    };
+    eprintln!("ffpart: distributing {islands} island(s) across {workers} worker process(es)");
+    let started = std::time::Instant::now();
+    let result = ff_service::solve_distributed(
+        g,
+        &spec,
+        &ff_service::WorkerSet::Spawn {
+            cmd: vec![exe, "worker".into()],
+            count: workers,
+        },
+        &ff_service::DistOpts::default(),
+        &mut |_, _| {},
+    );
+    match result {
+        Ok(result) => {
+            if let Some(front) = &result.pareto {
+                let rows: Vec<FrontRow> = front
+                    .points
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.island,
+                            p.objective,
+                            front
+                                .objectives
+                                .iter()
+                                .copied()
+                                .zip(p.values.iter().copied())
+                                .collect(),
+                            p.parts,
+                        )
+                    })
+                    .collect();
+                print_front(&rows);
+            }
+            Ok((result.best.clone(), started.elapsed()))
+        }
+        Err(e) => fail(3, &e),
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("serve") => return serve_main(&argv[1..]),
         Some("submit") => return submit_main(&argv[1..]),
+        Some("worker") => {
+            // Spawned by the `--workers` coordinator: the full NDJSON
+            // server on stdin/stdout, one compute slot (island layout,
+            // not host load, decides a worker's parallelism).
+            let slots = match argv.get(1).map(|a| a.parse::<usize>()) {
+                None => 1,
+                Some(Ok(n)) => n,
+                Some(Err(_)) => {
+                    eprintln!("ffpart worker: expected a slot count\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            };
+            ff_service::serve_stdio(slots);
+            return ExitCode::SUCCESS;
+        }
         _ => {}
     }
     let args = match parse_args() {
@@ -764,7 +1102,12 @@ fn main() -> ExitCode {
         },
         (None, None) => MethodBudget::seconds(10.0),
     };
-    let (mut partition, elapsed) = if pareto_run {
+    let (mut partition, elapsed) = if let Some(spec) = &args.workers {
+        match run_distributed_oneshot(&g, &args, islands, pareto_run, spec) {
+            Ok(out) => out,
+            Err(code) => return code,
+        }
+    } else if pareto_run {
         // Mixed objectives: drive the Solver directly, print the front,
         // continue with the representative (best under the primary —
         // first — objective) for the per-part report and -w.

@@ -861,3 +861,184 @@ fn serve_hardening_flags_reject_overflow_and_serve_http() {
     drop(guard);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Tentpole at the CLI layer: `--workers N|auto` shards the island
+/// ensemble across spawned worker processes, and the resulting `.part`
+/// file (and the summary on stdout) is byte-identical to the plain
+/// in-process run with the same seed and budget.
+#[test]
+fn one_shot_workers_flag_is_byte_identical_to_in_process() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-dist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+    let run = |out: &std::path::Path, extra: &[&str]| {
+        let mut args = vec![
+            graph.to_str().unwrap(),
+            "-k",
+            "2",
+            "-m",
+            "ff",
+            "--steps",
+            "4000",
+            "-s",
+            "5",
+            "--islands",
+            "4",
+            "-q",
+            "-w",
+            out.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        let output = ffpart().args(&args).output().unwrap();
+        assert!(
+            output.status.success(),
+            "{extra:?} stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        (output.stdout, output.stderr)
+    };
+    // Everything before the wall-clock field is deterministic.
+    let metrics = |stdout: &[u8]| {
+        let text = String::from_utf8(stdout.to_vec()).unwrap();
+        text.split("  time").next().unwrap().to_string()
+    };
+    let base = dir.join("base.part");
+    let (base_stdout, _) = run(&base, &[]);
+    let base_part = std::fs::read(&base).unwrap();
+    for workers in ["2", "4", "auto"] {
+        let out = dir.join(format!("w{workers}.part"));
+        let (stdout, stderr) = run(&out, &["--workers", workers]);
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            base_part,
+            "--workers {workers} diverged from the in-process partition"
+        );
+        assert_eq!(
+            metrics(&stdout),
+            metrics(&base_stdout),
+            "--workers {workers} summary diverged from the in-process one"
+        );
+        assert!(
+            String::from_utf8_lossy(&stderr).contains("worker process"),
+            "banner should mention the worker fan-out: {}",
+            String::from_utf8_lossy(&stderr)
+        );
+    }
+
+    // Distribution is ff-only and step-budgeted: anything else is usage.
+    for extra in [
+        &["--workers", "2", "-m", "multilevel"][..],
+        &["--workers", "2", "--multilevel"][..],
+        &["--workers", "2", "-b", "0.5"][..],
+        &["--workers", "0"][..],
+    ] {
+        let mut args = vec![graph.to_str().unwrap(), "-k", "2", "-m", "ff", "-q"];
+        if !extra.contains(&"-b") {
+            args.extend_from_slice(&["--steps", "100"]);
+        }
+        args.extend_from_slice(extra);
+        // `-m multilevel` after the earlier `-m ff` overrides it.
+        let output = ffpart().args(&args).output().unwrap();
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Federated mode: `submit --workers host1,host2` drives two live
+/// servers as islands hosts and must write the same bytes as a plain
+/// single-server `submit --connect` of the identical job.
+#[test]
+fn federated_submit_matches_single_server_submit() {
+    let dir = std::env::temp_dir().join(format!("ffpart-test-fed-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = write_sample_graph(&dir);
+
+    let (guard_a, addr_a) = spawn_server();
+    let (guard_b, addr_b) = spawn_server();
+    let (guard_c, addr_c) = spawn_server();
+
+    let common = |out: &std::path::Path| {
+        vec![
+            graph.to_str().unwrap().to_string(),
+            "-k".into(),
+            "2".into(),
+            "-s".into(),
+            "5".into(),
+            "--steps".into(),
+            "4000".into(),
+            "--islands".into(),
+            "4".into(),
+            "-w".into(),
+            out.to_str().unwrap().to_string(),
+        ]
+    };
+    let single = dir.join("single.part");
+    let mut args = vec!["submit".to_string(), "--connect".into(), addr_c.clone()];
+    args.extend(common(&single));
+    let output = ffpart().args(&args).output().unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let fed = dir.join("federated.part");
+    let mut args = vec![
+        "submit".to_string(),
+        "--workers".into(),
+        format!("{addr_a},{addr_b}"),
+    ];
+    args.extend(common(&fed));
+    let output = ffpart().args(&args).output().unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("status=completed"), "stdout: {stdout}");
+    assert!(stdout.contains("improvement value="), "stdout: {stdout}");
+
+    assert_eq!(
+        std::fs::read(&fed).unwrap(),
+        std::fs::read(&single).unwrap(),
+        "federated two-server run diverged from the single-server job"
+    );
+
+    // `--workers` and `--connect` are mutually exclusive in submit.
+    let output = ffpart()
+        .args([
+            "submit",
+            "--connect",
+            &addr_c,
+            "--workers",
+            &addr_a,
+            graph.to_str().unwrap(),
+            "-k",
+            "2",
+            "--steps",
+            "100",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    for addr in [addr_a, addr_b, addr_c] {
+        ff_service::Client::connect(&*addr)
+            .unwrap()
+            .shutdown()
+            .unwrap();
+    }
+    drop((guard_a, guard_b, guard_c));
+    std::fs::remove_dir_all(&dir).ok();
+}

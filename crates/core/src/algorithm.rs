@@ -505,7 +505,18 @@ impl<'g> FusionFissionRun<'g> {
             self.g.num_vertices(),
             "molecule size mismatch"
         );
-        let value = self.cfg.objective.evaluate(self.g, molecule);
+        // An offered molecule is adopted by assignment only: rebuild it
+        // vertex-ascending so the verdict, the cached part weights, and
+        // the stored reheat point are all independent of the donor's
+        // internal move history. This is what lets a migration cross a
+        // process boundary (serialized as its assignment) and land
+        // bit-identically to the in-process exchange.
+        let molecule = Partition::from_assignment(
+            self.g,
+            molecule.assignment().to_vec(),
+            molecule.num_parts(),
+        );
+        let value = self.cfg.objective.evaluate(self.g, &molecule);
         let energy = scaled_energy(
             value,
             self.cfg.objective,
@@ -515,7 +526,7 @@ impl<'g> FusionFissionRun<'g> {
         );
         if energy < self.s.best_energy {
             self.s.best_energy = energy;
-            self.s.best_molecule = molecule.clone();
+            self.s.best_molecule = molecule;
             true
         } else {
             false

@@ -169,7 +169,10 @@ pub mod solver;
 
 #[allow(deprecated)]
 pub use ensemble::{Ensemble, EnsembleConfig, EnsembleResult, EnsembleRun};
-pub use migration::{Adaptive, Combine, MigrationPolicy, MigrationPolicyId, ReplaceIfBetter};
+pub use migration::{
+    Adaptive, Combine, IslandStatus, MigrationOffer, MigrationPolicy, MigrationPolicyId,
+    ReplaceIfBetter,
+};
 pub use multilevel::{LevelReport, MultilevelInfo, MultilevelOpts};
 pub use pool::parallel_map;
 pub use reduction::{MinEnergy, ParetoFront, ParetoPoint, ParetoResult, Reduced, Reduction};

@@ -17,8 +17,44 @@
 use ff_core::FusionFissionRun;
 use ff_partition::Objective;
 
+/// What a policy sees of one island at an exchange barrier — the full
+/// decision input. Keeping this a plain value (no borrow of the run) is
+/// what lets a coordinator evaluate the same policy over island state
+/// reported by worker *processes* and still land on the identical plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IslandStatus {
+    /// The objective this island optimizes (exchange never crosses
+    /// objective groups).
+    pub objective: Objective,
+    /// The island's best scaled energy so far.
+    pub best_energy: f64,
+}
+
+/// One planned migration: the donor's best molecule is offered to each
+/// receiver, in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrationOffer {
+    /// Island whose best molecule is cloned and offered.
+    pub donor: usize,
+    /// Islands the molecule is offered to, in execution order.
+    pub receivers: Vec<usize>,
+    /// `false` → offer via [`FusionFissionRun::inject`]; `true` → via
+    /// [`FusionFissionRun::inject_crossover`] (KaFFPaE-style combine).
+    pub crossover: bool,
+}
+
 /// A migration strategy plugged into the solver
 /// ([`Solver::migration`](crate::Solver::migration)).
+///
+/// A policy is split into a pure *decision* ([`plan`]) over barrier-time
+/// island statuses and a default *execution* ([`exchange`]) of that plan
+/// against in-process runs. In-process ensembles call `exchange`; the
+/// distributed driver calls `plan` on the exact same statuses (reported
+/// over the wire) and executes each offer with fetch/inject ops, so both
+/// modes make bit-identical decisions.
+///
+/// [`plan`]: MigrationPolicy::plan
+/// [`exchange`]: MigrationPolicy::exchange
 pub trait MigrationPolicy: Send {
     /// Stable display name (also the wire/CLI spelling).
     fn name(&self) -> &'static str;
@@ -31,10 +67,45 @@ pub trait MigrationPolicy: Send {
         base
     }
 
-    /// Exchange molecules at a barrier. Returns how many offers were
-    /// adopted. Only called when at least two islands are live and
-    /// migration is enabled.
-    fn exchange(&mut self, islands: &mut [FusionFissionRun<'_>]) -> u64;
+    /// Decides the exchanges for one barrier from a snapshot of island
+    /// statuses. Must be deterministic in `islands` (plus any state the
+    /// policy carries across barriers) — no wall clock, no unseeded RNG —
+    /// or the byte-identical reproducibility contract breaks. Only
+    /// called when at least two islands are live and migration is
+    /// enabled.
+    fn plan(&mut self, islands: &[IslandStatus]) -> Vec<MigrationOffer>;
+
+    /// Executes [`plan`](MigrationPolicy::plan) at a barrier: clone each
+    /// offer's donor molecule, offer it to every receiver. Returns how
+    /// many offers were adopted.
+    fn exchange(&mut self, islands: &mut [FusionFissionRun<'_>]) -> u64 {
+        let statuses: Vec<IslandStatus> = islands.iter().map(IslandStatus::of).collect();
+        let mut adopted = 0;
+        for offer in self.plan(&statuses) {
+            let molecule = islands[offer.donor].best_molecule().clone();
+            for &i in &offer.receivers {
+                let took = if offer.crossover {
+                    islands[i].inject_crossover(&molecule)
+                } else {
+                    islands[i].inject(&molecule)
+                };
+                if took {
+                    adopted += 1;
+                }
+            }
+        }
+        adopted
+    }
+}
+
+impl IslandStatus {
+    /// The status an in-process run presents at a barrier.
+    pub fn of(run: &FusionFissionRun<'_>) -> IslandStatus {
+        IslandStatus {
+            objective: run.config().objective,
+            best_energy: run.best_energy(),
+        }
+    }
 }
 
 impl MigrationPolicy for Box<dyn MigrationPolicy> {
@@ -46,6 +117,10 @@ impl MigrationPolicy for Box<dyn MigrationPolicy> {
         (**self).interval(base)
     }
 
+    fn plan(&mut self, islands: &[IslandStatus]) -> Vec<MigrationOffer> {
+        (**self).plan(islands)
+    }
+
     fn exchange(&mut self, islands: &mut [FusionFissionRun<'_>]) -> u64 {
         (**self).exchange(islands)
     }
@@ -53,23 +128,22 @@ impl MigrationPolicy for Box<dyn MigrationPolicy> {
 
 /// Indices grouped by objective, each group in ascending island order;
 /// groups ordered by first appearance. Exchange never crosses groups.
-fn objective_groups(islands: &[FusionFissionRun<'_>]) -> Vec<(Objective, Vec<usize>)> {
+fn objective_groups(islands: &[IslandStatus]) -> Vec<(Objective, Vec<usize>)> {
     let mut groups: Vec<(Objective, Vec<usize>)> = Vec::new();
-    for (i, run) in islands.iter().enumerate() {
-        let obj = run.config().objective;
-        match groups.iter_mut().find(|(o, _)| *o == obj) {
+    for (i, st) in islands.iter().enumerate() {
+        match groups.iter_mut().find(|(o, _)| *o == st.objective) {
             Some((_, members)) => members.push(i),
-            None => groups.push((obj, vec![i])),
+            None => groups.push((st.objective, vec![i])),
         }
     }
     groups
 }
 
 /// Donor = lowest best-energy island of the group (ties → lowest index).
-fn donor_of(group: &[usize], islands: &[FusionFissionRun<'_>]) -> usize {
+fn donor_of(group: &[usize], islands: &[IslandStatus]) -> usize {
     let mut best = group[0];
     for &i in &group[1..] {
-        if islands[i].best_energy() < islands[best].best_energy() {
+        if islands[i].best_energy < islands[best].best_energy {
             best = i;
         }
     }
@@ -87,28 +161,31 @@ impl MigrationPolicy for ReplaceIfBetter {
         "replace"
     }
 
-    fn exchange(&mut self, islands: &mut [FusionFissionRun<'_>]) -> u64 {
-        let mut adopted = 0;
+    fn plan(&mut self, islands: &[IslandStatus]) -> Vec<MigrationOffer> {
+        let mut offers = Vec::new();
         for (_, group) in objective_groups(islands) {
             if group.len() < 2 {
                 continue;
             }
             let donor = donor_of(&group, islands);
-            let donor_energy = islands[donor].best_energy();
-            let molecule = islands[donor].best_molecule().clone();
-            for &i in &group {
-                // Islands already at or below the donor's energy would
-                // reject the offer; skip them up front and spare the O(m)
-                // re-scoring `inject` performs.
-                if i != donor
-                    && islands[i].best_energy() > donor_energy
-                    && islands[i].inject(&molecule)
-                {
-                    adopted += 1;
-                }
+            let donor_energy = islands[donor].best_energy;
+            // Islands already at or below the donor's energy would
+            // reject the offer; skip them up front and spare the O(m)
+            // re-scoring `inject` performs.
+            let receivers: Vec<usize> = group
+                .iter()
+                .copied()
+                .filter(|&i| i != donor && islands[i].best_energy > donor_energy)
+                .collect();
+            if !receivers.is_empty() {
+                offers.push(MigrationOffer {
+                    donor,
+                    receivers,
+                    crossover: false,
+                });
             }
         }
-        adopted
+        offers
     }
 }
 
@@ -125,21 +202,21 @@ impl MigrationPolicy for Combine {
         "combine"
     }
 
-    fn exchange(&mut self, islands: &mut [FusionFissionRun<'_>]) -> u64 {
-        let mut adopted = 0;
+    fn plan(&mut self, islands: &[IslandStatus]) -> Vec<MigrationOffer> {
+        let mut offers = Vec::new();
         for (_, group) in objective_groups(islands) {
             if group.len() < 2 {
                 continue;
             }
             let donor = donor_of(&group, islands);
-            let molecule = islands[donor].best_molecule().clone();
-            for &i in &group {
-                if i != donor && islands[i].inject_crossover(&molecule) {
-                    adopted += 1;
-                }
-            }
+            let receivers: Vec<usize> = group.iter().copied().filter(|&i| i != donor).collect();
+            offers.push(MigrationOffer {
+                donor,
+                receivers,
+                crossover: true,
+            });
         }
-        adopted
+        offers
     }
 }
 
@@ -201,14 +278,14 @@ impl MigrationPolicy for Adaptive {
         base.saturating_mul(self.scale)
     }
 
-    fn exchange(&mut self, islands: &mut [FusionFissionRun<'_>]) -> u64 {
+    fn plan(&mut self, islands: &[IslandStatus]) -> Vec<MigrationOffer> {
         // Per-group minimum best energy, in deterministic group order.
         let energies: Vec<f64> = objective_groups(islands)
             .iter()
             .map(|(_, group)| {
                 group
                     .iter()
-                    .map(|&i| islands[i].best_energy())
+                    .map(|&i| islands[i].best_energy)
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
@@ -228,7 +305,7 @@ impl MigrationPolicy for Adaptive {
             }
         }
         self.last_energies = energies;
-        self.inner.exchange(islands)
+        self.inner.plan(islands)
     }
 }
 
@@ -294,31 +371,74 @@ mod tests {
         assert_eq!(MigrationPolicyId::parse("osmosis"), None);
     }
 
+    fn status(objective: Objective, best_energy: f64) -> IslandStatus {
+        IslandStatus {
+            objective,
+            best_energy,
+        }
+    }
+
     #[test]
     fn groups_split_by_objective_in_island_order() {
-        let g = random_geometric(30, 0.35, 1);
-        let mk = |obj| {
-            FusionFission::new(
-                &g,
-                FusionFissionConfig {
-                    objective: obj,
-                    ..FusionFissionConfig::fast(2)
-                },
-                1,
-            )
-            .start()
-        };
-        let runs = vec![
-            mk(Objective::Cut),
-            mk(Objective::MCut),
-            mk(Objective::Cut),
-            mk(Objective::NCut),
+        let statuses = vec![
+            status(Objective::Cut, 1.0),
+            status(Objective::MCut, 1.0),
+            status(Objective::Cut, 1.0),
+            status(Objective::NCut, 1.0),
         ];
-        let groups = objective_groups(&runs);
+        let groups = objective_groups(&statuses);
         assert_eq!(groups.len(), 3);
         assert_eq!(groups[0], (Objective::Cut, vec![0, 2]));
         assert_eq!(groups[1], (Objective::MCut, vec![1]));
         assert_eq!(groups[2], (Objective::NCut, vec![3]));
+    }
+
+    #[test]
+    fn replace_plan_elects_donor_and_filters_receivers() {
+        let statuses = vec![
+            status(Objective::MCut, 3.0),
+            status(Objective::MCut, 1.0),
+            status(Objective::MCut, 1.0), // ties with 1 → donor is 1
+            status(Objective::MCut, 2.0),
+        ];
+        let offers = ReplaceIfBetter.plan(&statuses);
+        assert_eq!(
+            offers,
+            vec![MigrationOffer {
+                donor: 1,
+                receivers: vec![0, 3], // 2 holds the donor energy → skipped
+                crossover: false,
+            }]
+        );
+        // All islands at the donor's energy → nothing to offer.
+        let tied: Vec<IslandStatus> = (0..3).map(|_| status(Objective::Cut, 1.0)).collect();
+        assert!(ReplaceIfBetter.plan(&tied).is_empty());
+    }
+
+    #[test]
+    fn combine_plan_offers_to_all_non_donors_per_group() {
+        let statuses = vec![
+            status(Objective::Cut, 2.0),
+            status(Objective::MCut, 5.0),
+            status(Objective::Cut, 1.0),
+            status(Objective::MCut, 5.0), // ties with 1 → donor is 1
+        ];
+        let offers = Combine.plan(&statuses);
+        assert_eq!(
+            offers,
+            vec![
+                MigrationOffer {
+                    donor: 2,
+                    receivers: vec![0],
+                    crossover: true,
+                },
+                MigrationOffer {
+                    donor: 1,
+                    receivers: vec![3],
+                    crossover: true,
+                },
+            ]
+        );
     }
 
     #[test]

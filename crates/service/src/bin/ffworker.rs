@@ -1,0 +1,24 @@
+//! `ffworker` — a lean distributed-islands worker over stdio NDJSON.
+//!
+//! A coordinator ([`ff_service::dist`]) spawns one of these per shard,
+//! loads the instance, starts a worker session and drives it in
+//! lockstep epochs. It is the full NDJSON server on stdin/stdout (the
+//! `w*` ops are part of the ordinary protocol), restricted to one
+//! compute slot by default so island layout — not host load — decides
+//! how much parallelism a worker contributes.
+//!
+//! Usage: `ffworker [workers]` (default 1 compute slot).
+
+fn main() {
+    let workers = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().unwrap_or_else(|_| usage(&a)))
+        .unwrap_or(1);
+    ff_service::serve_stdio(workers);
+}
+
+fn usage(got: &str) -> usize {
+    eprintln!("ffworker: expected a worker-slot count, got `{got}`");
+    eprintln!("usage: ffworker [workers]");
+    std::process::exit(2);
+}

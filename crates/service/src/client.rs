@@ -84,11 +84,38 @@ impl Client {
         writer.flush()
     }
 
+    /// Bounds every subsequent read: when the server goes silent for
+    /// longer than `timeout`, blocking helpers like [`Client::wait_done`]
+    /// fail with [`std::io::ErrorKind::TimedOut`] instead of hanging
+    /// forever on a peer that died mid-stream without closing the
+    /// socket (half-open TCP, a hung server). `None` restores
+    /// unbounded blocking reads.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     fn read_event(&mut self) -> std::io::Result<Event> {
         let mut line = String::new();
         loop {
             line.clear();
-            if self.reader.read_line(&mut line)? == 0 {
+            let n = match self.reader.read_line(&mut line) {
+                Ok(n) => n,
+                // A read timeout surfaces as WouldBlock on Unix and
+                // TimedOut on Windows; normalize so callers can match
+                // one kind. The connection is unusable afterwards — a
+                // partial line may already be buffered.
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "timed out waiting for a server event (peer stalled?)",
+                    ));
+                }
+                Err(e) => return Err(e),
+            };
+            if n == 0 {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "server closed the connection",

@@ -1,0 +1,752 @@
+//! The distributed-islands coordinator: shards an ensemble's islands
+//! across worker processes and drives them in deterministic lockstep.
+//!
+//! ## Topology
+//!
+//! ```text
+//!   coordinator (owns the graph, the MigrationPolicy and the Reduction)
+//!      │ NDJSON: load, wstart, then per epoch wadvance / wmolecule / winject
+//!      ├──────────────┬──────────────┐
+//!   worker 0       worker 1       worker 2     (spawned `ffpart worker`
+//!   islands 0,3    islands 1,4    islands 2,5   processes, or remote
+//!                                               `ffpart serve` servers)
+//! ```
+//!
+//! Islands are assigned round-robin (`island i → worker i mod W`); each
+//! worker hosts its shard in one session whose islands are configured
+//! exactly as [`Solver`](ff_engine::Solver) configures them in-process.
+//! Every epoch the coordinator advances all shards by the policy's
+//! interval, collects barrier-time energies, runs the *same*
+//! [`MigrationPolicy::plan`](ff_engine::MigrationPolicy::plan) a
+//! single-process run would execute, and
+//! carries the planned molecules across process boundaries as
+//! assignment vectors.
+//!
+//! ## Determinism contract
+//!
+//! An island's state is a pure function of its seed and injection
+//! history, and injected molecules are canonicalized from their
+//! assignment on arrival — so a distributed run is **byte-identical**
+//! to the in-process [`Solver`](ff_engine::Solver) run with the same
+//! seeds, per-island objectives, step budget and migration interval,
+//! for any worker count or layout.
+//!
+//! ## Fault tolerance (crash–replay)
+//!
+//! Every state-changing op (`load`, `wstart`, each completed `wadvance`
+//! and `winject`) is appended to a per-worker op log *after* its reply
+//! arrives. When a worker dies, stalls past the reply timeout, or
+//! returns a corrupt line, the coordinator kills it, spawns a fresh
+//! one, replays the log (cheap deterministic recompute; replayed
+//! replies are discarded so improvement callbacks never fire twice),
+//! and re-sends the in-flight op. Purity of the island state makes the
+//! replayed worker indistinguishable from the lost one, which is what
+//! keeps the byte-identical contract intact *under* faults.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ff_core::FusionFissionResult;
+use ff_engine::{
+    distinct_objectives, EnsembleResult, IslandStatus, MigrationPolicyId, MinEnergy, ParetoFront,
+    Reduction,
+};
+use ff_graph::Graph;
+use ff_metaheur::AnytimeTrace;
+use ff_partition::{Objective, Partition};
+
+use crate::cache::{GraphFormat, GraphSource};
+use crate::protocol::{Event, Request, WNews, WorkerStart};
+
+/// What to solve, distributed. `seeds` and `objectives` are the full
+/// per-island lists in global island order — callers (CLI, submit) fix
+/// them exactly as the in-process path would, so the contract "same
+/// seeds in, same bytes out" is theirs to state and this module's to
+/// keep.
+#[derive(Clone, Debug)]
+pub struct DistSpec {
+    /// Cache key the workers load the instance under.
+    pub instance: String,
+    /// Where each worker gets the graph bytes (a path for local
+    /// spawned workers, inline data for remote servers).
+    pub source: GraphSource,
+    /// File format of `source`.
+    pub format: GraphFormat,
+    /// Target part count.
+    pub k: usize,
+    /// Step budget per island.
+    pub steps: u64,
+    /// Per-island seeds (length = island count).
+    pub seeds: Vec<u64>,
+    /// Per-island objectives (same length as `seeds`, already cycled).
+    pub objectives: Vec<Objective>,
+    /// Base migration interval in steps (`0` = no migration).
+    pub interval: u64,
+    /// Migration policy, instantiated coordinator-side.
+    pub migration: MigrationPolicyId,
+    /// Reduce with [`ParetoFront`] instead of [`MinEnergy`].
+    pub pareto: bool,
+}
+
+/// Where the workers come from.
+#[derive(Clone, Debug)]
+pub enum WorkerSet {
+    /// Spawn `count` local processes running `cmd` (argv vector) and
+    /// speak NDJSON over their stdin/stdout.
+    Spawn { cmd: Vec<String>, count: usize },
+    /// Connect to already-running NDJSON servers.
+    Connect { addrs: Vec<String> },
+}
+
+/// Coordinator knobs. The defaults suit production; the fault-injection
+/// tests shorten `reply_timeout` and watch `pids`.
+#[derive(Clone, Debug)]
+pub struct DistOpts {
+    /// How long to wait for any single reply before declaring the
+    /// worker hung and respawning it. Generous by default — a legal
+    /// epoch can run `interval` steps of real optimization.
+    pub reply_timeout: Duration,
+    /// Respawn/reconnect budget per worker before giving up.
+    pub max_respawns: usize,
+    /// Extra environment for spawned workers (the fault-injection hook:
+    /// set `FFPART_FAULT` here).
+    pub env: Vec<(String, String)>,
+    /// When set, every spawned worker's pid is pushed here — lets a
+    /// test `kill -9` a live worker mid-run.
+    pub pids: Option<Arc<Mutex<Vec<u32>>>>,
+}
+
+impl Default for DistOpts {
+    fn default() -> DistOpts {
+        DistOpts {
+            reply_timeout: Duration::from_secs(600),
+            max_respawns: 3,
+            env: Vec::new(),
+            pids: None,
+        }
+    }
+}
+
+/// Runs `spec` across `workers` and reduces, coordinator-side, to the
+/// same [`EnsembleResult`] the in-process solver would return. `g` is
+/// the coordinator's own copy of the instance (for molecule
+/// reconstruction and the reduction); it must be the graph `spec.source`
+/// describes. `on_news` receives each island improvement exactly once
+/// (global island index + point), replays excluded.
+pub fn solve_distributed(
+    g: &Graph,
+    spec: &DistSpec,
+    workers: &WorkerSet,
+    opts: &DistOpts,
+    on_news: &mut dyn FnMut(usize, &WNews),
+) -> Result<EnsembleResult, String> {
+    let n = spec.seeds.len();
+    if n == 0 {
+        return Err("distributed run needs at least one island".into());
+    }
+    if spec.objectives.len() != n {
+        return Err("one objective per island required".into());
+    }
+    let targets = make_targets(workers, opts)?;
+    // Never spawn more workers than islands: the extras would idle.
+    let w_eff = targets.len().min(n);
+    let mut conns = Vec::with_capacity(w_eff);
+    for (w, target) in targets.into_iter().take(w_eff).enumerate() {
+        conns.push(WorkerConn::open(w, target, opts)?);
+    }
+    for i in 0..n {
+        conns[i % w_eff].islands.push(i);
+    }
+
+    // Load + session start, logged for replay.
+    for conn in &mut conns {
+        let load = Request::Load {
+            instance: spec.instance.clone(),
+            source: spec.source.clone(),
+            format: spec.format,
+        };
+        match conn.call_logged(load, opts, true)? {
+            Event::Loaded { .. } => {}
+            other => return Err(conn.unexpected("loaded", &other)),
+        }
+        let start = Request::WStart(WorkerStart {
+            session: conn.session,
+            instance: spec.instance.clone(),
+            k: spec.k,
+            seeds: conn.islands.iter().map(|&i| spec.seeds[i]).collect(),
+            objectives: conn.islands.iter().map(|&i| spec.objectives[i]).collect(),
+            steps: spec.steps,
+        });
+        match conn.call_logged(start, opts, true)? {
+            Event::WReady { islands, .. } if islands == conn.islands.len() => {}
+            other => return Err(conn.unexpected("wready", &other)),
+        }
+    }
+
+    // The epoch loop — a wire mirror of `SolverRun::advance_epoch`:
+    // advance every island by the policy's interval, stop (without a
+    // final exchange) once no island has work left, otherwise plan the
+    // exchange over barrier-time statuses and carry it out.
+    let mut migration = spec.migration.build();
+    let mut energy = vec![f64::INFINITY; n];
+    let mut more = vec![true; n];
+    let mut traces: Vec<AnytimeTrace> = spec
+        .objectives
+        .iter()
+        .map(|&o| AnytimeTrace::with_tag(o))
+        .collect();
+    let mut migrations_adopted = 0u64;
+    let mut epoch = 0u64;
+    loop {
+        let chunk = if spec.interval == 0 {
+            u64::MAX
+        } else {
+            migration.interval(spec.interval).max(1)
+        };
+        for conn in &mut conns {
+            let req = Request::WAdvance {
+                session: conn.session,
+                epoch,
+                steps: chunk,
+            };
+            match conn.call_logged(req, opts, true)? {
+                Event::WState { islands, .. } => {
+                    for st in islands {
+                        let gi = conn.global(st.island)?;
+                        energy[gi] = st.energy;
+                        more[gi] = st.more;
+                        for news in &st.news {
+                            traces[gi].record(
+                                Duration::from_millis(news.elapsed_ms),
+                                news.value,
+                                news.step,
+                            );
+                            on_news(gi, news);
+                        }
+                    }
+                }
+                other => return Err(conn.unexpected("wstate", &other)),
+            }
+        }
+        if !more.iter().any(|&b| b) {
+            break;
+        }
+        if n > 1 && spec.interval > 0 {
+            let statuses: Vec<IslandStatus> = (0..n)
+                .map(|i| IslandStatus {
+                    objective: spec.objectives[i],
+                    best_energy: energy[i],
+                })
+                .collect();
+            for offer in migration.plan(&statuses) {
+                // Offers move within disjoint objective groups, so a
+                // donor fetched at execution time equals one fetched at
+                // plan time — the same invariant the in-process
+                // `exchange` relies on. The fetch is read-only (not
+                // logged); the injections it feeds carry the molecule
+                // bytes in the log, which is what makes replay
+                // self-contained.
+                let dw = offer.donor % w_eff;
+                let req = Request::WMolecule {
+                    session: conns[dw].session,
+                    island: conns[dw].local(offer.donor),
+                };
+                let molecule = match conns[dw].call_logged(req, opts, false)? {
+                    Event::WMolecule { molecule, .. } => molecule,
+                    other => return Err(conns[dw].unexpected("wmolecule", &other)),
+                };
+                for &r in &offer.receivers {
+                    let rw = r % w_eff;
+                    let req = Request::WInject {
+                        session: conns[rw].session,
+                        island: conns[rw].local(r),
+                        molecule: molecule.clone(),
+                        crossover: offer.crossover,
+                    };
+                    match conns[rw].call_logged(req, opts, true)? {
+                        Event::WInjected { adopted, .. } => {
+                            if adopted {
+                                migrations_adopted += 1;
+                            }
+                        }
+                        other => return Err(conns[rw].unexpected("winjected", &other)),
+                    }
+                }
+            }
+        }
+        epoch += 1;
+    }
+
+    // Harvest every shard and rebuild per-island results. The harvest is
+    // deliberately *not* logged: a worker lost mid-harvest is replayed
+    // to the same epoch and asked again.
+    let mut islands_out: Vec<Option<FusionFissionResult>> = (0..n).map(|_| None).collect();
+    for conn in &mut conns {
+        let req = Request::WHarvest {
+            session: conn.session,
+        };
+        match conn.call_logged(req, opts, false)? {
+            Event::WHarvested { islands, .. } => {
+                for r in islands {
+                    let gi = conn.global(r.island)?;
+                    islands_out[gi] = Some(rebuild_island(g, r, &mut traces[gi])?);
+                }
+            }
+            other => return Err(conn.unexpected("wharvested", &other)),
+        }
+    }
+    for conn in conns {
+        conn.close();
+    }
+    let islands: Vec<FusionFissionResult> = islands_out
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.ok_or(format!("worker omitted island {i} from its harvest")))
+        .collect::<Result<_, _>>()?;
+    Ok(reduce(g, spec, islands, migrations_adopted))
+}
+
+/// Rebuilds one island's [`FusionFissionResult`] from its wire harvest
+/// plus the improvement trace accumulated epoch by epoch.
+fn rebuild_island(
+    g: &Graph,
+    r: crate::protocol::WIslandResult,
+    trace: &mut AnytimeTrace,
+) -> Result<FusionFissionResult, String> {
+    if r.molecule.assignment.len() != g.num_vertices() {
+        return Err(format!(
+            "harvested molecule has {} vertices, instance has {}",
+            r.molecule.assignment.len(),
+            g.num_vertices()
+        ));
+    }
+    Ok(FusionFissionResult {
+        best: Partition::from_assignment(g, r.molecule.assignment, r.molecule.parts),
+        best_value: r.value,
+        best_energy: r.energy,
+        steps: r.steps,
+        trace: std::mem::take(trace),
+        best_value_per_k: r.per_k.iter().map(|&(k, v)| (k as usize, v)).collect(),
+    })
+}
+
+/// The coordinator-side ending of `SolverRun::harvest`: same reduction,
+/// same primary-objective trace merge, same field-by-field assembly.
+fn reduce(
+    g: &Graph,
+    spec: &DistSpec,
+    islands: Vec<FusionFissionResult>,
+    migrations_adopted: u64,
+) -> EnsembleResult {
+    let distinct = distinct_objectives(&spec.objectives);
+    let reduction: Box<dyn Reduction> = if spec.pareto {
+        Box::new(ParetoFront)
+    } else {
+        Box::new(MinEnergy)
+    };
+    let reduced = reduction.reduce(g, &islands, &distinct);
+    let primary = distinct[0];
+    let primary_islands = || {
+        islands
+            .iter()
+            .filter(move |r| r.trace.tag().unwrap_or(primary) == primary)
+    };
+    let trace = AnytimeTrace::merged(primary_islands().map(|r| &r.trace));
+    let mut best_value_per_k = BTreeMap::new();
+    for r in primary_islands() {
+        for (&k, &v) in &r.best_value_per_k {
+            let entry = best_value_per_k.entry(k).or_insert(f64::INFINITY);
+            if v < *entry {
+                *entry = v;
+            }
+        }
+    }
+    EnsembleResult {
+        best: islands[reduced.best_island].best.clone(),
+        best_value: islands[reduced.best_island].best_value,
+        best_island: reduced.best_island,
+        steps: islands.iter().map(|r| r.steps).sum(),
+        migrations_adopted,
+        trace,
+        best_value_per_k,
+        pareto: reduced.pareto,
+        multilevel: None,
+        islands,
+    }
+}
+
+/// One worker's connection recipe, kept for respawn/reconnect.
+#[derive(Clone)]
+enum Target {
+    Spawn {
+        cmd: Vec<String>,
+        env: Vec<(String, String)>,
+    },
+    Addr(String),
+}
+
+fn make_targets(workers: &WorkerSet, opts: &DistOpts) -> Result<Vec<Target>, String> {
+    match workers {
+        WorkerSet::Spawn { cmd, count } => {
+            if cmd.is_empty() {
+                return Err("empty worker command".into());
+            }
+            if *count == 0 {
+                return Err("worker count must be at least 1".into());
+            }
+            Ok(vec![
+                Target::Spawn {
+                    cmd: cmd.clone(),
+                    env: opts.env.clone(),
+                };
+                *count
+            ])
+        }
+        WorkerSet::Connect { addrs } => {
+            if addrs.is_empty() {
+                return Err("no worker addresses given".into());
+            }
+            Ok(addrs.iter().cloned().map(Target::Addr).collect())
+        }
+    }
+}
+
+/// How a single call can fail on the wire — each answer is "kill the
+/// worker and replay" (even `Corrupt`, where the worker may in fact be
+/// healthy: a replayed worker is cheap, an untrusted one is not).
+enum WireFail {
+    Dead(String),
+    Timeout,
+    Corrupt(String),
+}
+
+struct WorkerConn {
+    /// Session id on the worker (= worker index; sessions are
+    /// per-connection so ids need only be unique within one).
+    session: u64,
+    label: String,
+    target: Target,
+    child: Option<Child>,
+    writer: Box<dyn Write + Send>,
+    rx: Receiver<io::Result<String>>,
+    /// Global island indices hosted by this worker, ascending; position
+    /// = the worker's local island index.
+    islands: Vec<usize>,
+    /// Replayable op log: `load`, `wstart`, every *completed* `wadvance`
+    /// and `winject`, in order.
+    history: Vec<Request>,
+    respawns: usize,
+}
+
+impl WorkerConn {
+    fn open(index: usize, target: Target, opts: &DistOpts) -> Result<WorkerConn, String> {
+        let label = match &target {
+            Target::Spawn { cmd, .. } => format!("worker {index} ({})", cmd[0]),
+            Target::Addr(addr) => format!("worker {index} ({addr})"),
+        };
+        let (child, writer, rx) = connect(&target, opts)?;
+        let mut conn = WorkerConn {
+            session: index as u64,
+            label,
+            target,
+            child,
+            writer,
+            rx,
+            islands: Vec::new(),
+            history: Vec::new(),
+            respawns: 0,
+        };
+        conn.handshake(opts)
+            .map_err(|f| format!("{}: {}", conn.label, f.describe()))?;
+        Ok(conn)
+    }
+
+    /// Maps a worker-local island index to the global one.
+    fn global(&self, local: usize) -> Result<usize, String> {
+        self.islands
+            .get(local)
+            .copied()
+            .ok_or(format!("{}: reported unknown island {local}", self.label))
+    }
+
+    /// Maps a global island index to this worker's local one. Panics if
+    /// the island is not hosted here — a coordinator logic error.
+    fn local(&self, global: usize) -> usize {
+        self.islands
+            .iter()
+            .position(|&i| i == global)
+            .expect("island routed to the worker hosting it")
+    }
+
+    fn unexpected(&self, wanted: &str, got: &Event) -> String {
+        format!("{}: expected `{wanted}` reply, got {:?}", self.label, got)
+    }
+
+    /// One request/reply round, no recovery.
+    fn call(&mut self, req: &Request, timeout: Duration) -> Result<Event, WireFail> {
+        let line = req.to_value().to_string();
+        if writeln!(self.writer, "{line}")
+            .and_then(|_| self.writer.flush())
+            .is_err()
+        {
+            return Err(WireFail::Dead("write failed (pipe closed)".into()));
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(line)) => Event::parse(line.trim()).map_err(WireFail::Corrupt),
+            Ok(Err(e)) => Err(WireFail::Dead(e.to_string())),
+            Err(RecvTimeoutError::Timeout) => Err(WireFail::Timeout),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(WireFail::Dead("reader thread exited".into()))
+            }
+        }
+    }
+
+    /// A reliable call: on any wire failure the worker is respawned,
+    /// its op log replayed, and `req` re-sent — repeated within the
+    /// respawn budget. An `error` *event* is not a wire failure; it
+    /// means a healthy worker rejected the op, which is fatal. When
+    /// `log` is set, a completed `req` is appended to the replay log.
+    fn call_logged(&mut self, req: Request, opts: &DistOpts, log: bool) -> Result<Event, String> {
+        loop {
+            match self.call(&req, opts.reply_timeout) {
+                Ok(Event::Error { message, .. }) => {
+                    return Err(format!("{}: {message}", self.label))
+                }
+                Ok(event) => {
+                    if log {
+                        self.history.push(req);
+                    }
+                    return Ok(event);
+                }
+                Err(fail) => {
+                    eprintln!(
+                        "ffpart: {}: {}; respawning and replaying {} ops",
+                        self.label,
+                        fail.describe(),
+                        self.history.len()
+                    );
+                    self.reopen_and_replay(opts)?;
+                }
+            }
+        }
+    }
+
+    /// Kills the worker (if spawned), opens a fresh one, and replays the
+    /// op log. Replay replies are discarded — the ops are deterministic
+    /// recompute, their effects already observed. Retries internally on
+    /// further wire failures until the respawn budget runs out.
+    fn reopen_and_replay(&mut self, opts: &DistOpts) -> Result<(), String> {
+        'attempt: loop {
+            self.respawns += 1;
+            if self.respawns > opts.max_respawns {
+                return Err(format!(
+                    "{}: gave up after {} respawns",
+                    self.label, opts.max_respawns
+                ));
+            }
+            if let Some(child) = &mut self.child {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            let (child, writer, rx) = connect(&self.target, opts)?;
+            self.child = child;
+            self.writer = writer;
+            self.rx = rx;
+            if self.handshake(opts).is_err() {
+                continue 'attempt;
+            }
+            for i in 0..self.history.len() {
+                let req = self.history[i].clone();
+                match self.call(&req, opts.reply_timeout) {
+                    Ok(Event::Error { message, .. }) => {
+                        return Err(format!("{}: replay diverged: {message}", self.label))
+                    }
+                    Ok(_) => {} // deterministic recompute; reply discarded
+                    Err(_) => continue 'attempt,
+                }
+            }
+            return Ok(());
+        }
+    }
+
+    fn handshake(&mut self, opts: &DistOpts) -> Result<(), WireFail> {
+        match self.rx.recv_timeout(opts.reply_timeout) {
+            Ok(Ok(line)) => match Event::parse(line.trim()) {
+                Ok(Event::Hello { .. }) => Ok(()),
+                Ok(other) => Err(WireFail::Corrupt(format!("expected hello, got {other:?}"))),
+                Err(e) => Err(WireFail::Corrupt(e)),
+            },
+            Ok(Err(e)) => Err(WireFail::Dead(e.to_string())),
+            Err(RecvTimeoutError::Timeout) => Err(WireFail::Timeout),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(WireFail::Dead("reader thread exited".into()))
+            }
+        }
+    }
+
+    /// Orderly teardown: closing stdin (or the socket) is the protocol's
+    /// goodbye; a spawned worker exits on stdin EOF and is reaped.
+    fn close(self) {
+        drop(self.writer);
+        drop(self.rx);
+        if let Some(mut child) = self.child {
+            let _ = child.wait();
+        }
+    }
+}
+
+impl WireFail {
+    fn describe(&self) -> String {
+        match self {
+            WireFail::Dead(why) => format!("connection lost ({why})"),
+            WireFail::Timeout => "reply timed out".into(),
+            WireFail::Corrupt(why) => format!("corrupt reply ({why})"),
+        }
+    }
+}
+
+/// Opens the transport for a target: a child process with piped stdio,
+/// or a TCP connection. Returns the writer plus a reader-thread channel
+/// (the thread lets every read carry a timeout).
+type Transport = (
+    Option<Child>,
+    Box<dyn Write + Send>,
+    Receiver<io::Result<String>>,
+);
+
+fn connect(target: &Target, opts: &DistOpts) -> Result<Transport, String> {
+    match target {
+        Target::Spawn { cmd, env } => {
+            let mut command = Command::new(&cmd[0]);
+            command
+                .args(&cmd[1..])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped());
+            for (key, value) in env {
+                command.env(key, value);
+            }
+            let mut child = command
+                .spawn()
+                .map_err(|e| format!("failed to spawn `{}`: {e}", cmd[0]))?;
+            if let Some(pids) = &opts.pids {
+                pids.lock().unwrap().push(child.id());
+            }
+            let stdin = child.stdin.take().expect("piped stdin");
+            let stdout = child.stdout.take().expect("piped stdout");
+            Ok((Some(child), Box::new(stdin), spawn_reader(stdout)))
+        }
+        Target::Addr(addr) => {
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| format!("failed to connect to {addr}: {e}"))?;
+            let _ = stream.set_nodelay(true);
+            let read_half = stream
+                .try_clone()
+                .map_err(|e| format!("failed to clone socket to {addr}: {e}"))?;
+            Ok((None, Box::new(stream), spawn_reader(read_half)))
+        }
+    }
+}
+
+/// One line per message; EOF and errors are delivered in-band so the
+/// consumer's `recv_timeout` sees everything.
+fn spawn_reader(read: impl io::Read + Send + 'static) -> Receiver<io::Result<String>> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(read);
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    let _ = tx.send(Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "worker closed the connection",
+                    )));
+                    return;
+                }
+                Ok(_) if line.ends_with('\n') => {
+                    if tx.send(Ok(line)).is_err() {
+                        return;
+                    }
+                }
+                Ok(_) => {
+                    // A final fragment with no newline: the peer died
+                    // mid-message. Surface it as data — it will fail to
+                    // parse — and then report the EOF.
+                    let _ = tx.send(Ok(line));
+                    let _ = tx.send(Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "worker closed the connection mid-line",
+                    )));
+                    return;
+                }
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        }
+    });
+    rx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn islands_are_assigned_round_robin_and_mapped_both_ways() {
+        // Pure index arithmetic — mirrors the assignment loop in
+        // solve_distributed without any I/O.
+        let n = 5;
+        let w_eff = 2;
+        let mut islands: Vec<Vec<usize>> = vec![Vec::new(); w_eff];
+        for i in 0..n {
+            islands[i % w_eff].push(i);
+        }
+        assert_eq!(islands[0], vec![0, 2, 4]);
+        assert_eq!(islands[1], vec![1, 3]);
+        // local -> global -> local round-trips.
+        for (w, hosted) in islands.iter().enumerate() {
+            for (local, &global) in hosted.iter().enumerate() {
+                assert_eq!(global % w_eff, w);
+                assert_eq!(hosted.iter().position(|&i| i == global), Some(local));
+            }
+        }
+    }
+
+    #[test]
+    fn worker_set_validation_rejects_empty_configurations() {
+        let opts = DistOpts::default();
+        assert!(make_targets(
+            &WorkerSet::Spawn {
+                cmd: vec![],
+                count: 2
+            },
+            &opts
+        )
+        .is_err());
+        assert!(make_targets(
+            &WorkerSet::Spawn {
+                cmd: vec!["ffworker".into()],
+                count: 0
+            },
+            &opts
+        )
+        .is_err());
+        assert!(make_targets(&WorkerSet::Connect { addrs: vec![] }, &opts).is_err());
+        let ok = make_targets(
+            &WorkerSet::Spawn {
+                cmd: vec!["ffworker".into()],
+                count: 3,
+            },
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 3);
+    }
+}

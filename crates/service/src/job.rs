@@ -49,6 +49,15 @@ impl EventSink {
         writeln!(out, "{}", event.to_value())?;
         out.flush()
     }
+
+    /// Fault-injection hook: writes raw bytes with *no* trailing newline
+    /// and flushes — how the truncate-mid-message fault mode simulates a
+    /// worker dying halfway through a reply line.
+    pub(crate) fn send_raw_partial(&self, bytes: &[u8]) {
+        let mut out = self.out.lock().unwrap();
+        let _ = out.write_all(bytes);
+        let _ = out.flush();
+    }
 }
 
 fn stop_condition(spec: &JobRequest) -> StopCondition {

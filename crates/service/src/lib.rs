@@ -29,6 +29,14 @@
 //!   large the graph), and a byte budget ([`ServerConfig::cache_bytes`])
 //!   evicts least-recently-used instances — never one pinned by a
 //!   running job.
+//! * **Distributed islands** ([`dist`]): a coordinator that shards an
+//!   ensemble's islands across worker *processes* — spawned `ffpart
+//!   worker` children or remote `ffpart serve` servers — and drives
+//!   them in deterministic lockstep epochs over typed `w*` NDJSON
+//!   messages. Results are byte-identical to the in-process
+//!   [`ff_engine::Solver`], for any worker count, and stay so when
+//!   workers crash: every state-changing op is logged and replayed
+//!   into a respawned worker.
 //! * **Anytime streaming**: each improvement recorded in the engine's
 //!   [`ff_metaheur::AnytimeTrace`] is forwarded to the owning client as
 //!   an `improvement` event, tagged with the job id.
@@ -86,6 +94,57 @@
 //! handle.join().unwrap();
 //! ```
 //!
+//! ## Distributed islands example
+//!
+//! Two live servers stand in for remote hosts; the coordinator drives
+//! one island on each and reduces exactly like the in-process solver:
+//!
+//! ```
+//! use ff_service::dist::{solve_distributed, DistOpts, DistSpec, WorkerSet};
+//! use ff_service::{Client, GraphFormat, GraphSource, Server};
+//!
+//! let hosts: Vec<_> = (0..2)
+//!     .map(|_| Server::bind("127.0.0.1:0", 2).unwrap().spawn().unwrap())
+//!     .collect();
+//!
+//! let metis = "4 4\n2 3\n1 3\n1 2 4\n3\n";
+//! let g = ff_graph::io::read_metis(metis.as_bytes()).unwrap();
+//! let spec = DistSpec {
+//!     instance: "demo".into(),
+//!     source: GraphSource::Data(metis.into()),
+//!     format: GraphFormat::Metis,
+//!     k: 2,
+//!     steps: 800,
+//!     seeds: ff_engine::derive_seeds(7, 2),
+//!     objectives: vec![ff_partition::Objective::MCut; 2],
+//!     interval: 1024,
+//!     migration: ff_engine::MigrationPolicyId::ReplaceIfBetter,
+//!     pareto: false,
+//! };
+//! let workers = WorkerSet::Connect {
+//!     addrs: hosts.iter().map(|h| h.addr().to_string()).collect(),
+//! };
+//! let result =
+//!     solve_distributed(&g, &spec, &workers, &DistOpts::default(), &mut |_, _| {}).unwrap();
+//! assert_eq!(result.islands.len(), 2);
+//! assert_eq!(result.best.assignment().len(), 4);
+//! // Same seeds in-process ⇒ the same bytes out (the contract the
+//! // dist tests assert field by field).
+//! let local = ff_engine::Solver::on(&g)
+//!     .k(2)
+//!     .islands(2)
+//!     .steps(800)
+//!     .seed(7)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(result.best.assignment(), local.best.assignment());
+//!
+//! for handle in hosts {
+//!     Client::connect(handle.addr()).unwrap().shutdown().unwrap();
+//!     handle.join().unwrap();
+//! }
+//! ```
+//!
 //! ## HTTP example
 //!
 //! The gateway speaks plain HTTP/1.1, so `curl` — or twenty lines of
@@ -139,16 +198,19 @@
 
 pub mod cache;
 pub mod client;
+pub mod dist;
 pub mod gate;
 mod http;
 pub mod job;
 pub mod protocol;
 pub mod server;
+mod wsession;
 
 pub use cache::{
     CacheEntryInfo, CacheStats, GraphFormat, GraphSource, InstanceCache, LoadOutcome, PinnedGraph,
 };
 pub use client::{Client, JobCanceller, SubmitOutcome};
+pub use dist::{solve_distributed, DistOpts, DistSpec, WorkerSet};
 pub use gate::{FairGate, Permit, WAIT_BUCKETS, WAIT_BUCKET_MS};
 pub use job::EventSink;
 pub use protocol::{

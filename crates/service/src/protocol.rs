@@ -86,6 +86,20 @@ fn get_u64(v: &Value, key: &str) -> Option<u64> {
     }
 }
 
+/// The strict-schema rule (PR 5): a typo'd field must be rejected by
+/// name, never silently ignored — on the worker ops doubly so, since a
+/// dropped field there would desync the distributed lockstep.
+fn reject_unknown(v: &Value, op: &str, known: &[&str]) -> Result<(), String> {
+    if let Some(object) = v.as_object() {
+        for (key, _) in object.iter() {
+            if !known.contains(&key.as_str()) {
+                return Err(format!("{op}: unknown field `{key}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn objective_name(o: Objective) -> &'static str {
     match o {
         Objective::Cut => "cut",
@@ -288,6 +302,133 @@ impl JobRequest {
     }
 }
 
+/// A molecule on the wire: the full assignment plus the explicit
+/// part-slot count. `parts` is [`ff_partition::Partition::num_parts`] —
+/// the *slot* count, not the non-empty count — because a best molecule
+/// can legitimately hold empty slots and both sides must rebuild the
+/// exact same partition via `Partition::from_assignment`. Combined with
+/// the inject-side canonicalization in `ff_core`, a molecule that
+/// crosses a process boundary lands bit-identically to one cloned
+/// in-process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MoleculeInfo {
+    /// Part id of every vertex, in vertex order.
+    pub assignment: Vec<u32>,
+    /// Part-slot count; every assignment entry is `< parts`.
+    pub parts: usize,
+}
+
+impl MoleculeInfo {
+    fn to_entries(&self) -> Vec<(&'static str, Value)> {
+        vec![
+            (
+                "assignment",
+                Value::Array(self.assignment.iter().map(|&p| unum(p as u64)).collect()),
+            ),
+            ("parts", unum(self.parts as u64)),
+        ]
+    }
+
+    /// Strict extraction: truncated, type-confused, or out-of-range
+    /// payloads are errors, never a silently different molecule.
+    fn from_value(v: &Value, op: &str) -> Result<MoleculeInfo, String> {
+        let items = v
+            .get("assignment")
+            .and_then(Value::as_array)
+            .ok_or(format!("{op}: missing `assignment` array"))?;
+        let parts = get_u64(v, "parts").ok_or(format!("{op}: missing or bad `parts`"))? as usize;
+        if parts == 0 {
+            return Err(format!("{op}: `parts` must be at least 1"));
+        }
+        if items.is_empty() {
+            return Err(format!("{op}: `assignment` must not be empty"));
+        }
+        let mut assignment = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let p = item
+                .as_u64()
+                .filter(|&p| p <= u32::MAX as u64)
+                .ok_or(format!("{op}: bad part id at vertex {i}"))?;
+            if p as usize >= parts {
+                return Err(format!(
+                    "{op}: part id {p} at vertex {i} out of range (parts {parts})"
+                ));
+            }
+            assignment.push(p as u32);
+        }
+        Ok(MoleculeInfo { assignment, parts })
+    }
+}
+
+/// The `wstart` op: everything a worker needs to host a shard of a
+/// distributed ensemble's islands. Island `i` of the shard runs seed
+/// `seeds[i]` under `objectives[i]` with a per-island budget of `steps`.
+/// The worker performs **no internal migration** — the coordinator owns
+/// every exchange decision, which is what keeps the distributed run
+/// bit-identical to the in-process one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerStart {
+    /// Coordinator-chosen session id, echoed on every session event.
+    pub session: u64,
+    /// Key of a previously loaded instance.
+    pub instance: String,
+    /// Target part count.
+    pub k: usize,
+    /// Root RNG seed of each hosted island (full-width u64s — these ride
+    /// the string escape hatch above 2^53).
+    pub seeds: Vec<u64>,
+    /// Objective of each hosted island (same length as `seeds`).
+    pub objectives: Vec<Objective>,
+    /// Per-island step budget.
+    pub steps: u64,
+}
+
+/// Per-island progress reported by a `wstate` event after an epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WIslandState {
+    /// Shard-local island index.
+    pub island: usize,
+    /// Whether the island still has budget left.
+    pub more: bool,
+    /// Best scaled energy so far — the [`MigrationPolicy`] decision
+    /// input, transferred exactly (f64s print shortest-round-trip).
+    ///
+    /// [`MigrationPolicy`]: ff_engine::MigrationPolicy
+    pub energy: f64,
+    /// Steps executed so far.
+    pub steps: u64,
+    /// Best-at-k improvements found during this epoch, in step order.
+    pub news: Vec<WNews>,
+}
+
+/// One anytime improvement inside a [`WIslandState`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WNews {
+    /// Step at which the improvement was found.
+    pub step: u64,
+    /// New best objective value at the target k.
+    pub value: f64,
+    /// Worker wall-clock since session start, in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+/// One island's final result inside a `wharvested` event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WIslandResult {
+    /// Shard-local island index.
+    pub island: usize,
+    /// Best objective value at the target k.
+    pub value: f64,
+    /// Best scaled energy across all part counts.
+    pub energy: f64,
+    /// Steps executed.
+    pub steps: u64,
+    /// The final (compacted) molecule.
+    pub molecule: MoleculeInfo,
+    /// Best value seen per visited part count, ascending by k.
+    pub per_k: Vec<(u64, f64)>,
+}
+
 /// A client→server request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -311,6 +452,47 @@ pub enum Request {
     Stats,
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
+    /// Start a worker session hosting a shard of a distributed
+    /// ensemble's islands (answered by `wready`).
+    WStart(WorkerStart),
+    /// Advance every island of a session by up to `steps` steps
+    /// (answered by `wstate`). Epochs are numbered by the coordinator;
+    /// the worker rejects out-of-order epochs, which makes crash-replay
+    /// self-checking.
+    WAdvance {
+        /// Session id from `wstart`.
+        session: u64,
+        /// Zero-based epoch index; must be exactly one past the last.
+        epoch: u64,
+        /// Steps each island advances this epoch.
+        steps: u64,
+    },
+    /// Fetch an island's current best molecule (answered by
+    /// `wmolecule`).
+    WMolecule {
+        /// Session id from `wstart`.
+        session: u64,
+        /// Shard-local island index.
+        island: usize,
+    },
+    /// Offer a molecule to an island via the engine's `inject` /
+    /// `inject_crossover` hooks (answered by `winjected`).
+    WInject {
+        /// Session id from `wstart`.
+        session: u64,
+        /// Shard-local island index.
+        island: usize,
+        /// The offered molecule.
+        molecule: MoleculeInfo,
+        /// `true` → KaFFPaE-style combine crossover before the offer.
+        crossover: bool,
+    },
+    /// Harvest every island's final result and end the session
+    /// (answered by `wharvested`).
+    WHarvest {
+        /// Session id from `wstart`.
+        session: u64,
+    },
 }
 
 impl Request {
@@ -364,6 +546,54 @@ impl Request {
             Request::Cancel { job } => obj(vec![("op", s("cancel")), ("job", unum(*job))]),
             Request::Stats => obj(vec![("op", s("stats"))]),
             Request::Shutdown => obj(vec![("op", s("shutdown"))]),
+            Request::WStart(w) => obj(vec![
+                ("op", s("wstart")),
+                ("session", unum(w.session)),
+                ("instance", s(&w.instance)),
+                ("k", unum(w.k as u64)),
+                (
+                    "seeds",
+                    Value::Array(w.seeds.iter().map(|&x| unum(x)).collect()),
+                ),
+                (
+                    "objectives",
+                    Value::Array(w.objectives.iter().map(|&o| s(objective_name(o))).collect()),
+                ),
+                ("steps", unum(w.steps)),
+            ]),
+            Request::WAdvance {
+                session,
+                epoch,
+                steps,
+            } => obj(vec![
+                ("op", s("wadvance")),
+                ("session", unum(*session)),
+                ("epoch", unum(*epoch)),
+                ("steps", unum(*steps)),
+            ]),
+            Request::WMolecule { session, island } => obj(vec![
+                ("op", s("wmolecule")),
+                ("session", unum(*session)),
+                ("island", unum(*island as u64)),
+            ]),
+            Request::WInject {
+                session,
+                island,
+                molecule,
+                crossover,
+            } => {
+                let mut entries = vec![
+                    ("op", s("winject")),
+                    ("session", unum(*session)),
+                    ("island", unum(*island as u64)),
+                ];
+                entries.extend(molecule.to_entries());
+                entries.push(("crossover", Value::Bool(*crossover)));
+                obj(entries)
+            }
+            Request::WHarvest { session } => {
+                obj(vec![("op", s("wharvest")), ("session", unum(*session))])
+            }
         }
     }
 
@@ -400,6 +630,124 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
+            "wstart" => {
+                reject_unknown(
+                    &v,
+                    "wstart",
+                    &[
+                        "op",
+                        "session",
+                        "instance",
+                        "k",
+                        "seeds",
+                        "objectives",
+                        "steps",
+                    ],
+                )?;
+                let session = get_u64(&v, "session").ok_or("wstart: missing `session`")?;
+                let instance = get_str(&v, "instance").ok_or("wstart: missing `instance`")?;
+                let k = get_u64(&v, "k").ok_or("wstart: missing or bad `k`")? as usize;
+                if k == 0 {
+                    return Err("wstart: `k` must be at least 1".into());
+                }
+                let seed_items = v
+                    .get("seeds")
+                    .and_then(Value::as_array)
+                    .ok_or("wstart: missing `seeds` array")?;
+                if seed_items.is_empty() {
+                    return Err("wstart: `seeds` must not be empty".into());
+                }
+                let mut seeds = Vec::with_capacity(seed_items.len());
+                for (i, item) in seed_items.iter().enumerate() {
+                    let x = match item {
+                        Value::String(text) => text.parse().ok(),
+                        other => other.as_u64(),
+                    };
+                    seeds.push(x.ok_or(format!("wstart: bad seed at island {i}"))?);
+                }
+                let obj_items = v
+                    .get("objectives")
+                    .and_then(Value::as_array)
+                    .ok_or("wstart: missing `objectives` array")?;
+                if obj_items.len() != seeds.len() {
+                    return Err(format!(
+                        "wstart: `objectives` must list one objective per seed \
+                         (got {} for {} seeds)",
+                        obj_items.len(),
+                        seeds.len()
+                    ));
+                }
+                let mut objectives = Vec::with_capacity(obj_items.len());
+                for item in obj_items {
+                    let name = item
+                        .as_str()
+                        .ok_or("wstart: `objectives` must be an array of objective names")?;
+                    objectives.push(parse_objective(name).ok_or(format!(
+                        "wstart: unknown objective `{name}` (cut|ncut|mcut)"
+                    ))?);
+                }
+                let steps = get_u64(&v, "steps").ok_or("wstart: missing or bad `steps`")?;
+                if steps == 0 {
+                    return Err("wstart: `steps` must be at least 1".into());
+                }
+                Ok(Request::WStart(WorkerStart {
+                    session,
+                    instance,
+                    k,
+                    seeds,
+                    objectives,
+                    steps,
+                }))
+            }
+            "wadvance" => {
+                reject_unknown(&v, "wadvance", &["op", "session", "epoch", "steps"])?;
+                let u = |key: &str| get_u64(&v, key).ok_or(format!("wadvance: missing `{key}`"));
+                let steps = u("steps")?;
+                if steps == 0 {
+                    return Err("wadvance: `steps` must be at least 1".into());
+                }
+                Ok(Request::WAdvance {
+                    session: u("session")?,
+                    epoch: u("epoch")?,
+                    steps,
+                })
+            }
+            "wmolecule" => {
+                reject_unknown(&v, "wmolecule", &["op", "session", "island"])?;
+                Ok(Request::WMolecule {
+                    session: get_u64(&v, "session").ok_or("wmolecule: missing `session`")?,
+                    island: get_u64(&v, "island").ok_or("wmolecule: missing `island`")? as usize,
+                })
+            }
+            "winject" => {
+                reject_unknown(
+                    &v,
+                    "winject",
+                    &[
+                        "op",
+                        "session",
+                        "island",
+                        "assignment",
+                        "parts",
+                        "crossover",
+                    ],
+                )?;
+                Ok(Request::WInject {
+                    session: get_u64(&v, "session").ok_or("winject: missing `session`")?,
+                    island: get_u64(&v, "island").ok_or("winject: missing `island`")? as usize,
+                    molecule: MoleculeInfo::from_value(&v, "winject")?,
+                    crossover: v
+                        .get("crossover")
+                        .and_then(Value::as_bool)
+                        .ok_or("winject: missing `crossover`")?,
+                })
+            }
+            "wharvest" => {
+                reject_unknown(&v, "wharvest", &["op", "session"])?;
+                Ok(Request::WHarvest {
+                    session: get_u64(&v, "session").ok_or("wharvest: missing `session`")?,
+                })
+            }
             other => Err(format!("unknown op `{other}`")),
         }
     }
@@ -600,6 +948,49 @@ pub enum Event {
     },
     /// Acknowledges `shutdown`.
     Bye,
+    /// A `wstart` succeeded; the session's islands are live.
+    WReady {
+        /// Echoed session id.
+        session: u64,
+        /// Islands hosted by this session.
+        islands: usize,
+    },
+    /// A `wadvance` completed: per-island progress for the epoch.
+    WState {
+        /// Echoed session id.
+        session: u64,
+        /// Echoed epoch index.
+        epoch: u64,
+        /// One entry per hosted island, ascending by index.
+        islands: Vec<WIslandState>,
+    },
+    /// Answer to `wmolecule`: the island's current best molecule.
+    WMolecule {
+        /// Echoed session id.
+        session: u64,
+        /// Echoed island index.
+        island: usize,
+        /// The best molecule.
+        molecule: MoleculeInfo,
+        /// Its scaled energy.
+        energy: f64,
+    },
+    /// Answer to `winject`: whether the offer was adopted.
+    WInjected {
+        /// Echoed session id.
+        session: u64,
+        /// Echoed island index.
+        island: usize,
+        /// Whether anything was adopted.
+        adopted: bool,
+    },
+    /// Answer to `wharvest`: every island's final result.
+    WHarvested {
+        /// Echoed session id.
+        session: u64,
+        /// One entry per hosted island, ascending by index.
+        islands: Vec<WIslandResult>,
+    },
 }
 
 impl Event {
@@ -737,6 +1128,107 @@ impl Event {
                 obj(entries)
             }
             Event::Bye => obj(vec![("event", s("bye"))]),
+            Event::WReady { session, islands } => obj(vec![
+                ("event", s("wready")),
+                ("session", unum(*session)),
+                ("islands", unum(*islands as u64)),
+            ]),
+            Event::WState {
+                session,
+                epoch,
+                islands,
+            } => obj(vec![
+                ("event", s("wstate")),
+                ("session", unum(*session)),
+                ("epoch", unum(*epoch)),
+                (
+                    "islands",
+                    Value::Array(
+                        islands
+                            .iter()
+                            .map(|st| {
+                                obj(vec![
+                                    ("island", unum(st.island as u64)),
+                                    ("more", Value::Bool(st.more)),
+                                    ("energy", num(st.energy)),
+                                    ("steps", unum(st.steps)),
+                                    (
+                                        "news",
+                                        Value::Array(
+                                            st.news
+                                                .iter()
+                                                .map(|n| {
+                                                    obj(vec![
+                                                        ("step", unum(n.step)),
+                                                        ("value", num(n.value)),
+                                                        ("elapsed_ms", unum(n.elapsed_ms)),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Event::WMolecule {
+                session,
+                island,
+                molecule,
+                energy,
+            } => {
+                let mut entries = vec![
+                    ("event", s("wmolecule")),
+                    ("session", unum(*session)),
+                    ("island", unum(*island as u64)),
+                ];
+                entries.extend(molecule.to_entries());
+                entries.push(("energy", num(*energy)));
+                obj(entries)
+            }
+            Event::WInjected {
+                session,
+                island,
+                adopted,
+            } => obj(vec![
+                ("event", s("winjected")),
+                ("session", unum(*session)),
+                ("island", unum(*island as u64)),
+                ("adopted", Value::Bool(*adopted)),
+            ]),
+            Event::WHarvested { session, islands } => obj(vec![
+                ("event", s("wharvested")),
+                ("session", unum(*session)),
+                (
+                    "islands",
+                    Value::Array(
+                        islands
+                            .iter()
+                            .map(|r| {
+                                let mut entries = vec![
+                                    ("island", unum(r.island as u64)),
+                                    ("value", num(r.value)),
+                                    ("energy", num(r.energy)),
+                                    ("steps", unum(r.steps)),
+                                ];
+                                entries.extend(r.molecule.to_entries());
+                                entries.push((
+                                    "per_k",
+                                    Value::Array(
+                                        r.per_k
+                                            .iter()
+                                            .map(|&(k, val)| Value::Array(vec![unum(k), num(val)]))
+                                            .collect(),
+                                    ),
+                                ));
+                                obj(entries)
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
         }
     }
 
@@ -866,6 +1358,147 @@ impl Event {
                 job: get_u64(&v, "job"),
             }),
             "bye" => Ok(Event::Bye),
+            "wready" => {
+                reject_unknown(&v, "wready", &["event", "session", "islands"])?;
+                Ok(Event::WReady {
+                    session: u("session")?,
+                    islands: u("islands")? as usize,
+                })
+            }
+            "wstate" => {
+                reject_unknown(&v, "wstate", &["event", "session", "epoch", "islands"])?;
+                let items = v
+                    .get("islands")
+                    .and_then(Value::as_array)
+                    .ok_or("wstate: missing `islands` array")?;
+                let mut islands = Vec::with_capacity(items.len());
+                for item in items {
+                    reject_unknown(
+                        item,
+                        "wstate",
+                        &["island", "more", "energy", "steps", "news"],
+                    )?;
+                    let mut news = Vec::new();
+                    for n in item
+                        .get("news")
+                        .and_then(Value::as_array)
+                        .ok_or("wstate: island missing `news`")?
+                    {
+                        reject_unknown(n, "wstate", &["step", "value", "elapsed_ms"])?;
+                        news.push(WNews {
+                            step: get_u64(n, "step").ok_or("wstate: news missing `step`")?,
+                            value: get_f64(n, "value").ok_or("wstate: news missing `value`")?,
+                            elapsed_ms: get_u64(n, "elapsed_ms")
+                                .ok_or("wstate: news missing `elapsed_ms`")?,
+                        });
+                    }
+                    islands.push(WIslandState {
+                        island: get_u64(item, "island").ok_or("wstate: island missing `island`")?
+                            as usize,
+                        more: item
+                            .get("more")
+                            .and_then(Value::as_bool)
+                            .ok_or("wstate: island missing `more`")?,
+                        energy: get_f64(item, "energy").ok_or("wstate: island missing `energy`")?,
+                        steps: get_u64(item, "steps").ok_or("wstate: island missing `steps`")?,
+                        news,
+                    });
+                }
+                Ok(Event::WState {
+                    session: u("session")?,
+                    epoch: u("epoch")?,
+                    islands,
+                })
+            }
+            "wmolecule" => {
+                reject_unknown(
+                    &v,
+                    "wmolecule",
+                    &[
+                        "event",
+                        "session",
+                        "island",
+                        "assignment",
+                        "parts",
+                        "energy",
+                    ],
+                )?;
+                Ok(Event::WMolecule {
+                    session: u("session")?,
+                    island: u("island")? as usize,
+                    molecule: MoleculeInfo::from_value(&v, "wmolecule")?,
+                    energy: get_f64(&v, "energy").ok_or("wmolecule: missing `energy`")?,
+                })
+            }
+            "winjected" => {
+                reject_unknown(&v, "winjected", &["event", "session", "island", "adopted"])?;
+                Ok(Event::WInjected {
+                    session: u("session")?,
+                    island: u("island")? as usize,
+                    adopted: v
+                        .get("adopted")
+                        .and_then(Value::as_bool)
+                        .ok_or("winjected: missing `adopted`")?,
+                })
+            }
+            "wharvested" => {
+                reject_unknown(&v, "wharvested", &["event", "session", "islands"])?;
+                let items = v
+                    .get("islands")
+                    .and_then(Value::as_array)
+                    .ok_or("wharvested: missing `islands` array")?;
+                let mut islands = Vec::with_capacity(items.len());
+                for item in items {
+                    reject_unknown(
+                        item,
+                        "wharvested",
+                        &[
+                            "island",
+                            "value",
+                            "energy",
+                            "steps",
+                            "assignment",
+                            "parts",
+                            "per_k",
+                        ],
+                    )?;
+                    let mut per_k = Vec::new();
+                    for pair in item
+                        .get("per_k")
+                        .and_then(Value::as_array)
+                        .ok_or("wharvested: island missing `per_k`")?
+                    {
+                        let pair = pair
+                            .as_array()
+                            .filter(|p| p.len() == 2)
+                            .ok_or("wharvested: bad `per_k` pair")?;
+                        let k = match &pair[0] {
+                            Value::String(text) => text.parse().ok(),
+                            other => other.as_u64(),
+                        }
+                        .ok_or("wharvested: bad `per_k` key")?;
+                        let val = decode_f64(&pair[1]).ok_or("wharvested: bad `per_k` value")?;
+                        per_k.push((k, val));
+                    }
+                    islands.push(WIslandResult {
+                        island: get_u64(item, "island")
+                            .ok_or("wharvested: island missing `island`")?
+                            as usize,
+                        value: get_f64(item, "value")
+                            .ok_or("wharvested: island missing `value`")?,
+                        energy: get_f64(item, "energy")
+                            .ok_or("wharvested: island missing `energy`")?,
+                        steps: get_u64(item, "steps")
+                            .ok_or("wharvested: island missing `steps`")?,
+                        molecule: MoleculeInfo::from_value(item, "wharvested")?,
+                        per_k,
+                    });
+                }
+                Ok(Event::WHarvested {
+                    session: u("session")?,
+                    islands,
+                })
+            }
             other => Err(format!("unknown event `{other}`")),
         }
     }
@@ -1046,6 +1679,163 @@ mod tests {
             let line = ev.to_value().to_string();
             assert_eq!(Event::parse(&line).unwrap(), ev, "line: {line}");
         }
+    }
+
+    #[test]
+    fn worker_requests_round_trip() {
+        let molecule = MoleculeInfo {
+            assignment: vec![0, 2, 1, 2, 0],
+            parts: 3,
+        };
+        let reqs = [
+            // Full-width seeds must survive the wire exactly — a rounded
+            // seed is a different distributed run.
+            Request::WStart(WorkerStart {
+                session: 5,
+                instance: "web".into(),
+                k: 4,
+                seeds: vec![7, u64::MAX, (1 << 53) + 1],
+                objectives: vec![Objective::MCut, Objective::Cut, Objective::MCut],
+                steps: 20_000,
+            }),
+            Request::WAdvance {
+                session: 5,
+                epoch: 3,
+                steps: 1024,
+            },
+            Request::WMolecule {
+                session: 5,
+                island: 2,
+            },
+            Request::WInject {
+                session: 5,
+                island: 0,
+                molecule: molecule.clone(),
+                crossover: true,
+            },
+            Request::WInject {
+                session: 5,
+                island: 1,
+                molecule,
+                crossover: false,
+            },
+            Request::WHarvest { session: 5 },
+        ];
+        for req in reqs {
+            let line = req.to_value().to_string();
+            assert_eq!(Request::parse(&line).unwrap(), req, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn worker_events_round_trip() {
+        let events = [
+            Event::WReady {
+                session: 5,
+                islands: 2,
+            },
+            // Fresh islands hold +inf best energy — the non-finite escape
+            // hatch must work on every worker-state field.
+            Event::WState {
+                session: 5,
+                epoch: 0,
+                islands: vec![
+                    WIslandState {
+                        island: 0,
+                        more: true,
+                        energy: f64::INFINITY,
+                        steps: 1024,
+                        news: vec![],
+                    },
+                    WIslandState {
+                        island: 1,
+                        more: false,
+                        energy: 0.953125,
+                        steps: 20_000,
+                        news: vec![
+                            WNews {
+                                step: 512,
+                                value: 4.25,
+                                elapsed_ms: 3,
+                            },
+                            WNews {
+                                step: 900,
+                                value: f64::NEG_INFINITY,
+                                elapsed_ms: 15,
+                            },
+                        ],
+                    },
+                ],
+            },
+            Event::WMolecule {
+                session: 5,
+                island: 1,
+                molecule: MoleculeInfo {
+                    assignment: vec![0, 1, 1, 0],
+                    parts: 2,
+                },
+                energy: 0.953125,
+            },
+            Event::WInjected {
+                session: 5,
+                island: 0,
+                adopted: true,
+            },
+            Event::WHarvested {
+                session: 5,
+                islands: vec![WIslandResult {
+                    island: 0,
+                    value: 4.25,
+                    energy: 0.953125,
+                    steps: 20_000,
+                    molecule: MoleculeInfo {
+                        assignment: vec![0, 1, 1, 0],
+                        parts: 2,
+                    },
+                    per_k: vec![(2, 4.25), (3, f64::INFINITY)],
+                }],
+            },
+        ];
+        for ev in events {
+            let line = ev.to_value().to_string();
+            assert_eq!(Event::parse(&line).unwrap(), ev, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn worker_ops_reject_unknown_fields_and_bad_molecules() {
+        // Unknown fields named, per the strict-schema contract.
+        let typo = r#"{"op":"wadvance","session":1,"epoch":0,"stesp":64}"#;
+        let err = Request::parse(typo).unwrap_err();
+        assert!(
+            err.contains("unknown field") && err.contains("stesp"),
+            "{err}"
+        );
+        let ev_typo = r#"{"event":"winjected","session":1,"island":0,"adoptd":true}"#;
+        let err = Event::parse(ev_typo).unwrap_err();
+        assert!(
+            err.contains("unknown field") && err.contains("adoptd"),
+            "{err}"
+        );
+        // Molecule payloads: out-of-range ids, type confusion, and
+        // missing fields are errors, never a silently different molecule.
+        let out_of_range = r#"{"op":"winject","session":1,"island":0,"assignment":[0,3],"parts":2,"crossover":false}"#;
+        assert!(Request::parse(out_of_range)
+            .unwrap_err()
+            .contains("out of range"));
+        let confused = r#"{"op":"winject","session":1,"island":0,"assignment":[0,"x"],"parts":2,"crossover":false}"#;
+        assert!(Request::parse(confused)
+            .unwrap_err()
+            .contains("bad part id"));
+        let empty = r#"{"op":"winject","session":1,"island":0,"assignment":[],"parts":2,"crossover":false}"#;
+        assert!(Request::parse(empty).is_err());
+        // wstart validation: per-seed objectives, non-zero k/steps.
+        let mismatched = r#"{"op":"wstart","session":1,"instance":"g","k":2,"seeds":[1,2],"objectives":["cut"],"steps":10}"#;
+        assert!(Request::parse(mismatched)
+            .unwrap_err()
+            .contains("objectives"));
+        let zero_steps = r#"{"op":"wstart","session":1,"instance":"g","k":2,"seeds":[1],"objectives":["cut"],"steps":0}"#;
+        assert!(Request::parse(zero_steps).unwrap_err().contains("steps"));
     }
 
     #[test]

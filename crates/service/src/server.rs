@@ -21,12 +21,13 @@ use crate::gate::FairGate;
 use crate::http::{handle_http_client, EventLog};
 use crate::job::{run_job, EventSink};
 use crate::protocol::{Event, JobRequest, Request, StatsInfo, PROTOCOL_VERSION};
+use crate::wsession::{self, WOp};
 use ff_metaheur::CancelToken;
 use std::collections::{HashMap, VecDeque};
 use std::io::BufRead;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 /// Longest request line the NDJSON reader will buffer (inline graph
@@ -354,6 +355,10 @@ fn handle_client(state: &Arc<ServerState>, mut reader: impl BufRead, sink: &Even
         return;
     }
     let conn_jobs = Arc::new(AtomicUsize::new(0));
+    // Worker sessions are connection-scoped: the map's senders are the
+    // only handles to the session threads, so dropping the connection
+    // closes the channels and the threads wind down on their own.
+    let mut wsessions: HashMap<u64, mpsc::Sender<WOp>> = HashMap::new();
     let mut line = Vec::new();
     loop {
         let line = match read_line_capped(&mut reader, &mut line, MAX_LINE_BYTES) {
@@ -408,10 +413,85 @@ fn handle_client(state: &Arc<ServerState>, mut reader: impl BufRead, sink: &Even
                 let _ = sink.send(&Event::Bye);
                 return;
             }
+            // Worker-session ops reply from the session thread (the sink
+            // is line-atomic and FIFO per session), so a successful
+            // forward has nothing to send here.
+            Request::WStart(start) => {
+                match wsession::start_session(state, start, sink, &mut wsessions) {
+                    Ok(()) => continue,
+                    Err(message) => Event::Error { message, job: None },
+                }
+            }
+            Request::WAdvance {
+                session,
+                epoch,
+                steps,
+            } => match forward_wop(&mut wsessions, session, WOp::Advance { epoch, steps }) {
+                None => continue,
+                Some(event) => event,
+            },
+            Request::WMolecule { session, island } => {
+                match forward_wop(&mut wsessions, session, WOp::Molecule { island }) {
+                    None => continue,
+                    Some(event) => event,
+                }
+            }
+            Request::WInject {
+                session,
+                island,
+                molecule,
+                crossover,
+            } => match forward_wop(
+                &mut wsessions,
+                session,
+                WOp::Inject {
+                    island,
+                    molecule,
+                    crossover,
+                },
+            ) {
+                None => continue,
+                Some(event) => event,
+            },
+            Request::WHarvest { session } => {
+                match forward_wop(&mut wsessions, session, WOp::Harvest) {
+                    None => {
+                        wsessions.remove(&session); // harvest ends the session
+                        continue;
+                    }
+                    Some(event) => event,
+                }
+            }
         };
         if sink.send(&reply).is_err() {
             break;
         }
+    }
+}
+
+/// Routes a worker-session op to its session thread. `None` means the
+/// op was forwarded and the thread will reply; `Some` is an error event
+/// for the handler to send (unknown or already-ended session).
+fn forward_wop(
+    sessions: &mut HashMap<u64, mpsc::Sender<WOp>>,
+    session: u64,
+    op: WOp,
+) -> Option<Event> {
+    match sessions.get(&session) {
+        None => Some(Event::Error {
+            message: format!("unknown worker session {session}"),
+            job: None,
+        }),
+        Some(tx) => match tx.send(op) {
+            Ok(()) => None,
+            Err(_) => {
+                sessions.remove(&session);
+                Some(Event::Error {
+                    message: format!("worker session {session} has ended"),
+                    job: None,
+                })
+            }
+        },
     }
 }
 

@@ -2,6 +2,7 @@
 //! reference model, and parser fuzzing (NDJSON lines) — the "never
 //! panic, always typed" half of the serving-hardening contract.
 
+use ff_partition::Objective;
 use ff_service::{Event, GraphFormat, GraphSource, InstanceCache, PinnedGraph, Request};
 use proptest::prelude::*;
 use rand::prelude::*;
@@ -266,8 +267,100 @@ proptest! {
 // Protocol fuzz: truncated / overlong / type-confused lines
 // ---------------------------------------------------------------------
 
-/// Valid lines to mutate, covering every op and event shape.
+/// Valid lines to mutate, covering every op and event shape. The w*
+/// distributed-islands messages are generated from their typed forms so
+/// the corpus can never drift from the real wire format.
 fn seed_lines() -> Vec<String> {
+    use ff_service::protocol::{MoleculeInfo, WIslandResult, WIslandState, WNews, WorkerStart};
+    let molecule = MoleculeInfo {
+        assignment: vec![0, 1, 2, 0],
+        parts: 3,
+    };
+    let mut lines = w_lines(&[
+        Request::WStart(WorkerStart {
+            session: 1,
+            instance: "g".into(),
+            k: 3,
+            seeds: vec![7, u64::MAX],
+            objectives: vec![Objective::MCut, Objective::Cut],
+            steps: 4_000,
+        })
+        .to_value(),
+        Request::WAdvance {
+            session: 1,
+            epoch: 2,
+            steps: 512,
+        }
+        .to_value(),
+        Request::WMolecule {
+            session: 1,
+            island: 0,
+        }
+        .to_value(),
+        Request::WInject {
+            session: 1,
+            island: 1,
+            molecule: molecule.clone(),
+            crossover: true,
+        }
+        .to_value(),
+        Request::WHarvest { session: 1 }.to_value(),
+        Event::WReady {
+            session: 1,
+            islands: 2,
+        }
+        .to_value(),
+        Event::WState {
+            session: 1,
+            epoch: 2,
+            islands: vec![WIslandState {
+                island: 0,
+                more: true,
+                energy: f64::INFINITY,
+                steps: 1_024,
+                news: vec![WNews {
+                    step: 40,
+                    value: 0.5,
+                    elapsed_ms: 3,
+                }],
+            }],
+        }
+        .to_value(),
+        Event::WMolecule {
+            session: 1,
+            island: 0,
+            molecule: molecule.clone(),
+            energy: 0.25,
+        }
+        .to_value(),
+        Event::WInjected {
+            session: 1,
+            island: 1,
+            adopted: true,
+        }
+        .to_value(),
+        Event::WHarvested {
+            session: 1,
+            islands: vec![WIslandResult {
+                island: 0,
+                value: 1.0,
+                energy: f64::NEG_INFINITY,
+                steps: 4_000,
+                molecule,
+                per_k: vec![(2, 1.0), (3, 0.5)],
+            }],
+        }
+        .to_value(),
+    ]);
+    lines.extend(fixed_lines());
+    lines
+}
+
+fn w_lines(values: &[serde_json::Value]) -> Vec<String> {
+    values.iter().map(|v| v.to_string()).collect()
+}
+
+fn fixed_lines() -> Vec<String> {
     vec![
         r#"{"op":"load","instance":"g","data":"3 3\n2 3\n1 3\n1 2\n","format":"metis"}"#.into(),
         r#"{"op":"load","instance":"g","path":"/tmp/x.graph"}"#.into(),
@@ -345,5 +438,248 @@ proptest! {
                 prop_assert!(!msg.is_empty(), "empty error for {mutant:?}");
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distributed w* messages: round-trip properties and payload fuzz
+// ---------------------------------------------------------------------
+
+/// Decodes a selector + raw bits into an f64 covering every shape the
+/// wire must carry: ±inf, NaN, zero, arbitrary bit patterns (subnormals
+/// and signalling NaNs included) and ordinary magnitudes.
+fn float_shape(sel: u8, bits: u64) -> f64 {
+    match sel % 6 {
+        0 => f64::INFINITY,
+        1 => f64::NEG_INFINITY,
+        2 => f64::NAN,
+        3 => 0.0,
+        4 => f64::from_bits(bits),
+        _ => (bits as f64) / 1e3,
+    }
+}
+
+/// Wire equality for floats: exact bits for finite values (the format
+/// prints shortest-round-trip), NaN payloads collapse to one NaN.
+fn f64_wire_eq(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || a == b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `wstart` carries full-width u64 seeds (the >2^53 string escape
+    /// hatch) and per-island objectives through a byte round-trip.
+    #[test]
+    fn wstart_roundtrips_full_width_seeds(
+        session in any::<u64>(),
+        seeds in (any::<u64>(), any::<u64>()),
+        k in 2u64..12,
+        steps in 1u64..u64::MAX,
+    ) {
+        use ff_service::protocol::WorkerStart;
+        let req = Request::WStart(WorkerStart {
+            session,
+            instance: "g".into(),
+            k: k as usize,
+            seeds: vec![seeds.0, seeds.1, u64::MAX, (1 << 53) + 1],
+            objectives: vec![
+                Objective::MCut,
+                Objective::Cut,
+                Objective::NCut,
+                Objective::MCut,
+            ],
+            steps,
+        });
+        let line = req.to_value().to_string();
+        prop_assert_eq!(Request::parse(&line), Ok(req));
+    }
+
+    /// `wstate` and `wmolecule` events round-trip every float shape an
+    /// energy can take — ±inf, NaN, subnormal, ordinary — exactly.
+    #[test]
+    fn wstate_roundtrips_every_float_shape(
+        bits in (any::<u64>(), any::<u64>()),
+        sel in (0u8..6, 0u8..6),
+        step in any::<u64>(),
+        elapsed in any::<u64>(),
+    ) {
+        use ff_service::protocol::{WIslandState, WNews};
+        let energy = float_shape(sel.0, bits.0);
+        let value = float_shape(sel.1, bits.1);
+        let ev = Event::WState {
+            session: 9,
+            epoch: 3,
+            islands: vec![WIslandState {
+                island: 0,
+                more: true,
+                energy,
+                steps: step,
+                news: vec![WNews { step, value, elapsed_ms: elapsed }],
+            }],
+        };
+        match Event::parse(&ev.to_value().to_string()) {
+            Ok(Event::WState { session, epoch, islands }) => {
+                prop_assert_eq!((session, epoch), (9, 3));
+                prop_assert_eq!(islands.len(), 1);
+                let st = &islands[0];
+                prop_assert!((st.island, st.more, st.steps) == (0, true, step));
+                prop_assert!(
+                    f64_wire_eq(st.energy, energy),
+                    "energy {energy} -> {}", st.energy
+                );
+                prop_assert_eq!(st.news.len(), 1);
+                prop_assert!(
+                    f64_wire_eq(st.news[0].value, value),
+                    "value {value} -> {}", st.news[0].value
+                );
+                prop_assert!((st.news[0].step, st.news[0].elapsed_ms) == (step, elapsed));
+            }
+            other => prop_assert!(false, "round-trip broke: {other:?}"),
+        }
+    }
+
+    /// `wharvested` round-trips molecules and the per-k value table with
+    /// special floats intact.
+    #[test]
+    fn wharvested_roundtrips_molecule_and_per_k(
+        bits in (any::<u64>(), any::<u64>()),
+        sel in (0u8..6, 0u8..6),
+        parts in 1u32..6,
+        steps in any::<u64>(),
+    ) {
+        use ff_service::protocol::{MoleculeInfo, WIslandResult};
+        let energy = float_shape(sel.0, bits.0);
+        let value = float_shape(sel.1, bits.1);
+        let assignment: Vec<u32> = (0..8).map(|i| i % parts).collect();
+        let ev = Event::WHarvested {
+            session: 4,
+            islands: vec![WIslandResult {
+                island: 0,
+                value,
+                energy,
+                steps,
+                molecule: MoleculeInfo {
+                    assignment: assignment.clone(),
+                    parts: parts as usize,
+                },
+                per_k: vec![(2, value), (3, energy)],
+            }],
+        };
+        match Event::parse(&ev.to_value().to_string()) {
+            Ok(Event::WHarvested { islands, .. }) => {
+                let r = &islands[0];
+                prop_assert_eq!(&r.molecule.assignment, &assignment);
+                prop_assert_eq!(r.molecule.parts, parts as usize);
+                prop_assert!(f64_wire_eq(r.value, value));
+                prop_assert!(f64_wire_eq(r.energy, energy));
+                prop_assert_eq!(r.steps, steps);
+                prop_assert_eq!(r.per_k.len(), 2);
+                prop_assert!(f64_wire_eq(r.per_k[0].1, value));
+                prop_assert!(f64_wire_eq(r.per_k[1].1, energy));
+            }
+            other => prop_assert!(false, "round-trip broke: {other:?}"),
+        }
+    }
+
+    /// Randomly mutated molecule payloads (truncation, type confusion,
+    /// corruption, garbage) never panic the parser: they either parse or
+    /// fail with a typed, non-empty message.
+    #[test]
+    fn mutated_molecule_payloads_never_panic(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let base =
+            r#"{"op":"winject","session":1,"island":0,"crossover":false,"assignment":[0,1,2,0],"parts":3}"#;
+        for _ in 0..16 {
+            let mutant = mutate(base, &mut rng);
+            if let Err(msg) = Request::parse(&mutant) {
+                prop_assert!(!msg.is_empty(), "empty error for {mutant:?}");
+            }
+        }
+    }
+}
+
+/// Targeted molecule corruptions are rejected with a typed error — a
+/// damaged payload can never silently become a *different* molecule.
+#[test]
+fn molecule_payload_corruptions_are_rejected_not_reinterpreted() {
+    let cases = [
+        // Truncation: a required field is simply gone.
+        (
+            r#"{"op":"winject","session":1,"island":0,"crossover":false,"parts":3}"#,
+            "assignment",
+        ),
+        (
+            r#"{"op":"winject","session":1,"island":0,"crossover":false,"assignment":[0,1]}"#,
+            "parts",
+        ),
+        (
+            r#"{"op":"winject","session":1,"island":0,"assignment":[0,1],"parts":2}"#,
+            "crossover",
+        ),
+        // Degenerate shapes.
+        (
+            r#"{"op":"winject","session":1,"island":0,"crossover":false,"assignment":[],"parts":3}"#,
+            "must not be empty",
+        ),
+        (
+            r#"{"op":"winject","session":1,"island":0,"crossover":false,"assignment":[0],"parts":0}"#,
+            "at least 1",
+        ),
+        // Out-of-range and type-confused part ids.
+        (
+            r#"{"op":"winject","session":1,"island":0,"crossover":false,"assignment":[0,9],"parts":3}"#,
+            "out of range",
+        ),
+        (
+            r#"{"op":"winject","session":1,"island":0,"crossover":false,"assignment":[0,-1],"parts":3}"#,
+            "bad part id",
+        ),
+        (
+            r#"{"op":"winject","session":1,"island":0,"crossover":false,"assignment":[0,1.5],"parts":3}"#,
+            "bad part id",
+        ),
+        (
+            r#"{"op":"winject","session":1,"island":0,"crossover":false,"assignment":["0",1],"parts":3}"#,
+            "bad part id",
+        ),
+        (
+            r#"{"op":"winject","session":1,"island":0,"crossover":false,"assignment":[0,4294967296],"parts":3}"#,
+            "bad part id",
+        ),
+        (
+            r#"{"op":"winject","session":1,"island":0,"crossover":"yes","assignment":[0,1],"parts":2}"#,
+            "crossover",
+        ),
+    ];
+    for (line, fragment) in cases {
+        let err = Request::parse(line).expect_err(line);
+        assert!(err.contains(fragment), "{line}: `{err}` lacks `{fragment}`");
+    }
+}
+
+/// Unknown fields on w* messages are rejected *by name* — a typo'd or
+/// smuggled field can never ride along silently.
+#[test]
+fn w_messages_reject_unknown_fields_by_name() {
+    let cases = [
+        r#"{"op":"winject","session":1,"island":0,"crossover":false,"assignment":[0,1],"parts":2,"smuggled":7}"#,
+        r#"{"op":"wadvance","session":1,"epoch":0,"steps":10,"smuggled":7}"#,
+        r#"{"op":"wmolecule","session":1,"island":0,"smuggled":7}"#,
+        r#"{"op":"wharvest","session":1,"smuggled":7}"#,
+        r#"{"op":"wstart","session":1,"instance":"g","k":2,"seeds":[1],"objectives":["mcut"],"steps":10,"smuggled":7}"#,
+        r#"{"event":"wready","session":1,"islands":2,"smuggled":7}"#,
+        r#"{"event":"wstate","session":1,"epoch":0,"islands":[],"smuggled":7}"#,
+    ];
+    for line in cases {
+        let err = if line.contains("\"op\"") {
+            Request::parse(line).expect_err(line)
+        } else {
+            Event::parse(line).expect_err(line)
+        };
+        assert!(
+            err.contains("unknown field `smuggled`"),
+            "{line}: error `{err}` should name the field"
+        );
     }
 }

@@ -634,3 +634,37 @@ fn cache_budget_evicts_lru_instance_end_to_end() {
     client.shutdown().unwrap();
     handle.join().unwrap();
 }
+
+/// Regression: a peer that greets and then goes silent forever (half-open
+/// TCP, a hung server) used to hang `wait_done` indefinitely. With a read
+/// timeout set, the client must surface `TimedOut` instead of blocking.
+#[test]
+fn wait_done_times_out_when_the_peer_stalls_mid_stream() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stalled = std::thread::spawn(move || {
+        use std::io::Write;
+        let (mut sock, _) = listener.accept().unwrap();
+        let hello = Event::Hello {
+            proto: ff_service::PROTOCOL_VERSION,
+            workers: 1,
+        };
+        writeln!(sock, "{}", hello.to_value()).unwrap();
+        sock.flush().unwrap();
+        // Hold the socket open without ever writing again.
+        sock
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let _held_open = stalled.join().unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .unwrap();
+    let start = Instant::now();
+    let err = client.wait_done(1).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "got: {err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "timed out far too slowly: {:?}",
+        start.elapsed()
+    );
+}

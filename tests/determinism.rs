@@ -180,3 +180,90 @@ fn percolation_is_deterministic() {
     let p2 = percolation_partition(&inst.graph, 7, &cfg);
     assert_eq!(p1.assignment(), p2.assignment());
 }
+
+/// Distributed islands keep the same contract across *process
+/// boundaries*: federated workers (two live servers driven over TCP)
+/// produce bytes identical to the in-process [`Solver`] — on the pinned
+/// golden instance and on a migration-heavy combine run.
+#[test]
+fn distributed_islands_match_in_process_goldens() {
+    use fusionfission::engine::derive_seeds;
+    use fusionfission::service::dist::{solve_distributed, DistOpts, DistSpec, WorkerSet};
+    use fusionfission::service::{Client, GraphFormat, GraphSource, Server};
+
+    const GRID: &str = "9 12\n2 4\n1 3 5\n2 6\n1 5 7\n2 4 6 8\n3 5 9\n4 8\n5 7 9\n6 8\n";
+    let g = fusionfission::graph::io::read_metis(GRID.as_bytes()).unwrap();
+
+    // Two real servers on ephemeral ports stand in for remote hosts.
+    let servers: Vec<_> = (0..2)
+        .map(|_| Server::bind("127.0.0.1:0", 2).unwrap().spawn().unwrap())
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|h| h.addr().to_string()).collect();
+
+    let federate = |spec: &DistSpec| {
+        solve_distributed(
+            &g,
+            spec,
+            &WorkerSet::Connect {
+                addrs: addrs.clone(),
+            },
+            &DistOpts::default(),
+            &mut |_, _| {},
+        )
+        .unwrap()
+    };
+    let spec = |seed: u64, steps: u64, migration: MigrationPolicyId| DistSpec {
+        instance: "grid".into(),
+        source: GraphSource::Data(GRID.into()),
+        format: GraphFormat::Metis,
+        k: 2,
+        steps,
+        seeds: derive_seeds(seed, 4),
+        objectives: vec![fusionfission::partition::Objective::MCut; 4],
+        interval: 1024,
+        migration,
+        pareto: false,
+    };
+
+    // Golden 1: the pinned instance. The energy is part of the contract.
+    let local = Solver::on(&g)
+        .k(2)
+        .islands(4)
+        .steps(20_000)
+        .seed(7)
+        .run()
+        .unwrap();
+    assert!(
+        (local.best_value - 0.964286).abs() < 5e-7,
+        "pinned golden moved: {}",
+        local.best_value
+    );
+    let dist = federate(&spec(7, 20_000, MigrationPolicyId::ReplaceIfBetter));
+    assert_eq!(dist.best.assignment(), local.best.assignment());
+    assert_eq!(dist.best_value, local.best_value);
+    assert_eq!(dist.steps, local.steps);
+    assert_eq!(dist.migrations_adopted, local.migrations_adopted);
+
+    // Golden 2: a 4-island combine-migration (crossover) run.
+    let local = Solver::on(&g)
+        .k(2)
+        .islands(4)
+        .migration(Combine)
+        .steps(8_000)
+        .seed(13)
+        .run()
+        .unwrap();
+    let dist = federate(&spec(13, 8_000, MigrationPolicyId::Combine));
+    assert_eq!(dist.best.assignment(), local.best.assignment());
+    assert_eq!(dist.best_value, local.best_value);
+    assert_eq!(dist.migrations_adopted, local.migrations_adopted);
+    for (a, b) in dist.islands.iter().zip(&local.islands) {
+        assert_eq!(a.best.assignment(), b.best.assignment());
+        assert_eq!(a.steps, b.steps);
+    }
+
+    for handle in servers {
+        Client::connect(handle.addr()).unwrap().shutdown().unwrap();
+        handle.join().unwrap();
+    }
+}
