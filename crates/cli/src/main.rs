@@ -5,6 +5,7 @@
 //! ffpart <graph> -k <parts> [options]      one-shot partitioning
 //! ffpart serve [serve-options]             run the NDJSON partition server
 //! ffpart submit [submit-options]           submit a job to a running server
+//! ffpart stats --connect ADDR              print a server statistics snapshot
 //! ffpart worker [slots]                    distributed-islands worker on
 //!                                          stdin/stdout (spawned by
 //!                                          --workers; rarely run by hand)
@@ -26,7 +27,12 @@
 //!                            (default 127.0.0.1:7412 when ADDR omitted):
 //!                            POST /jobs, GET /jobs/:id/events (chunked
 //!                            NDJSON), DELETE /jobs/:id, GET /stats,
+//!                            GET /metrics (Prometheus text),
 //!                            PUT /instances/:key
+//!   --log-format FORMAT      structured job logs on stderr: json (one
+//!                            object per line) or text (human-readable);
+//!                            spans: load, submit, reject, epoch, done,
+//!                            fault                  (default: no logging)
 //!   --stdio                  serve one client on stdin/stdout instead of TCP
 //!
 //! submit options:
@@ -62,6 +68,13 @@
 //!                            same seed/steps/chunk. Needs --steps (no
 //!                            --deadline-ms/--multilevel); replaces
 //!                            --connect
+//!
+//! stats options:
+//!   --connect ADDR           server address (required); prints the
+//!                            server's counters, gauges, and latency
+//!                            histograms with human-readable bucket
+//!                            bounds (same snapshot the NDJSON `stats`
+//!                            event and `GET /stats` serve)
 //!
 //! one-shot options:
 //!   -k, --parts N            number of parts (required)
@@ -125,9 +138,10 @@ const USAGE: &str = "usage: ffpart <graph> -k <parts> [-m method] [-o objective[
 [--threads n] [--workers n|auto] [--multilevel] [--coarsen-until n] [-f metis|edgelist] \
 [-w out.part] [-r] [-q]\n       \
 ffpart serve [--listen addr] [--workers n] [--max-jobs n] \
-[--max-jobs-per-conn n] [--cache-bytes n] [--http [addr]] [--stdio]\n       \
+[--max-jobs-per-conn n] [--cache-bytes n] [--http [addr]] [--log-format json|text] [--stdio]\n       \
 ffpart submit --connect addr <graph> -k <parts> [--steps n] [--deadline-ms n] …\n       \
 ffpart submit --workers addr,addr… <graph> -k <parts> --steps n …\n       \
+ffpart stats --connect addr\n       \
 ffpart worker [slots]\n\
 see `ffpart --help`";
 
@@ -396,6 +410,13 @@ fn serve_main(args: &[String]) -> ExitCode {
                 };
                 config.http = Some(addr);
             }
+            "--log-format" => match val("--log-format") {
+                Ok(name) => match ff_service::LogFormat::parse(&name) {
+                    Some(format) => config.log_format = Some(format),
+                    None => return usage_err(&format!("unknown log format `{name}` (json|text)")),
+                },
+                Err(e) => return usage_err(&e),
+            },
             "--stdio" => stdio = true,
             other => return usage_err(&format!("unknown flag `{other}`")),
         }
@@ -434,6 +455,107 @@ fn serve_main(args: &[String]) -> ExitCode {
             ExitCode::from(3)
         }
     }
+}
+
+/// One `  <range> <count>` histogram row per bucket. `inclusive` picks
+/// the bound style: job-duration buckets are `≤ bound` (ff-obs histogram
+/// semantics), permit-wait buckets `< bound` (the gate's layout). The
+/// last bucket is always unbounded.
+fn print_histogram(counts: &[u64], bounds_ms: &[u64], inclusive: bool) {
+    let (inner, last) = if inclusive { ("<=", ">") } else { ("<", ">=") };
+    for (i, &count) in counts.iter().enumerate() {
+        let label = match bounds_ms.get(i) {
+            Some(&bound) => format!("{inner} {bound} ms"),
+            None => format!("{last} {} ms", bounds_ms.last().copied().unwrap_or(0)),
+        };
+        println!("  {label:<14}{count:>10}");
+    }
+}
+
+/// `ffpart stats`: fetch and pretty-print a server statistics snapshot —
+/// the same [`ff_service::StatsInfo`] the NDJSON `stats` event and
+/// `GET /stats` serve, with histogram buckets labelled from the wire's
+/// own bound arrays rather than anything hard-coded here.
+fn stats_main(args: &[String]) -> ExitCode {
+    let mut connect: Option<String> = None;
+    let usage_err = |msg: &str| {
+        eprintln!("ffpart stats: {msg}\n{USAGE}");
+        ExitCode::from(2)
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--connect" => match it.next() {
+                Some(v) => connect = Some(v.clone()),
+                None => return usage_err("--connect needs a value"),
+            },
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+    let Some(connect) = connect else {
+        return usage_err("missing --connect");
+    };
+    let mut client = match ff_service::Client::connect(&*connect) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ffpart stats: cannot connect to {connect}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let st = match client.stats() {
+        Ok(ff_service::Event::Stats(st)) => st,
+        Ok(_) => {
+            eprintln!("ffpart stats: server sent an unexpected event");
+            return ExitCode::from(3);
+        }
+        Err(e) => {
+            eprintln!("ffpart stats: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    // `0` means "unbounded" for both admission and cache budgets.
+    let unlimited = |n: u64| {
+        if n == 0 {
+            "unlimited".to_string()
+        } else {
+            n.to_string()
+        }
+    };
+    println!("server {connect}");
+    println!("jobs");
+    println!("  submitted   {:>10}", st.jobs_submitted);
+    println!("  running     {:>10}", st.jobs_running);
+    println!(
+        "  done        {:>10}  ({} cancelled)",
+        st.jobs_done, st.jobs_cancelled
+    );
+    println!(
+        "  rejected    {:>10}  (max in-flight {})",
+        st.jobs_rejected,
+        unlimited(st.max_jobs)
+    );
+    println!("cache");
+    println!("  instances   {:>10}", st.instances);
+    println!("  hits        {:>10}", st.cache_hits);
+    println!("  loads       {:>10}", st.cache_loads);
+    println!("  evictions   {:>10}", st.cache_evictions);
+    println!(
+        "  bytes       {:>10}  (budget {})",
+        st.cache_bytes,
+        unlimited(st.cache_budget_bytes)
+    );
+    println!("compute");
+    println!("  slots       {:>10}", st.workers);
+    println!("  gate queued {:>10}", st.gate_queued);
+    println!("permit wait (slot acquisitions)");
+    print_histogram(&st.permit_wait_hist, &st.permit_wait_bucket_ms, false);
+    println!("job duration (finished jobs)");
+    print_histogram(&st.job_duration_hist, &st.job_duration_bucket_ms, true);
+    ExitCode::SUCCESS
 }
 
 /// `ffpart submit`: run one job against a server, streaming improvements.
@@ -990,6 +1112,7 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("serve") => return serve_main(&argv[1..]),
         Some("submit") => return submit_main(&argv[1..]),
+        Some("stats") => return stats_main(&argv[1..]),
         Some("worker") => {
             // Spawned by the `--workers` coordinator: the full NDJSON
             // server on stdin/stdout, one compute slot (island layout,

@@ -162,6 +162,7 @@
 pub mod ensemble;
 pub mod migration;
 pub mod multilevel;
+mod obs;
 pub mod pool;
 pub mod reduction;
 pub mod seeds;

@@ -27,6 +27,7 @@
 use crate::ensemble::EnsembleResult;
 use crate::migration::{MigrationPolicy, ReplaceIfBetter};
 use crate::multilevel::{MultilevelInfo, MultilevelOpts};
+use crate::obs::{record_level_reports, EngineObs};
 use crate::reduction::{MinEnergy, ParetoPoint, Reduction};
 use crate::seeds::derive_seeds;
 use ff_core::{
@@ -83,6 +84,7 @@ pub struct Solver<'g> {
     objectives: Option<Vec<Objective>>,
     initial: Option<Partition>,
     multilevel: Option<MultilevelOpts>,
+    obs: Option<ff_obs::Registry>,
 }
 
 impl<'g> Solver<'g> {
@@ -103,6 +105,7 @@ impl<'g> Solver<'g> {
             objectives: None,
             initial: None,
             multilevel: None,
+            obs: None,
         }
     }
 
@@ -208,6 +211,21 @@ impl<'g> Solver<'g> {
         self
     }
 
+    /// Attaches a metrics registry. Observation-only — partition bytes,
+    /// RNG streams and epoch chunking are identical with or without it
+    /// (test-asserted). Registered families, per epoch barrier:
+    /// `ff_engine_epochs_total`, `ff_engine_epoch_ms`,
+    /// `ff_engine_migration_offers_total{policy}`,
+    /// `ff_engine_migration_accepts_total{policy}`,
+    /// `ff_engine_migration_rejects_total{policy}`,
+    /// `ff_engine_improvement_delta`, and — under
+    /// [`Solver::multilevel`] — `ff_engine_level_refine_ms` plus
+    /// `ff_engine_refine_moves_total`.
+    pub fn observe(mut self, registry: ff_obs::Registry) -> Self {
+        self.obs = Some(registry);
+        self
+    }
+
     /// Full control over the per-island search configuration (presets,
     /// temperatures, ablation switches). Overwrites `k`, `objective` and
     /// the stop condition, so call it *before* those builder methods.
@@ -296,15 +314,24 @@ impl<'g> Solver<'g> {
                 .start()
             })
             .collect();
+        let (obs, migration) = match &self.obs {
+            Some(registry) => {
+                let obs = EngineObs::new(registry, self.migration.name(), n);
+                let wrapped = obs.wrap(registry, self.migration);
+                (Some(obs), wrapped)
+            }
+            None => (None, self.migration),
+        };
         Ok(SolverRun {
             g: self.g,
             runs,
             max_threads: self.max_threads,
             base_interval: self.migration_interval,
-            migration: self.migration,
+            migration,
             reduction: self.reduction,
             objectives: distinct,
             migrations_adopted: 0,
+            obs,
         })
     }
 
@@ -358,7 +385,9 @@ impl<'g> Solver<'g> {
             objectives,
             initial: _,
             multilevel: _,
+            obs,
         } = self;
+        let obs_registry = obs.clone();
         let coarse_solver = Solver {
             g: vc.coarsest(),
             base,
@@ -372,6 +401,7 @@ impl<'g> Solver<'g> {
             objectives,
             initial: None,
             multilevel: None,
+            obs,
         };
         let mut run = coarse_solver.start_flat()?;
         drive(&mut run);
@@ -386,6 +416,9 @@ impl<'g> Solver<'g> {
             let mut reports_per_point = Vec::with_capacity(points.len());
             for pt in &mut points {
                 let (fine, reports) = vc.refine_up(&pt.partition, pt.objective);
+                if let Some(registry) = &obs_registry {
+                    record_level_reports(registry, &reports);
+                }
                 pt.values = axes.iter().map(|o| o.evaluate(g, &fine)).collect();
                 pt.parts = fine.num_nonempty_parts();
                 pt.partition = fine;
@@ -432,6 +465,9 @@ impl<'g> Solver<'g> {
             .tag()
             .unwrap_or(base.objective);
         let (fine, reports) = vc.refine_up(&res.best, win_obj);
+        if let Some(registry) = &obs_registry {
+            record_level_reports(registry, &reports);
+        }
         res.best_value = reports
             .last()
             .map(|r| r.value_after)
@@ -483,6 +519,7 @@ pub struct SolverRun<'g> {
     reduction: Box<dyn Reduction>,
     objectives: Vec<Objective>,
     migrations_adopted: u64,
+    obs: Option<EngineObs>,
 }
 
 impl<'g> SolverRun<'g> {
@@ -492,6 +529,7 @@ impl<'g> SolverRun<'g> {
     /// one island has work left, `false` once all islands hit their stop
     /// conditions or a bound [`CancelToken`] fired.
     pub fn advance_epoch(&mut self) -> bool {
+        let epoch_start = self.obs.as_ref().map(|_| std::time::Instant::now());
         let n = self.runs.len();
         let chunk = if self.base_interval == 0 {
             u64::MAX
@@ -515,13 +553,19 @@ impl<'g> SolverRun<'g> {
                 }
             });
         }
-        if !more.iter().any(|&b| b) {
-            return false;
-        }
-        if n > 1 && self.base_interval > 0 {
+        let any_more = more.iter().any(|&b| b);
+        let adopted_before = self.migrations_adopted;
+        if any_more && n > 1 && self.base_interval > 0 {
             self.migrations_adopted += self.migration.exchange(&mut self.runs);
         }
-        true
+        if let (Some(obs), Some(start)) = (&mut self.obs, epoch_start) {
+            obs.record_epoch(
+                start.elapsed(),
+                self.migrations_adopted - adopted_before,
+                &self.runs,
+            );
+        }
+        any_more
     }
 
     /// Binds one cooperative cancellation token to every island: when it

@@ -57,6 +57,9 @@ pub struct LevelReport {
     pub value_after: f64,
     /// Moves the refiner applied.
     pub moves: usize,
+    /// Wall-clock milliseconds this level spent projecting + refining.
+    /// Observability only — never feeds back into the algorithm.
+    pub refine_ms: u64,
 }
 
 /// A prepared V-cycle over a fine graph: coarsening stack plus refined
@@ -125,6 +128,7 @@ impl<'g> Vcycle<'g> {
         let mut cur = coarse.clone();
         let mut reports = Vec::with_capacity(self.hierarchy.num_levels());
         for lvl in (0..self.hierarchy.num_levels()).rev() {
+            let level_start = std::time::Instant::now();
             let fine = self.hierarchy.graph_at(self.fine, lvl);
             let fine_asg = self.hierarchy.levels()[lvl].project(cur.assignment());
             let mut st = CutState::new(fine, Partition::from_assignment(fine, fine_asg, k));
@@ -145,6 +149,7 @@ impl<'g> Vcycle<'g> {
                 value_before,
                 value_after,
                 moves,
+                refine_ms: level_start.elapsed().as_millis() as u64,
             });
             cur = st.into_partition();
         }

@@ -1,0 +1,39 @@
+//! # ff-obs — fleet-grade observability, std-only
+//!
+//! The serving stack's measurement layer: a thread-safe metrics
+//! registry (counters, gauges, fixed-bucket histograms — the
+//! [`FairGate`] wait-histogram pattern generalized), Prometheus text
+//! exposition for `GET /metrics`, and structured NDJSON/text
+//! operational logging. No dependencies, no async runtime, and —
+//! critically — **observation-only**: nothing in this crate touches an
+//! RNG stream, a step budget, or a wire byte, so enabling metrics or
+//! logging can never change a partition result. The service test suite
+//! asserts that contract end to end.
+//!
+//! [`FairGate`]: https://docs.rs/ff-service
+//!
+//! ## Example
+//!
+//! ```
+//! use ff_obs::{parse_exposition, Registry};
+//!
+//! let reg = Registry::new();
+//! let jobs = reg.counter("ff_jobs_completed_total", "Jobs finished");
+//! let waits = reg.histogram("ff_permit_wait_ms", "Permit waits", &[1.0, 10.0, 100.0, 1000.0]);
+//! jobs.inc();
+//! waits.observe(0.3);
+//!
+//! let page = reg.render();
+//! assert!(page.contains("# TYPE ff_jobs_completed_total counter"));
+//! assert!(page.contains("ff_permit_wait_ms_bucket{le=\"+Inf\"} 1"));
+//! // Every render is valid exposition text.
+//! assert!(parse_exposition(&page).is_ok());
+//! ```
+
+mod log;
+mod registry;
+mod render;
+
+pub use log::{LogFormat, LogValue, Logger};
+pub use registry::{Counter, Gauge, Histogram, Kind, Registry};
+pub use render::{parse_exposition, Sample, EXPOSITION_CONTENT_TYPE};

@@ -1,0 +1,332 @@
+//! Prometheus text exposition (version 0.0.4): rendering a [`Registry`]
+//! snapshot, and a strict parser for the same format used by the test
+//! suite to prove every rendered page parses back.
+
+use crate::registry::{Registry, Series};
+use std::sync::atomic::Ordering;
+
+/// The `Content-Type` an HTTP endpoint should serve [`Registry::render`]
+/// under.
+pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Formats a sample value the way the exposition format spells it
+/// (`+Inf`, `-Inf`, `NaN`; integers without a trailing `.0`).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a `HELP` text: backslashes and newlines only (the format
+/// leaves quotes alone outside label values).
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Splices a `le` label into an existing label block.
+fn with_le(labels: &str, le: &str) -> String {
+    let le = format!("le=\"{le}\"");
+    if labels.is_empty() {
+        format!("{{{le}}}")
+    } else {
+        // `{a="x"}` → `{a="x",le="..."}`
+        format!("{},{le}}}", &labels[..labels.len() - 1])
+    }
+}
+
+impl Registry {
+    /// Renders the whole registry as Prometheus text exposition:
+    /// `# HELP` / `# TYPE` per family, one sample line per series, and
+    /// for histograms the cumulative `_bucket` series (ending at
+    /// `le="+Inf"`) plus `_sum` and `_count`. Family and series order is
+    /// deterministic (sorted), so two snapshots of identical state are
+    /// byte-identical.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (name, family) in inner.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(&family.help)));
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind.as_str()));
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        out.push_str(&format!("{name}{labels} {}\n", c.get()));
+                    }
+                    Series::Gauge(g) => {
+                        out.push_str(&format!("{name}{labels} {}\n", fmt_value(g.get())));
+                    }
+                    Series::Histogram(h) => {
+                        let core = &h.0;
+                        let mut cum = 0u64;
+                        for (i, bucket) in core.buckets.iter().enumerate() {
+                            cum += bucket.load(Ordering::Relaxed);
+                            let le = match core.bounds.get(i) {
+                                Some(&b) => fmt_value(b),
+                                None => "+Inf".to_string(),
+                            };
+                            out.push_str(&format!("{name}_bucket{} {cum}\n", with_le(labels, &le)));
+                        }
+                        out.push_str(&format!("{name}_sum{labels} {}\n", fmt_value(h.sum())));
+                        out.push_str(&format!("{name}_count{labels} {cum}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name as spelled on the line (histograms appear as their
+    /// `_bucket` / `_sum` / `_count` series).
+    pub name: String,
+    /// Labels in line order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|e| format!("bad sample value `{other}`: {e}")),
+    }
+}
+
+fn parse_labels(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = text.chars().peekable();
+    loop {
+        if chars.peek().is_none() {
+            return Err("unterminated label block".into());
+        }
+        if chars.peek() == Some(&'}') {
+            chars.next();
+            break;
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty()
+            || !key
+                .chars()
+                .enumerate()
+                .all(|(i, c)| c == '_' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit()))
+        {
+            return Err(format!("bad label name `{key}`"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label `{key}`: expected opening quote"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                None => return Err(format!("label `{key}`: unterminated value")),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("label `{key}`: bad escape {other:?}")),
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        match chars.peek() {
+            Some(',') => {
+                chars.next();
+            }
+            Some('}') => {}
+            other => return Err(format!("expected `,` or `}}` after label, got {other:?}")),
+        }
+    }
+    if chars.next().is_some() {
+        return Err("trailing characters after label block".into());
+    }
+    Ok(labels)
+}
+
+/// Parses a full exposition page back into its samples, validating
+/// comment lines (`# HELP` / `# TYPE` with a known type), metric-name
+/// shape, label quoting/escapes and value syntax. Strict by design: the
+/// test suite uses it to prove [`Registry::render`] output is always
+/// well-formed.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let err = |msg: String| format!("line {}: {msg}", ln + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            match parts.next() {
+                Some("HELP") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err("HELP without name".into()))?;
+                    if !valid_name(name) {
+                        return Err(err(format!("HELP for invalid name `{name}`")));
+                    }
+                }
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err("TYPE without name".into()))?;
+                    if !valid_name(name) {
+                        return Err(err(format!("TYPE for invalid name `{name}`")));
+                    }
+                    match parts.next() {
+                        Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                        other => return Err(err(format!("unknown TYPE {other:?}"))),
+                    }
+                }
+                _ => {} // plain comment
+            }
+            continue;
+        }
+        // Sample: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| err("sample line without value".into()))?;
+        let name = &line[..name_end];
+        if !valid_name(name) {
+            return Err(err(format!("invalid metric name `{name}`")));
+        }
+        let rest = &line[name_end..];
+        let (labels, value_text) = if let Some(stripped) = rest.strip_prefix('{') {
+            // Label values may contain spaces; find the closing brace by
+            // scanning with escape awareness.
+            let close = closing_brace(stripped).ok_or_else(|| err("unclosed `{`".into()))?;
+            let labels = parse_labels(&stripped[..=close]).map_err(err)?;
+            (labels, stripped[close + 1..].trim_start())
+        } else {
+            (Vec::new(), rest.trim_start())
+        };
+        // Samples may carry an optional trailing timestamp; we never
+        // render one, so reject it to keep the round-trip strict.
+        let value = parse_value(value_text.trim_end()).map_err(err)?;
+        samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+/// Index of the `}` closing a label block whose `{` was already
+/// consumed, skipping quoted strings and escapes.
+fn closing_brace(text: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn renders_and_parses_back() {
+        let reg = Registry::new();
+        reg.counter("ff_jobs_total", "Jobs").add(3);
+        reg.gauge("ff_depth", "Depth").set(2.5);
+        let h = reg.histogram("ff_wait_ms", "Waits", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(42.0);
+        let page = reg.render();
+        let samples = parse_exposition(&page).unwrap();
+        let get = |name: &str| samples.iter().find(|s| s.name == name).unwrap();
+        assert_eq!(get("ff_jobs_total").value, 3.0);
+        assert_eq!(get("ff_depth").value, 2.5);
+        assert_eq!(get("ff_wait_ms_count").value, 2.0);
+        assert_eq!(get("ff_wait_ms_sum").value, 42.5);
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "ff_wait_ms_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert_eq!(inf.value, 2.0);
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let reg = Registry::new();
+        reg.counter_with(
+            "ff_esc_total",
+            "with \\ and \n in help",
+            &[("path", "a\\b \"quoted\"\nnewline")],
+        )
+        .inc();
+        let page = reg.render();
+        let samples = parse_exposition(&page).unwrap();
+        assert_eq!(samples[0].label("path"), Some("a\\b \"quoted\"\nnewline"));
+    }
+
+    #[test]
+    fn special_values_render_as_prometheus_spellings() {
+        let reg = Registry::new();
+        reg.gauge("ff_inf", "h").set(f64::INFINITY);
+        let page = reg.render();
+        assert!(page.contains("ff_inf +Inf\n"), "{page}");
+        assert_eq!(parse_exposition(&page).unwrap()[0].value, f64::INFINITY);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("0bad 1").is_err());
+        assert!(parse_exposition("ff_x{le=\"1\" 2").is_err());
+        assert!(parse_exposition("ff_x{le=1} 2").is_err());
+        assert!(parse_exposition("ff_x notanumber").is_err());
+        assert!(parse_exposition("# TYPE ff_x nonsense").is_err());
+    }
+}

@@ -119,6 +119,13 @@ pub struct DistOpts {
     /// When set, every spawned worker's pid is pushed here — lets a
     /// test `kill -9` a live worker mid-run.
     pub pids: Option<Arc<Mutex<Vec<u32>>>>,
+    /// When set, the coordinator records its metrics here: respawns,
+    /// wire failures by kind, replay lengths, per-worker epoch lag.
+    /// Observation-only — the result bytes are identical either way.
+    pub obs: Option<ff_obs::Registry>,
+    /// Structured span logging (`epoch` / `fault` events). Defaults to
+    /// [`ff_obs::Logger::off`].
+    pub logger: ff_obs::Logger,
 }
 
 impl Default for DistOpts {
@@ -128,6 +135,8 @@ impl Default for DistOpts {
             max_respawns: 3,
             env: Vec::new(),
             pids: None,
+            obs: None,
+            logger: ff_obs::Logger::off(),
         }
     }
 }
@@ -151,6 +160,11 @@ pub fn solve_distributed(
     }
     if spec.objectives.len() != n {
         return Err("one objective per island required".into());
+    }
+    if let Some(registry) = &opts.obs {
+        // Pre-register the coordinator's metric families so a clean run
+        // still exposes the full catalog (failure counters at zero).
+        crate::obs::dist_families(registry);
     }
     let targets = make_targets(workers, opts)?;
     // Never spawn more workers than islands: the extras would idle.
@@ -232,7 +246,24 @@ pub fn solve_distributed(
                 }
                 other => return Err(conn.unexpected("wstate", &other)),
             }
+            // Each shard's gauge advances as its `wadvance` completes,
+            // so a scrape mid-epoch reads the true lag (max − min).
+            if let Some(registry) = &opts.obs {
+                crate::obs::dist_worker_epoch(registry, conn.session as usize, epoch);
+            }
         }
+        opts.logger.log(
+            "epoch",
+            None,
+            &[
+                ("epoch", ff_obs::LogValue::U64(epoch)),
+                ("workers", ff_obs::LogValue::U64(w_eff as u64)),
+                (
+                    "live_islands",
+                    ff_obs::LogValue::U64(more.iter().filter(|&&b| b).count() as u64),
+                ),
+            ],
+        );
         if !more.iter().any(|&b| b) {
             break;
         }
@@ -530,6 +561,22 @@ impl WorkerConn {
                         fail.describe(),
                         self.history.len()
                     );
+                    if let Some(registry) = &opts.obs {
+                        crate::obs::dist_wire_failure(registry, fail.kind(), self.history.len());
+                    }
+                    opts.logger.log(
+                        "fault",
+                        None,
+                        &[
+                            ("worker", ff_obs::LogValue::U64(self.session)),
+                            ("kind", ff_obs::LogValue::Str(fail.kind())),
+                            ("detail", ff_obs::LogValue::Str(&fail.describe())),
+                            (
+                                "replay_ops",
+                                ff_obs::LogValue::U64(self.history.len() as u64),
+                            ),
+                        ],
+                    );
                     self.reopen_and_replay(opts)?;
                 }
             }
@@ -543,6 +590,9 @@ impl WorkerConn {
     fn reopen_and_replay(&mut self, opts: &DistOpts) -> Result<(), String> {
         'attempt: loop {
             self.respawns += 1;
+            if let Some(registry) = &opts.obs {
+                crate::obs::dist_respawn(registry);
+            }
             if self.respawns > opts.max_respawns {
                 return Err(format!(
                     "{}: gave up after {} respawns",
@@ -606,6 +656,15 @@ impl WireFail {
             WireFail::Dead(why) => format!("connection lost ({why})"),
             WireFail::Timeout => "reply timed out".into(),
             WireFail::Corrupt(why) => format!("corrupt reply ({why})"),
+        }
+    }
+
+    /// The `kind` label on `ff_dist_wire_failures_total`.
+    fn kind(&self) -> &'static str {
+        match self {
+            WireFail::Dead(_) => "dead",
+            WireFail::Timeout => "timeout",
+            WireFail::Corrupt(_) => "corrupt",
         }
     }
 }

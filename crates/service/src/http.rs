@@ -13,6 +13,7 @@
 //! | `GET /jobs/:id/events` | stream the job's events | `200` chunked NDJSON (`improvement`* then `done`) |
 //! | `DELETE /jobs/:id` | cancel | `200` `cancelling` JSON |
 //! | `GET /stats` | statistics snapshot | `200` `stats` JSON |
+//! | `GET /metrics` | Prometheus scrape | `200` text exposition (v0.0.4) |
 //!
 //! Response bodies are the protocol's event objects, so an HTTP client
 //! and an NDJSON client parse the same schema. Unlike an NDJSON
@@ -302,19 +303,21 @@ fn status_text(code: u16) -> &'static str {
     }
 }
 
-/// Writes a complete non-streaming response. `extra` lines (e.g.
-/// `Retry-After`) are injected verbatim into the head.
-fn respond(
+/// Writes a complete non-streaming response with an exact body and
+/// content type. `extra` lines (e.g. `Retry-After`) are injected
+/// verbatim into the head.
+fn respond_raw(
     out: &mut TcpStream,
     code: u16,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
     extra: &[String],
 ) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         status_text(code),
-        body.len() + 1
+        body.len()
     );
     for line in extra {
         head.push_str(line);
@@ -326,8 +329,26 @@ fn respond(
     head.push_str("\r\n");
     out.write_all(head.as_bytes())?;
     out.write_all(body.as_bytes())?;
-    out.write_all(b"\n")?;
     out.flush()
+}
+
+/// [`respond_raw`] for the JSON routes: one event object, `\n`-terminated
+/// like its NDJSON twin.
+fn respond(
+    out: &mut TcpStream,
+    code: u16,
+    body: &str,
+    keep_alive: bool,
+    extra: &[String],
+) -> std::io::Result<()> {
+    respond_raw(
+        out,
+        code,
+        "application/json",
+        &format!("{body}\n"),
+        keep_alive,
+        extra,
+    )
 }
 
 fn respond_event(
@@ -392,6 +413,7 @@ pub(crate) fn handle_http_client(state: Arc<ServerState>, stream: TcpStream) {
         Ok(w) => w,
         Err(_) => return,
     };
+    let _conn = state.metrics.connection("http");
     let mut reader = BufReader::new(stream);
     let conn_jobs = Arc::new(AtomicUsize::new(0));
     loop {
@@ -516,7 +538,19 @@ fn handle_request(
             respond_event(out, 200, &Event::Stats(state.stats()), keep, &[])?;
             Ok(true)
         }
-        (_, ["jobs"]) | (_, ["jobs", ..]) | (_, ["instances", ..]) | (_, ["stats"]) => {
+        ("GET", ["metrics"]) => {
+            // `stats()` raises the scrape-time mirror counters first, so
+            // the page always agrees with the `stats` event.
+            let _ = state.stats();
+            let page = state.metrics.registry.render();
+            respond_raw(out, 200, ff_obs::EXPOSITION_CONTENT_TYPE, &page, keep, &[])?;
+            Ok(true)
+        }
+        (_, ["jobs"])
+        | (_, ["jobs", ..])
+        | (_, ["instances", ..])
+        | (_, ["stats"])
+        | (_, ["metrics"]) => {
             error_body(405, &format!("{} not allowed here", req.method), out, keep)?;
             Ok(true)
         }

@@ -9,11 +9,13 @@
 //! within one chunk.
 
 use crate::gate::FairGate;
+use crate::obs::Metrics;
 use crate::protocol::{DoneInfo, Event, Improvement, JobRequest, JobStatus, ParetoPointInfo};
 use ff_core::{ConfigError, FusionFissionConfig};
 use ff_engine::{MultilevelOpts, ParetoFront, Solver};
 use ff_graph::Graph;
 use ff_metaheur::{CancelToken, StopCondition};
+use ff_obs::LogValue;
 use ff_partition::Objective;
 use std::collections::HashMap;
 use std::io::Write;
@@ -130,6 +132,12 @@ pub(crate) fn validate_job(spec: &JobRequest, graph: &Graph) -> Result<(), Confi
 /// event is emitted: the server hangs registry removal and counter
 /// updates on it, so a client that reacts instantly to `done` (resubmit,
 /// stats) can never observe the finished job as still in flight.
+///
+/// `obs`, when given, hooks the engine's per-epoch instrumentation into
+/// the server registry, times gate waits, and emits `epoch` log spans.
+/// All of it is observation-only: the solve consumes no RNG, chunking or
+/// output byte differently whether `obs` is `Some` or `None`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_job(
     job_id: u64,
     spec: &JobRequest,
@@ -137,19 +145,25 @@ pub(crate) fn run_job(
     gate: &Arc<FairGate>,
     token: &CancelToken,
     sink: &EventSink,
-    before_done: impl FnOnce(),
+    obs: Option<&Metrics>,
+    before_done: impl FnOnce(&DoneInfo),
 ) -> DoneInfo {
     let started = Instant::now();
     let multi = spec.is_pareto();
+    let mut solver = job_solver(spec, graph);
+    if let Some(metrics) = obs {
+        solver = solver.observe(metrics.registry.clone());
+    }
     // `run_with` lets the service keep its cooperative chunked drive
     // (gate permits, improvement streaming, cancellation) while the
     // engine decides *where* that drive runs: on the input graph, or —
     // for a multilevel job — on its coarsened stand-in, with the
     // uncoarsen+refine pipeline applied after the drive finishes.
-    let res = job_solver(spec, graph)
+    let res = solver
         .run_with(|run| {
             run.bind_cancel(token.clone());
             let mut cursors = vec![0usize; spec.islands];
+            let mut epoch = 0u64;
             // Per-objective best-so-far: improvements stream only when an
             // island's value beats the best of *its own criterion* (for a
             // single-objective job that is the historical global filter;
@@ -157,9 +171,31 @@ pub(crate) fn run_job(
             // stream deterministic values).
             let mut best: HashMap<Objective, f64> = HashMap::new();
             loop {
-                let permit = gate.acquire();
-                let more = run.advance_epoch();
-                drop(permit);
+                let more;
+                if let Some(metrics) = obs {
+                    let waiting = Instant::now();
+                    let permit = gate.acquire();
+                    metrics.permit_wait(waiting.elapsed());
+                    more = run.advance_epoch();
+                    drop(permit);
+                    epoch += 1;
+                    metrics.logger.log(
+                        "epoch",
+                        Some(job_id),
+                        &[
+                            ("epoch", LogValue::U64(epoch)),
+                            ("steps", LogValue::U64(run.total_steps())),
+                            (
+                                "best",
+                                LogValue::F64(run.best_value_at_target().unwrap_or(f64::INFINITY)),
+                            ),
+                        ],
+                    );
+                } else {
+                    let permit = gate.acquire();
+                    more = run.advance_epoch();
+                    drop(permit);
+                }
                 for (i, island) in run.islands().iter().enumerate() {
                     let objective = island.config().objective;
                     for p in island.trace().points_since(cursors[i]) {
@@ -233,7 +269,7 @@ pub(crate) fn run_job(
         assignment: spec.assignment.then(|| res.best.assignment().to_vec()),
         pareto,
     };
-    before_done();
+    before_done(&done);
     let _ = sink.send(&Event::Done(done.clone()));
     done
 }
@@ -294,7 +330,7 @@ mod tests {
         let run = || {
             let (sink, buf) = sink_to_vec();
             let token = CancelToken::new();
-            let done = run_job(7, &spec, &graph, &gate, &token, &sink, || ());
+            let done = run_job(7, &spec, &graph, &gate, &token, &sink, None, |_| ());
             (done, events_from(&buf))
         };
         let (done_a, events_a) = run();
@@ -342,7 +378,7 @@ mod tests {
         };
         let (sink, _buf) = sink_to_vec();
         let token = CancelToken::new();
-        let done = run_job(1, &spec, &graph, &gate, &token, &sink, || ());
+        let done = run_job(1, &spec, &graph, &gate, &token, &sink, None, |_| ());
         // The service drive must be bit-equal to driving ff-engine
         // directly with the same shape.
         let direct = Solver::on(&graph)
@@ -378,7 +414,7 @@ mod tests {
         assert!(spec.is_pareto());
         let (sink, buf) = sink_to_vec();
         let token = CancelToken::new();
-        let done = run_job(5, &spec, &graph, &gate, &token, &sink, || ());
+        let done = run_job(5, &spec, &graph, &gate, &token, &sink, None, |_| ());
         let front = done.pareto.as_ref().expect("pareto job carries a front");
         // The wire front must equal the library front exactly.
         let direct = job_solver(&spec, &graph).start().unwrap();
@@ -447,7 +483,7 @@ mod tests {
         let run = || {
             let (sink, _buf) = sink_to_vec();
             let token = CancelToken::new();
-            run_job(9, &spec, &graph, &gate, &token, &sink, || ())
+            run_job(9, &spec, &graph, &gate, &token, &sink, None, |_| ())
         };
         let a = run();
         let b = run();
@@ -501,7 +537,7 @@ mod tests {
             canceller.cancel();
         });
         let started = Instant::now();
-        let done = run_job(2, &spec, &graph, &gate, &token, &sink, || ());
+        let done = run_job(2, &spec, &graph, &gate, &token, &sink, None, |_| ());
         handle.join().unwrap();
         assert_eq!(done.status, JobStatus::Cancelled);
         assert!(
@@ -524,7 +560,7 @@ mod tests {
         let (sink, _buf) = sink_to_vec();
         let token = CancelToken::new();
         let started = Instant::now();
-        let done = run_job(3, &spec, &graph, &gate, &token, &sink, || ());
+        let done = run_job(3, &spec, &graph, &gate, &token, &sink, None, |_| ());
         let elapsed = started.elapsed();
         assert_eq!(done.status, JobStatus::Deadline);
         assert!(

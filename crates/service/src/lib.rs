@@ -202,6 +202,7 @@ pub mod dist;
 pub mod gate;
 mod http;
 pub mod job;
+pub mod obs;
 pub mod protocol;
 pub mod server;
 mod wsession;
@@ -213,6 +214,9 @@ pub use client::{Client, JobCanceller, SubmitOutcome};
 pub use dist::{solve_distributed, DistOpts, DistSpec, WorkerSet};
 pub use gate::{FairGate, Permit, WAIT_BUCKETS, WAIT_BUCKET_MS};
 pub use job::EventSink;
+pub use obs::{DURATION_BUCKETS, DURATION_BUCKET_MS};
+// The observability vocabulary `ServerConfig` and `DistOpts` speak.
+pub use ff_obs::{LogFormat, Logger, Registry, EXPOSITION_CONTENT_TYPE};
 pub use protocol::{
     DoneInfo, Event, Improvement, JobRequest, JobStatus, ParetoPointInfo, Request, StatsInfo,
     DEFAULT_CHUNK, PROTOCOL_VERSION,

@@ -1,0 +1,399 @@
+//! Service-side observability: the always-on metrics registry behind
+//! `GET /metrics` and the extended `stats` event, plus the optional
+//! structured operational logger behind `ffpart serve --log-format`.
+//!
+//! Two update disciplines keep every metric observation-only:
+//!
+//! * **Event-time**: completions by status, job durations, permit waits
+//!   and connection traffic are recorded where the event happens — all
+//!   outside the engine's RNG/chunking path.
+//! * **Scrape-time mirrors**: counters the server already keeps for
+//!   `stats` (submits, rejections, cache traffic) are raised to the
+//!   authoritative snapshot on every scrape via [`Counter::raise_to`],
+//!   so `/metrics` stays monotone and can never disagree with `stats`
+//!   on direction.
+//!
+//! The registry is always live (a scrape of an idle server reports
+//! zeros — families are pre-registered so the catalog is visible from
+//! the first scrape); only the logger is opt-in.
+
+use crate::gate::WAIT_BUCKET_MS;
+use crate::protocol::{DoneInfo, JobStatus, StatsInfo};
+use ff_obs::{Counter, Gauge, Histogram, LogValue, Logger, Registry};
+use std::time::Duration;
+
+/// Buckets in the job-duration histogram (the last is unbounded).
+pub const DURATION_BUCKETS: usize = 6;
+
+/// Upper bounds (inclusive, in milliseconds) of the first
+/// `DURATION_BUCKETS - 1` job-duration buckets.
+pub const DURATION_BUCKET_MS: [u64; DURATION_BUCKETS - 1] = [10, 100, 1_000, 10_000, 60_000];
+
+fn ms_bounds(bounds_ms: &[u64]) -> Vec<f64> {
+    bounds_ms.iter().map(|&b| b as f64).collect()
+}
+
+/// The server's metric handles plus its operational [`Logger`]. One per
+/// server state; handles are cheap clones of registry series.
+pub(crate) struct Metrics {
+    pub(crate) registry: Registry,
+    pub(crate) logger: Logger,
+    // Event-time.
+    completed: Counter,
+    cancelled: Counter,
+    deadline: Counter,
+    job_duration_ms: Histogram,
+    permit_wait_ms: Histogram,
+    // Scrape-time mirrors of the counters `stats` owns.
+    submitted: Counter,
+    rejected: Counter,
+    cache_hits: Counter,
+    cache_loads: Counter,
+    cache_evictions: Counter,
+    cache_bytes: Gauge,
+    instances: Gauge,
+    jobs_in_flight: Gauge,
+    gate_queued: Gauge,
+    workers: Gauge,
+}
+
+impl Metrics {
+    pub(crate) fn new(registry: Registry, logger: Logger) -> Metrics {
+        let m = Metrics {
+            completed: registry.counter_with(
+                "ff_jobs_completed_total",
+                "Jobs finished, by final status",
+                &[("status", "completed")],
+            ),
+            cancelled: registry.counter_with(
+                "ff_jobs_completed_total",
+                "Jobs finished, by final status",
+                &[("status", "cancelled")],
+            ),
+            deadline: registry.counter_with(
+                "ff_jobs_completed_total",
+                "Jobs finished, by final status",
+                &[("status", "deadline")],
+            ),
+            job_duration_ms: registry.histogram(
+                "ff_job_duration_ms",
+                "Wall-clock milliseconds from job start to done",
+                &ms_bounds(&DURATION_BUCKET_MS),
+            ),
+            permit_wait_ms: registry.histogram(
+                "ff_permit_wait_ms",
+                "Milliseconds a job chunk blocked waiting for a compute slot",
+                &ms_bounds(&WAIT_BUCKET_MS),
+            ),
+            submitted: registry.counter("ff_jobs_submitted_total", "Jobs admitted since start"),
+            rejected: registry.counter(
+                "ff_jobs_rejected_total",
+                "Jobs refused by admission control",
+            ),
+            cache_hits: registry.counter("ff_cache_hits_total", "Instance-cache hits served"),
+            cache_loads: registry.counter(
+                "ff_cache_loads_total",
+                "Graph loads (parse + CSR build) performed",
+            ),
+            cache_evictions: registry.counter(
+                "ff_cache_evictions_total",
+                "Instances evicted to stay within the cache byte budget",
+            ),
+            cache_bytes: registry.gauge("ff_cache_bytes", "CSR bytes resident in the cache"),
+            instances: registry.gauge("ff_cache_instances", "Instances currently cached"),
+            jobs_in_flight: registry.gauge(
+                "ff_jobs_in_flight",
+                "Jobs admitted and not yet done (queued + running)",
+            ),
+            gate_queued: registry.gauge(
+                "ff_gate_queued",
+                "Job chunks currently blocked waiting for a compute slot",
+            ),
+            workers: registry.gauge("ff_workers", "Worker-pool width (compute slots)"),
+            registry,
+            logger,
+        };
+        // Pre-register the families event-driven paths fill in later, so
+        // the full catalog (connections, distributed coordination) is
+        // present — at zero — from the first scrape.
+        for proto in ["ndjson", "http"] {
+            m.registry.counter_with(
+                "ff_connections_opened_total",
+                "Client connections accepted, by front-end",
+                &[("proto", proto)],
+            );
+            m.registry.gauge_with(
+                "ff_connections_open",
+                "Client connections currently open, by front-end",
+                &[("proto", proto)],
+            );
+        }
+        dist_families(&m.registry);
+        m
+    }
+
+    /// Records one finished job: status-labelled completion count, the
+    /// duration histogram, and the `done` span log line.
+    pub(crate) fn job_done(&self, done: &DoneInfo) {
+        let status = match done.status {
+            JobStatus::Completed => {
+                self.completed.inc();
+                "completed"
+            }
+            JobStatus::Cancelled => {
+                self.cancelled.inc();
+                "cancelled"
+            }
+            JobStatus::Deadline => {
+                self.deadline.inc();
+                "deadline"
+            }
+        };
+        self.job_duration_ms.observe(done.elapsed_ms as f64);
+        self.logger.log(
+            "done",
+            Some(done.job),
+            &[
+                ("status", LogValue::Str(status)),
+                ("value", LogValue::F64(done.value)),
+                ("steps", LogValue::U64(done.steps)),
+                ("elapsed_ms", LogValue::U64(done.elapsed_ms)),
+                ("migrations", LogValue::U64(done.migrations)),
+            ],
+        );
+    }
+
+    /// Records how long one chunk blocked on the gate. Separate from the
+    /// gate's own histogram (which `stats` keeps as ground truth): this
+    /// one is measured at the job driver and rendered as a Prometheus
+    /// histogram with `sum`/`count`.
+    pub(crate) fn permit_wait(&self, waited: Duration) {
+        self.permit_wait_ms.observe(waited.as_secs_f64() * 1e3);
+    }
+
+    /// Counts a connection open and returns a guard that counts the
+    /// close when dropped.
+    pub(crate) fn connection(&self, proto: &'static str) -> ConnectionGuard {
+        self.registry
+            .counter_with(
+                "ff_connections_opened_total",
+                "Client connections accepted, by front-end",
+                &[("proto", proto)],
+            )
+            .inc();
+        let open = self.registry.gauge_with(
+            "ff_connections_open",
+            "Client connections currently open, by front-end",
+            &[("proto", proto)],
+        );
+        open.add(1.0);
+        ConnectionGuard { open }
+    }
+
+    /// Per-bucket counts of the job-duration histogram (the `stats`
+    /// event carries them alongside the gate's permit-wait histogram).
+    pub(crate) fn job_duration_counts(&self) -> [u64; DURATION_BUCKETS] {
+        let counts = self.job_duration_ms.counts();
+        std::array::from_fn(|i| counts[i])
+    }
+
+    /// Jobs that finished cancelled (the `stats` event's counter).
+    pub(crate) fn jobs_cancelled(&self) -> u64 {
+        self.cancelled.get()
+    }
+
+    /// Raises the mirror counters to `stats`'s authoritative snapshot
+    /// and sets the point-in-time gauges. Called on every `stats`
+    /// request and `/metrics` scrape.
+    pub(crate) fn sync(&self, st: &StatsInfo) {
+        self.submitted.raise_to(st.jobs_submitted);
+        self.rejected.raise_to(st.jobs_rejected);
+        self.cache_hits.raise_to(st.cache_hits);
+        self.cache_loads.raise_to(st.cache_loads);
+        self.cache_evictions.raise_to(st.cache_evictions);
+        self.cache_bytes.set(st.cache_bytes as f64);
+        self.instances.set(st.instances as f64);
+        self.jobs_in_flight.set(st.jobs_running as f64);
+        self.gate_queued.set(st.gate_queued as f64);
+        self.workers.set(st.workers as f64);
+    }
+}
+
+/// Decrements the per-front-end open-connections gauge on drop.
+pub(crate) struct ConnectionGuard {
+    open: Gauge,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.open.add(-1.0);
+    }
+}
+
+/// Bucket bounds for the distributed coordinator's replay-length
+/// histogram (ops replayed into a respawned worker).
+const REPLAY_BUCKETS: [f64; 5] = [1.0, 10.0, 100.0, 1000.0, 10000.0];
+
+/// Registers the distributed-coordinator metric families on `registry`
+/// (zero-valued until a coordinator runs with this registry via
+/// [`DistOpts::obs`](crate::dist::DistOpts)). Idempotent.
+pub(crate) fn dist_families(registry: &Registry) {
+    for kind in ["dead", "timeout", "corrupt"] {
+        registry.counter_with(
+            "ff_dist_wire_failures_total",
+            "Worker wire failures observed by the coordinator, by kind",
+            &[("kind", kind)],
+        );
+    }
+    registry.counter(
+        "ff_dist_respawns_total",
+        "Workers respawned/reconnected after a wire failure",
+    );
+    registry.histogram(
+        "ff_dist_replay_ops",
+        "Ops replayed into a freshly respawned worker",
+        &REPLAY_BUCKETS,
+    );
+}
+
+/// Records one wire failure: the by-kind counter plus the length of the
+/// op log about to be replayed.
+pub(crate) fn dist_wire_failure(registry: &Registry, kind: &'static str, replay_ops: usize) {
+    registry
+        .counter_with(
+            "ff_dist_wire_failures_total",
+            "Worker wire failures observed by the coordinator, by kind",
+            &[("kind", kind)],
+        )
+        .inc();
+    registry
+        .histogram(
+            "ff_dist_replay_ops",
+            "Ops replayed into a freshly respawned worker",
+            &REPLAY_BUCKETS,
+        )
+        .observe(replay_ops as f64);
+}
+
+/// Counts one worker respawn/reconnect attempt.
+pub(crate) fn dist_respawn(registry: &Registry) {
+    registry
+        .counter(
+            "ff_dist_respawns_total",
+            "Workers respawned/reconnected after a wire failure",
+        )
+        .inc();
+}
+
+/// Sets the per-worker epoch gauge — the coordinator updates it as each
+/// shard's `wadvance` completes, so a dashboard can read epoch lag
+/// (max − min across workers) directly.
+pub(crate) fn dist_worker_epoch(registry: &Registry, worker: usize, epoch: u64) {
+    registry
+        .gauge_with(
+            "ff_dist_worker_epoch",
+            "Lockstep epoch each worker has completed",
+            &[("worker", &worker.to_string())],
+        )
+        .set(epoch as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_obs::parse_exposition;
+
+    fn done(status: JobStatus, elapsed_ms: u64) -> DoneInfo {
+        DoneInfo {
+            job: 1,
+            status,
+            value: 0.5,
+            parts: 2,
+            steps: 100,
+            elapsed_ms,
+            migrations: 0,
+            assignment: None,
+            pareto: None,
+        }
+    }
+
+    #[test]
+    fn idle_server_catalog_is_complete_and_zero() {
+        let m = Metrics::new(Registry::new(), Logger::off());
+        m.sync(&StatsInfo::default());
+        let page = m.registry.render();
+        let samples = parse_exposition(&page).unwrap();
+        for family in [
+            "ff_jobs_submitted_total",
+            "ff_jobs_completed_total",
+            "ff_jobs_rejected_total",
+            "ff_cache_loads_total",
+            "ff_connections_opened_total",
+            "ff_dist_respawns_total",
+            "ff_dist_wire_failures_total",
+        ] {
+            assert!(
+                samples.iter().any(|s| s.name == family),
+                "{family} missing from idle scrape"
+            );
+        }
+        assert!(samples
+            .iter()
+            .filter(|s| s.name.ends_with("_total"))
+            .all(|s| s.value == 0.0));
+    }
+
+    #[test]
+    fn job_done_feeds_status_counters_and_duration_histogram() {
+        let m = Metrics::new(Registry::new(), Logger::off());
+        m.job_done(&done(JobStatus::Completed, 5));
+        m.job_done(&done(JobStatus::Completed, 500));
+        m.job_done(&done(JobStatus::Cancelled, 50));
+        assert_eq!(m.jobs_cancelled(), 1);
+        let counts = m.job_duration_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+        assert_eq!(counts[0], 1); // ≤ 10 ms
+        assert_eq!(counts[1], 1); // ≤ 100 ms
+        assert_eq!(counts[2], 1); // ≤ 1 s
+    }
+
+    #[test]
+    fn sync_mirrors_are_monotone_even_on_stale_snapshots() {
+        let m = Metrics::new(Registry::new(), Logger::off());
+        let mut st = StatsInfo {
+            jobs_submitted: 10,
+            ..StatsInfo::default()
+        };
+        m.sync(&st);
+        st.jobs_submitted = 7; // a lagging snapshot must not lower it
+        m.sync(&st);
+        let page = m.registry.render();
+        assert!(
+            page.contains("ff_jobs_submitted_total 10"),
+            "counter regressed:\n{page}"
+        );
+    }
+
+    #[test]
+    fn connection_guard_tracks_open_count() {
+        let m = Metrics::new(Registry::new(), Logger::off());
+        let a = m.connection("ndjson");
+        let b = m.connection("ndjson");
+        let _c = m.connection("http");
+        drop(a);
+        drop(b);
+        let page = m.registry.render();
+        assert!(
+            page.contains("ff_connections_open{proto=\"http\"} 1"),
+            "{page}"
+        );
+        assert!(
+            page.contains("ff_connections_open{proto=\"ndjson\"} 0"),
+            "{page}"
+        );
+        assert!(
+            page.contains("ff_connections_opened_total{proto=\"ndjson\"} 2"),
+            "{page}"
+        );
+    }
+}

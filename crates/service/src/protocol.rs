@@ -11,7 +11,8 @@
 //! example lines, the determinism contract, and cache semantics.
 
 use crate::cache::{GraphFormat, GraphSource};
-use crate::gate::WAIT_BUCKETS;
+use crate::gate::{WAIT_BUCKETS, WAIT_BUCKET_MS};
+use crate::obs::{DURATION_BUCKETS, DURATION_BUCKET_MS};
 use ff_engine::MigrationPolicyId;
 use ff_partition::Objective;
 use serde_json::{Map, Number, Value};
@@ -84,6 +85,48 @@ fn get_u64(v: &Value, key: &str) -> Option<u64> {
         Value::String(text) => text.parse().ok(),
         other => other.as_u64(),
     }
+}
+
+/// A required fixed-length array of u64s (number or decimal-string
+/// entries, the same two shapes [`get_u64`] accepts). Strict: a missing
+/// key, wrong length or non-integer entry is rejected by name — the
+/// strict-schema rule applied to arrays, closing the hole where a short
+/// histogram was silently zero-filled into a fake all-fast profile.
+fn u64_array<const N: usize>(v: &Value, event: &str, key: &str) -> Result<[u64; N], String> {
+    let items = v
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{event}: missing `{key}` array"))?;
+    if items.len() != N {
+        return Err(format!(
+            "{event}: `{key}` must have {N} entries, got {}",
+            items.len()
+        ));
+    }
+    let mut out = [0u64; N];
+    for (slot, item) in out.iter_mut().zip(items) {
+        *slot = match item {
+            Value::String(text) => text.parse().ok(),
+            other => other.as_u64(),
+        }
+        .ok_or_else(|| format!("{event}: `{key}` entries must be unsigned integers"))?;
+    }
+    Ok(out)
+}
+
+/// [`u64_array`] for fields added after protocol v1 froze: an absent key
+/// falls back to `default` (an older server simply doesn't report it),
+/// but a *present* key is held to the same strict rules.
+fn opt_u64_array<const N: usize>(
+    v: &Value,
+    event: &str,
+    key: &str,
+    default: [u64; N],
+) -> Result<[u64; N], String> {
+    if v.get(key).is_none() {
+        return Ok(default);
+    }
+    u64_array::<N>(v, event, key)
 }
 
 /// The strict-schema rule (PR 5): a typo'd field must be rejected by
@@ -848,6 +891,8 @@ pub struct StatsInfo {
     pub jobs_running: u64,
     /// Jobs finished (any status).
     pub jobs_done: u64,
+    /// Jobs that finished cancelled (a subset of `jobs_done`).
+    pub jobs_cancelled: u64,
     /// Jobs refused by admission control.
     pub jobs_rejected: u64,
     /// Admission bound on in-flight jobs (`0` = unlimited).
@@ -860,6 +905,17 @@ pub struct StatsInfo {
     /// how long they blocked (`< 1 ms`, `< 10 ms`, `< 100 ms`, `< 1 s`,
     /// `≥ 1 s`).
     pub permit_wait_hist: [u64; WAIT_BUCKETS],
+    /// Upper bounds (ms, exclusive) of the first `WAIT_BUCKETS - 1`
+    /// permit-wait buckets, so a dashboard can label the histogram
+    /// without hard-coding the server's bucket layout.
+    pub permit_wait_bucket_ms: [u64; WAIT_BUCKETS - 1],
+    /// Job-duration histogram: finished jobs bucketed by wall-clock
+    /// start→done milliseconds (bounds in `job_duration_bucket_ms`,
+    /// inclusive; last bucket unbounded).
+    pub job_duration_hist: [u64; DURATION_BUCKETS],
+    /// Upper bounds (ms, inclusive) of the first `DURATION_BUCKETS - 1`
+    /// job-duration buckets.
+    pub job_duration_bucket_ms: [u64; DURATION_BUCKETS - 1],
 }
 
 /// One streamed improvement: the job's best-so-far value dropped.
@@ -1111,6 +1167,7 @@ impl Event {
                 ("jobs_submitted", unum(st.jobs_submitted)),
                 ("jobs_running", unum(st.jobs_running)),
                 ("jobs_done", unum(st.jobs_done)),
+                ("jobs_cancelled", unum(st.jobs_cancelled)),
                 ("jobs_rejected", unum(st.jobs_rejected)),
                 ("max_jobs", unum(st.max_jobs)),
                 ("workers", unum(st.workers as u64)),
@@ -1118,6 +1175,18 @@ impl Event {
                 (
                     "permit_wait_hist",
                     Value::Array(st.permit_wait_hist.iter().map(|&c| unum(c)).collect()),
+                ),
+                (
+                    "permit_wait_bucket_ms",
+                    Value::Array(st.permit_wait_bucket_ms.iter().map(|&c| unum(c)).collect()),
+                ),
+                (
+                    "job_duration_hist",
+                    Value::Array(st.job_duration_hist.iter().map(|&c| unum(c)).collect()),
+                ),
+                (
+                    "job_duration_bucket_ms",
+                    Value::Array(st.job_duration_bucket_ms.iter().map(|&c| unum(c)).collect()),
                 ),
             ]),
             Event::Error { message, job } => {
@@ -1329,30 +1398,41 @@ impl Event {
                 job: u("job")?,
                 known: v.get("known").and_then(Value::as_bool).unwrap_or(false),
             }),
-            "stats" => {
-                let mut permit_wait_hist = [0u64; WAIT_BUCKETS];
-                if let Some(items) = v.get("permit_wait_hist").and_then(Value::as_array) {
-                    for (slot, item) in permit_wait_hist.iter_mut().zip(items) {
-                        *slot = item.as_u64().unwrap_or(0);
-                    }
-                }
-                Ok(Event::Stats(StatsInfo {
-                    instances: u("instances")? as usize,
-                    cache_hits: u("cache_hits")?,
-                    cache_loads: u("cache_loads")?,
-                    cache_evictions: get_u64(&v, "cache_evictions").unwrap_or(0),
-                    cache_bytes: get_u64(&v, "cache_bytes").unwrap_or(0),
-                    cache_budget_bytes: get_u64(&v, "cache_budget_bytes").unwrap_or(0),
-                    jobs_submitted: u("jobs_submitted")?,
-                    jobs_running: u("jobs_running")?,
-                    jobs_done: u("jobs_done")?,
-                    jobs_rejected: get_u64(&v, "jobs_rejected").unwrap_or(0),
-                    max_jobs: get_u64(&v, "max_jobs").unwrap_or(0),
-                    workers: get_u64(&v, "workers").unwrap_or(0) as usize,
-                    gate_queued: get_u64(&v, "gate_queued").unwrap_or(0) as usize,
-                    permit_wait_hist,
-                }))
-            }
+            "stats" => Ok(Event::Stats(StatsInfo {
+                instances: u("instances")? as usize,
+                cache_hits: u("cache_hits")?,
+                cache_loads: u("cache_loads")?,
+                cache_evictions: get_u64(&v, "cache_evictions").unwrap_or(0),
+                cache_bytes: get_u64(&v, "cache_bytes").unwrap_or(0),
+                cache_budget_bytes: get_u64(&v, "cache_budget_bytes").unwrap_or(0),
+                jobs_submitted: u("jobs_submitted")?,
+                jobs_running: u("jobs_running")?,
+                jobs_done: u("jobs_done")?,
+                jobs_cancelled: get_u64(&v, "jobs_cancelled").unwrap_or(0),
+                jobs_rejected: get_u64(&v, "jobs_rejected").unwrap_or(0),
+                max_jobs: get_u64(&v, "max_jobs").unwrap_or(0),
+                workers: get_u64(&v, "workers").unwrap_or(0) as usize,
+                gate_queued: get_u64(&v, "gate_queued").unwrap_or(0) as usize,
+                permit_wait_hist: u64_array::<WAIT_BUCKETS>(&v, "stats", "permit_wait_hist")?,
+                permit_wait_bucket_ms: opt_u64_array(
+                    &v,
+                    "stats",
+                    "permit_wait_bucket_ms",
+                    WAIT_BUCKET_MS,
+                )?,
+                job_duration_hist: opt_u64_array(
+                    &v,
+                    "stats",
+                    "job_duration_hist",
+                    [0; DURATION_BUCKETS],
+                )?,
+                job_duration_bucket_ms: opt_u64_array(
+                    &v,
+                    "stats",
+                    "job_duration_bucket_ms",
+                    DURATION_BUCKET_MS,
+                )?,
+            })),
             "error" => Ok(Event::Error {
                 message: get_str(&v, "message").unwrap_or_default(),
                 job: get_u64(&v, "job"),
@@ -1663,11 +1743,15 @@ mod tests {
                 jobs_submitted: 10,
                 jobs_running: 2,
                 jobs_done: 8,
+                jobs_cancelled: 1,
                 jobs_rejected: 4,
                 max_jobs: 16,
                 workers: 2,
                 gate_queued: 5,
                 permit_wait_hist: [7, 5, 3, 1, 0],
+                permit_wait_bucket_ms: WAIT_BUCKET_MS,
+                job_duration_hist: [2, 3, 1, 1, 1, 0],
+                job_duration_bucket_ms: DURATION_BUCKET_MS,
             }),
             Event::Error {
                 message: "unknown instance `x`".into(),
@@ -1679,6 +1763,86 @@ mod tests {
             let line = ev.to_value().to_string();
             assert_eq!(Event::parse(&line).unwrap(), ev, "line: {line}");
         }
+    }
+
+    #[test]
+    fn stats_histograms_are_rejected_by_name_not_zero_filled() {
+        let with_field = |v: &Value, key: &str, val: Value| {
+            let mut m = Map::new();
+            for (k, x) in v.as_object().unwrap().iter() {
+                m.insert(k.clone(), x.clone());
+            }
+            m.insert(key.to_string(), val);
+            Value::Object(m)
+        };
+        let without_fields = |v: &Value, keys: &[&str]| {
+            let mut m = Map::new();
+            for (k, x) in v.as_object().unwrap().iter() {
+                if !keys.contains(&k.as_str()) {
+                    m.insert(k.clone(), x.clone());
+                }
+            }
+            Value::Object(m)
+        };
+        let ints = |vals: &[i64]| Value::Array(vals.iter().map(|&x| num(x as f64)).collect());
+        let good = Event::Stats(StatsInfo {
+            jobs_submitted: 3,
+            permit_wait_hist: [1, 2, 3, 4, 5],
+            permit_wait_bucket_ms: WAIT_BUCKET_MS,
+            job_duration_bucket_ms: DURATION_BUCKET_MS,
+            ..StatsInfo::default()
+        })
+        .to_value();
+        // A short histogram used to be silently zero-filled into a fake
+        // all-fast profile; it must now be rejected by name.
+        let short = with_field(&good, "permit_wait_hist", ints(&[1, 2, 3]));
+        let err = Event::parse(&short.to_string()).unwrap_err();
+        assert!(err.contains("permit_wait_hist"), "err: {err}");
+        assert!(err.contains("5 entries"), "err: {err}");
+        // An absent histogram likewise.
+        let absent = without_fields(&good, &["permit_wait_hist"]);
+        let err = Event::parse(&absent.to_string()).unwrap_err();
+        assert!(err.contains("missing `permit_wait_hist`"), "err: {err}");
+        // So does a non-integer entry.
+        let bad = with_field(&good, "permit_wait_hist", ints(&[1, 2, 3, 4, -1]));
+        let err = Event::parse(&bad.to_string()).unwrap_err();
+        assert!(err.contains("unsigned integers"), "err: {err}");
+        // The post-v1 arrays are optional-but-strict: absent falls back
+        // to the server's compile-time layout, present-but-short errors.
+        let old = without_fields(
+            &good,
+            &[
+                "jobs_cancelled",
+                "permit_wait_bucket_ms",
+                "job_duration_hist",
+                "job_duration_bucket_ms",
+            ],
+        );
+        let Event::Stats(parsed) = Event::parse(&old.to_string()).unwrap() else {
+            panic!("stats expected");
+        };
+        assert_eq!(parsed.permit_wait_bucket_ms, WAIT_BUCKET_MS);
+        assert_eq!(parsed.job_duration_bucket_ms, DURATION_BUCKET_MS);
+        assert_eq!(parsed.job_duration_hist, [0; DURATION_BUCKETS]);
+        let short_new = with_field(&good, "job_duration_hist", ints(&[1]));
+        let err = Event::parse(&short_new.to_string()).unwrap_err();
+        assert!(err.contains("job_duration_hist"), "err: {err}");
+        // String-encoded entries (the >2^53 escape hatch) still parse.
+        let stringy = with_field(
+            &good,
+            "permit_wait_hist",
+            Value::Array(vec![
+                s("18446744073709551615"),
+                num(2.0),
+                num(3.0),
+                num(4.0),
+                num(5.0),
+            ]),
+        );
+        let Event::Stats(parsed) = Event::parse(&stringy.to_string()).unwrap() else {
+            panic!("stats expected");
+        };
+        assert_eq!(parsed.permit_wait_hist[0], u64::MAX);
     }
 
     #[test]

@@ -17,12 +17,14 @@
 //! `rejected` event carrying a retry hint, never silently queued.
 
 use crate::cache::InstanceCache;
-use crate::gate::FairGate;
+use crate::gate::{FairGate, WAIT_BUCKET_MS};
 use crate::http::{handle_http_client, EventLog};
 use crate::job::{run_job, EventSink};
+use crate::obs::{Metrics, DURATION_BUCKET_MS};
 use crate::protocol::{Event, JobRequest, Request, StatsInfo, PROTOCOL_VERSION};
 use crate::wsession::{self, WOp};
 use ff_metaheur::CancelToken;
+use ff_obs::{LogFormat, LogValue, Logger, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::io::BufRead;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -55,6 +57,10 @@ pub struct ServerConfig {
     /// Bind address for the HTTP/1.1 gateway (e.g. `127.0.0.1:0`);
     /// `None` serves NDJSON only.
     pub http: Option<String>,
+    /// Structured operational logging to stderr (`ffpart serve
+    /// --log-format json|text`); `None` logs nothing. Observation-only:
+    /// results are byte-identical with logging on or off.
+    pub log_format: Option<LogFormat>,
 }
 
 impl ServerConfig {
@@ -85,6 +91,9 @@ pub(crate) struct ServerState {
     finished: AtomicU64,
     rejected: AtomicU64,
     shutdown: AtomicBool,
+    /// The always-on metrics registry (behind `GET /metrics` and the
+    /// extended `stats` event) plus the opt-in operational logger.
+    pub(crate) metrics: Metrics,
 }
 
 impl ServerState {
@@ -104,6 +113,13 @@ impl ServerState {
             finished: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            metrics: Metrics::new(
+                Registry::new(),
+                match config.log_format {
+                    Some(format) => Logger::stderr(format),
+                    None => Logger::off(),
+                },
+            ),
         })
     }
 
@@ -125,9 +141,12 @@ impl ServerState {
         self.logs.lock().unwrap().get(&job).cloned()
     }
 
+    /// One coherent statistics snapshot. Also raises the registry's
+    /// mirror counters to it, so a `/metrics` scrape taken through this
+    /// path can never disagree with the `stats` event on direction.
     pub(crate) fn stats(&self) -> StatsInfo {
         let cache = self.cache.stats();
-        StatsInfo {
+        let info = StatsInfo {
             instances: cache.instances,
             cache_hits: cache.hits,
             cache_loads: cache.loads,
@@ -137,12 +156,18 @@ impl ServerState {
             jobs_submitted: self.submitted.load(Ordering::Relaxed),
             jobs_running: self.jobs.lock().unwrap().len() as u64,
             jobs_done: self.finished.load(Ordering::Relaxed),
+            jobs_cancelled: self.metrics.jobs_cancelled(),
             jobs_rejected: self.rejected.load(Ordering::Relaxed),
             max_jobs: self.max_jobs as u64,
             workers: self.workers,
             gate_queued: self.gate.queued(),
             permit_wait_hist: self.gate.wait_histogram(),
-        }
+            permit_wait_bucket_ms: WAIT_BUCKET_MS,
+            job_duration_hist: self.metrics.job_duration_counts(),
+            job_duration_bucket_ms: DURATION_BUCKET_MS,
+        };
+        self.metrics.sync(&info);
+        info
     }
 }
 
@@ -393,13 +418,25 @@ fn handle_client(state: &Arc<ServerState>, mut reader: impl BufRead, sink: &Even
                 source,
                 format,
             } => match state.cache.load(&instance, source, format) {
-                Ok((graph, outcome)) => Event::Loaded {
-                    instance,
-                    vertices: graph.num_vertices(),
-                    edges: graph.num_edges(),
-                    cached: outcome.cached,
-                    reloaded: outcome.reloaded,
-                },
+                Ok((graph, outcome)) => {
+                    state.metrics.logger.log(
+                        "load",
+                        None,
+                        &[
+                            ("instance", LogValue::Str(&instance)),
+                            ("vertices", LogValue::U64(graph.num_vertices() as u64)),
+                            ("edges", LogValue::U64(graph.num_edges() as u64)),
+                            ("cached", LogValue::Bool(outcome.cached)),
+                        ],
+                    );
+                    Event::Loaded {
+                        instance,
+                        vertices: graph.num_vertices(),
+                        edges: graph.num_edges(),
+                        cached: outcome.cached,
+                        reloaded: outcome.reloaded,
+                    }
+                }
                 Err(message) => Event::Error { message, job: None },
             },
             Request::Submit(spec) => submit_job(state, spec, sink.clone(), &conn_jobs, None),
@@ -525,6 +562,15 @@ pub(crate) fn submit_job(
         let in_flight = jobs.len() as u64;
         let reject = |reason: String| {
             state.rejected.fetch_add(1, Ordering::Relaxed);
+            state.metrics.logger.log(
+                "reject",
+                None,
+                &[
+                    ("instance", LogValue::Str(&spec.instance)),
+                    ("reason", LogValue::Str(&reason)),
+                    ("in_flight", LogValue::U64(in_flight)),
+                ],
+            );
             Event::Rejected {
                 instance: spec.instance.clone(),
                 reason,
@@ -585,6 +631,16 @@ pub(crate) fn submit_job(
         };
     }
     state.submitted.fetch_add(1, Ordering::Relaxed);
+    state.metrics.logger.log(
+        "submit",
+        Some(job_id),
+        &[
+            ("instance", LogValue::Str(&spec.instance)),
+            ("k", LogValue::U64(spec.k as u64)),
+            ("islands", LogValue::U64(spec.islands as u64)),
+            ("seed", LogValue::U64(spec.seed)),
+        ],
+    );
     if let Some(log) = &log {
         state.logs.lock().unwrap().insert(job_id, log.clone());
     }
@@ -608,10 +664,12 @@ pub(crate) fn submit_job(
             &state.gate,
             &token,
             &sink,
-            || {
+            Some(&state.metrics),
+            |done| {
                 state.jobs.lock().unwrap().remove(&job_id);
                 conn_jobs.fetch_sub(1, Ordering::Relaxed);
                 state.finished.fetch_add(1, Ordering::Relaxed);
+                state.metrics.job_done(done);
             },
         );
         if let Some(log) = log {
@@ -633,6 +691,7 @@ fn handle_tcp_client(state: Arc<ServerState>, stream: TcpStream) {
         Ok(w) => w,
         Err(_) => return,
     };
+    let _conn = state.metrics.connection("ndjson");
     let sink = EventSink::new(Box::new(writer));
     handle_client(&state, std::io::BufReader::new(stream), &sink);
 }
