@@ -33,6 +33,13 @@
 //!                            object per line) or text (human-readable);
 //!                            spans: load, submit, reject, epoch, done,
 //!                            fault                  (default: no logging)
+//!   --journal PATH           durable append-only job journal: every
+//!                            instance load, submit, improvement and done
+//!                            is logged; on restart the journal is
+//!                            replayed — finished jobs are served from
+//!                            history, jobs in flight at crash time are
+//!                            re-executed (byte-identical when
+//!                            step-budgeted)     (default: no durability)
 //!   --stdio                  serve one client on stdin/stdout instead of TCP
 //!
 //! submit options:
@@ -59,6 +66,10 @@
 //!   -w, --write PATH         write the final partition (.part format)
 //!   --cancel-after-ms N      send a cancel N ms after acceptance (the job
 //!                            then returns its best-so-far partition)
+//!   --retry-ms N             keep retrying for N ms on connection failure
+//!                            or admission rejection: reconnect, reload,
+//!                            resubmit — the client half of a journaled
+//!                            server's crash-recovery story
 //!   -q, --quiet              suppress streamed improvement lines
 //!   --workers A,B,…          federate the job across several running
 //!                            servers instead of submitting to one: this
@@ -138,8 +149,10 @@ const USAGE: &str = "usage: ffpart <graph> -k <parts> [-m method] [-o objective[
 [--threads n] [--workers n|auto] [--multilevel] [--coarsen-until n] [-f metis|edgelist] \
 [-w out.part] [-r] [-q]\n       \
 ffpart serve [--listen addr] [--workers n] [--max-jobs n] \
-[--max-jobs-per-conn n] [--cache-bytes n] [--http [addr]] [--log-format json|text] [--stdio]\n       \
-ffpart submit --connect addr <graph> -k <parts> [--steps n] [--deadline-ms n] …\n       \
+[--max-jobs-per-conn n] [--cache-bytes n] [--http [addr]] [--log-format json|text] \
+[--journal path] [--stdio]\n       \
+ffpart submit --connect addr <graph> -k <parts> [--steps n] [--deadline-ms n] \
+[--retry-ms n] …\n       \
 ffpart submit --workers addr,addr… <graph> -k <parts> --steps n …\n       \
 ffpart stats --connect addr\n       \
 ffpart worker [slots]\n\
@@ -417,6 +430,10 @@ fn serve_main(args: &[String]) -> ExitCode {
                 },
                 Err(e) => return usage_err(&e),
             },
+            "--journal" => match val("--journal") {
+                Ok(v) => config.journal = Some(v),
+                Err(e) => return usage_err(&e),
+            },
             "--stdio" => stdio = true,
             other => return usage_err(&format!("unknown flag `{other}`")),
         }
@@ -445,6 +462,13 @@ fn serve_main(args: &[String]) -> ExitCode {
     if let Some(http) = server.http_addr() {
         // Second banner line, same parseable shape.
         println!("ffpart: http on {http}");
+    }
+    if let Some(replay) = server.replay_summary() {
+        // Third banner line: what the journal restored at boot.
+        println!(
+            "ffpart: journal replay: records={} finished={} resumed={} skipped={}",
+            replay.records, replay.finished, replay.resumed, replay.skipped
+        );
     }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -578,6 +602,7 @@ fn submit_main(args: &[String]) -> ExitCode {
     let mut cancel_after_ms: Option<u64> = None;
     let mut quiet = false;
     let mut workers: Option<String> = None;
+    let mut retry_ms: Option<u64> = None;
 
     let mut it = args.iter();
     let usage_err = |msg: &str| {
@@ -636,6 +661,7 @@ fn submit_main(args: &[String]) -> ExitCode {
             "-f" | "--format" => format = value_of!("-f"),
             "-w" | "--write" => write = Some(value_of!("-w")),
             "--cancel-after-ms" => cancel_after_ms = Some(parse_of!("--cancel-after-ms")),
+            "--retry-ms" => retry_ms = Some(parse_of!("--retry-ms")),
             "-q" | "--quiet" => quiet = true,
             "--workers" => workers = Some(value_of!("--workers")),
             other if other.starts_with('-') => {
@@ -677,6 +703,9 @@ fn submit_main(args: &[String]) -> ExitCode {
         if cancel_after_ms.is_some() {
             return usage_err("--cancel-after-ms is not supported with --workers");
         }
+        if retry_ms.is_some() {
+            return usage_err("--retry-ms is not supported with --workers");
+        }
         let addrs: Vec<String> = list
             .split(',')
             .map(|a| a.trim().to_string())
@@ -704,31 +733,7 @@ fn submit_main(args: &[String]) -> ExitCode {
     let Some(connect) = connect else {
         return usage_err("missing --connect");
     };
-
-    let mut client = match ff_service::Client::connect(&*connect) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("ffpart submit: cannot connect to {connect}: {e}");
-            return ExitCode::from(3);
-        }
-    };
     let instance = instance.unwrap_or_else(|| graph_path.clone());
-    let loaded = client.load(
-        &instance,
-        ff_service::GraphSource::Path(graph_path.clone()),
-        format,
-    );
-    let (vertices, edges, cached) = match loaded {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("ffpart submit: load failed: {e}");
-            return ExitCode::from(3);
-        }
-    };
-    eprintln!(
-        "ffpart: instance `{instance}` {vertices} vertices, {edges} edges{}",
-        if cached { " (cached)" } else { "" }
-    );
     let needed = ff_engine::islands_to_cover(&objectives);
     if ff_engine::distinct_objectives(&objectives).len() > 1 && islands < needed {
         eprintln!("ffpart: raising --islands {islands} → {needed} (covering every objective)");
@@ -749,25 +754,137 @@ fn submit_main(args: &[String]) -> ExitCode {
         // `0` asks the server for the engine's default coarse target.
         multilevel: multilevel.then(|| coarsen_until.unwrap_or(0)),
     };
-    let id = match client.submit(&job) {
-        Ok(id) => id,
-        // Admission-control rejection: transient capacity, own exit code
-        // so scripts can branch into a retry loop.
-        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-            eprintln!("ffpart submit: {e}");
-            return ExitCode::from(4);
+    // With `--retry-ms`, transport failures and admission rejections
+    // restart the whole attempt (connect → load → submit → stream) until
+    // the budget elapses — the client half of the durability story: a
+    // journaled server that was killed mid-job comes back, re-executes
+    // the job, and a step-budgeted retry lands byte-identically.
+    let deadline = retry_ms.map(|ms| std::time::Instant::now() + Duration::from_millis(ms));
+    loop {
+        let connect_budget = match deadline {
+            Some(d) => d
+                .saturating_duration_since(std::time::Instant::now())
+                .min(Duration::from_secs(5)),
+            None => Duration::ZERO,
+        };
+        let retry = match submit_attempt(
+            &connect,
+            connect_budget,
+            &graph_path,
+            format,
+            &job,
+            cancel_after_ms,
+            write.as_deref(),
+            quiet,
+        ) {
+            Ok(code) => return code,
+            Err(retry) => retry,
+        };
+        let now = std::time::Instant::now();
+        match (&retry, deadline) {
+            (SubmitRetry::Transport(e), Some(d)) if now < d => {
+                eprintln!("ffpart submit: {e}; retrying");
+                std::thread::sleep(Duration::from_millis(300));
+            }
+            (
+                SubmitRetry::Rejected {
+                    message,
+                    retry_after_ms,
+                },
+                Some(d),
+            ) if now < d => {
+                eprintln!("ffpart submit: {message}; retrying in {retry_after_ms} ms");
+                let wait = Duration::from_millis(*retry_after_ms).min(d - now);
+                std::thread::sleep(wait);
+            }
+            // Budget exhausted (or none given): the documented exit
+            // codes — 3 for transport, 4 for admission rejection.
+            (SubmitRetry::Transport(e), _) => {
+                eprintln!("ffpart submit: {e}");
+                return ExitCode::from(3);
+            }
+            (SubmitRetry::Rejected { message, .. }, _) => {
+                eprintln!("ffpart submit: {message}");
+                return ExitCode::from(4);
+            }
+        }
+    }
+}
+
+/// A failed [`submit_attempt`] that `--retry-ms` may run again.
+enum SubmitRetry {
+    /// Connect/read/write failure — the server may be restarting.
+    Transport(std::io::Error),
+    /// Admission control said "later"; honor its hint.
+    Rejected {
+        message: String,
+        retry_after_ms: u64,
+    },
+}
+
+/// One full connected-mode submit: connect, load, submit, stream events
+/// to `done`, write the partition. `Ok` is a final exit code (success
+/// *or* a non-retryable failure like a usage error); `Err` is a failure
+/// worth retrying against a restarted server.
+#[allow(clippy::too_many_arguments)]
+fn submit_attempt(
+    connect: &str,
+    connect_budget: Duration,
+    graph_path: &str,
+    format: ff_service::GraphFormat,
+    job: &ff_service::JobRequest,
+    cancel_after_ms: Option<u64>,
+    write: Option<&str>,
+    quiet: bool,
+) -> Result<ExitCode, SubmitRetry> {
+    let mut client =
+        ff_service::Client::connect_with_retry(connect, connect_budget).map_err(|e| {
+            SubmitRetry::Transport(std::io::Error::new(
+                e.kind(),
+                format!("cannot connect to {connect}: {e}"),
+            ))
+        })?;
+    let loaded = client.load(
+        &job.instance,
+        ff_service::GraphSource::Path(graph_path.to_string()),
+        format,
+    );
+    let (vertices, edges, cached) = match loaded {
+        Ok(v) => v,
+        // The server rejecting the graph (parse error, bad path) is
+        // final; a dead connection is worth retrying.
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            eprintln!("ffpart submit: load failed: {e}");
+            return Ok(ExitCode::from(3));
+        }
+        Err(e) => return Err(SubmitRetry::Transport(e)),
+    };
+    eprintln!(
+        "ffpart: instance `{}` {vertices} vertices, {edges} edges{}",
+        job.instance,
+        if cached { " (cached)" } else { "" }
+    );
+    let id = match client.try_submit(job) {
+        Ok(ff_service::SubmitOutcome::Accepted(id)) => id,
+        // Admission-control rejection: transient capacity. The caller
+        // maps it to exit 4 or a retry, per `--retry-ms`.
+        Ok(ff_service::SubmitOutcome::Rejected {
+            reason,
+            retry_after_ms,
+        }) => {
+            return Err(SubmitRetry::Rejected {
+                message: format!("rejected: {reason} (retry after {retry_after_ms} ms)"),
+                retry_after_ms,
+            })
         }
         // The server refusing the request (bad k, unknown instance) is a
-        // usage error (2); a dropped/failed connection is exit 3, matching
-        // the documented contract.
+        // usage error (2); a dropped/failed connection is exit 3 or a
+        // retry, matching the documented contract.
         Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
             eprintln!("ffpart submit: rejected: {e}");
-            return ExitCode::from(2);
+            return Ok(ExitCode::from(2));
         }
-        Err(e) => {
-            eprintln!("ffpart submit: {e}");
-            return ExitCode::from(3);
-        }
+        Err(e) => return Err(SubmitRetry::Transport(e)),
     };
     eprintln!("ffpart: job {id} accepted");
     if let Some(ms) = cancel_after_ms {
@@ -800,13 +917,10 @@ fn submit_main(args: &[String]) -> ExitCode {
             Ok(ff_service::Event::Done(d)) if d.job == id => break d,
             Ok(ff_service::Event::Error { message, job }) if job == Some(id) || job.is_none() => {
                 eprintln!("ffpart submit: job failed: {message}");
-                return ExitCode::from(3);
+                return Ok(ExitCode::from(3));
             }
             Ok(_) => {} // another job's event on a shared connection
-            Err(e) => {
-                eprintln!("ffpart submit: {e}");
-                return ExitCode::from(3);
-            }
+            Err(e) => return Err(SubmitRetry::Transport(e)),
         }
     };
     if let Some(front) = &done.pareto {
@@ -833,20 +947,20 @@ fn submit_main(args: &[String]) -> ExitCode {
     if let Some(path) = write {
         let Some(assignment) = &done.assignment else {
             eprintln!("ffpart submit: server sent no assignment to write");
-            return ExitCode::from(3);
+            return Ok(ExitCode::from(3));
         };
         let mut text = String::new();
         for part in assignment {
             text.push_str(&part.to_string());
             text.push('\n');
         }
-        if let Err(e) = std::fs::write(&path, text) {
+        if let Err(e) = std::fs::write(path, text) {
             eprintln!("ffpart submit: cannot write {path}: {e}");
-            return ExitCode::from(3);
+            return Ok(ExitCode::from(3));
         }
         eprintln!("ffpart: partition written to {path}");
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `ffpart submit --workers`: run one job federated across several

@@ -77,6 +77,26 @@ impl Client {
         Ok(client)
     }
 
+    /// [`Client::connect`], retried until `budget` elapses. The shape a
+    /// durability-aware client wants: a journaled server that was
+    /// `kill -9`ed comes back after a restart, and the retry loop rides
+    /// out the window where nothing is listening yet (connection
+    /// refused, reset, or any other transport error). The last error is
+    /// returned if the budget runs dry.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        budget: std::time::Duration,
+    ) -> std::io::Result<Client> {
+        let deadline = std::time::Instant::now() + budget;
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(200)),
+            }
+        }
+    }
+
     /// Sends one request line.
     pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
         let mut writer = self.writer.lock().unwrap();

@@ -60,7 +60,7 @@ impl EventLog {
         })
     }
 
-    fn push_line(&self, line: String) {
+    pub(crate) fn push_line(&self, line: String) {
         let mut st = self.state.lock().unwrap();
         st.lines.push(line);
         drop(st);
@@ -90,6 +90,22 @@ impl EventLog {
 struct LogWriter {
     log: Arc<EventLog>,
     buf: Vec<u8>,
+}
+
+/// An [`EventSink`] whose output is a job's [`EventLog`] — the sink
+/// shape behind HTTP-submitted jobs and journal-resumed jobs, with the
+/// server's journal tap threaded through when journaling is on.
+pub(crate) fn log_sink(
+    log: &Arc<EventLog>,
+    journal: Option<Arc<crate::journal::JournalTap>>,
+) -> EventSink {
+    EventSink::with_journal(
+        Box::new(LogWriter {
+            log: log.clone(),
+            buf: Vec::new(),
+        }),
+        journal,
+    )
 }
 
 impl Write for LogWriter {
@@ -250,7 +266,20 @@ fn read_request(
             }
         }
     }
-    let body_len = content_length.unwrap_or(0);
+    let body_len = match content_length {
+        Some(n) => n,
+        // A bodied method without Content-Length used to fall through as
+        // "no body" and parse an empty string into a confusing JSON
+        // error; refuse it by name instead (chunked bodies are already
+        // answered 501 above).
+        None if matches!(method.as_str(), "POST" | "PUT") => {
+            return Err(HeadError::Bad(
+                411,
+                format!("{method} requires a Content-Length header"),
+            ))
+        }
+        None => 0,
+    };
     if body_len > MAX_LINE_BYTES {
         return Err(HeadError::Bad(
             413,
@@ -294,6 +323,7 @@ fn status_text(code: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        411 => "Length Required",
         413 => "Content Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
@@ -458,23 +488,30 @@ fn handle_request(
                 return Ok(true);
             };
             let data = String::from_utf8_lossy(&req.body).into_owned();
-            match state
-                .cache
-                .load(&key, crate::cache::GraphSource::Data(data), format)
-            {
-                Ok((graph, outcome)) => respond_event(
-                    out,
-                    200,
-                    &Event::Loaded {
-                        instance: key,
-                        vertices: graph.num_vertices(),
-                        edges: graph.num_edges(),
-                        cached: outcome.cached,
-                        reloaded: outcome.reloaded,
-                    },
-                    keep,
-                    &[],
-                )?,
+            let source = crate::cache::GraphSource::Data(data);
+            // Clone the source only when a journal will record it.
+            let journal_copy = state.journal.is_some().then(|| source.clone());
+            match state.cache.load(&key, source, format) {
+                Ok((graph, outcome)) => {
+                    if !outcome.cached {
+                        if let Some(source) = journal_copy {
+                            state.journal_instance(&key, &source, format);
+                        }
+                    }
+                    respond_event(
+                        out,
+                        200,
+                        &Event::Loaded {
+                            instance: key,
+                            vertices: graph.num_vertices(),
+                            edges: graph.num_edges(),
+                            cached: outcome.cached,
+                            reloaded: outcome.reloaded,
+                        },
+                        keep,
+                        &[],
+                    )?
+                }
                 Err(message) => error_body(400, &message, out, keep)?,
             }
             Ok(true)
@@ -492,10 +529,7 @@ fn handle_request(
                 }
             };
             let log = EventLog::new();
-            let sink = EventSink::new(Box::new(LogWriter {
-                log: log.clone(),
-                buf: Vec::new(),
-            }));
+            let sink = log_sink(&log, state.journal.clone());
             let reply = submit_job(state, spec, sink, conn_jobs, Some(log));
             match &reply {
                 Event::Accepted { .. } => respond_event(out, 202, &reply, keep, &[])?,

@@ -9,6 +9,7 @@
 //! within one chunk.
 
 use crate::gate::FairGate;
+use crate::journal::{JournalRecord, JournalTap};
 use crate::obs::Metrics;
 use crate::protocol::{DoneInfo, Event, Improvement, JobRequest, JobStatus, ParetoPointInfo};
 use ff_core::{ConfigError, FusionFissionConfig};
@@ -32,13 +33,27 @@ use std::time::{Duration, Instant};
 #[derive(Clone)]
 pub struct EventSink {
     out: Arc<Mutex<Box<dyn Write + Send>>>,
+    /// When the server journals, job-progress events (`improvement`,
+    /// `done`) are appended to the journal *before* the client write —
+    /// write-ahead, so a crash can lose a client line but never a
+    /// journaled fact the client already saw.
+    journal: Option<Arc<JournalTap>>,
 }
 
 impl EventSink {
     /// Wraps a writer (a `TcpStream`, stdout, or a test buffer).
     pub fn new(out: Box<dyn Write + Send>) -> EventSink {
+        EventSink::with_journal(out, None)
+    }
+
+    /// [`EventSink::new`] with the server's journal tap, if journaling.
+    pub(crate) fn with_journal(
+        out: Box<dyn Write + Send>,
+        journal: Option<Arc<JournalTap>>,
+    ) -> EventSink {
         EventSink {
             out: Arc::new(Mutex::new(out)),
+            journal,
         }
     }
 
@@ -47,6 +62,11 @@ impl EventSink {
     /// job it was streaming to. (Log-backed sinks never fail — an HTTP
     /// job outlives its submitting connection by design.)
     pub fn send(&self, event: &Event) -> std::io::Result<()> {
+        if let Some(tap) = &self.journal {
+            if matches!(event, Event::Improvement(_) | Event::Done(_)) {
+                tap.record(&JournalRecord::Event(event.clone()));
+            }
+        }
         let mut out = self.out.lock().unwrap();
         writeln!(out, "{}", event.to_value())?;
         out.flush()
@@ -149,6 +169,11 @@ pub(crate) fn run_job(
     before_done: impl FnOnce(&DoneInfo),
 ) -> DoneInfo {
     let started = Instant::now();
+    // Fault-injection hook for the slot-release guard: a job whose
+    // instance key equals `FFPART_JOB_PANIC` panics mid-drive, while
+    // holding its gate permit — the worst-placed panic a driver can
+    // have. Same discipline as the dist layer's `FFPART_FAULT`.
+    let poisoned = std::env::var("FFPART_JOB_PANIC").is_ok_and(|key| key == spec.instance);
     let multi = spec.is_pareto();
     let mut solver = job_solver(spec, graph);
     if let Some(metrics) = obs {
@@ -175,6 +200,9 @@ pub(crate) fn run_job(
                 if let Some(metrics) = obs {
                     let waiting = Instant::now();
                     let permit = gate.acquire();
+                    if poisoned {
+                        panic!("injected driver panic (FFPART_JOB_PANIC)");
+                    }
                     metrics.permit_wait(waiting.elapsed());
                     more = run.advance_epoch();
                     drop(permit);
@@ -193,6 +221,9 @@ pub(crate) fn run_job(
                     );
                 } else {
                     let permit = gate.acquire();
+                    if poisoned {
+                        panic!("injected driver panic (FFPART_JOB_PANIC)");
+                    }
                     more = run.advance_epoch();
                     drop(permit);
                 }

@@ -37,6 +37,14 @@
 //!   [`ff_engine::Solver`], for any worker count, and stay so when
 //!   workers crash: every state-changing op is logged and replayed
 //!   into a respawned worker.
+//! * **Durability** ([`journal`], [`ServerConfig::journal`]): an
+//!   append-only NDJSON job journal with length/checksum framing.
+//!   Binding replays it: finished jobs are restored into the HTTP
+//!   event-log ring as observable history (counters raised
+//!   monotonically, nothing re-executed), jobs in flight at crash time
+//!   are re-executed from their journaled request — byte-identically
+//!   when step-budgeted. A torn final record (the crash shape) is
+//!   tolerated; any other corruption fails the bind with a byte offset.
 //! * **Anytime streaming**: each improvement recorded in the engine's
 //!   [`ff_metaheur::AnytimeTrace`] is forwarded to the owning client as
 //!   an `improvement` event, tagged with the job id.
@@ -92,6 +100,61 @@
 //!
 //! client.shutdown().unwrap();
 //! handle.join().unwrap();
+//! ```
+//!
+//! ## Durability example
+//!
+//! A journaled server's history survives a restart: the finished job is
+//! replayed into the event ring (not re-executed), counters are
+//! restored, and a rerun of the same request is byte-identical:
+//!
+//! ```
+//! use ff_service::{
+//!     Client, GraphFormat, GraphSource, JobRequest, JobStatus, Server, ServerConfig,
+//! };
+//!
+//! let path = std::env::temp_dir().join(format!("ff-doc-journal-{}.ndjson", std::process::id()));
+//! let _ = std::fs::remove_file(&path);
+//! let config = || ServerConfig {
+//!     workers: 1,
+//!     journal: Some(path.to_string_lossy().into_owned()),
+//!     ..ServerConfig::default()
+//! };
+//! let job = JobRequest {
+//!     steps: Some(800),
+//!     ..JobRequest::new("demo", 2)
+//! };
+//!
+//! // First life: run one job to completion, then exit.
+//! let handle = Server::bind_with("127.0.0.1:0", config()).unwrap().spawn().unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! client
+//!     .load(
+//!         "demo",
+//!         GraphSource::Data("4 4\n2 3\n1 3\n1 2 4\n3\n".into()),
+//!         GraphFormat::Metis,
+//!     )
+//!     .unwrap();
+//! let id = client.submit(&job).unwrap();
+//! let (_, done) = client.wait_done(id).unwrap();
+//! client.shutdown().unwrap();
+//! handle.join().unwrap();
+//!
+//! // Second life: the journal replays the finished job as history.
+//! let handle = Server::bind_with("127.0.0.1:0", config()).unwrap().spawn().unwrap();
+//! let replay = handle.replay_summary().unwrap();
+//! assert_eq!((replay.finished, replay.resumed, replay.skipped), (1, 0, 0));
+//!
+//! // Same request ⇒ the same bytes, across the restart.
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let rerun = client.submit(&job).unwrap();
+//! let (_, done2) = client.wait_done(rerun).unwrap();
+//! assert_eq!(done.assignment, done2.assignment);
+//! assert_eq!(done2.status, JobStatus::Completed);
+//!
+//! client.shutdown().unwrap();
+//! handle.join().unwrap();
+//! let _ = std::fs::remove_file(&path);
 //! ```
 //!
 //! ## Distributed islands example
@@ -202,6 +265,7 @@ pub mod dist;
 pub mod gate;
 mod http;
 pub mod job;
+pub mod journal;
 pub mod obs;
 pub mod protocol;
 pub mod server;
@@ -214,6 +278,10 @@ pub use client::{Client, JobCanceller, SubmitOutcome};
 pub use dist::{solve_distributed, DistOpts, DistSpec, WorkerSet};
 pub use gate::{FairGate, Permit, WAIT_BUCKETS, WAIT_BUCKET_MS};
 pub use job::EventSink;
+pub use journal::{
+    parse_journal, read_journal, JournalError, JournalRecord, JournalWriter, ReadOutcome,
+    ReplaySummary,
+};
 pub use obs::{DURATION_BUCKETS, DURATION_BUCKET_MS};
 // The observability vocabulary `ServerConfig` and `DistOpts` speak.
 pub use ff_obs::{LogFormat, Logger, Registry, EXPOSITION_CONTENT_TYPE};

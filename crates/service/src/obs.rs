@@ -42,6 +42,7 @@ pub(crate) struct Metrics {
     completed: Counter,
     cancelled: Counter,
     deadline: Counter,
+    panicked: Counter,
     job_duration_ms: Histogram,
     permit_wait_ms: Histogram,
     // Scrape-time mirrors of the counters `stats` owns.
@@ -74,6 +75,10 @@ impl Metrics {
                 "ff_jobs_completed_total",
                 "Jobs finished, by final status",
                 &[("status", "deadline")],
+            ),
+            panicked: registry.counter(
+                "ff_jobs_panicked_total",
+                "Job driver threads that panicked (slot and permit were released)",
             ),
             job_duration_ms: registry.histogram(
                 "ff_job_duration_ms",
@@ -129,6 +134,7 @@ impl Metrics {
             );
         }
         dist_families(&m.registry);
+        journal_families(&m.registry);
         m
     }
 
@@ -161,6 +167,31 @@ impl Metrics {
                 ("migrations", LogValue::U64(done.migrations)),
             ],
         );
+    }
+
+    /// Records a driver-thread panic: the counter plus a `panic` span
+    /// line. The guard that calls this has already released the job's
+    /// registry slot, so the count measures lost *results*, not lost
+    /// capacity.
+    pub(crate) fn job_panicked(&self, job: u64) {
+        self.panicked.inc();
+        self.logger
+            .log("panic", Some(job), &[("released", LogValue::Bool(true))]);
+    }
+
+    /// Raises the status-labelled completion counters to what the
+    /// journal replayed — [`Counter::raise_to`], so a replay can only
+    /// move the scrape forward, exactly like the stats mirrors.
+    pub(crate) fn replay_totals(&self, completed: u64, cancelled: u64, deadline: u64) {
+        self.completed.raise_to(completed);
+        self.cancelled.raise_to(cancelled);
+        self.deadline.raise_to(deadline);
+    }
+
+    /// Feeds one journaled `done` duration into the histogram, so a
+    /// restarted server's duration profile covers its whole history.
+    pub(crate) fn replay_duration(&self, elapsed_ms: u64) {
+        self.job_duration_ms.observe(elapsed_ms as f64);
     }
 
     /// Records how long one chunk blocked on the gate. Separate from the
@@ -298,6 +329,54 @@ pub(crate) fn dist_worker_epoch(registry: &Registry, worker: usize, epoch: u64) 
         .set(epoch as f64);
 }
 
+/// Registers the journal metric families on `registry` so they render —
+/// at zero — from the first scrape, journal or no journal. Idempotent.
+pub(crate) fn journal_families(registry: &Registry) {
+    for kind in ["instance", "submitted", "event"] {
+        journal_record_counter(registry, kind);
+    }
+    journal_write_errors(registry);
+    journal_replayed_records(registry);
+    for outcome in ["finished", "resumed", "skipped"] {
+        journal_replay_jobs(registry, outcome);
+    }
+}
+
+/// The by-kind appended-records counter.
+pub(crate) fn journal_record_counter(registry: &Registry, kind: &'static str) -> Counter {
+    registry.counter_with(
+        "ff_journal_records_total",
+        "Journal records appended, by kind",
+        &[("kind", kind)],
+    )
+}
+
+/// Appends that failed (the journal may be missing recent history).
+pub(crate) fn journal_write_errors(registry: &Registry) -> Counter {
+    registry.counter(
+        "ff_journal_write_errors_total",
+        "Journal appends that failed; recent history may be missing from the journal",
+    )
+}
+
+/// Intact records read back at startup replay.
+pub(crate) fn journal_replayed_records(registry: &Registry) -> Counter {
+    registry.counter(
+        "ff_journal_replayed_records_total",
+        "Intact journal records read at startup replay",
+    )
+}
+
+/// The by-outcome replayed-jobs counter (`finished` restored without
+/// re-execution, `resumed` re-executed, `skipped` invalidated).
+pub(crate) fn journal_replay_jobs(registry: &Registry, outcome: &'static str) -> Counter {
+    registry.counter_with(
+        "ff_journal_replay_jobs_total",
+        "Jobs seen at journal replay, by outcome",
+        &[("outcome", outcome)],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +410,9 @@ mod tests {
             "ff_connections_opened_total",
             "ff_dist_respawns_total",
             "ff_dist_wire_failures_total",
+            "ff_journal_records_total",
+            "ff_journal_replay_jobs_total",
+            "ff_jobs_panicked_total",
         ] {
             assert!(
                 samples.iter().any(|s| s.name == family),

@@ -56,7 +56,7 @@ fn get_f64(v: &Value, key: &str) -> Option<f64> {
 /// which round above 2^53 — a silently altered seed or budget would break
 /// the determinism contract — so values that don't fit exactly travel as
 /// decimal strings instead; [`get_u64`] accepts both shapes.
-fn unum(v: u64) -> Value {
+pub(crate) fn unum(v: u64) -> Value {
     if v <= (1u64 << 53) {
         num(v as f64)
     } else {
@@ -64,11 +64,11 @@ fn unum(v: u64) -> Value {
     }
 }
 
-fn s(v: impl Into<String>) -> Value {
+pub(crate) fn s(v: impl Into<String>) -> Value {
     Value::String(v.into())
 }
 
-fn obj(entries: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(entries: Vec<(&str, Value)>) -> Value {
     let mut m = Map::new();
     for (k, v) in entries {
         m.insert(k.to_string(), v);
@@ -76,11 +76,11 @@ fn obj(entries: Vec<(&str, Value)>) -> Value {
     Value::Object(m)
 }
 
-fn get_str(v: &Value, key: &str) -> Option<String> {
+pub(crate) fn get_str(v: &Value, key: &str) -> Option<String> {
     v.get(key).and_then(Value::as_str).map(str::to_string)
 }
 
-fn get_u64(v: &Value, key: &str) -> Option<u64> {
+pub(crate) fn get_u64(v: &Value, key: &str) -> Option<u64> {
     match v.get(key)? {
         Value::String(text) => text.parse().ok(),
         other => other.as_u64(),
@@ -343,6 +343,42 @@ impl JobRequest {
         }
         Ok(job)
     }
+
+    /// Serializes to the wire `submit` object — the exact bytes
+    /// `Request::Submit` puts on an NDJSON connection, an HTTP client
+    /// POSTs to `/jobs`, and the job journal records, so a journaled
+    /// spec replays through the same strict parser it was admitted by.
+    pub fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("op", s("submit")),
+            ("instance", s(&self.instance)),
+            ("k", unum(self.k as u64)),
+            ("objective", s(objective_name(self.objective))),
+            ("seed", unum(self.seed)),
+        ];
+        if let Some(list) = &self.objectives {
+            entries.push((
+                "objectives",
+                Value::Array(list.iter().map(|&o| s(objective_name(o))).collect()),
+            ));
+        }
+        if self.migration != MigrationPolicyId::default() {
+            entries.push(("migration", s(self.migration.name())));
+        }
+        if let Some(steps) = self.steps {
+            entries.push(("steps", unum(steps)));
+        }
+        if let Some(ms) = self.deadline_ms {
+            entries.push(("deadline_ms", unum(ms)));
+        }
+        entries.push(("islands", unum(self.islands as u64)));
+        entries.push(("chunk", unum(self.chunk)));
+        entries.push(("assignment", Value::Bool(self.assignment)));
+        if let Some(target) = self.multilevel {
+            entries.push(("multilevel", unum(target)));
+        }
+        obj(entries)
+    }
 }
 
 /// A molecule on the wire: the full assignment plus the explicit
@@ -555,37 +591,7 @@ impl Request {
                 entries.push(("format", s(format.name())));
                 obj(entries)
             }
-            Request::Submit(job) => {
-                let mut entries = vec![
-                    ("op", s("submit")),
-                    ("instance", s(&job.instance)),
-                    ("k", unum(job.k as u64)),
-                    ("objective", s(objective_name(job.objective))),
-                    ("seed", unum(job.seed)),
-                ];
-                if let Some(list) = &job.objectives {
-                    entries.push((
-                        "objectives",
-                        Value::Array(list.iter().map(|&o| s(objective_name(o))).collect()),
-                    ));
-                }
-                if job.migration != MigrationPolicyId::default() {
-                    entries.push(("migration", s(job.migration.name())));
-                }
-                if let Some(steps) = job.steps {
-                    entries.push(("steps", unum(steps)));
-                }
-                if let Some(ms) = job.deadline_ms {
-                    entries.push(("deadline_ms", unum(ms)));
-                }
-                entries.push(("islands", unum(job.islands as u64)));
-                entries.push(("chunk", unum(job.chunk)));
-                entries.push(("assignment", Value::Bool(job.assignment)));
-                if let Some(target) = job.multilevel {
-                    entries.push(("multilevel", unum(target)));
-                }
-                obj(entries)
-            }
+            Request::Submit(job) => job.to_value(),
             Request::Cancel { job } => obj(vec![("op", s("cancel")), ("job", unum(*job))]),
             Request::Stats => obj(vec![("op", s("stats"))]),
             Request::Shutdown => obj(vec![("op", s("shutdown"))]),

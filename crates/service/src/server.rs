@@ -16,16 +16,19 @@
 //! connection (`max_jobs_per_conn`); overflow is answered with a typed
 //! `rejected` event carrying a retry hint, never silently queued.
 
-use crate::cache::InstanceCache;
+use crate::cache::{GraphFormat, GraphSource, InstanceCache, PinnedGraph};
 use crate::gate::{FairGate, WAIT_BUCKET_MS};
-use crate::http::{handle_http_client, EventLog};
-use crate::job::{run_job, EventSink};
+use crate::http::{handle_http_client, log_sink, EventLog};
+use crate::job::{run_job, validate_job, EventSink};
+use crate::journal::{read_journal, JournalRecord, JournalTap, JournalWriter, ReplaySummary};
 use crate::obs::{Metrics, DURATION_BUCKET_MS};
-use crate::protocol::{Event, JobRequest, Request, StatsInfo, PROTOCOL_VERSION};
+use crate::protocol::{
+    DoneInfo, Event, JobRequest, JobStatus, Request, StatsInfo, PROTOCOL_VERSION,
+};
 use crate::wsession::{self, WOp};
 use ff_metaheur::CancelToken;
 use ff_obs::{LogFormat, LogValue, Logger, Registry};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::BufRead;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -61,6 +64,13 @@ pub struct ServerConfig {
     /// --log-format json|text`); `None` logs nothing. Observation-only:
     /// results are byte-identical with logging on or off.
     pub log_format: Option<LogFormat>,
+    /// Append-only job-journal path (`ffpart serve --journal PATH`).
+    /// When set, instance loads, admitted specs and job events are
+    /// journaled, and binding replays the journal: finished jobs are
+    /// restored into the event-log retention ring, in-flight jobs are
+    /// re-executed from their journaled spec. `None` keeps everything
+    /// in memory (the pre-journal shape).
+    pub journal: Option<String>,
 }
 
 impl ServerConfig {
@@ -94,12 +104,29 @@ pub(crate) struct ServerState {
     /// The always-on metrics registry (behind `GET /metrics` and the
     /// extended `stats` event) plus the opt-in operational logger.
     pub(crate) metrics: Metrics,
+    /// The append end of the job journal, when `--journal` is set.
+    pub(crate) journal: Option<Arc<JournalTap>>,
 }
 
 impl ServerState {
-    fn new(config: &ServerConfig) -> Arc<ServerState> {
+    /// Fails only when the journal path cannot be opened for append.
+    fn new(config: &ServerConfig) -> std::io::Result<Arc<ServerState>> {
         let workers = resolve_workers(config.workers);
-        Arc::new(ServerState {
+        let metrics = Metrics::new(
+            Registry::new(),
+            match config.log_format {
+                Some(format) => Logger::stderr(format),
+                None => Logger::off(),
+            },
+        );
+        let journal = match &config.journal {
+            Some(path) => Some(Arc::new(JournalTap::new(
+                JournalWriter::open(path)?,
+                &metrics.registry,
+            ))),
+            None => None,
+        };
+        Ok(Arc::new(ServerState {
             cache: InstanceCache::with_budget(config.cache_bytes),
             gate: FairGate::new(workers),
             workers,
@@ -113,14 +140,41 @@ impl ServerState {
             finished: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            metrics: Metrics::new(
-                Registry::new(),
-                match config.log_format {
-                    Some(format) => Logger::stderr(format),
-                    None => Logger::off(),
-                },
-            ),
-        })
+            metrics,
+            journal,
+        }))
+    }
+
+    /// Journals one fresh (non-cache-hit) instance load, with the digest
+    /// the cache actually computed for it.
+    pub(crate) fn journal_instance(
+        &self,
+        instance: &str,
+        source: &GraphSource,
+        format: GraphFormat,
+    ) {
+        if let Some(tap) = &self.journal {
+            if let Some(digest) = self.cache.digest(instance) {
+                tap.record(&JournalRecord::Instance {
+                    instance: instance.to_string(),
+                    source: source.clone(),
+                    format,
+                    digest,
+                });
+            }
+        }
+    }
+
+    /// Enters a finished job's event log into the bounded retention
+    /// ring, evicting the oldest past [`RETAINED_EVENT_LOGS`].
+    pub(crate) fn retain_finished_log(&self, job_id: u64) {
+        let mut finished = self.finished_logs.lock().unwrap();
+        finished.push_back(job_id);
+        while finished.len() > RETAINED_EVENT_LOGS {
+            if let Some(old) = finished.pop_front() {
+                self.logs.lock().unwrap().remove(&old);
+            }
+        }
     }
 
     pub(crate) fn request_shutdown(&self) {
@@ -182,11 +236,194 @@ fn resolve_workers(workers: usize) -> usize {
     }
 }
 
+/// Replays a journal into fresh server state. Three passes:
+///
+/// 1. Instance records reload their sources and compare content digests
+///    — a mismatch (the file changed across the restart) poisons the
+///    key, invalidating every journaled job that references it.
+/// 2. Finished jobs (a `done` event exists) are restored into the
+///    event-log retention ring *without re-execution*: their journaled
+///    `improvement`/`done` lines become a finished [`EventLog`], served
+///    by `GET /jobs/:id/events` exactly like a live job's, and the
+///    counters are raised to the journaled history.
+/// 3. Jobs with a journaled spec but no `done` were in flight at crash
+///    time: they are re-executed from the spec through the same driver
+///    path as a live submit (step-budgeted jobs land byte-identically,
+///    per the determinism contract).
+fn replay_journal(state: &Arc<ServerState>, path: &str) -> std::io::Result<ReplaySummary> {
+    let outcome = read_journal(path).map_err(std::io::Error::from)?;
+    let mut summary = ReplaySummary {
+        records: outcome.records.len(),
+        truncated: outcome.truncated,
+        ..ReplaySummary::default()
+    };
+    // Keys whose journaled digest matches what reloading produces now.
+    let mut instance_ok: HashMap<String, bool> = HashMap::new();
+    let mut specs: BTreeMap<u64, JobRequest> = BTreeMap::new();
+    let mut improvements: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut seen_points: HashSet<(u64, usize, u64, u64)> = HashSet::new();
+    let mut dones: BTreeMap<u64, (DoneInfo, String)> = BTreeMap::new();
+    let mut rejected = 0u64;
+    let mut max_job = 0u64;
+    for record in &outcome.records {
+        match record {
+            JournalRecord::Instance {
+                instance,
+                source,
+                format,
+                digest,
+            } => {
+                summary.instances += 1;
+                let ok = match state.cache.load(instance, source.clone(), *format) {
+                    Ok(_) => state.cache.digest(instance) == Some(*digest),
+                    Err(_) => false,
+                };
+                if !ok {
+                    state.metrics.logger.log(
+                        "replay_instance_invalid",
+                        None,
+                        &[("instance", LogValue::Str(instance))],
+                    );
+                }
+                instance_ok.insert(instance.clone(), ok);
+            }
+            JournalRecord::Submitted { job, spec } => {
+                max_job = max_job.max(*job);
+                specs.insert(*job, spec.clone());
+            }
+            JournalRecord::Event(event @ Event::Improvement(imp)) => {
+                max_job = max_job.max(imp.job);
+                // Re-executions after earlier crashes re-journal the
+                // same improvements with fresh timestamps; dedup on the
+                // deterministic coordinates, keep the first occurrence.
+                if seen_points.insert((imp.job, imp.island, imp.step, imp.value.to_bits())) {
+                    improvements
+                        .entry(imp.job)
+                        .or_default()
+                        .push(event.to_value().to_string());
+                }
+            }
+            JournalRecord::Event(event @ Event::Done(done)) => {
+                max_job = max_job.max(done.job);
+                dones
+                    .entry(done.job)
+                    .or_insert_with(|| (done.clone(), event.to_value().to_string()));
+            }
+            JournalRecord::Event(Event::Rejected { .. }) => rejected += 1,
+            JournalRecord::Event(_) => {}
+        }
+    }
+    // Counters: restored monotonically, never re-counted by replay.
+    state.next_job.store(max_job + 1, Ordering::Relaxed);
+    state.submitted.store(specs.len() as u64, Ordering::Relaxed);
+    state.finished.store(dones.len() as u64, Ordering::Relaxed);
+    state.rejected.store(rejected, Ordering::Relaxed);
+    let (mut completed, mut cancelled, mut deadline) = (0u64, 0u64, 0u64);
+    for (done, _) in dones.values() {
+        match done.status {
+            JobStatus::Completed => completed += 1,
+            JobStatus::Cancelled => cancelled += 1,
+            JobStatus::Deadline => deadline += 1,
+        }
+        state.metrics.replay_duration(done.elapsed_ms);
+    }
+    state.metrics.replay_totals(completed, cancelled, deadline);
+    // Finished jobs: observation-only restore into the retention ring.
+    for (job, (_, done_line)) in &dones {
+        let log = EventLog::new();
+        for line in improvements.remove(job).unwrap_or_default() {
+            log.push_line(line);
+        }
+        log.push_line(done_line.clone());
+        log.finish();
+        state.logs.lock().unwrap().insert(*job, log);
+        state.retain_finished_log(*job);
+        summary.finished += 1;
+    }
+    // In-flight jobs: re-execute from the journaled spec, same job id.
+    for (job, spec) in specs {
+        if dones.contains_key(&job) {
+            continue;
+        }
+        if instance_ok.get(&spec.instance).copied() == Some(true) && resume_job(state, job, &spec) {
+            summary.resumed += 1;
+        } else {
+            summary.skipped += 1;
+            state.metrics.logger.log(
+                "replay_skip",
+                Some(job),
+                &[("instance", LogValue::Str(&spec.instance))],
+            );
+        }
+    }
+    let registry = &state.metrics.registry;
+    crate::obs::journal_replayed_records(registry).raise_to(summary.records as u64);
+    crate::obs::journal_replay_jobs(registry, "finished").raise_to(summary.finished as u64);
+    crate::obs::journal_replay_jobs(registry, "resumed").raise_to(summary.resumed as u64);
+    crate::obs::journal_replay_jobs(registry, "skipped").raise_to(summary.skipped as u64);
+    state.metrics.logger.log(
+        "replay",
+        None,
+        &[
+            ("records", LogValue::U64(summary.records as u64)),
+            ("instances", LogValue::U64(summary.instances as u64)),
+            ("finished", LogValue::U64(summary.finished as u64)),
+            ("resumed", LogValue::U64(summary.resumed as u64)),
+            ("skipped", LogValue::U64(summary.skipped as u64)),
+            ("truncated", LogValue::Bool(summary.truncated)),
+        ],
+    );
+    Ok(summary)
+}
+
+/// Re-executes one journaled in-flight job under its *original* id.
+/// Admission was already granted (and counted) before the crash, so
+/// this bypasses the admission gate and goes straight to the driver;
+/// events stream into a fresh [`EventLog`] (and back into the journal),
+/// so a retrying client picks the result up over HTTP or by
+/// resubmitting the identical spec.
+fn resume_job(state: &Arc<ServerState>, job_id: u64, spec: &JobRequest) -> bool {
+    let Some(graph) = state.cache.pin(&spec.instance) else {
+        return false;
+    };
+    if spec.k == 0 || spec.k > graph.num_vertices() {
+        return false;
+    }
+    if validate_job(spec, graph.graph()).is_err() {
+        return false;
+    }
+    let token = CancelToken::new();
+    state.jobs.lock().unwrap().insert(job_id, token.clone());
+    let log = EventLog::new();
+    state.logs.lock().unwrap().insert(job_id, log.clone());
+    let sink = log_sink(&log, state.journal.clone());
+    state.metrics.logger.log(
+        "resume",
+        Some(job_id),
+        &[
+            ("instance", LogValue::Str(&spec.instance)),
+            ("seed", LogValue::U64(spec.seed)),
+        ],
+    );
+    spawn_driver(
+        state.clone(),
+        job_id,
+        spec.clone(),
+        graph,
+        token,
+        sink,
+        Arc::new(AtomicUsize::new(1)),
+        Some(log),
+    );
+    true
+}
+
 /// A bound, not-yet-running partition server.
 pub struct Server {
     listener: TcpListener,
     http_listener: Option<TcpListener>,
     state: Arc<ServerState>,
+    replay: Option<ReplaySummary>,
 }
 
 impl Server {
@@ -207,11 +444,23 @@ impl Server {
             Some(http_addr) => Some(TcpListener::bind(http_addr.as_str())?),
             None => None,
         };
+        let state = ServerState::new(&config)?;
+        let replay = match &config.journal {
+            Some(path) => Some(replay_journal(&state, path)?),
+            None => None,
+        };
         Ok(Server {
             listener,
             http_listener,
-            state: ServerState::new(&config),
+            state,
+            replay,
         })
+    }
+
+    /// What journal replay restored at bind time, if a journal was
+    /// configured. `None` means the server runs without durability.
+    pub fn replay_summary(&self) -> Option<ReplaySummary> {
+        self.replay
     }
 
     /// The address actually bound (resolves ephemeral ports).
@@ -254,10 +503,12 @@ impl Server {
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let http_addr = self.http_addr();
+        let replay = self.replay;
         let join = std::thread::spawn(move || self.run());
         Ok(ServerHandle {
             addr,
             http_addr,
+            replay,
             join,
         })
     }
@@ -299,6 +550,7 @@ fn accept_loop(
 pub struct ServerHandle {
     addr: SocketAddr,
     http_addr: Option<SocketAddr>,
+    replay: Option<ReplaySummary>,
     join: std::thread::JoinHandle<std::io::Result<()>>,
 }
 
@@ -311,6 +563,11 @@ impl ServerHandle {
     /// The address HTTP clients connect to, if the gateway is enabled.
     pub fn http_addr(&self) -> Option<SocketAddr> {
         self.http_addr
+    }
+
+    /// What journal replay restored at bind time, if journaling is on.
+    pub fn replay_summary(&self) -> Option<ReplaySummary> {
+        self.replay
     }
 
     /// Waits for the serve loop to end (a client must send `shutdown`).
@@ -417,28 +674,37 @@ fn handle_client(state: &Arc<ServerState>, mut reader: impl BufRead, sink: &Even
                 instance,
                 source,
                 format,
-            } => match state.cache.load(&instance, source, format) {
-                Ok((graph, outcome)) => {
-                    state.metrics.logger.log(
-                        "load",
-                        None,
-                        &[
-                            ("instance", LogValue::Str(&instance)),
-                            ("vertices", LogValue::U64(graph.num_vertices() as u64)),
-                            ("edges", LogValue::U64(graph.num_edges() as u64)),
-                            ("cached", LogValue::Bool(outcome.cached)),
-                        ],
-                    );
-                    Event::Loaded {
-                        instance,
-                        vertices: graph.num_vertices(),
-                        edges: graph.num_edges(),
-                        cached: outcome.cached,
-                        reloaded: outcome.reloaded,
+            } => {
+                // Clone the source only when a journal will record it.
+                let journal_copy = state.journal.is_some().then(|| source.clone());
+                match state.cache.load(&instance, source, format) {
+                    Ok((graph, outcome)) => {
+                        if !outcome.cached {
+                            if let Some(source) = journal_copy {
+                                state.journal_instance(&instance, &source, format);
+                            }
+                        }
+                        state.metrics.logger.log(
+                            "load",
+                            None,
+                            &[
+                                ("instance", LogValue::Str(&instance)),
+                                ("vertices", LogValue::U64(graph.num_vertices() as u64)),
+                                ("edges", LogValue::U64(graph.num_edges() as u64)),
+                                ("cached", LogValue::Bool(outcome.cached)),
+                            ],
+                        );
+                        Event::Loaded {
+                            instance,
+                            vertices: graph.num_vertices(),
+                            edges: graph.num_edges(),
+                            cached: outcome.cached,
+                            reloaded: outcome.reloaded,
+                        }
                     }
+                    Err(message) => Event::Error { message, job: None },
                 }
-                Err(message) => Event::Error { message, job: None },
-            },
+            }
             Request::Submit(spec) => submit_job(state, spec, sink.clone(), &conn_jobs, None),
             Request::Cancel { job } => Event::Cancelling {
                 job,
@@ -571,12 +837,16 @@ pub(crate) fn submit_job(
                     ("in_flight", LogValue::U64(in_flight)),
                 ],
             );
-            Event::Rejected {
+            let event = Event::Rejected {
                 instance: spec.instance.clone(),
                 reason,
                 retry_after_ms: retry_hint_ms(in_flight.max(1), state.workers),
                 in_flight,
+            };
+            if let Some(tap) = &state.journal {
+                tap.record(&JournalRecord::Event(event.clone()));
             }
+            event
         };
         if state.max_jobs > 0 && jobs.len() >= state.max_jobs {
             return reject(format!(
@@ -641,6 +911,14 @@ pub(crate) fn submit_job(
             ("seed", LogValue::U64(spec.seed)),
         ],
     );
+    // Journal the admitted spec *after* validation, so replay only ever
+    // re-executes jobs that were actually going to run.
+    if let Some(tap) = &state.journal {
+        tap.record(&JournalRecord::Submitted {
+            job: job_id,
+            spec: spec.clone(),
+        });
+    }
     if let Some(log) = &log {
         state.logs.lock().unwrap().insert(job_id, log.clone());
     }
@@ -649,9 +927,78 @@ pub(crate) fn submit_job(
         instance: spec.instance.clone(),
         k: spec.k,
     };
-    let state = state.clone();
-    let conn_jobs = conn_jobs.clone();
+    spawn_driver(
+        state.clone(),
+        job_id,
+        spec,
+        graph,
+        token,
+        sink,
+        conn_jobs.clone(),
+        log,
+    );
+    accepted
+}
+
+/// Frees a driver's admission slot on panic. The [`FairGate`] permit is
+/// already RAII, but a panic between admission and `before_done` used
+/// to leave the registry entry, the per-connection count and (for HTTP
+/// jobs) a never-finished event log behind — each one a permanent bite
+/// out of server capacity. Armed until `before_done` runs; the normal
+/// path makes dropping it a no-op.
+struct DriverGuard {
+    state: Arc<ServerState>,
+    conn_jobs: Arc<AtomicUsize>,
+    job_id: u64,
+    log: Option<Arc<EventLog>>,
+    sink: EventSink,
+    finished: Arc<AtomicBool>,
+}
+
+impl Drop for DriverGuard {
+    fn drop(&mut self) {
+        if self.finished.load(Ordering::Acquire) {
+            return;
+        }
+        self.state.jobs.lock().unwrap().remove(&self.job_id);
+        self.conn_jobs.fetch_sub(1, Ordering::Relaxed);
+        self.state.metrics.job_panicked(self.job_id);
+        // Tell whoever is streaming; the error is deliberately *not*
+        // journaled, so a journaled server re-executes the job at the
+        // next restart instead of losing it.
+        let _ = self.sink.send(&Event::Error {
+            message: "job driver panicked; admission slot released".into(),
+            job: Some(self.job_id),
+        });
+        if let Some(log) = &self.log {
+            log.finish();
+            self.state.retain_finished_log(self.job_id);
+        }
+    }
+}
+
+/// Spawns the driver thread for an admitted (or journal-resumed) job.
+#[allow(clippy::too_many_arguments)]
+fn spawn_driver(
+    state: Arc<ServerState>,
+    job_id: u64,
+    spec: JobRequest,
+    graph: PinnedGraph,
+    token: CancelToken,
+    sink: EventSink,
+    conn_jobs: Arc<AtomicUsize>,
+    log: Option<Arc<EventLog>>,
+) {
     std::thread::spawn(move || {
+        let finished = Arc::new(AtomicBool::new(false));
+        let _guard = DriverGuard {
+            state: state.clone(),
+            conn_jobs: conn_jobs.clone(),
+            job_id,
+            log: log.clone(),
+            sink: sink.clone(),
+            finished: finished.clone(),
+        };
         // `graph` is a PinnedGraph: the cache cannot evict this instance
         // for as long as the job runs. Registry and counters are updated
         // in `before_done` — i.e. before the `done` event reaches the
@@ -666,6 +1013,7 @@ pub(crate) fn submit_job(
             &sink,
             Some(&state.metrics),
             |done| {
+                finished.store(true, Ordering::Release);
                 state.jobs.lock().unwrap().remove(&job_id);
                 conn_jobs.fetch_sub(1, Ordering::Relaxed);
                 state.finished.fetch_add(1, Ordering::Relaxed);
@@ -674,16 +1022,9 @@ pub(crate) fn submit_job(
         );
         if let Some(log) = log {
             log.finish();
-            let mut finished = state.finished_logs.lock().unwrap();
-            finished.push_back(job_id);
-            while finished.len() > RETAINED_EVENT_LOGS {
-                if let Some(old) = finished.pop_front() {
-                    state.logs.lock().unwrap().remove(&old);
-                }
-            }
+            state.retain_finished_log(job_id);
         }
     });
-    accepted
 }
 
 fn handle_tcp_client(state: Arc<ServerState>, stream: TcpStream) {
@@ -692,7 +1033,7 @@ fn handle_tcp_client(state: Arc<ServerState>, stream: TcpStream) {
         Err(_) => return,
     };
     let _conn = state.metrics.connection("ndjson");
-    let sink = EventSink::new(Box::new(writer));
+    let sink = EventSink::with_journal(Box::new(writer), state.journal.clone());
     handle_client(&state, std::io::BufReader::new(stream), &sink);
 }
 
@@ -708,8 +1049,20 @@ pub fn serve_stdio(workers: usize) {
 /// cache budget; `config.http` is ignored — stdio serves one NDJSON
 /// client).
 pub fn serve_stdio_with(config: ServerConfig) {
-    let state = ServerState::new(&config);
-    let sink = EventSink::new(Box::new(std::io::stdout()));
+    let state = match ServerState::new(&config) {
+        Ok(state) => state,
+        Err(e) => {
+            eprintln!("ffpart: journal open failed: {e}");
+            return;
+        }
+    };
+    if let Some(path) = &config.journal {
+        if let Err(e) = replay_journal(&state, path) {
+            eprintln!("ffpart: journal replay failed: {e}");
+            return;
+        }
+    }
+    let sink = EventSink::with_journal(Box::new(std::io::stdout()), state.journal.clone());
     handle_client(&state, std::io::stdin().lock(), &sink);
 }
 

@@ -534,3 +534,47 @@ fn malformed_http_heads_get_typed_errors_never_panics() {
     Client::connect(handle.addr()).unwrap().shutdown().unwrap();
     handle.join().unwrap();
 }
+
+/// Regression: a bodied request with *no* `Content-Length` used to be
+/// silently parsed as an empty body (`{}` → "missing instance", a
+/// misleading 400). The framing is the problem, not the body: RFC-shaped
+/// answers are `411 Length Required` for a missing length and `501` for
+/// `Transfer-Encoding` (not implemented) — and the connection keeps
+/// serving afterwards.
+#[test]
+fn bodied_requests_without_length_get_411_not_a_body_parse_error() {
+    let handle = start_http_server(ServerConfig::with_workers(1));
+    let http_addr = handle.http_addr().unwrap();
+
+    let exchange = |raw: &[u8]| {
+        let mut stream = TcpStream::connect(http_addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        stream.write_all(raw).unwrap();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut raw = String::new();
+        let _ = stream.read_to_string(&mut raw);
+        raw
+    };
+
+    for raw in [
+        &b"POST /jobs HTTP/1.1\r\nHost: t\r\n\r\n{\"instance\":\"g\",\"k\":2,\"steps\":10}"[..],
+        &b"PUT /instances/g HTTP/1.1\r\nHost: t\r\n\r\n4 4\n2 3\n1 3\n1 2 4\n3\n"[..],
+    ] {
+        let reply = exchange(raw);
+        assert!(reply.starts_with("HTTP/1.1 411"), "{reply}");
+        assert!(reply.contains("Content-Length header"), "{reply}");
+    }
+
+    // Chunked uploads are declared unimplemented, not misread.
+    let reply =
+        exchange(b"POST /jobs HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 501"), "{reply}");
+
+    // Bodiless methods still need no Content-Length.
+    let (status, _, _) = http(http_addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    Client::connect(handle.addr()).unwrap().shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -1,0 +1,61 @@
+//! Regression: a panicking job driver must release its admission slot.
+//!
+//! Before the RAII guard, a panic between admission and `done` leaked
+//! the registry entry and the per-connection count — on a `max_jobs=1`
+//! server, one poisoned job bricked admission forever.
+//!
+//! This test lives in its own integration-test file on purpose: it is
+//! the only test in this process, so `set_var` before the server starts
+//! cannot race another thread's environment reads.
+
+use ff_service::{Client, GraphFormat, GraphSource, JobRequest, JobStatus, Server, ServerConfig};
+
+const GRID: &str = "9 12\n2 4\n1 3 5\n2 6\n1 5 7\n2 4 6 8\n3 5 9\n4 8\n5 7 9\n6 8\n";
+
+#[test]
+fn panicked_job_releases_its_slot_and_the_server_keeps_serving() {
+    // Poison exactly the instance named "poison"; see `run_job`.
+    std::env::set_var("FFPART_JOB_PANIC", "poison");
+    let handle = Server::bind_with(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            max_jobs: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for key in ["poison", "clean"] {
+        client
+            .load(key, GraphSource::Data(GRID.into()), GraphFormat::Metis)
+            .unwrap();
+    }
+    let poisoned = client
+        .submit(&JobRequest {
+            steps: Some(1_000),
+            ..JobRequest::new("poison", 2)
+        })
+        .unwrap();
+    let err = client
+        .wait_done(poisoned)
+        .expect_err("a panicked driver must surface a typed error event");
+    assert!(err.to_string().contains("panicked"), "{err}");
+
+    // The one admission slot must be free again: a subsequent job on a
+    // healthy instance is admitted and runs to completion.
+    let clean = client
+        .submit(&JobRequest {
+            steps: Some(1_000),
+            ..JobRequest::new("clean", 2)
+        })
+        .expect("slot leaked: admission still thinks the dead job is running");
+    let (_, done) = client.wait_done(clean).unwrap();
+    assert_eq!(done.status, JobStatus::Completed);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
