@@ -297,9 +297,7 @@ impl<'g> FusionFissionRun<'g> {
             if high_energy {
                 // §4.2: the hot nucleon triggers a simple fission (no
                 // ejection) of an atom connected to it, then settles.
-                let conn = s.st.connection_weights(v);
-                let mut targets: Vec<(u32, f64)> = conn.into_iter().collect();
-                targets.sort_unstable_by_key(|&(p, _)| p);
+                let targets = s.st.connection_weights(v); // sorted by part id
                 if let Some(&(target, _)) =
                     targets.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 {

@@ -49,6 +49,13 @@
 //! let mcut = Objective::MCut.evaluate(&g, &result.best);
 //! assert!(mcut < 0.1, "only the bridge should be cut, got Mcut = {mcut}");
 //! ```
+//!
+//! ## Invariants
+//!
+//! This crate is under the byte-identical determinism contract: no wall
+//! clock, no `HashMap` iteration, no unseeded RNG. `ff-lint`
+//! (`crates/lint`) enforces it statically on every CI run — see
+//! `INVARIANTS.md` at the repo root for the full contract.
 
 pub mod algorithm;
 pub mod choice;

@@ -8,9 +8,9 @@ use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 
-/// Total connection weight from part `a` to every other part.
-/// O(|a| · deg).
-pub fn part_connections(st: &CutState, a: u32) -> HashMap<u32, f64> {
+/// Total connection weight from part `a` to every other part, sorted by
+/// ascending part id (deterministic order). O(|a| · deg).
+pub fn part_connections(st: &CutState, a: u32) -> Vec<(u32, f64)> {
     let mut conn: HashMap<u32, f64> = HashMap::new();
     for &v in st.partition().part_members_unordered(a) {
         for (u, w) in st.graph().edges_of(v) {
@@ -20,7 +20,9 @@ pub fn part_connections(st: &CutState, a: u32) -> HashMap<u32, f64> {
             }
         }
     }
-    conn
+    let mut out: Vec<(u32, f64)> = conn.into_iter().collect();
+    out.sort_unstable_by_key(|&(p, _)| p);
+    out
 }
 
 /// Selects a fusion partner for atom `a`.
@@ -39,12 +41,10 @@ pub fn select_partner(
     size_bias: f64,
     rng: &mut ChaCha8Rng,
 ) -> Option<u32> {
-    let conn = part_connections(st, a);
-    if conn.is_empty() {
+    let cands = part_connections(st, a); // sorted by part id
+    if cands.is_empty() {
         return None;
     }
-    let mut cands: Vec<(u32, f64)> = conn.into_iter().collect();
-    cands.sort_unstable_by_key(|&(b, _)| b); // deterministic order
     let tau = t_norm.clamp(0.05, 1.0);
     let scores: Vec<f64> = cands
         .iter()
@@ -126,11 +126,12 @@ pub fn weakest_nucleons(st: &CutState, part: u32, count: usize) -> Vec<VertexId>
 /// No-op for a nucleon with no external connections.
 pub fn nfusion(st: &mut CutState, v: VertexId) {
     let own = st.partition().part_of(v);
-    let conn = st.connection_weights(v);
     let mut best: Option<(u32, f64)> = None;
-    let mut targets: Vec<(u32, f64)> = conn.into_iter().filter(|&(p, _)| p != own).collect();
-    targets.sort_unstable_by_key(|&(p, _)| p);
-    for (p, w) in targets {
+    // connection_weights is sorted by part id, so ties break low-id first.
+    for (p, w) in st.connection_weights(v) {
+        if p == own {
+            continue;
+        }
         if best.is_none_or(|(_, bw)| w > bw) {
             best = Some((p, w));
         }
@@ -234,9 +235,7 @@ pub fn overlap_combine(g: &Graph, a: &Partition, b: &Partition, k: usize) -> Par
         order.sort_unstable();
         let mut fused = false;
         for &(_, p) in &order {
-            let conn = part_connections(&st, p);
-            let mut targets: Vec<(u32, f64)> = conn.into_iter().collect();
-            targets.sort_unstable_by_key(|&(q, _)| q);
+            let targets = part_connections(&st, p); // sorted by part id
             let best = targets
                 .iter()
                 .fold(None::<(u32, f64)>, |acc, &(q, w)| match acc {
@@ -274,8 +273,7 @@ mod tests {
         let g = ff_graph::generators::path(4); // 0-1-2-3
         let st = state(&g, vec![0, 0, 1, 2], 3);
         let conn = part_connections(&st, 0);
-        assert_eq!(conn.get(&1), Some(&1.0));
-        assert_eq!(conn.get(&2), None);
+        assert_eq!(conn, vec![(1, 1.0)]);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! Fixture: every determinism lint fires in this file.
+//! Not compiled — lexed by the fixture tests in `tests/lint.rs`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn doze() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn first_key(m: &HashMap<u32, f64>) -> Option<u32> {
+    let counts: HashMap<u32, f64> = m.clone();
+    for (k, _) in &counts {
+        return Some(*k);
+    }
+    None
+}

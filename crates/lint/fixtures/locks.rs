@@ -1,0 +1,25 @@
+//! Fixture: two functions acquire the same pair of locks in opposite
+//! order — the classic AB/BA deadlock, which the lock-order graph must
+//! report as a cycle.
+//! Not compiled — lexed by the fixture tests in `tests/lint.rs`.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga - *gb
+    }
+}

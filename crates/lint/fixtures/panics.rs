@@ -1,0 +1,17 @@
+//! Fixture: forbidden panic paths — `unwrap`, `expect`, and `panic!`
+//! on what the live scope treats as request-handling code.
+//! Not compiled — lexed by the fixture tests in `tests/lint.rs`.
+
+pub fn fetch(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn config(s: Option<&str>) -> &str {
+    s.expect("config present")
+}
+
+pub fn ensure(ok: bool) {
+    if !ok {
+        panic!("invariant violated");
+    }
+}

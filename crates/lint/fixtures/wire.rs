@@ -1,0 +1,26 @@
+//! Fixture: wire-strictness violations. The `"loose"` arm parses JSON
+//! without rejecting unknown fields; the `"leaky"` arm rejects unknowns
+//! but then reads a field missing from its declared list.
+//! Not compiled — lexed by the fixture tests in `tests/lint.rs`.
+
+use crate::protocol::{get_str, get_u64, reject_unknown, Value};
+
+pub struct Msg;
+
+impl Msg {
+    pub fn parse(v: &Value) -> Result<Msg, String> {
+        match get_str(v, "op")? {
+            "loose" => {
+                let _ = get_u64(v, "count")?;
+                Ok(Msg)
+            }
+            "leaky" => {
+                reject_unknown(v, "leaky", &["op", "count"])?;
+                let _ = get_u64(v, "count")?;
+                let _ = get_str(v, "extra")?;
+                Ok(Msg)
+            }
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The committed exception list: `lint-baseline.toml`.
+//!
+//! Every suppressed finding needs two things that a reviewer can see in
+//! a diff: a baseline entry (lint id + file + a `contains` fragment of
+//! the offending line + a prose reason) and, for `PANIC_PATH`, an
+//! inline `// lint: allow(PANIC_PATH) — reason` comment at the site
+//! itself. Entries that stop matching anything become `BASELINE_STALE`
+//! diagnostics so dead exceptions cannot accumulate.
+
+use crate::source::Diagnostic;
+use crate::SourceSet;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub lint: String,
+    pub file: String,
+    pub contains: String,
+    pub reason: String,
+    /// Line of the entry in the baseline file (for staleness reports).
+    pub line: u32,
+}
+
+/// Parsed baseline plus its path (for staleness diagnostics).
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub path: String,
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Baseline {
+    /// Parse the TOML subset the baseline uses: `#` comments,
+    /// `[[allow]]` table headers, and `key = "string"` pairs. Anything
+    /// else is a hard error — a malformed baseline must fail CI, not
+    /// silently suppress nothing.
+    pub fn parse(path: &str, text: &str) -> Result<Baseline, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut cur: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = cur.take() {
+                    entries.push(validated(e, path)?);
+                }
+                cur = Some(AllowEntry {
+                    lint: String::new(),
+                    file: String::new(),
+                    contains: String::new(),
+                    reason: String::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            let Some((key, val)) = line.split_once('=') else {
+                return Err(format!("{path}:{lineno}: expected `key = \"value\"`"));
+            };
+            let key = key.trim();
+            let val = val.trim();
+            let Some(val) = parse_toml_string(val) else {
+                return Err(format!(
+                    "{path}:{lineno}: value for `{key}` must be a double-quoted string"
+                ));
+            };
+            let Some(e) = cur.as_mut() else {
+                return Err(format!(
+                    "{path}:{lineno}: `{key}` outside an [[allow]] table"
+                ));
+            };
+            match key {
+                "lint" => e.lint = val,
+                "file" => e.file = val,
+                "contains" => e.contains = val,
+                "reason" => e.reason = val,
+                other => {
+                    return Err(format!("{path}:{lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(e) = cur.take() {
+            entries.push(validated(e, path)?);
+        }
+        Ok(Baseline {
+            path: path.to_string(),
+            entries,
+        })
+    }
+
+    pub fn load(root: &std::path::Path, rel: &str) -> Result<Baseline, String> {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(text) => Baseline::parse(rel, &text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline {
+                path: rel.to_string(),
+                entries: Vec::new(),
+            }),
+            Err(e) => Err(format!("{rel}: {e}")),
+        }
+    }
+}
+
+fn validated(e: AllowEntry, path: &str) -> Result<AllowEntry, String> {
+    for (field, val) in [
+        ("lint", &e.lint),
+        ("file", &e.file),
+        ("contains", &e.contains),
+        ("reason", &e.reason),
+    ] {
+        if val.is_empty() {
+            return Err(format!(
+                "{path}:{}: [[allow]] entry is missing `{field}`",
+                e.line
+            ));
+        }
+    }
+    if e.reason.trim().len() < 10 {
+        return Err(format!(
+            "{path}:{}: `reason` must actually justify the exception (got {:?})",
+            e.line, e.reason
+        ));
+    }
+    Ok(e)
+}
+
+/// Minimal TOML string: `"..."` with `\"` and `\\` escapes.
+fn parse_toml_string(v: &str) -> Option<String> {
+    let v = v.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => {
+                    out.push('\\');
+                    out.push(other);
+                }
+            },
+            '"' => {
+                // Only trailing comments may follow the close quote.
+                let rest: String = chars.collect();
+                let rest = rest.trim();
+                if rest.is_empty() || rest.starts_with('#') {
+                    return Some(out);
+                }
+                return None;
+            }
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Split raw findings into (kept, suppressed) and append
+/// `BASELINE_STALE` diagnostics for entries that matched nothing.
+///
+/// An entry suppresses a diagnostic when the lint id and file match
+/// and the source line the diagnostic points at contains the entry's
+/// `contains` fragment. `PANIC_PATH` suppression additionally requires
+/// the inline allow comment at (or just above) the site.
+pub fn apply(
+    baseline: &Baseline,
+    sources: &SourceSet,
+    findings: Vec<Diagnostic>,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let mut used = vec![false; baseline.entries.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for d in findings {
+        let mut hit = None;
+        for (i, e) in baseline.entries.iter().enumerate() {
+            if e.lint != d.lint || e.file != d.file {
+                continue;
+            }
+            let site = sources
+                .get(&d.file)
+                .map(|f| f.line_text(d.line))
+                .unwrap_or("");
+            if !site.contains(&e.contains) {
+                continue;
+            }
+            if d.lint == "PANIC_PATH" {
+                let ok = sources
+                    .get(&d.file)
+                    .is_some_and(|f| f.has_allow_comment(d.line, "PANIC_PATH"));
+                if !ok {
+                    continue;
+                }
+            }
+            hit = Some(i);
+            break;
+        }
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push(d);
+            }
+            None => kept.push(d),
+        }
+    }
+    for (i, e) in baseline.entries.iter().enumerate() {
+        if !used[i] {
+            kept.push(Diagnostic::new(
+                &baseline.path,
+                e.line,
+                "BASELINE_STALE",
+                format!(
+                    "entry ({} in {} containing {:?}) no longer matches any finding — delete it",
+                    e.lint, e.file, e.contains
+                ),
+            ));
+        }
+    }
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let text = r#"
+# comment
+[[allow]]
+lint = "DET_WALLCLOCK"
+file = "crates/core/src/algorithm.rs"
+contains = "Instant::now()"
+reason = "trace timestamps never feed the search"
+"#;
+        let b = Baseline::parse("lint-baseline.toml", text).unwrap();
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].lint, "DET_WALLCLOCK");
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        let text = "[[allow]]\nlint = \"X\"\nfile = \"f.rs\"\ncontains = \"y\"\nreason = \"meh\"\n";
+        assert!(Baseline::parse("b.toml", text).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bare_values() {
+        assert!(Baseline::parse("b.toml", "[[allow]]\nseverity = \"high\"\n").is_err());
+        assert!(Baseline::parse("b.toml", "[[allow]]\nlint = DET\n").is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Determinism lints for the solver crates.
+//!
+//! The byte-identical contract (same spec → same bytes, across thread
+//! caps, process restarts, and journal replay) dies the moment ambient
+//! wall-clock time, unordered-map iteration, or an unseeded RNG leaks
+//! into a deterministic code path. Three lints police that:
+//!
+//! - `DET_WALLCLOCK` — `SystemTime::now` / `Instant::now` /
+//!   `thread::sleep` anywhere outside the allowlisted wall-clock
+//!   modules (the `StopCondition` deadline code, which is *allowed* to
+//!   read the clock because deadlines only stop the search — the step
+//!   budget, not the clock, decides reported results).
+//! - `DET_HASH_ITER` — iterating a `HashMap`/`HashSet` (`iter`, `keys`,
+//!   `values`, `drain`, `retain`, `into_iter`, `for .. in map`).
+//!   Lookup and entry-accumulation are fine; iteration order is not.
+//! - `DET_UNSEEDED_RNG` — `thread_rng`, `from_entropy`, `random()`:
+//!   any RNG whose stream is not a pure function of the job seed.
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::{Diagnostic, SourceFile};
+
+/// Run all determinism lints over one file of a deterministic crate.
+/// `wallclock_allowed` marks allowlisted wall-clock modules.
+pub fn check(file: &SourceFile, wallclock_allowed: bool, out: &mut Vec<Diagnostic>) {
+    let toks = &file.toks;
+    if !wallclock_allowed {
+        check_wallclock(file, toks, out);
+    }
+    check_unseeded_rng(file, toks, out);
+    check_hash_iteration(file, toks, out);
+}
+
+fn check_wallclock(file: &SourceFile, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        // `SystemTime::now` / `Instant::now`
+        if (toks[i].is_ident("SystemTime") || toks[i].is_ident("Instant"))
+            && path_sep(toks, i + 1)
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push(Diagnostic::new(
+                &file.rel,
+                toks[i].line,
+                "DET_WALLCLOCK",
+                format!(
+                    "`{}::now` in a deterministic crate (allowed only in StopCondition deadline modules)",
+                    toks[i].text
+                ),
+            ));
+        }
+        // `thread::sleep` (or a bare `sleep(` call after `use thread::sleep`)
+        if toks[i].is_ident("sleep")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !preceded_by_dot(toks, i)
+        {
+            out.push(Diagnostic::new(
+                &file.rel,
+                toks[i].line,
+                "DET_WALLCLOCK",
+                "`thread::sleep` in a deterministic crate".to_string(),
+            ));
+        }
+    }
+}
+
+fn check_unseeded_rng(file: &SourceFile, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let bad = match t.text.as_str() {
+            "thread_rng" => Some("`thread_rng()` is not seed-reproducible"),
+            "from_entropy" => Some("`from_entropy()` constructs an unseeded RNG"),
+            "random" if path_call(toks, i, "rand") => {
+                Some("`rand::random()` uses the thread-local unseeded RNG")
+            }
+            _ => None,
+        };
+        if let Some(msg) = bad {
+            out.push(Diagnostic::new(
+                &file.rel,
+                t.line,
+                "DET_UNSEEDED_RNG",
+                format!("{msg}; derive every stream from the job seed"),
+            ));
+        }
+    }
+}
+
+/// Heuristic two-pass map-iteration detector.
+///
+/// Pass 1 collects names bound to `HashMap`/`HashSet` values — from
+/// type ascriptions (`x: HashMap<..>`, struct fields and params
+/// included), constructor bindings (`let m = HashMap::new()`), and
+/// bindings to calls of functions this file declares with a
+/// `-> HashMap/HashSet` return. Pass 2 flags iteration over those
+/// names. Aliasing through untyped function boundaries is out of
+/// scope — the golden pins still back this lint up.
+fn check_hash_iteration(file: &SourceFile, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    let map_types = ["HashMap", "HashSet"];
+    let mut map_names: Vec<String> = Vec::new();
+    let mut map_fns: Vec<String> = Vec::new();
+
+    // `x : [&][mut] HashMap<` — ascription form.
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident && toks.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+            let mut j = i + 2;
+            while toks.get(j).is_some_and(|t| {
+                t.is_punct('&') || t.is_ident("mut") || t.kind == TokKind::Lifetime
+            }) {
+                j += 1;
+            }
+            if toks
+                .get(j)
+                .is_some_and(|t| map_types.iter().any(|m| t.is_ident(m)))
+                && toks.get(j + 1).is_some_and(|t| t.is_punct('<'))
+            {
+                map_names.push(toks[i].text.clone());
+            }
+        }
+        // `let [mut] x = ... HashMap::new/with_capacity ... ;`
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            let name = name.text.clone();
+            // Scan the statement for a map constructor.
+            let mut k = j + 1;
+            while k < toks.len() && !toks[k].is_punct(';') {
+                if map_types.iter().any(|m| toks[k].is_ident(m)) && path_sep(toks, k + 1) {
+                    map_names.push(name.clone());
+                    break;
+                }
+                k += 1;
+            }
+        }
+        // `fn name(..) -> .. HashMap< ..` — map-returning local fn.
+        if toks[i].is_ident("fn") {
+            if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                let mut k = i + 2;
+                let mut depth = 0i32;
+                while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+                    if toks[k].is_punct('(') {
+                        depth += 1;
+                    } else if toks[k].is_punct(')') {
+                        depth -= 1;
+                    } else if depth == 0
+                        && toks[k].is_punct('-')
+                        && toks.get(k + 1).is_some_and(|t| t.is_punct('>'))
+                    {
+                        // Return type region.
+                        let mut r = k + 2;
+                        while r < toks.len() && !toks[r].is_punct('{') && !toks[r].is_punct(';') {
+                            if map_types.iter().any(|m| toks[r].is_ident(m)) {
+                                map_fns.push(name.text.clone());
+                                break;
+                            }
+                            r += 1;
+                        }
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    // `let x = map_fn(...)` bindings inherit map-ness.
+    for i in 0..toks.len() {
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            let mut k = j + 1;
+            while k < toks.len() && !toks[k].is_punct(';') {
+                if toks[k].kind == TokKind::Ident
+                    && map_fns.iter().any(|f| *f == toks[k].text)
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+                {
+                    map_names.push(name.text.clone());
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+
+    map_names.sort();
+    map_names.dedup();
+
+    let iter_methods = [
+        "iter",
+        "iter_mut",
+        "into_iter",
+        "keys",
+        "values",
+        "values_mut",
+        "drain",
+        "retain",
+    ];
+    for i in 0..toks.len() {
+        // `name.iter()` etc.
+        if toks[i].kind == TokKind::Ident
+            && map_names.iter().any(|m| *m == toks[i].text)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| iter_methods.iter().any(|m| t.is_ident(m)))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(Diagnostic::new(
+                &file.rel,
+                toks[i].line,
+                "DET_HASH_ITER",
+                format!(
+                    "`{}.{}()` iterates a HashMap/HashSet — order is nondeterministic; use a sorted Vec or BTreeMap",
+                    toks[i].text,
+                    toks[i + 2].text
+                ),
+            ));
+        }
+        // `for .. in [&mut] name {`
+        if toks[i].is_ident("in") {
+            let mut j = i + 1;
+            while toks
+                .get(j)
+                .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+            {
+                j += 1;
+            }
+            if toks
+                .get(j)
+                .is_some_and(|t| t.kind == TokKind::Ident && map_names.contains(&t.text))
+                && toks.get(j + 1).is_some_and(|t| t.is_punct('{'))
+            {
+                out.push(Diagnostic::new(
+                    &file.rel,
+                    toks[j].line,
+                    "DET_HASH_ITER",
+                    format!(
+                        "`for .. in {}` iterates a HashMap/HashSet — order is nondeterministic",
+                        toks[j].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `toks[i] == ':' && toks[i+1] == ':'`
+fn path_sep(toks: &[Tok], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(':')) && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+}
+
+fn preceded_by_dot(toks: &[Tok], i: usize) -> bool {
+    i > 0 && toks[i - 1].is_punct('.')
+}
+
+/// Is `toks[i]` the tail of a `prefix::ident(` path call?
+fn path_call(toks: &[Tok], i: usize, prefix: &str) -> bool {
+    i >= 3
+        && toks[i - 1].is_punct(':')
+        && toks[i - 2].is_punct(':')
+        && toks[i - 3].is_ident(prefix)
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(src: &str, allowed: bool) -> Vec<Diagnostic> {
+        let f = SourceFile::from_text("t.rs", src);
+        let mut out = Vec::new();
+        check(&f, allowed, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_wallclock_and_respects_allowlist() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let d = run(src, false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "DET_WALLCLOCK");
+        assert!(run(src, true).is_empty());
+    }
+
+    #[test]
+    fn flags_map_iteration_but_not_lookup() {
+        let src = "fn f() { let mut m: HashMap<u32, f64> = HashMap::new(); m.insert(1, 2.0); let _ = m.get(&1); for (k, v) in &m { use_it(k, v); } }";
+        let d = run(src, false);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, "DET_HASH_ITER");
+    }
+
+    #[test]
+    fn flags_iteration_of_map_returning_fn_binding() {
+        let src = "fn conn() -> HashMap<u32, f64> { todo!() }\nfn g() { let c = conn(); for x in &c { h(x); } }";
+        let d = run(src, false);
+        assert!(d.iter().any(|d| d.lint == "DET_HASH_ITER"), "{d:?}");
+    }
+
+    #[test]
+    fn flags_unseeded_rng() {
+        let d = run("fn f() { let mut r = thread_rng(); }", false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "DET_UNSEEDED_RNG");
+    }
+
+    #[test]
+    fn ignores_tests_and_comments() {
+        let src = "// Instant::now() in a comment\n#[cfg(test)]\nmod tests { fn t() { let _ = Instant::now(); } }";
+        assert!(run(src, false).is_empty());
+    }
+}

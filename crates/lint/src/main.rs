@@ -1,0 +1,108 @@
+//! `ff-lint` CLI.
+//!
+//! ```text
+//! cargo run -p ff-lint --              # report findings, exit 0
+//! cargo run -p ff-lint -- --deny       # exit 1 on any finding (CI gate)
+//! cargo run -p ff-lint -- --json       # machine-readable diagnostics
+//! cargo run -p ff-lint -- --locks      # also print the lock graph
+//! cargo run -p ff-lint -- --root DIR --baseline FILE
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline = ff_lint::BASELINE_PATH.to_string();
+    let mut json = false;
+    let mut deny = false;
+    let mut show_locks = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline = v,
+                None => return usage("--baseline needs a path"),
+            },
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--locks" => show_locks = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "ff-lint: workspace invariant checker\n\
+                     usage: ff-lint [--root DIR] [--baseline FILE] [--json] [--deny] [--locks]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match ff_lint::source::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("ff-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let report = match ff_lint::run(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ff-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        // One JSON object per line keeps consumers stream-friendly and
+        // the encoder trivial.
+        println!("{{\"findings\":[");
+        for (i, d) in report.findings.iter().enumerate() {
+            let sep = if i + 1 == report.findings.len() {
+                ""
+            } else {
+                ","
+            };
+            println!("{}{}", d.to_json(), sep);
+        }
+        println!("],\"suppressed\":{}}}", report.suppressed.len());
+    } else {
+        for d in &report.findings {
+            println!("{d}");
+        }
+        if show_locks {
+            eprintln!("lock graph ({} nodes):", report.lock_graph.nodes.len());
+            for e in &report.lock_graph.edges {
+                eprintln!("  {} -> {}  ({}:{})", e.from, e.to, e.file, e.line);
+            }
+        }
+        eprintln!(
+            "ff-lint: {} finding(s), {} baseline-suppressed",
+            report.findings.len(),
+            report.suppressed.len()
+        );
+    }
+
+    if deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ff-lint: {msg} (see --help)");
+    ExitCode::FAILURE
+}

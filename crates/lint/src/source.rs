@@ -1,0 +1,193 @@
+//! Source discovery and the diagnostic model shared by all lints.
+
+use crate::lexer::{lex, strip_test_items, Tok};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One loaded `.rs` file: raw lines (for suppression-comment and
+/// baseline `contains` matching) plus the test-stripped token stream
+/// every lint pass walks.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated — this is the
+    /// spelling diagnostics and baseline entries use.
+    pub rel: String,
+    pub lines: Vec<String>,
+    pub toks: Vec<Tok>,
+}
+
+impl SourceFile {
+    pub fn load(root: &Path, rel: &str) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        Ok(SourceFile::from_text(rel, &text))
+    }
+
+    pub fn from_text(rel: &str, text: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.to_string(),
+            lines: text.lines().map(|l| l.to_string()).collect(),
+            toks: strip_test_items(&lex(text)),
+        }
+    }
+
+    /// The raw text of 1-based `line`, or "" when out of range.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+
+    /// Does `line` (or one of the 3 lines above it, to allow the
+    /// comment to sit on its own line above an attribute or doc
+    /// comment) carry a `// lint: allow(LINT_ID) — reason` marker with
+    /// a non-empty reason?
+    pub fn has_allow_comment(&self, line: u32, lint_id: &str) -> bool {
+        let needle = format!("lint: allow({lint_id})");
+        let lo = line.saturating_sub(3).max(1);
+        for l in (lo..=line).rev() {
+            let text = self.line_text(l);
+            if let Some(pos) = text.find(&needle) {
+                let rest = &text[pos + needle.len()..];
+                // Require a dash-separated justification after the id.
+                let reason = rest
+                    .trim_start_matches(|c: char| {
+                        c.is_whitespace() || c == '—' || c == '-' || c == ':'
+                    })
+                    .trim();
+                return !reason.is_empty();
+            }
+        }
+        false
+    }
+}
+
+/// Walk `dir` (relative to `root`) collecting `.rs` files, sorted by
+/// path so diagnostics order is stable across filesystems.
+pub fn rs_files_under(root: &Path, dir: &str) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join(dir)];
+    while let Some(d) = stack.pop() {
+        let entries = match std::fs::read_dir(&d) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                if let Ok(rel) = p.strip_prefix(root) {
+                    out.push(path_to_rel(rel));
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn path_to_rel(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// A single finding: `file:line: LINT_ID message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(file: &str, line: u32, lint: &'static str, message: String) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            lint,
+            message,
+        }
+    }
+
+    /// JSON object form for `--json` output. Hand-rolled (std-only
+    /// crate; the vendored serde_json shim lives outside the lint's
+    /// dependency budget on purpose).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"lint\":{},\"message\":{}}}",
+            json_str(&self.file),
+            self.line,
+            json_str(self.lint),
+            json_str(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Locate the workspace root: walk upward from `start` until a
+/// directory containing both `Cargo.toml` and `crates/` appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(d) = cur {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        cur = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_comment_requires_reason() {
+        let f = SourceFile::from_text(
+            "x.rs",
+            "// lint: allow(PANIC_PATH) — held only for a push\nfoo.unwrap();\n// lint: allow(PANIC_PATH)\nbar.unwrap();\n",
+        );
+        assert!(f.has_allow_comment(2, "PANIC_PATH"));
+        assert!(!f.has_allow_comment(4, "PANIC_PATH"));
+        assert!(!f.has_allow_comment(2, "DET_WALLCLOCK"));
+    }
+
+    #[test]
+    fn diagnostic_json_escapes() {
+        let d = Diagnostic::new("a/b.rs", 7, "PANIC_PATH", "bad \"quote\"".into());
+        assert_eq!(
+            d.to_json(),
+            "{\"file\":\"a/b.rs\",\"line\":7,\"lint\":\"PANIC_PATH\",\"message\":\"bad \\\"quote\\\"\"}"
+        );
+    }
+}

@@ -163,9 +163,13 @@ impl<'g> SimulatedAnnealing<'g> {
                     .unwrap_or(from)
             } else {
                 // Random part among those connected to v.
-                let conn = st.connection_weights(v);
-                let mut cands: Vec<u32> = conn.keys().copied().filter(|&p| p != from).collect();
-                cands.sort_unstable();
+                // connection_weights is sorted by part id (deterministic).
+                let cands: Vec<u32> = st
+                    .connection_weights(v)
+                    .into_iter()
+                    .map(|(p, _)| p)
+                    .filter(|&p| p != from)
+                    .collect();
                 match cands.len() {
                     0 => continue,
                     len => cands[rng.gen_range(0..len)],

@@ -185,14 +185,16 @@ impl<'g> CutState<'g> {
             .sum()
     }
 
-    /// Weight from `v` into each part among its neighbors: returns
-    /// `(weight_to_current_part, map part → weight)` in O(deg v).
-    pub fn connection_weights(&self, v: VertexId) -> HashMap<u32, f64> {
+    /// Weight from `v` into each part among its neighbors, sorted by
+    /// ascending part id (deterministic order). O(deg v · log deg v).
+    pub fn connection_weights(&self, v: VertexId) -> Vec<(u32, f64)> {
         let mut conn: HashMap<u32, f64> = HashMap::new();
         for (u, w) in self.g.edges_of(v) {
             *conn.entry(self.part.part_of(u)).or_insert(0.0) += w;
         }
-        conn
+        let mut out: Vec<(u32, f64)> = conn.into_iter().collect();
+        out.sort_unstable_by_key(|&(p, _)| p);
+        out
     }
 
     /// Objective change if `v` moved to part `to`, without applying it.

@@ -56,10 +56,7 @@ pub fn greedy_refine_kway(st: &mut CutState, obj: Objective, opts: &GreedyOption
             // Candidate targets: parts that own at least one neighbor
             // (sorted so tie-breaking is deterministic).
             let mut best: Option<(u32, f64)> = None;
-            let conn = st.connection_weights(v);
-            let mut targets: Vec<u32> = conn.keys().copied().collect();
-            targets.sort_unstable();
-            for to in targets {
+            for (to, _) in st.connection_weights(v) {
                 if to == from {
                     continue;
                 }

@@ -23,6 +23,7 @@
 //!   twice costs one parse and a few dozen bytes of cache metadata, and
 //!   `stats` output never scales with graph size.
 
+use crate::sync::{lock, wait};
 use ff_graph::Graph;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex};
@@ -208,7 +209,7 @@ impl std::ops::Deref for PinnedGraph {
 
 impl Drop for PinnedGraph {
     fn drop(&mut self) {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = lock(&self.shared.inner);
         let mut unpinned = false;
         if let Some(e) = inner.entries.get_mut(&self.key) {
             if e.id == self.id {
@@ -287,7 +288,7 @@ impl InstanceCache {
         format: GraphFormat,
     ) -> Result<(Arc<Graph>, LoadOutcome), String> {
         let digest = source_digest(&source, format);
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = lock(&self.shared.inner);
         loop {
             if inner.entries.get(key).is_some_and(|e| e.digest == digest) {
                 inner.tick += 1;
@@ -309,12 +310,12 @@ impl InstanceCache {
             // Another thread is parsing this key: wait, then re-check
             // (its result may be our hit — or its parse may have failed,
             // in which case we take over as loader).
-            inner = self.shared.loaded_cv.wait(inner).unwrap();
+            inner = wait(&self.shared.loaded_cv, inner);
         }
         inner.pending.insert(key.to_string());
         drop(inner);
         let parsed = read_graph(&source, format);
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = lock(&self.shared.inner);
         inner.pending.remove(key);
         self.shared.loaded_cv.notify_all();
         let graph = Arc::new(parsed?);
@@ -354,7 +355,7 @@ impl InstanceCache {
     /// returned handle (counts as a cache hit). In-flight jobs hold one
     /// of these so eviction can never pull a graph out from under them.
     pub fn pin(&self, key: &str) -> Option<PinnedGraph> {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = lock(&self.shared.inner);
         inner.tick += 1;
         let tick = inner.tick;
         let e = inner.entries.get_mut(key)?;
@@ -373,7 +374,7 @@ impl InstanceCache {
     /// The graph registered under `key`, if any, without pinning it
     /// (counts as a cache hit).
     pub fn get(&self, key: &str) -> Option<Arc<Graph>> {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = lock(&self.shared.inner);
         inner.tick += 1;
         let tick = inner.tick;
         let e = inner.entries.get_mut(key)?;
@@ -400,7 +401,7 @@ impl InstanceCache {
 
     /// Number of instances currently cached.
     pub fn len(&self) -> usize {
-        self.shared.inner.lock().unwrap().entries.len()
+        lock(&self.shared.inner).entries.len()
     }
 
     /// Whether the cache is empty.
@@ -410,7 +411,7 @@ impl InstanceCache {
 
     /// Counter snapshot for `stats`.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.shared.inner.lock().unwrap();
+        let inner = lock(&self.shared.inner);
         CacheStats {
             instances: inner.entries.len(),
             bytes: inner.bytes as u64,
@@ -424,7 +425,7 @@ impl InstanceCache {
     /// Observable per-entry state, least-recently-used first. Exposed
     /// for tests and operational tooling.
     pub fn entries(&self) -> Vec<CacheEntryInfo> {
-        let inner = self.shared.inner.lock().unwrap();
+        let inner = lock(&self.shared.inner);
         let mut rows: Vec<(u64, CacheEntryInfo)> = inner
             .entries
             .iter()

@@ -7,6 +7,7 @@
 //! correctly.
 
 use crate::protocol::{DoneInfo, Event, Improvement, JobRequest, Request};
+use crate::sync::lock;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -42,7 +43,7 @@ impl JobCanceller {
     /// Sends a cancel for `job`. Fire-and-forget: the `cancelling`
     /// acknowledgement arrives on the owning client's event stream.
     pub fn cancel(&mut self, job: u64) -> std::io::Result<()> {
-        let mut writer = self.writer.lock().unwrap();
+        let mut writer = lock(&self.writer);
         writeln!(writer, "{}", Request::Cancel { job }.to_value())?;
         writer.flush()
     }
@@ -99,7 +100,7 @@ impl Client {
 
     /// Sends one request line.
     pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
-        let mut writer = self.writer.lock().unwrap();
+        let mut writer = lock(&self.writer);
         writeln!(writer, "{}", request.to_value())?;
         writer.flush()
     }

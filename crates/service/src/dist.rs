@@ -43,6 +43,7 @@
 //! replayed worker indistinguishable from the lost one, which is what
 //! keeps the byte-identical contract intact *under* faults.
 
+use crate::sync::lock;
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -511,6 +512,8 @@ impl WorkerConn {
         self.islands
             .iter()
             .position(|&i| i == global)
+            // lint: allow(PANIC_PATH) — routing table is coordinator-built; a miss is a
+            // coordinator logic error, not client-reachable input.
             .expect("island routed to the worker hosting it")
     }
 
@@ -693,10 +696,16 @@ fn connect(target: &Target, opts: &DistOpts) -> Result<Transport, String> {
                 .spawn()
                 .map_err(|e| format!("failed to spawn `{}`: {e}", cmd[0]))?;
             if let Some(pids) = &opts.pids {
-                pids.lock().unwrap().push(child.id());
+                lock(pids).push(child.id());
             }
-            let stdin = child.stdin.take().expect("piped stdin");
-            let stdout = child.stdout.take().expect("piped stdout");
+            let stdin = child
+                .stdin
+                .take()
+                .ok_or_else(|| format!("`{}`: no piped stdin", cmd[0]))?;
+            let stdout = child
+                .stdout
+                .take()
+                .ok_or_else(|| format!("`{}`: no piped stdout", cmd[0]))?;
             Ok((Some(child), Box::new(stdin), spawn_reader(stdout)))
         }
         Target::Addr(addr) => {

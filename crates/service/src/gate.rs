@@ -14,6 +14,7 @@
 //! `stats` event exposes it, so operators can see contention building up
 //! *before* admission control starts rejecting.
 
+use crate::sync::{lock, wait};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -65,12 +66,12 @@ impl FairGate {
     /// in the wait histogram.
     pub fn acquire(self: &Arc<FairGate>) -> Permit {
         let started = Instant::now();
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock(&self.state);
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         st.queue.push_back(ticket);
         while !(st.available > 0 && st.queue.front() == Some(&ticket)) {
-            st = self.cv.wait(st).unwrap();
+            st = wait(&self.cv, st);
         }
         st.queue.pop_front();
         st.available -= 1;
@@ -88,7 +89,7 @@ impl FairGate {
 
     /// Tickets currently blocked waiting for a slot.
     pub fn queued(&self) -> usize {
-        self.state.lock().unwrap().queue.len()
+        lock(&self.state).queue.len()
     }
 
     /// Counts of completed acquires by how long they waited: buckets are
@@ -101,7 +102,7 @@ impl FairGate {
 
 impl Drop for Permit {
     fn drop(&mut self) {
-        let mut st = self.gate.state.lock().unwrap();
+        let mut st = lock(&self.gate.state);
         st.available += 1;
         drop(st);
         self.gate.cv.notify_all();
@@ -154,14 +155,14 @@ mod tests {
                     // Stagger arrivals so ticket order is the spawn order.
                     std::thread::sleep(Duration::from_millis(20 * (i as u64 + 1)));
                     let _p = gate.acquire();
-                    order.lock().unwrap().push(i);
+                    lock(order).push(i);
                 });
             }
             std::thread::sleep(Duration::from_millis(150));
             assert_eq!(gate.queued(), 4, "all four must be parked");
             drop(blocker); // open the gate after all four are queued
         });
-        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(*lock(&order), vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use crate::job::EventSink;
 use crate::protocol::{Event, JobRequest};
 use crate::server::{read_line_capped, submit_job, LineRead, ServerState, MAX_LINE_BYTES};
+use crate::sync::{lock, wait};
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::AtomicUsize;
@@ -61,7 +62,7 @@ impl EventLog {
     }
 
     pub(crate) fn push_line(&self, line: String) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock(&self.state);
         st.lines.push(line);
         drop(st);
         self.cv.notify_all();
@@ -69,16 +70,16 @@ impl EventLog {
 
     /// Marks the stream complete (the job's `done` event is in the log).
     pub(crate) fn finish(&self) {
-        self.state.lock().unwrap().done = true;
+        lock(&self.state).done = true;
         self.cv.notify_all();
     }
 
     /// Blocks until there are lines past `from` (or the log is done),
     /// then returns them plus the done flag.
     fn wait_since(&self, from: usize) -> (Vec<String>, bool) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock(&self.state);
         while st.lines.len() <= from && !st.done {
-            st = self.cv.wait(st).unwrap();
+            st = wait(&self.cv, st);
         }
         (st.lines[from.min(st.lines.len())..].to_vec(), st.done)
     }

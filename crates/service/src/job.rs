@@ -12,6 +12,7 @@ use crate::gate::FairGate;
 use crate::journal::{JournalRecord, JournalTap};
 use crate::obs::Metrics;
 use crate::protocol::{DoneInfo, Event, Improvement, JobRequest, JobStatus, ParetoPointInfo};
+use crate::sync::lock;
 use ff_core::{ConfigError, FusionFissionConfig};
 use ff_engine::{MultilevelOpts, ParetoFront, Solver};
 use ff_graph::Graph;
@@ -67,7 +68,7 @@ impl EventSink {
                 tap.record(&JournalRecord::Event(event.clone()));
             }
         }
-        let mut out = self.out.lock().unwrap();
+        let mut out = lock(&self.out);
         writeln!(out, "{}", event.to_value())?;
         out.flush()
     }
@@ -76,7 +77,7 @@ impl EventSink {
     /// and flushes — how the truncate-mid-message fault mode simulates a
     /// worker dying halfway through a reply line.
     pub(crate) fn send_raw_partial(&self, bytes: &[u8]) {
-        let mut out = self.out.lock().unwrap();
+        let mut out = lock(&self.out);
         let _ = out.write_all(bytes);
         let _ = out.flush();
     }
@@ -201,6 +202,8 @@ pub(crate) fn run_job(
                     let waiting = Instant::now();
                     let permit = gate.acquire();
                     if poisoned {
+                        // lint: allow(PANIC_PATH) — deliberate fault-injection hook; fires only when the
+                        // FFPART_JOB_PANIC env var is set by the crash-recovery tests.
                         panic!("injected driver panic (FFPART_JOB_PANIC)");
                     }
                     metrics.permit_wait(waiting.elapsed());
@@ -222,6 +225,8 @@ pub(crate) fn run_job(
                 } else {
                     let permit = gate.acquire();
                     if poisoned {
+                        // lint: allow(PANIC_PATH) — deliberate fault-injection hook; fires only when the
+                        // FFPART_JOB_PANIC env var is set by the crash-recovery tests.
                         panic!("injected driver panic (FFPART_JOB_PANIC)");
                     }
                     more = run.advance_epoch();
@@ -257,6 +262,8 @@ pub(crate) fn run_job(
                 }
             }
         })
+        // lint: allow(PANIC_PATH) — the spec was validated at submit time; a config
+        // rejection here means admission and the engine disagree, which is a bug.
         .expect("job config validated at submit time");
     let steps = res.steps;
     let pareto = res.pareto.as_ref().map(|front| {
@@ -315,7 +322,7 @@ mod tests {
         struct Shared(Arc<Mutex<Vec<u8>>>);
         impl Write for Shared {
             fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.0.lock().unwrap().extend_from_slice(buf);
+                lock(&self.0).extend_from_slice(buf);
                 Ok(buf.len())
             }
             fn flush(&mut self) -> std::io::Result<()> {
@@ -327,7 +334,7 @@ mod tests {
     }
 
     fn events_from(buf: &Arc<Mutex<Vec<u8>>>) -> Vec<Event> {
-        let bytes = buf.lock().unwrap();
+        let bytes = lock(buf);
         let text = String::from_utf8(bytes.clone()).unwrap();
         text.lines().map(|l| Event::parse(l).unwrap()).collect()
     }

@@ -29,7 +29,8 @@
 //! [`JournalError::Corrupt`] naming the byte offset.
 
 use crate::cache::{GraphFormat, GraphSource};
-use crate::protocol::{get_str, get_u64, obj, s, unum, Event, JobRequest};
+use crate::protocol::{get_str, get_u64, obj, reject_unknown, s, unum, Event, JobRequest};
+use crate::sync::lock;
 use ff_obs::{Counter, Registry};
 use serde_json::Value;
 use std::fs::{File, OpenOptions};
@@ -105,6 +106,11 @@ impl JournalRecord {
         let kind = get_str(v, "record").ok_or("missing `record`")?;
         match kind.as_str() {
             "instance" => {
+                reject_unknown(
+                    v,
+                    "instance",
+                    &["record", "instance", "path", "data", "format", "digest"],
+                )?;
                 let instance = get_str(v, "instance").ok_or("instance: missing `instance`")?;
                 let source = match (get_str(v, "path"), get_str(v, "data")) {
                     (Some(p), None) => GraphSource::Path(p),
@@ -125,12 +131,14 @@ impl JournalRecord {
                 })
             }
             "submitted" => {
+                reject_unknown(v, "submitted", &["record", "job", "spec"])?;
                 let job = get_u64(v, "job").ok_or("submitted: missing `job`")?;
                 let spec = v.get("spec").ok_or("submitted: missing `spec`")?;
                 let spec = JobRequest::from_value(spec)?;
                 Ok(JournalRecord::Submitted { job, spec })
             }
             "event" => {
+                reject_unknown(v, "event", &["record", "event"])?;
                 let event = v.get("event").ok_or("event: missing `event`")?;
                 let event = Event::parse(&event.to_string())?;
                 Ok(JournalRecord::Event(event))
@@ -298,7 +306,7 @@ impl JournalWriter {
     /// Appends one record and flushes.
     pub fn append(&self, record: &JournalRecord) -> std::io::Result<()> {
         let line = frame(record);
-        let mut file = self.file.lock().unwrap();
+        let mut file = lock(&self.file);
         file.write_all(line.as_bytes())?;
         file.flush()
     }

@@ -258,6 +258,16 @@
 //! ff_service::Client::connect(handle.addr()).unwrap().shutdown().unwrap();
 //! handle.join().unwrap();
 //! ```
+//!
+//! ## Invariants
+//!
+//! `ff-lint` (`crates/lint`) statically checks this crate on every CI
+//! run: the lock-acquisition order must stay a DAG (`LOCK_CYCLE`), wire
+//! parsers must reject unknown fields (`WIRE_STRICT` / `WIRE_FIELD`),
+//! and request-handling files must not panic on reachable paths
+//! (`PANIC_PATH`) — poisoned locks are recovered via the crate's
+//! `sync::lock` / `sync::wait` helpers instead of unwrapped. See
+//! `INVARIANTS.md` at the repo root for the full contract.
 
 pub mod cache;
 pub mod client;
@@ -269,6 +279,7 @@ pub mod journal;
 pub mod obs;
 pub mod protocol;
 pub mod server;
+mod sync;
 mod wsession;
 
 pub use cache::{

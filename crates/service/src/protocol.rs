@@ -132,7 +132,7 @@ fn opt_u64_array<const N: usize>(
 /// The strict-schema rule (PR 5): a typo'd field must be rejected by
 /// name, never silently ignored — on the worker ops doubly so, since a
 /// dropped field there would desync the distributed lockstep.
-fn reject_unknown(v: &Value, op: &str, known: &[&str]) -> Result<(), String> {
+pub(crate) fn reject_unknown(v: &Value, op: &str, known: &[&str]) -> Result<(), String> {
     if let Some(object) = v.as_object() {
         for (key, _) in object.iter() {
             if !known.contains(&key.as_str()) {
@@ -254,27 +254,25 @@ impl JobRequest {
     /// typo'd `objctives` must not silently run a different job than the
     /// client believes it submitted.
     pub fn from_value(v: &Value) -> Result<JobRequest, String> {
-        const KNOWN_FIELDS: [&str; 12] = [
-            "op",
-            "instance",
-            "k",
-            "objective",
-            "objectives",
-            "migration",
-            "seed",
-            "steps",
-            "deadline_ms",
-            "islands",
-            "chunk",
-            "multilevel",
-        ];
-        if let Some(object) = v.as_object() {
-            for (key, _) in object.iter() {
-                if !KNOWN_FIELDS.contains(&key.as_str()) && key != "assignment" {
-                    return Err(format!("submit: unknown field `{key}`"));
-                }
-            }
-        }
+        reject_unknown(
+            v,
+            "submit",
+            &[
+                "op",
+                "instance",
+                "k",
+                "objective",
+                "objectives",
+                "migration",
+                "seed",
+                "steps",
+                "deadline_ms",
+                "islands",
+                "chunk",
+                "multilevel",
+                "assignment",
+            ],
+        )?;
         let instance = get_str(v, "instance").ok_or("submit: missing `instance`")?;
         let k = get_u64(v, "k").ok_or("submit: missing or bad `k`")? as usize;
         let objective = match get_str(v, "objective") {
@@ -653,6 +651,7 @@ impl Request {
         let op = get_str(&v, "op").ok_or("missing `op`")?;
         match op.as_str() {
             "load" => {
+                reject_unknown(&v, "load", &["op", "instance", "format", "path", "data"])?;
                 let instance = get_str(&v, "instance").ok_or("load: missing `instance`")?;
                 let format = match get_str(&v, "format") {
                     None => GraphFormat::Metis,
@@ -674,11 +673,20 @@ impl Request {
                 })
             }
             "submit" => Ok(Request::Submit(JobRequest::from_value(&v)?)),
-            "cancel" => Ok(Request::Cancel {
-                job: get_u64(&v, "job").ok_or("cancel: missing or bad `job`")?,
-            }),
-            "stats" => Ok(Request::Stats),
-            "shutdown" => Ok(Request::Shutdown),
+            "cancel" => {
+                reject_unknown(&v, "cancel", &["op", "job"])?;
+                Ok(Request::Cancel {
+                    job: get_u64(&v, "job").ok_or("cancel: missing or bad `job`")?,
+                })
+            }
+            "stats" => {
+                reject_unknown(&v, "stats", &["op"])?;
+                Ok(Request::Stats)
+            }
+            "shutdown" => {
+                reject_unknown(&v, "shutdown", &["op"])?;
+                Ok(Request::Shutdown)
+            }
             "wstart" => {
                 reject_unknown(
                     &v,
@@ -1313,37 +1321,90 @@ impl Event {
         let event = get_str(&v, "event").ok_or("missing `event`")?;
         let u = |key: &str| get_u64(&v, key).ok_or(format!("{event}: missing `{key}`"));
         match event.as_str() {
-            "hello" => Ok(Event::Hello {
-                proto: u("proto")?,
-                workers: u("workers")? as usize,
-            }),
-            "loaded" => Ok(Event::Loaded {
-                instance: get_str(&v, "instance").ok_or("loaded: missing `instance`")?,
-                vertices: u("vertices")? as usize,
-                edges: u("edges")? as usize,
-                cached: v.get("cached").and_then(Value::as_bool).unwrap_or(false),
-                reloaded: v.get("reloaded").and_then(Value::as_bool).unwrap_or(false),
-            }),
-            "accepted" => Ok(Event::Accepted {
-                job: u("job")?,
-                instance: get_str(&v, "instance").unwrap_or_default(),
-                k: u("k")? as usize,
-            }),
-            "rejected" => Ok(Event::Rejected {
-                instance: get_str(&v, "instance").unwrap_or_default(),
-                reason: get_str(&v, "reason").unwrap_or_default(),
-                retry_after_ms: u("retry_after_ms")?,
-                in_flight: get_u64(&v, "in_flight").unwrap_or(0),
-            }),
-            "improvement" => Ok(Event::Improvement(Improvement {
-                job: u("job")?,
-                value: get_f64(&v, "value").ok_or("improvement: missing `value`")?,
-                step: u("step")?,
-                elapsed_ms: u("elapsed_ms")?,
-                island: u("island").unwrap_or(0) as usize,
-                objective: get_str(&v, "objective").and_then(|name| parse_objective(&name)),
-            })),
+            "hello" => {
+                reject_unknown(&v, "hello", &["event", "proto", "workers"])?;
+                Ok(Event::Hello {
+                    proto: u("proto")?,
+                    workers: u("workers")? as usize,
+                })
+            }
+            "loaded" => {
+                reject_unknown(
+                    &v,
+                    "loaded",
+                    &[
+                        "event", "instance", "vertices", "edges", "cached", "reloaded",
+                    ],
+                )?;
+                Ok(Event::Loaded {
+                    instance: get_str(&v, "instance").ok_or("loaded: missing `instance`")?,
+                    vertices: u("vertices")? as usize,
+                    edges: u("edges")? as usize,
+                    cached: v.get("cached").and_then(Value::as_bool).unwrap_or(false),
+                    reloaded: v.get("reloaded").and_then(Value::as_bool).unwrap_or(false),
+                })
+            }
+            "accepted" => {
+                reject_unknown(&v, "accepted", &["event", "job", "instance", "k"])?;
+                Ok(Event::Accepted {
+                    job: u("job")?,
+                    instance: get_str(&v, "instance").unwrap_or_default(),
+                    k: u("k")? as usize,
+                })
+            }
+            "rejected" => {
+                reject_unknown(
+                    &v,
+                    "rejected",
+                    &["event", "instance", "reason", "retry_after_ms", "in_flight"],
+                )?;
+                Ok(Event::Rejected {
+                    instance: get_str(&v, "instance").unwrap_or_default(),
+                    reason: get_str(&v, "reason").unwrap_or_default(),
+                    retry_after_ms: u("retry_after_ms")?,
+                    in_flight: get_u64(&v, "in_flight").unwrap_or(0),
+                })
+            }
+            "improvement" => {
+                reject_unknown(
+                    &v,
+                    "improvement",
+                    &[
+                        "event",
+                        "job",
+                        "value",
+                        "step",
+                        "elapsed_ms",
+                        "island",
+                        "objective",
+                    ],
+                )?;
+                Ok(Event::Improvement(Improvement {
+                    job: u("job")?,
+                    value: get_f64(&v, "value").ok_or("improvement: missing `value`")?,
+                    step: u("step")?,
+                    elapsed_ms: u("elapsed_ms")?,
+                    island: u("island").unwrap_or(0) as usize,
+                    objective: get_str(&v, "objective").and_then(|name| parse_objective(&name)),
+                }))
+            }
             "done" => {
+                reject_unknown(
+                    &v,
+                    "done",
+                    &[
+                        "event",
+                        "job",
+                        "status",
+                        "value",
+                        "parts",
+                        "steps",
+                        "elapsed_ms",
+                        "migrations",
+                        "assignment",
+                        "pareto",
+                    ],
+                )?;
                 let assignment_of = |v: &Value| {
                     v.get("assignment").and_then(Value::as_array).map(|items| {
                         items
@@ -1358,6 +1419,11 @@ impl Event {
                     Some(items) => {
                         let mut points = Vec::with_capacity(items.len());
                         for item in items {
+                            reject_unknown(
+                                item,
+                                "done.pareto",
+                                &["island", "objective", "values", "parts", "assignment"],
+                            )?;
                             let values = item
                                 .get("values")
                                 .and_then(Value::as_object)
@@ -1400,50 +1466,86 @@ impl Event {
                     pareto,
                 }))
             }
-            "cancelling" => Ok(Event::Cancelling {
-                job: u("job")?,
-                known: v.get("known").and_then(Value::as_bool).unwrap_or(false),
-            }),
-            "stats" => Ok(Event::Stats(StatsInfo {
-                instances: u("instances")? as usize,
-                cache_hits: u("cache_hits")?,
-                cache_loads: u("cache_loads")?,
-                cache_evictions: get_u64(&v, "cache_evictions").unwrap_or(0),
-                cache_bytes: get_u64(&v, "cache_bytes").unwrap_or(0),
-                cache_budget_bytes: get_u64(&v, "cache_budget_bytes").unwrap_or(0),
-                jobs_submitted: u("jobs_submitted")?,
-                jobs_running: u("jobs_running")?,
-                jobs_done: u("jobs_done")?,
-                jobs_cancelled: get_u64(&v, "jobs_cancelled").unwrap_or(0),
-                jobs_rejected: get_u64(&v, "jobs_rejected").unwrap_or(0),
-                max_jobs: get_u64(&v, "max_jobs").unwrap_or(0),
-                workers: get_u64(&v, "workers").unwrap_or(0) as usize,
-                gate_queued: get_u64(&v, "gate_queued").unwrap_or(0) as usize,
-                permit_wait_hist: u64_array::<WAIT_BUCKETS>(&v, "stats", "permit_wait_hist")?,
-                permit_wait_bucket_ms: opt_u64_array(
+            "cancelling" => {
+                reject_unknown(&v, "cancelling", &["event", "job", "known"])?;
+                Ok(Event::Cancelling {
+                    job: u("job")?,
+                    known: v.get("known").and_then(Value::as_bool).unwrap_or(false),
+                })
+            }
+            "stats" => {
+                reject_unknown(
                     &v,
                     "stats",
-                    "permit_wait_bucket_ms",
-                    WAIT_BUCKET_MS,
-                )?,
-                job_duration_hist: opt_u64_array(
-                    &v,
-                    "stats",
-                    "job_duration_hist",
-                    [0; DURATION_BUCKETS],
-                )?,
-                job_duration_bucket_ms: opt_u64_array(
-                    &v,
-                    "stats",
-                    "job_duration_bucket_ms",
-                    DURATION_BUCKET_MS,
-                )?,
-            })),
-            "error" => Ok(Event::Error {
-                message: get_str(&v, "message").unwrap_or_default(),
-                job: get_u64(&v, "job"),
-            }),
-            "bye" => Ok(Event::Bye),
+                    &[
+                        "event",
+                        "instances",
+                        "cache_hits",
+                        "cache_loads",
+                        "cache_evictions",
+                        "cache_bytes",
+                        "cache_budget_bytes",
+                        "jobs_submitted",
+                        "jobs_running",
+                        "jobs_done",
+                        "jobs_cancelled",
+                        "jobs_rejected",
+                        "max_jobs",
+                        "workers",
+                        "gate_queued",
+                        "permit_wait_hist",
+                        "permit_wait_bucket_ms",
+                        "job_duration_hist",
+                        "job_duration_bucket_ms",
+                    ],
+                )?;
+                Ok(Event::Stats(StatsInfo {
+                    instances: u("instances")? as usize,
+                    cache_hits: u("cache_hits")?,
+                    cache_loads: u("cache_loads")?,
+                    cache_evictions: get_u64(&v, "cache_evictions").unwrap_or(0),
+                    cache_bytes: get_u64(&v, "cache_bytes").unwrap_or(0),
+                    cache_budget_bytes: get_u64(&v, "cache_budget_bytes").unwrap_or(0),
+                    jobs_submitted: u("jobs_submitted")?,
+                    jobs_running: u("jobs_running")?,
+                    jobs_done: u("jobs_done")?,
+                    jobs_cancelled: get_u64(&v, "jobs_cancelled").unwrap_or(0),
+                    jobs_rejected: get_u64(&v, "jobs_rejected").unwrap_or(0),
+                    max_jobs: get_u64(&v, "max_jobs").unwrap_or(0),
+                    workers: get_u64(&v, "workers").unwrap_or(0) as usize,
+                    gate_queued: get_u64(&v, "gate_queued").unwrap_or(0) as usize,
+                    permit_wait_hist: u64_array::<WAIT_BUCKETS>(&v, "stats", "permit_wait_hist")?,
+                    permit_wait_bucket_ms: opt_u64_array(
+                        &v,
+                        "stats",
+                        "permit_wait_bucket_ms",
+                        WAIT_BUCKET_MS,
+                    )?,
+                    job_duration_hist: opt_u64_array(
+                        &v,
+                        "stats",
+                        "job_duration_hist",
+                        [0; DURATION_BUCKETS],
+                    )?,
+                    job_duration_bucket_ms: opt_u64_array(
+                        &v,
+                        "stats",
+                        "job_duration_bucket_ms",
+                        DURATION_BUCKET_MS,
+                    )?,
+                }))
+            }
+            "error" => {
+                reject_unknown(&v, "error", &["event", "message", "job"])?;
+                Ok(Event::Error {
+                    message: get_str(&v, "message").unwrap_or_default(),
+                    job: get_u64(&v, "job"),
+                })
+            }
+            "bye" => {
+                reject_unknown(&v, "bye", &["event"])?;
+                Ok(Event::Bye)
+            }
             "wready" => {
                 reject_unknown(&v, "wready", &["event", "session", "islands"])?;
                 Ok(Event::WReady {

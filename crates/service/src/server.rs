@@ -25,6 +25,7 @@ use crate::obs::{Metrics, DURATION_BUCKET_MS};
 use crate::protocol::{
     DoneInfo, Event, JobRequest, JobStatus, Request, StatsInfo, PROTOCOL_VERSION,
 };
+use crate::sync::lock;
 use crate::wsession::{self, WOp};
 use ff_metaheur::CancelToken;
 use ff_obs::{LogFormat, LogValue, Logger, Registry};
@@ -168,11 +169,11 @@ impl ServerState {
     /// Enters a finished job's event log into the bounded retention
     /// ring, evicting the oldest past [`RETAINED_EVENT_LOGS`].
     pub(crate) fn retain_finished_log(&self, job_id: u64) {
-        let mut finished = self.finished_logs.lock().unwrap();
+        let mut finished = lock(&self.finished_logs);
         finished.push_back(job_id);
         while finished.len() > RETAINED_EVENT_LOGS {
             if let Some(old) = finished.pop_front() {
-                self.logs.lock().unwrap().remove(&old);
+                lock(&self.logs).remove(&old);
             }
         }
     }
@@ -182,7 +183,7 @@ impl ServerState {
     }
 
     pub(crate) fn cancel_job(&self, job: u64) -> bool {
-        match self.jobs.lock().unwrap().get(&job) {
+        match lock(&self.jobs).get(&job) {
             Some(token) => {
                 token.cancel();
                 true
@@ -192,7 +193,7 @@ impl ServerState {
     }
 
     pub(crate) fn event_log(&self, job: u64) -> Option<Arc<EventLog>> {
-        self.logs.lock().unwrap().get(&job).cloned()
+        lock(&self.logs).get(&job).cloned()
     }
 
     /// One coherent statistics snapshot. Also raises the registry's
@@ -208,7 +209,7 @@ impl ServerState {
             cache_bytes: cache.bytes,
             cache_budget_bytes: cache.budget,
             jobs_submitted: self.submitted.load(Ordering::Relaxed),
-            jobs_running: self.jobs.lock().unwrap().len() as u64,
+            jobs_running: lock(&self.jobs).len() as u64,
             jobs_done: self.finished.load(Ordering::Relaxed),
             jobs_cancelled: self.metrics.jobs_cancelled(),
             jobs_rejected: self.rejected.load(Ordering::Relaxed),
@@ -336,7 +337,7 @@ fn replay_journal(state: &Arc<ServerState>, path: &str) -> std::io::Result<Repla
         }
         log.push_line(done_line.clone());
         log.finish();
-        state.logs.lock().unwrap().insert(*job, log);
+        lock(&state.logs).insert(*job, log);
         state.retain_finished_log(*job);
         summary.finished += 1;
     }
@@ -393,9 +394,9 @@ fn resume_job(state: &Arc<ServerState>, job_id: u64, spec: &JobRequest) -> bool 
         return false;
     }
     let token = CancelToken::new();
-    state.jobs.lock().unwrap().insert(job_id, token.clone());
+    lock(&state.jobs).insert(job_id, token.clone());
     let log = EventLog::new();
-    state.logs.lock().unwrap().insert(job_id, log.clone());
+    lock(&state.logs).insert(job_id, log.clone());
     let sink = log_sink(&log, state.journal.clone());
     state.metrics.logger.log(
         "resume",
@@ -493,7 +494,8 @@ impl Server {
         let result = accept_loop(&self.listener, &self.state, handle_tcp_client);
         self.state.request_shutdown(); // unblock the http loop on error
         if let Some(join) = http_join {
-            join.join().expect("http accept loop panicked")?;
+            join.join()
+                .map_err(|_| std::io::Error::other("http accept loop panicked"))??;
         }
         result
     }
@@ -572,7 +574,9 @@ impl ServerHandle {
 
     /// Waits for the serve loop to end (a client must send `shutdown`).
     pub fn join(self) -> std::io::Result<()> {
-        self.join.join().expect("serve loop panicked")
+        self.join
+            .join()
+            .map_err(|_| std::io::Error::other("serve loop panicked"))?
     }
 }
 
@@ -824,7 +828,7 @@ pub(crate) fn submit_job(
     // admit past the bound: the slot is reserved here and released below
     // if validation fails.
     let (job_id, token) = {
-        let mut jobs = state.jobs.lock().unwrap();
+        let mut jobs = lock(&state.jobs);
         let in_flight = jobs.len() as u64;
         let reject = |reason: String| {
             state.rejected.fetch_add(1, Ordering::Relaxed);
@@ -869,7 +873,7 @@ pub(crate) fn submit_job(
         (job_id, token)
     };
     let release_slot = || {
-        state.jobs.lock().unwrap().remove(&job_id);
+        lock(&state.jobs).remove(&job_id);
         conn_jobs.fetch_sub(1, Ordering::Relaxed);
     };
     let Some(graph) = state.cache.pin(&spec.instance) else {
@@ -920,7 +924,7 @@ pub(crate) fn submit_job(
         });
     }
     if let Some(log) = &log {
-        state.logs.lock().unwrap().insert(job_id, log.clone());
+        lock(&state.logs).insert(job_id, log.clone());
     }
     let accepted = Event::Accepted {
         job: job_id,
@@ -960,7 +964,7 @@ impl Drop for DriverGuard {
         if self.finished.load(Ordering::Acquire) {
             return;
         }
-        self.state.jobs.lock().unwrap().remove(&self.job_id);
+        lock(&self.state.jobs).remove(&self.job_id);
         self.conn_jobs.fetch_sub(1, Ordering::Relaxed);
         self.state.metrics.job_panicked(self.job_id);
         // Tell whoever is streaming; the error is deliberately *not*
@@ -1014,7 +1018,7 @@ fn spawn_driver(
             Some(&state.metrics),
             |done| {
                 finished.store(true, Ordering::Release);
-                state.jobs.lock().unwrap().remove(&job_id);
+                lock(&state.jobs).remove(&job_id);
                 conn_jobs.fetch_sub(1, Ordering::Relaxed);
                 state.finished.fetch_add(1, Ordering::Relaxed);
                 state.metrics.job_done(done);

@@ -1,0 +1,26 @@
+//! Poison-recovering lock helpers.
+//!
+//! `Mutex::lock().unwrap()` turns one panicking thread into a cascade:
+//! every later `lock()` on the same mutex panics too, and a panic
+//! inside a `Drop` that locks (e.g. the job driver's guard) aborts the
+//! whole process. The serving layer never wants that escalation — a
+//! poisoned lock means a *previous* holder panicked, and the recovery
+//! that preserves availability is to keep serving with the data as it
+//! is. All state guarded here is either monotonic counters, logs, or
+//! maps repaired by the panic guard itself, so continuing is safe.
+//!
+//! These helpers are also what `ff-lint`'s lock-order analysis keys on:
+//! `lock(&x.y)` call sites feed the static acquisition graph (see
+//! `INVARIANTS.md`).
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on `cv`, recovering the guard if a holder panicked mid-wait.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
